@@ -1,0 +1,523 @@
+package gridrealloc_test
+
+// Benchmark harness: one testing.B benchmark per table and figure of the
+// paper, plus the Section 4.3 algorithm comparison, the ablation studies
+// called out in DESIGN.md and micro-benchmarks of the hot paths (profile
+// operations, completion-time estimation, heuristic selection).
+//
+// The table benchmarks regenerate the corresponding table on a reduced slice
+// of the workload (the submission window scales with the slice, so the
+// offered load — and therefore the qualitative shape of the numbers —
+// matches the full-scale campaign). Run the full-scale campaign with
+// cmd/experiments -fraction 1.0; run these with:
+//
+//	go test -bench=. -benchmem
+//
+// Each table benchmark reports the table's average cell value as a custom
+// metric so regressions in behaviour (not only in speed) are visible.
+
+import (
+	"fmt"
+	"testing"
+
+	gridrealloc "gridrealloc"
+	"gridrealloc/internal/batch"
+	"gridrealloc/internal/core"
+	"gridrealloc/internal/experiment"
+	"gridrealloc/internal/gantt"
+	"gridrealloc/internal/platform"
+	"gridrealloc/internal/server"
+	"gridrealloc/internal/workload"
+)
+
+// benchFraction is the workload slice used by the table benchmarks. The
+// submission window scales with it, so the offered load matches full scale.
+const benchFraction = 0.01
+
+// benchSeed keeps every benchmark deterministic.
+const benchSeed = 42
+
+// benchTable regenerates one of the paper's tables (2..17) on the reduced
+// workload and reports its mean cell value.
+func benchTable(b *testing.B, id int) {
+	b.Helper()
+	spec, err := experiment.TableByID(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var lastMean float64
+	for i := 0; i < b.N; i++ {
+		camp, err := experiment.Run(experiment.CampaignConfig{
+			Fraction:        benchFraction,
+			Seed:            benchSeed,
+			Heterogeneities: []platform.Heterogeneity{spec.Heterogeneity},
+			Algorithms:      []core.Algorithm{spec.Algorithm},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		table, err := camp.BuildTable(id)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(table.Rows) == 0 {
+			b.Fatalf("table %d has no rows", id)
+		}
+		sum, n := 0.0, 0
+		for _, row := range table.Rows {
+			for j, v := range row.Values {
+				if !row.Missing[j] {
+					sum += v
+					n++
+				}
+			}
+		}
+		if n > 0 {
+			lastMean = sum / float64(n)
+		}
+	}
+	b.ReportMetric(lastMean, "mean_cell")
+}
+
+// One benchmark per result table of the paper.
+
+func BenchmarkTable02ImpactedHomogeneous(b *testing.B)            { benchTable(b, 2) }
+func BenchmarkTable03ImpactedHeterogeneous(b *testing.B)          { benchTable(b, 3) }
+func BenchmarkTable04ReallocationsHomogeneous(b *testing.B)       { benchTable(b, 4) }
+func BenchmarkTable05ReallocationsHeterogeneous(b *testing.B)     { benchTable(b, 5) }
+func BenchmarkTable06EarlierHomogeneous(b *testing.B)             { benchTable(b, 6) }
+func BenchmarkTable07EarlierHeterogeneous(b *testing.B)           { benchTable(b, 7) }
+func BenchmarkTable08ResponseHomogeneous(b *testing.B)            { benchTable(b, 8) }
+func BenchmarkTable09ResponseHeterogeneous(b *testing.B)          { benchTable(b, 9) }
+func BenchmarkTable10ImpactedCancelHomogeneous(b *testing.B)      { benchTable(b, 10) }
+func BenchmarkTable11ImpactedCancelHeterogeneous(b *testing.B)    { benchTable(b, 11) }
+func BenchmarkTable12ReallocationsCancelHomogeneous(b *testing.B) { benchTable(b, 12) }
+func BenchmarkTable13ReallocationsCancelHeterogeneous(b *testing.B) {
+	benchTable(b, 13)
+}
+func BenchmarkTable14EarlierCancelHomogeneous(b *testing.B)    { benchTable(b, 14) }
+func BenchmarkTable15EarlierCancelHeterogeneous(b *testing.B)  { benchTable(b, 15) }
+func BenchmarkTable16ResponseCancelHomogeneous(b *testing.B)   { benchTable(b, 16) }
+func BenchmarkTable17ResponseCancelHeterogeneous(b *testing.B) { benchTable(b, 17) }
+
+// BenchmarkTable01TraceGeneration regenerates Table 1: the six monthly
+// traces with the paper's per-site job counts (at the benchmark fraction).
+func BenchmarkTable01TraceGeneration(b *testing.B) {
+	jobs := 0
+	for i := 0; i < b.N; i++ {
+		jobs = 0
+		for _, m := range workload.Months() {
+			traces, err := workload.MonthScenario(m, benchFraction, benchSeed)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for _, tr := range traces {
+				jobs += tr.Len()
+			}
+		}
+	}
+	b.ReportMetric(float64(jobs), "jobs")
+}
+
+// BenchmarkComparisonAlg1VsAlg2 regenerates the Section 4.3 comparison
+// between the two reallocation algorithms.
+func BenchmarkComparisonAlg1VsAlg2(b *testing.B) {
+	wins := 0
+	for i := 0; i < b.N; i++ {
+		camp, err := experiment.Run(experiment.CampaignConfig{
+			Fraction:  benchFraction,
+			Seed:      benchSeed,
+			Scenarios: []workload.ScenarioName{"jan", "apr", "pwa-g5k"},
+			Heuristics: []core.Heuristic{
+				core.MCT(), core.MinMin(),
+			},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		wins = 0
+		for _, row := range camp.CompareAlgorithms() {
+			if row.CancellationIsBetter {
+				wins++
+			}
+		}
+	}
+	b.ReportMetric(float64(wins), "cancellation_wins")
+}
+
+// figureScenario builds the two-cluster illustrative scenario shared by the
+// figure benchmarks.
+func figureScenario(b *testing.B, policy batch.Policy) []*server.Server {
+	b.Helper()
+	c1, err := server.New(platform.ClusterSpec{Name: "cluster-1", Cores: 4, Speed: 1}, policy)
+	if err != nil {
+		b.Fatal(err)
+	}
+	c2, err := server.New(platform.ClusterSpec{Name: "cluster-2", Cores: 4, Speed: 1}, policy)
+	if err != nil {
+		b.Fatal(err)
+	}
+	submit := func(s *server.Server, id int, runtime, walltime int64, procs int) {
+		j := workload.Job{ID: id, Submit: 0, Runtime: runtime, Walltime: walltime, Procs: procs}
+		if err := s.Submit(j, 0, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+	submit(c1, 1, 40, 40, 1)
+	submit(c1, 2, 60, 60, 1)
+	submit(c1, 3, 20, 80, 1) // finishes early
+	submit(c1, 4, 50, 50, 2) // waits, candidate for reallocation
+	submit(c1, 5, 40, 40, 2) // waits, candidate for reallocation
+	submit(c2, 6, 50, 50, 1)
+	submit(c2, 7, 35, 35, 1)
+	for _, s := range []*server.Server{c1, c2} {
+		if _, err := s.Scheduler().Advance(30); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return []*server.Server{c1, c2}
+}
+
+// BenchmarkFigure1ReallocationExample regenerates Figure 1: the reallocation
+// of waiting tasks from a cluster with an early finish to an idle cluster,
+// rendered as ASCII Gantt charts.
+func BenchmarkFigure1ReallocationExample(b *testing.B) {
+	moves := 0
+	for i := 0; i < b.N; i++ {
+		servers := figureScenario(b, batch.CBF)
+		agent, err := core.NewAgent(servers, core.MCTMapping(), core.ReallocConfig{
+			Algorithm: core.WithoutCancellation,
+			Heuristic: core.MCT(),
+			MinGain:   1,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		moves, err = agent.Reallocate(30)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, s := range servers {
+			snap := s.Scheduler().Snapshot()
+			chart := gantt.Chart{Title: s.Name(), Cores: s.Spec().Cores}
+			for _, r := range snap.Running {
+				chart.Bars = append(chart.Bars, gantt.Bar{Label: fmt.Sprint(r.JobID), Start: r.Start, End: r.End, Procs: r.Procs})
+			}
+			for _, w := range snap.Waiting {
+				chart.Bars = append(chart.Bars, gantt.Bar{Label: fmt.Sprint(w.JobID), Start: w.Start, End: w.End, Procs: w.Procs, Waiting: true})
+			}
+			if out := chart.Render(0, 160, 2); len(out) == 0 {
+				b.Fatal("empty chart")
+			}
+		}
+	}
+	b.ReportMetric(float64(moves), "tasks_moved")
+}
+
+// BenchmarkFigure2SideEffects regenerates Figure 2: the schedule after a
+// reallocation where an early finish delays a large job behind the inserted
+// task while other jobs advance.
+func BenchmarkFigure2SideEffects(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		servers := figureScenario(b, batch.CBF)
+		agent, err := core.NewAgent(servers, core.MCTMapping(), core.ReallocConfig{
+			Algorithm: core.WithoutCancellation,
+			Heuristic: core.MaxGain(),
+			MinGain:   1,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := agent.Reallocate(30); err != nil {
+			b.Fatal(err)
+		}
+		// The early finish that produces the side effect.
+		for _, s := range servers {
+			if _, err := s.Scheduler().Advance(60); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// --- Ablation benchmarks -------------------------------------------------
+
+// ablationRun executes one April-slice simulation with the given knobs and
+// returns the relative response time against the no-reallocation baseline.
+func ablationRun(b *testing.B, mutate func(*gridrealloc.ScenarioConfig)) float64 {
+	b.Helper()
+	trace, err := gridrealloc.GenerateScenario("apr", 0.02, benchSeed)
+	if err != nil {
+		b.Fatal(err)
+	}
+	base := gridrealloc.ScenarioConfig{
+		Scenario:      "apr",
+		Heterogeneity: "heterogeneous",
+		Policy:        "CBF",
+		Trace:         trace,
+	}
+	baseline, err := gridrealloc.RunScenario(base)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := base
+	cfg.Algorithm = "realloc-cancel"
+	cfg.Heuristic = "MinMin"
+	mutate(&cfg)
+	res, err := gridrealloc.RunScenario(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cmp, err := gridrealloc.Compare(baseline, res)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return cmp.RelativeResponseTime
+}
+
+// BenchmarkAblationReallocationPeriod quantifies the paper's choice of an
+// hourly reallocation event against faster and slower periods.
+func BenchmarkAblationReallocationPeriod(b *testing.B) {
+	for _, period := range []int64{900, 3600, 14400} {
+		period := period
+		b.Run(fmt.Sprintf("period_%ds", period), func(b *testing.B) {
+			var rel float64
+			for i := 0; i < b.N; i++ {
+				rel = ablationRun(b, func(c *gridrealloc.ScenarioConfig) { c.ReallocPeriodSeconds = period })
+			}
+			b.ReportMetric(rel, "rel_response")
+		})
+	}
+}
+
+// BenchmarkAblationImprovementThreshold quantifies the one-minute minimum
+// gain of Algorithm 1 against no threshold and a ten-minute threshold.
+func BenchmarkAblationImprovementThreshold(b *testing.B) {
+	for _, gain := range []int64{1, 60, 600} {
+		gain := gain
+		b.Run(fmt.Sprintf("min_gain_%ds", gain), func(b *testing.B) {
+			var rel float64
+			for i := 0; i < b.N; i++ {
+				rel = ablationRun(b, func(c *gridrealloc.ScenarioConfig) {
+					c.Algorithm = "realloc"
+					c.MinGainSeconds = gain
+				})
+			}
+			b.ReportMetric(rel, "rel_response")
+		})
+	}
+}
+
+// BenchmarkAblationMappingPolicy compares the MCT initial mapping used by
+// the paper against Random and RoundRobin mapping (the degraded modes a
+// middleware falls back to without monitoring).
+func BenchmarkAblationMappingPolicy(b *testing.B) {
+	for _, mapping := range []string{"MCT", "Random", "RoundRobin"} {
+		mapping := mapping
+		b.Run(mapping, func(b *testing.B) {
+			var mean float64
+			for i := 0; i < b.N; i++ {
+				trace, err := gridrealloc.GenerateScenario("mar", 0.02, benchSeed)
+				if err != nil {
+					b.Fatal(err)
+				}
+				res, err := gridrealloc.RunScenario(gridrealloc.ScenarioConfig{
+					Scenario:      "mar",
+					Heterogeneity: "heterogeneous",
+					Policy:        "CBF",
+					Trace:         trace,
+					Mapping:       mapping,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				mean = gridrealloc.Summarize(res).MeanResponseTime
+			}
+			b.ReportMetric(mean, "mean_response_s")
+		})
+	}
+}
+
+// BenchmarkAblationBatchPolicy measures the batch substrate itself: the same
+// workload scheduled by FCFS and by CBF, without any reallocation.
+func BenchmarkAblationBatchPolicy(b *testing.B) {
+	for _, policy := range []string{"FCFS", "CBF"} {
+		policy := policy
+		b.Run(policy, func(b *testing.B) {
+			var mean float64
+			for i := 0; i < b.N; i++ {
+				trace, err := gridrealloc.GenerateScenario("apr", 0.02, benchSeed)
+				if err != nil {
+					b.Fatal(err)
+				}
+				res, err := gridrealloc.RunScenario(gridrealloc.ScenarioConfig{
+					Scenario:      "apr",
+					Heterogeneity: "homogeneous",
+					Policy:        policy,
+					Trace:         trace,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				mean = gridrealloc.Summarize(res).MeanResponseTime
+			}
+			b.ReportMetric(mean, "mean_response_s")
+		})
+	}
+}
+
+// --- Micro-benchmarks of the hot paths -----------------------------------
+
+// loadedScheduler builds a batch scheduler with depth waiting jobs.
+func loadedScheduler(b *testing.B, policy batch.Policy, depth int) *batch.Scheduler {
+	b.Helper()
+	s, err := batch.NewScheduler(platform.ClusterSpec{Name: "bench", Cores: 64, Speed: 1}, policy)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < depth; i++ {
+		j := workload.Job{ID: i + 1, Submit: 0, Runtime: 600, Walltime: 1800, Procs: 1 + i%32}
+		if err := s.Submit(j, 0, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return s
+}
+
+// BenchmarkBatchSubmitCancel measures one submission followed by its
+// cancellation (each triggering a plan rebuild) at various queue depths —
+// the exact request pair a reallocation move issues against a cluster.
+func BenchmarkBatchSubmitCancel(b *testing.B) {
+	for _, depth := range []int{10, 100, 1000} {
+		depth := depth
+		b.Run(fmt.Sprintf("depth_%d", depth), func(b *testing.B) {
+			s := loadedScheduler(b, batch.CBF, depth)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				j := workload.Job{ID: depth + i + 1, Submit: 0, Runtime: 600, Walltime: 1800, Procs: 4}
+				if err := s.Submit(j, 0, 0); err != nil {
+					b.Fatal(err)
+				}
+				if _, _, err := s.Cancel(j.ID, 0); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkBatchEstimateCompletion measures the middleware's ECT query, the
+// operation the reallocation heuristics issue O(n^2) times per pass.
+func BenchmarkBatchEstimateCompletion(b *testing.B) {
+	for _, depth := range []int{10, 100, 1000} {
+		depth := depth
+		for _, policy := range []batch.Policy{batch.FCFS, batch.CBF} {
+			policy := policy
+			b.Run(fmt.Sprintf("%s_depth_%d", policy, depth), func(b *testing.B) {
+				s := loadedScheduler(b, policy, depth)
+				probe := workload.Job{ID: 999999, Submit: 0, Runtime: 600, Walltime: 1800, Procs: 8}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := s.EstimateCompletion(probe, 0); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkHeuristicSelection measures one heuristic selection step over
+// candidate sets of increasing size.
+func BenchmarkHeuristicSelection(b *testing.B) {
+	for _, n := range []int{10, 100, 1000} {
+		n := n
+		cands := make([]core.Candidate, n)
+		ests := make([]core.Estimate, n)
+		for i := range cands {
+			cands[i] = core.Candidate{
+				Job:       workload.Job{ID: i + 1, Submit: int64(i), Runtime: 100, Walltime: 300, Procs: 1 + i%16},
+				OriginECT: int64(1000 + i*7%911),
+			}
+			ests[i] = core.Estimate{
+				BestECT:      int64(500 + i*13%701),
+				SecondECT:    int64(900 + i*17%501),
+				BestOtherECT: int64(600 + i*11%401),
+			}
+		}
+		for _, h := range core.Heuristics() {
+			h := h
+			b.Run(fmt.Sprintf("%s_n%d", h.Name(), n), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					_ = h.Select(cands, ests)
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkReallocationPass measures one full reallocation pass (Algorithm 1
+// and Algorithm 2) over a loaded two-cluster platform.
+func BenchmarkReallocationPass(b *testing.B) {
+	build := func() []*server.Server {
+		left, _ := server.New(platform.ClusterSpec{Name: "left", Cores: 64, Speed: 1}, batch.CBF)
+		right, _ := server.New(platform.ClusterSpec{Name: "right", Cores: 64, Speed: 1.4}, batch.CBF)
+		blocker := workload.Job{ID: 100000, Submit: 0, Runtime: 50000, Walltime: 50000, Procs: 64}
+		if err := left.Submit(blocker, 0, 0); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := left.Scheduler().Advance(0); err != nil {
+			b.Fatal(err)
+		}
+		for i := 0; i < 200; i++ {
+			j := workload.Job{ID: i + 1, Submit: int64(i), Runtime: 300, Walltime: 900, Procs: 1 + i%16}
+			if err := left.Submit(j, 0, 0); err != nil {
+				b.Fatal(err)
+			}
+		}
+		return []*server.Server{left, right}
+	}
+	for _, alg := range []core.Algorithm{core.WithoutCancellation, core.WithCancellation} {
+		alg := alg
+		b.Run(alg.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				servers := build()
+				agent, err := core.NewAgent(servers, core.MCTMapping(), core.ReallocConfig{Algorithm: alg, Heuristic: core.MinMin()})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+				if _, err := agent.Reallocate(10); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkTraceGeneration measures the synthetic workload generator.
+func BenchmarkTraceGeneration(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := workload.Scenario("apr", 0.05, benchSeed); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBaselineSimulation measures a complete baseline simulation of a
+// 1% April slice (about 360 jobs).
+func BenchmarkBaselineSimulation(b *testing.B) {
+	trace, err := gridrealloc.GenerateScenario("apr", benchFraction, benchSeed)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := gridrealloc.RunScenario(gridrealloc.ScenarioConfig{
+			Scenario: "apr", Heterogeneity: "heterogeneous", Policy: "CBF", Trace: trace,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

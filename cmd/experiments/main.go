@@ -1,0 +1,126 @@
+// Command experiments runs the simulation campaign of the paper's evaluation
+// section and prints Tables 2 through 17 in the paper's layout, plus the
+// Section 4.3 comparison of the two reallocation algorithms. The campaign
+// can be scaled down with -fraction for a quick run; -fraction 1.0
+// reproduces the paper's trace sizes (the full 364-simulation campaign takes
+// on the order of an hour on a laptop).
+//
+// Examples:
+//
+//	experiments -fraction 0.02                 # quick pass over all tables
+//	experiments -fraction 1.0 -csv out.csv     # full-scale campaign
+//	experiments -table 8 -fraction 0.05        # a single table
+//	experiments -compare -fraction 0.05        # Section 4.3 comparison only
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"gridrealloc/internal/core"
+	"gridrealloc/internal/experiment"
+	"gridrealloc/internal/workload"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	var (
+		fraction  = fs.Float64("fraction", 0.02, "fraction of the paper's trace sizes (1.0 = full scale)")
+		seed      = fs.Uint64("seed", 42, "random seed for the synthetic traces")
+		tableID   = fs.Int("table", 0, "print only this table (2..17); 0 prints all")
+		compare   = fs.Bool("compare", false, "print the Section 4.3 algorithm comparison")
+		table1    = fs.Bool("table1", false, "also print the Table 1 reproduction")
+		csvPath   = fs.String("csv", "", "write all tables as CSV to this file")
+		scenarios = fs.String("scenarios", "", "comma-separated subset of scenarios (default: all seven)")
+		parallel  = fs.Int("parallel", 0, "number of concurrent simulations (0 = one per CPU)")
+		quiet     = fs.Bool("quiet", false, "suppress progress output")
+		period    = fs.Int64("period", 0, "override the reallocation period in seconds (0 = paper default 3600)")
+		minGain   = fs.Int64("min-gain", 0, "override the Algorithm 1 improvement threshold in seconds (0 = paper default 60)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	cfg := experiment.CampaignConfig{
+		Fraction:      *fraction,
+		Seed:          *seed,
+		Parallelism:   *parallel,
+		ReallocPeriod: *period,
+		MinGain:       *minGain,
+	}
+	if !*quiet {
+		cfg.Progress = os.Stderr
+	}
+	if *scenarios != "" {
+		for _, s := range strings.Split(*scenarios, ",") {
+			cfg.Scenarios = append(cfg.Scenarios, workload.ScenarioName(strings.TrimSpace(s)))
+		}
+	}
+
+	if *table1 {
+		text, err := experiment.Table1(*fraction, *seed)
+		if err != nil {
+			return err
+		}
+		fmt.Println(text)
+	}
+
+	fmt.Fprintf(os.Stderr, "running campaign (fraction=%.3f, %d scenario(s))...\n", *fraction, len(cfg.Scenarios))
+	camp, err := experiment.Run(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "campaign done: %d experiments\n", camp.Experiments)
+
+	ids := make([]int, 0, 16)
+	if *tableID != 0 {
+		ids = append(ids, *tableID)
+	} else {
+		for _, spec := range experiment.Tables() {
+			ids = append(ids, spec.ID)
+		}
+	}
+
+	var csv strings.Builder
+	for _, id := range ids {
+		table, err := camp.BuildTable(id)
+		if err != nil {
+			return err
+		}
+		fmt.Println(table.Format())
+		csv.WriteString(table.CSV())
+	}
+
+	if *compare || *tableID == 0 {
+		fmt.Println(experiment.FormatComparison(camp.CompareAlgorithms()))
+	}
+
+	if *csvPath != "" {
+		if err := os.WriteFile(*csvPath, []byte(csv.String()), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *csvPath)
+	}
+
+	// Closing note: remind how the heuristic names map to the paper.
+	fmt.Printf("heuristics: %s (\"-C\" marks the cancellation algorithm, Algorithm 2)\n",
+		strings.Join(heuristicNames(), ", "))
+	return nil
+}
+
+func heuristicNames() []string {
+	names := make([]string, 0, 6)
+	for _, h := range core.Heuristics() {
+		names = append(names, h.Name())
+	}
+	return names
+}

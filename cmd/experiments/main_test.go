@@ -1,0 +1,53 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunSingleTableReducedCampaign(t *testing.T) {
+	dir := t.TempDir()
+	csv := filepath.Join(dir, "out.csv")
+	err := run([]string{
+		"-fraction", "0.004",
+		"-scenarios", "jan,apr",
+		"-table", "8",
+		"-quiet",
+		"-csv", csv,
+	})
+	if err != nil {
+		t.Fatalf("experiments run failed: %v", err)
+	}
+	data, err := os.ReadFile(csv)
+	if err != nil {
+		t.Fatalf("CSV not written: %v", err)
+	}
+	content := string(data)
+	if !strings.HasPrefix(content, "table,policy,heuristic") {
+		t.Fatalf("CSV header missing:\n%s", content)
+	}
+	if !strings.Contains(content, "8,FCFS,Mct") {
+		t.Fatalf("CSV rows missing:\n%s", content)
+	}
+}
+
+func TestRunTable1Flag(t *testing.T) {
+	err := run([]string{
+		"-fraction", "0.002",
+		"-scenarios", "jan",
+		"-table", "2",
+		"-table1",
+		"-quiet",
+	})
+	if err != nil {
+		t.Fatalf("experiments -table1 failed: %v", err)
+	}
+}
+
+func TestRunInvalidTable(t *testing.T) {
+	if err := run([]string{"-fraction", "0.002", "-scenarios", "jan", "-table", "42", "-quiet"}); err == nil {
+		t.Fatal("invalid table number accepted")
+	}
+}

@@ -1,0 +1,231 @@
+// Command ganttdemo reproduces the paper's two illustrative figures as ASCII
+// Gantt charts:
+//
+//   - Figure 1: a task finishes before its walltime on cluster 1; at the next
+//     reallocation event the meta-scheduler moves two waiting tasks to
+//     cluster 2 where their estimated completion time is better.
+//   - Figure 2: the side effects of a reallocation — the job inserted on the
+//     destination cluster back-fills, another job finishes early, and a large
+//     job behind it ends up delayed while other jobs finish earlier.
+//
+// Run with -figure 1 or -figure 2 (default: both).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"gridrealloc/internal/batch"
+	"gridrealloc/internal/core"
+	"gridrealloc/internal/gantt"
+	"gridrealloc/internal/platform"
+	"gridrealloc/internal/server"
+	"gridrealloc/internal/workload"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "ganttdemo:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("ganttdemo", flag.ContinueOnError)
+	figure := fs.Int("figure", 0, "figure to reproduce: 1, 2, or 0 for both")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *figure == 0 || *figure == 1 {
+		if err := figure1(); err != nil {
+			return err
+		}
+	}
+	if *figure == 0 || *figure == 2 {
+		if err := figure2(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// chartOf renders the snapshot of a cluster (running jobs as '#', planned
+// waiting reservations as '~').
+func chartOf(title string, s *server.Server) gantt.Chart {
+	snap := s.Scheduler().Snapshot()
+	chart := gantt.Chart{Title: title, Cores: s.Spec().Cores}
+	for _, r := range snap.Running {
+		chart.Bars = append(chart.Bars, gantt.Bar{Label: jobLabel(r.JobID), Start: r.Start, End: r.End, Procs: r.Procs})
+	}
+	for _, w := range snap.Waiting {
+		chart.Bars = append(chart.Bars, gantt.Bar{Label: jobLabel(w.JobID), Start: w.Start, End: w.End, Procs: w.Procs, Waiting: true})
+	}
+	return chart
+}
+
+// jobLabel maps the numeric job IDs of the demo scenarios onto the letters
+// used by the paper's figures.
+func jobLabel(id int) string {
+	letters := "abcdefghijklmnopqrstuvwxyz"
+	if id >= 1 && id <= len(letters) {
+		return string(letters[id-1])
+	}
+	return fmt.Sprintf("%d", id)
+}
+
+func mustSubmit(s *server.Server, id int, submit, runtime, walltime int64, procs int, now int64) error {
+	j := workload.Job{ID: id, Submit: submit, Runtime: runtime, Walltime: walltime, Procs: procs}
+	return s.Submit(j, now, 0)
+}
+
+// figure1 rebuilds the scenario of Figure 1: two homogeneous clusters; jobs
+// a..g run or wait; f finishes before its walltime at time t, which lets the
+// local scheduler pull j forward, and at the reallocation event t1 the
+// meta-scheduler moves h and i to cluster 2 where they complete earlier.
+func figure1() error {
+	fmt.Println("=== Figure 1: example of reallocation between two clusters ===")
+	c1, err := server.New(platform.ClusterSpec{Name: "cluster-1", Cores: 4, Speed: 1}, batch.CBF)
+	if err != nil {
+		return err
+	}
+	c2, err := server.New(platform.ClusterSpec{Name: "cluster-2", Cores: 4, Speed: 1}, batch.CBF)
+	if err != nil {
+		return err
+	}
+	servers := []*server.Server{c1, c2}
+
+	// Cluster 1: a, b, c running; f runs but will finish well before its
+	// walltime; h, i, j wait behind them.
+	if err := mustSubmit(c1, 1, 0, 40, 40, 1, 0); err != nil { // a
+		return err
+	}
+	if err := mustSubmit(c1, 2, 0, 60, 60, 1, 0); err != nil { // b
+		return err
+	}
+	if err := mustSubmit(c1, 3, 0, 30, 30, 1, 0); err != nil { // c
+		return err
+	}
+	if err := mustSubmit(c1, 6, 0, 20, 80, 1, 0); err != nil { // f: walltime 80, finishes at 20
+		return err
+	}
+	if err := mustSubmit(c1, 8, 5, 50, 50, 2, 5); err != nil { // h
+		return err
+	}
+	if err := mustSubmit(c1, 9, 6, 40, 40, 2, 6); err != nil { // i
+		return err
+	}
+	if err := mustSubmit(c1, 10, 7, 30, 30, 1, 7); err != nil { // j
+		return err
+	}
+	// Cluster 2: d, e, g running with plenty of idle cores.
+	if err := mustSubmit(c2, 4, 0, 50, 50, 1, 0); err != nil { // d
+		return err
+	}
+	if err := mustSubmit(c2, 5, 0, 35, 35, 1, 0); err != nil { // e
+		return err
+	}
+	if err := mustSubmit(c2, 7, 0, 25, 25, 1, 0); err != nil { // g
+		return err
+	}
+
+	// Advance both clusters to t = 30: f has finished early (20 seconds of
+	// real execution against a walltime reservation of 80 seconds).
+	for _, s := range servers {
+		if _, err := s.Scheduler().Advance(30); err != nil {
+			return err
+		}
+	}
+	fmt.Println("\n-- before reallocation (t = 30; task f finished long before its walltime) --")
+	fmt.Println(gantt.SideBySide(0, 140, 2, chartOf("cluster-1", c1), chartOf("cluster-2", c2)))
+
+	// Reallocation event at t1 = 30 (Algorithm 1, MCT order).
+	agent, err := core.NewAgent(servers, core.MCTMapping(), core.ReallocConfig{
+		Algorithm: core.WithoutCancellation,
+		Heuristic: core.MCT(),
+		Period:    3600,
+		MinGain:   1, // the illustrative scenario works in tens of seconds
+	})
+	if err != nil {
+		return err
+	}
+	moves, err := agent.Reallocate(30)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("-- reallocation at t1 = 30 moved %d task(s) (h and i go to cluster 2) --\n\n", moves)
+	fmt.Println(gantt.SideBySide(0, 140, 2, chartOf("cluster-1", c1), chartOf("cluster-2", c2)))
+	return nil
+}
+
+// figure2 rebuilds the scenario of Figure 2: a reallocated task is inserted
+// on cluster 1 and back-filled; a task there finishes earlier than its
+// walltime, and because of the newly inserted task the large task behind it
+// is delayed while tasks on cluster 2 are advanced.
+func figure2() error {
+	fmt.Println("=== Figure 2: side effects of a reallocation ===")
+	c1, err := server.New(platform.ClusterSpec{Name: "cluster-1", Cores: 6, Speed: 1}, batch.CBF)
+	if err != nil {
+		return err
+	}
+	c2, err := server.New(platform.ClusterSpec{Name: "cluster-2", Cores: 6, Speed: 1}, batch.CBF)
+	if err != nil {
+		return err
+	}
+
+	// Cluster 1: a running job with an over-estimated walltime (declares 60,
+	// really takes 20) and a large waiting job behind it.
+	if err := mustSubmit(c1, 1, 0, 20, 60, 4, 0); err != nil { // a: finishes at 20, reservation until 60
+		return err
+	}
+	if err := mustSubmit(c1, 2, 0, 40, 40, 5, 0); err != nil { // b: large job, waits for the full width
+		return err
+	}
+	// Cluster 2: two waiting jobs behind a running one.
+	if err := mustSubmit(c2, 3, 0, 50, 50, 6, 0); err != nil { // c: occupies everything
+		return err
+	}
+	if err := mustSubmit(c2, 4, 0, 30, 30, 3, 0); err != nil { // d: waits
+		return err
+	}
+	if err := mustSubmit(c2, 5, 0, 25, 25, 3, 0); err != nil { // e: waits, candidate for reallocation
+		return err
+	}
+	for _, s := range []*server.Server{c1, c2} {
+		if _, err := s.Scheduler().Advance(0); err != nil {
+			return err
+		}
+	}
+	fmt.Println("\n-- before the reallocation event (t = 0) --")
+	fmt.Println(gantt.SideBySide(0, 120, 2, chartOf("cluster-1", c1), chartOf("cluster-2", c2)))
+
+	// Reallocation at t = 0: task e moves to cluster 1 where it back-fills
+	// next to a (cluster 1 still has 2 idle cores until 60 by the plan).
+	agent, err := core.NewAgent([]*server.Server{c1, c2}, core.MCTMapping(), core.ReallocConfig{
+		Algorithm: core.WithoutCancellation,
+		Heuristic: core.MaxGain(),
+		MinGain:   1,
+	})
+	if err != nil {
+		return err
+	}
+	moves, err := agent.Reallocate(0)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("-- reallocation at t = 0 moved %d task(s) --\n\n", moves)
+	fmt.Println(gantt.SideBySide(0, 120, 2, chartOf("cluster-1", c1), chartOf("cluster-2", c2)))
+
+	// Now task a finishes early (t = 20): the newly inserted task delays the
+	// large task b (it cannot start before the reallocated task's
+	// reservation frees enough cores), while cluster 2's remaining queue is
+	// advanced.
+	for _, s := range []*server.Server{c1, c2} {
+		if _, err := s.Scheduler().Advance(20); err != nil {
+			return err
+		}
+	}
+	fmt.Println("-- after task a finishes early at t = 20: the large task on cluster 1 is delayed, cluster 2 advanced --")
+	fmt.Println(gantt.SideBySide(0, 120, 2, chartOf("cluster-1", c1), chartOf("cluster-2", c2)))
+	return nil
+}

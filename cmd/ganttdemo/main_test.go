@@ -1,0 +1,21 @@
+package main
+
+import "testing"
+
+func TestFigure1(t *testing.T) {
+	if err := run([]string{"-figure", "1"}); err != nil {
+		t.Fatalf("figure 1 reproduction failed: %v", err)
+	}
+}
+
+func TestFigure2(t *testing.T) {
+	if err := run([]string{"-figure", "2"}); err != nil {
+		t.Fatalf("figure 2 reproduction failed: %v", err)
+	}
+}
+
+func TestBothFigures(t *testing.T) {
+	if err := run(nil); err != nil {
+		t.Fatalf("default (both figures) failed: %v", err)
+	}
+}

@@ -1,0 +1,130 @@
+// Command gridsim runs a single grid simulation: one workload scenario on
+// one platform variant, with a chosen local batch policy and reallocation
+// configuration, and prints the user- and system-centric metrics (plus the
+// comparison against the no-reallocation baseline when requested).
+//
+// Examples:
+//
+//	gridsim -scenario apr -fraction 0.05 -platform heterogeneous -batch CBF \
+//	        -algorithm realloc-cancel -heuristic MinMin -compare
+//
+//	gridsim -swf trace.swf -batch FCFS -algorithm realloc -heuristic Mct
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	gridrealloc "gridrealloc"
+	"gridrealloc/internal/metrics"
+	"gridrealloc/internal/workload"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "gridsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("gridsim", flag.ContinueOnError)
+	var (
+		scenario  = fs.String("scenario", "jan", "workload scenario: jan..jun or pwa-g5k")
+		fraction  = fs.Float64("fraction", 0.05, "fraction of the paper's trace size to generate")
+		seed      = fs.Uint64("seed", 42, "random seed for the synthetic trace")
+		swfPath   = fs.String("swf", "", "replay this SWF trace instead of generating one")
+		variant   = fs.String("platform", "heterogeneous", "platform variant: homogeneous or heterogeneous")
+		batchPol  = fs.String("batch", "CBF", "local batch policy: FCFS or CBF")
+		algorithm = fs.String("algorithm", "none", "reallocation algorithm: none, realloc or realloc-cancel")
+		heuristic = fs.String("heuristic", "Mct", "reallocation heuristic: Mct, MinMin, MaxMin, MaxGain, MaxRelGain, Sufferage")
+		mapping   = fs.String("mapping", "MCT", "initial mapping policy: MCT, Random or RoundRobin")
+		period    = fs.Int64("period", 3600, "reallocation period in seconds")
+		minGain   = fs.Int64("min-gain", 60, "minimum completion-time improvement (s) for Algorithm 1")
+		compare   = fs.Bool("compare", false, "also run the no-reallocation baseline and print the paper's metrics")
+		jobsOut   = fs.Bool("jobs", false, "print the per-job records")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var trace *gridrealloc.Trace
+	if *swfPath != "" {
+		f, err := os.Open(*swfPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		trace, err = workload.ReadSWF(f, *swfPath)
+		if err != nil {
+			return err
+		}
+	} else {
+		var err error
+		trace, err = gridrealloc.GenerateScenario(*scenario, *fraction, *seed)
+		if err != nil {
+			return err
+		}
+	}
+	fmt.Printf("trace %q: %d jobs\n", trace.Name, trace.Len())
+
+	cfg := gridrealloc.ScenarioConfig{
+		Scenario:             *scenario,
+		Heterogeneity:        *variant,
+		Policy:               *batchPol,
+		Trace:                trace,
+		Seed:                 *seed,
+		Algorithm:            *algorithm,
+		Heuristic:            *heuristic,
+		Mapping:              *mapping,
+		ReallocPeriodSeconds: *period,
+		MinGainSeconds:       *minGain,
+	}
+	result, err := gridrealloc.RunScenario(cfg)
+	if err != nil {
+		return err
+	}
+	printSummary("run", gridrealloc.Summarize(result))
+
+	if *compare {
+		baseCfg := cfg
+		baseCfg.Algorithm = "none"
+		baseline, err := gridrealloc.RunScenario(baseCfg)
+		if err != nil {
+			return err
+		}
+		printSummary("baseline", gridrealloc.Summarize(baseline))
+		cmp, err := gridrealloc.Compare(baseline, result)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("\npaper metrics vs baseline:\n")
+		fmt.Printf("  jobs impacted:           %.2f%% (%d of %d)\n", cmp.ImpactedPercent, cmp.ImpactedJobs, cmp.TotalJobs)
+		fmt.Printf("  number of reallocations: %d\n", cmp.Reallocations)
+		fmt.Printf("  jobs finishing earlier:  %.2f%%\n", cmp.EarlierPercent)
+		fmt.Printf("  relative response time:  %.3f\n", cmp.RelativeResponseTime)
+		if *jobsOut {
+			fmt.Printf("\nimpacted jobs (delta < 0 means earlier with reallocation):\n")
+			for _, d := range metrics.Deltas(baseline, result) {
+				fmt.Printf("  job %-6d %+8d s  (%d reallocations)\n", d.JobID, d.Delta, d.Reallocations)
+			}
+		}
+	} else if *jobsOut {
+		fmt.Printf("\nper-job records:\n")
+		for _, rec := range result.SortedRecords() {
+			fmt.Printf("  job %-6d cluster=%-10s submit=%-8d start=%-8d completion=%-8d realloc=%d\n",
+				rec.JobID, rec.Cluster, rec.Submit, rec.Start, rec.Completion, rec.Reallocations)
+		}
+	}
+	return nil
+}
+
+func printSummary(label string, s gridrealloc.Summary) {
+	fmt.Printf("\n%s summary:\n", label)
+	fmt.Printf("  jobs completed:      %d / %d (%d killed at walltime)\n", s.Completed, s.Jobs, s.Killed)
+	fmt.Printf("  mean response time:  %.1f s (median %.1f s)\n", s.MeanResponseTime, s.MedianResponseTime)
+	fmt.Printf("  mean wait time:      %.1f s\n", s.MeanWaitTime)
+	fmt.Printf("  makespan:            %d s\n", s.Makespan)
+	fmt.Printf("  reallocations:       %d (over %d passes)\n", s.Reallocations, s.ReallocationEvents)
+}

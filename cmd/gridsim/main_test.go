@@ -1,0 +1,53 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"gridrealloc/internal/workload"
+)
+
+func TestRunGeneratedScenario(t *testing.T) {
+	err := run([]string{
+		"-scenario", "jan", "-fraction", "0.003", "-seed", "5",
+		"-platform", "homogeneous", "-batch", "FCFS",
+		"-algorithm", "realloc", "-heuristic", "MinMin",
+		"-compare", "-jobs",
+	})
+	if err != nil {
+		t.Fatalf("gridsim run failed: %v", err)
+	}
+}
+
+func TestRunFromSWF(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "t.swf")
+	trace, err := workload.Scenario("feb", 0.002, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := workload.WriteSWF(f, trace); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	if err := run([]string{"-swf", path, "-batch", "CBF", "-algorithm", "none"}); err != nil {
+		t.Fatalf("gridsim SWF run failed: %v", err)
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	if err := run([]string{"-scenario", "jan", "-fraction", "0.002", "-batch", "EASYGOING"}); err == nil {
+		t.Fatal("unknown batch policy accepted")
+	}
+	if err := run([]string{"-scenario", "jan", "-fraction", "0.002", "-algorithm", "teleport"}); err == nil {
+		t.Fatal("unknown algorithm accepted")
+	}
+	if err := run([]string{"-swf", "/does/not/exist.swf"}); err == nil {
+		t.Fatal("missing SWF file accepted")
+	}
+}

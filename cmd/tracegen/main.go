@@ -1,0 +1,120 @@
+// Command tracegen generates the calibrated synthetic traces that substitute
+// for the Grid'5000 and Parallel Workload Archive traces of the paper, and
+// writes them in Standard Workload Format (SWF). It can also print the
+// reproduction of Table 1 (jobs per month per site).
+//
+// Examples:
+//
+//	tracegen -table1
+//	tracegen -scenario apr -fraction 1.0 -out apr.swf
+//	tracegen -scenario pwa-g5k -fraction 0.1 -per-site -out-dir traces/
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"gridrealloc/internal/experiment"
+	"gridrealloc/internal/workload"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("tracegen", flag.ContinueOnError)
+	var (
+		table1   = fs.Bool("table1", false, "print the Table 1 reproduction (paper counts vs generated counts) and exit")
+		scenario = fs.String("scenario", "jan", "scenario to generate: jan..jun or pwa-g5k")
+		fraction = fs.Float64("fraction", 1.0, "fraction of the paper's job counts to generate")
+		seed     = fs.Uint64("seed", 42, "random seed")
+		out      = fs.String("out", "", "write the merged scenario trace to this SWF file (default: stdout summary only)")
+		perSite  = fs.Bool("per-site", false, "write one SWF file per site instead of the merged trace")
+		outDir   = fs.String("out-dir", ".", "directory for per-site SWF files")
+		stats    = fs.Bool("stats", true, "print trace statistics")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *table1 {
+		text, err := experiment.Table1(*fraction, *seed)
+		if err != nil {
+			return err
+		}
+		fmt.Print(text)
+		return nil
+	}
+
+	name := workload.ScenarioName(*scenario)
+	if *perSite {
+		traces, err := siteTraces(name, *fraction, *seed)
+		if err != nil {
+			return err
+		}
+		for _, tr := range traces {
+			path := filepath.Join(*outDir, fmt.Sprintf("%s-%s.swf", *scenario, tr.Name))
+			if err := writeSWF(path, tr); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %s (%d jobs)\n", path, tr.Len())
+		}
+		return nil
+	}
+
+	trace, err := workload.Scenario(name, *fraction, *seed)
+	if err != nil {
+		return err
+	}
+	if *stats {
+		printStats(trace)
+	}
+	if *out != "" {
+		if err := writeSWF(*out, trace); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s (%d jobs)\n", *out, trace.Len())
+	}
+	return nil
+}
+
+func siteTraces(name workload.ScenarioName, fraction float64, seed uint64) ([]*workload.Trace, error) {
+	if name == workload.PWAG5K {
+		return workload.PWAScenario(fraction, seed)
+	}
+	for _, m := range workload.Months() {
+		if m.String() == string(name) {
+			return workload.MonthScenario(m, fraction, seed)
+		}
+	}
+	return nil, fmt.Errorf("unknown scenario %q", name)
+}
+
+func writeSWF(path string, tr *workload.Trace) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return workload.WriteSWF(f, tr)
+}
+
+func printStats(tr *workload.Trace) {
+	s := workload.Stats(tr)
+	fmt.Printf("scenario %q\n", s.Name)
+	fmt.Printf("  jobs:                %d\n", s.Jobs)
+	for _, sc := range workload.SiteCounts(tr) {
+		fmt.Printf("    %-12s %d\n", sc.Site, sc.Jobs)
+	}
+	fmt.Printf("  span:                %d s\n", s.SpanSeconds)
+	fmt.Printf("  mean processors:     %.1f (max %d)\n", s.MeanProcs, s.MaxProcs)
+	fmt.Printf("  mean runtime:        %.0f s\n", s.MeanRuntime)
+	fmt.Printf("  mean walltime:       %.0f s (over-estimation x%.2f)\n", s.MeanWalltime, s.MeanOverestimate)
+	fmt.Printf("  bad jobs (runtime > walltime): %d\n", s.BadJobs)
+}

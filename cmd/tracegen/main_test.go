@@ -1,0 +1,58 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"gridrealloc/internal/workload"
+)
+
+func TestRunTable1(t *testing.T) {
+	if err := run([]string{"-table1", "-fraction", "0.002"}); err != nil {
+		t.Fatalf("tracegen -table1 failed: %v", err)
+	}
+}
+
+func TestRunMergedTraceToFile(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "jan.swf")
+	if err := run([]string{"-scenario", "jan", "-fraction", "0.003", "-out", out}); err != nil {
+		t.Fatalf("tracegen failed: %v", err)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatalf("output SWF not written: %v", err)
+	}
+	defer f.Close()
+	trace, err := workload.ReadSWF(f, "jan")
+	if err != nil {
+		t.Fatalf("output SWF unreadable: %v", err)
+	}
+	if trace.Len() == 0 {
+		t.Fatal("output SWF is empty")
+	}
+}
+
+func TestRunPerSite(t *testing.T) {
+	dir := t.TempDir()
+	if err := run([]string{"-scenario", "pwa-g5k", "-fraction", "0.001", "-per-site", "-out-dir", dir}); err != nil {
+		t.Fatalf("tracegen per-site failed: %v", err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 3 {
+		t.Fatalf("expected 3 per-site SWF files, found %d", len(entries))
+	}
+}
+
+func TestRunUnknownScenario(t *testing.T) {
+	if err := run([]string{"-scenario", "december"}); err == nil {
+		t.Fatal("unknown scenario accepted")
+	}
+	if err := run([]string{"-scenario", "december", "-per-site", "-out-dir", t.TempDir()}); err == nil {
+		t.Fatal("unknown per-site scenario accepted")
+	}
+}

@@ -1,0 +1,27 @@
+// Package gridrealloc reproduces the system studied in "Analysis of Tasks
+// Reallocation in a Dedicated Grid Environment" (Caniou, Charrier, Desprez,
+// INRIA RR-7226, 2010): a multi-cluster grid in which a GridRPC-style
+// meta-scheduler maps jobs onto batch-managed clusters and periodically
+// reallocates waiting jobs between clusters to absorb walltime
+// over-estimation and submission bursts.
+//
+// The root package is a façade over the internal packages; it is the import
+// path downstream users need for the common workflow:
+//
+//	trace, _ := gridrealloc.GenerateScenario("apr", 0.05, 42)
+//	baseline, _ := gridrealloc.RunScenario(gridrealloc.ScenarioConfig{
+//	    Scenario: "apr", Heterogeneity: "heterogeneous", Policy: "CBF",
+//	    Trace: trace,
+//	})
+//	realloc, _ := gridrealloc.RunScenario(gridrealloc.ScenarioConfig{
+//	    Scenario: "apr", Heterogeneity: "heterogeneous", Policy: "CBF",
+//	    Trace: trace, Algorithm: "realloc-cancel", Heuristic: "MinMin",
+//	})
+//	cmp, _ := gridrealloc.Compare(baseline, realloc)
+//	fmt.Printf("relative response time: %.2f\n", cmp.RelativeResponseTime)
+//
+// The full experiment campaign of the paper (Tables 2 through 17) is driven
+// by the experiment package through cmd/experiments; the individual building
+// blocks (event engine, batch schedulers, meta-scheduling agent, heuristics,
+// metrics) live under internal/ and are documented there.
+package gridrealloc

@@ -1,0 +1,58 @@
+// Quickstart: run a small generated workload on the paper's heterogeneous
+// Grid'5000 platform twice — once without reallocation and once with the
+// cancellation algorithm and the MinMin heuristic — and print the paper's
+// four evaluation metrics.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	gridrealloc "gridrealloc"
+)
+
+func main() {
+	// 1. Generate a slice of the paper's April scenario (the busiest month).
+	trace, err := gridrealloc.GenerateScenario("apr", 0.02, 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("generated %d jobs of the April scenario\n", trace.Len())
+
+	// 2. Reference run: MCT mapping at submission time, no reallocation.
+	base := gridrealloc.ScenarioConfig{
+		Scenario:      "apr",
+		Heterogeneity: "heterogeneous",
+		Policy:        "CBF",
+		Trace:         trace,
+	}
+	baseline, err := gridrealloc.RunScenario(base)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 3. Same workload with hourly reallocation (Algorithm 2: cancel every
+	// waiting job and re-place them with the MinMin heuristic).
+	withRealloc := base
+	withRealloc.Algorithm = "realloc-cancel"
+	withRealloc.Heuristic = "MinMin"
+	result, err := gridrealloc.RunScenario(withRealloc)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 4. Compare the two runs on the paper's metrics.
+	cmp, err := gridrealloc.Compare(baseline, result)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nbaseline mean response time: %.0f s\n", gridrealloc.Summarize(baseline).MeanResponseTime)
+	fmt.Printf("realloc  mean response time: %.0f s\n", gridrealloc.Summarize(result).MeanResponseTime)
+	fmt.Printf("\npaper metrics (reallocation vs baseline):\n")
+	fmt.Printf("  jobs impacted by reallocation: %.2f%%\n", cmp.ImpactedPercent)
+	fmt.Printf("  number of reallocations:       %d\n", cmp.Reallocations)
+	fmt.Printf("  jobs finishing earlier:        %.2f%%\n", cmp.EarlierPercent)
+	fmt.Printf("  relative avg response time:    %.3f (below 1.0 means reallocation helped)\n", cmp.RelativeResponseTime)
+}

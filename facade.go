@@ -1,0 +1,202 @@
+package gridrealloc
+
+import (
+	"fmt"
+
+	"gridrealloc/internal/batch"
+	"gridrealloc/internal/core"
+	"gridrealloc/internal/metrics"
+	"gridrealloc/internal/platform"
+	"gridrealloc/internal/workload"
+)
+
+// Re-exported result and metric types so that downstream users only need the
+// root import path for the common workflow.
+type (
+	// Result is the outcome of one simulation run (per-job records, number
+	// of reallocations, makespan, per-cluster request load).
+	Result = core.Result
+	// JobRecord is the per-job outcome inside a Result.
+	JobRecord = core.JobRecord
+	// Comparison holds the paper's four metrics of a run against its
+	// baseline.
+	Comparison = metrics.Comparison
+	// Summary aggregates user-facing statistics of a single run.
+	Summary = metrics.Summary
+	// Trace is an ordered collection of jobs replayed by the simulator.
+	Trace = workload.Trace
+	// Job is a rigid parallel job (submit time, processors, runtime,
+	// walltime on the reference cluster).
+	Job = workload.Job
+	// Platform is a named set of clusters.
+	Platform = platform.Platform
+	// ClusterSpec describes one cluster (name, cores, relative speed).
+	ClusterSpec = platform.ClusterSpec
+)
+
+// ScenarioConfig describes one simulation run through the façade. All fields
+// are strings or plain values so the façade can be driven directly from
+// flags or configuration files; the underlying typed API lives in
+// internal/core for use by the experiment harness.
+type ScenarioConfig struct {
+	// Scenario names the workload ("jan".."jun", "pwa-g5k"); it selects the
+	// platform the paper pairs with it. Ignored when Platform is non-nil.
+	Scenario string
+	// Heterogeneity is "homogeneous" (default) or "heterogeneous".
+	Heterogeneity string
+	// Policy is the local batch policy, "FCFS" (default) or "CBF".
+	Policy string
+	// Trace is the workload to replay. When nil, a synthetic trace for
+	// Scenario is generated with TraceFraction and Seed.
+	Trace *Trace
+	// TraceFraction scales the generated trace when Trace is nil (default
+	// 0.02, which keeps the quickstart fast).
+	TraceFraction float64
+	// Seed drives the synthetic generators (default 42).
+	Seed uint64
+	// Platform overrides the paper's platform when non-nil.
+	Platform *Platform
+	// Algorithm is "none" (default), "realloc" (Algorithm 1, without
+	// cancellation) or "realloc-cancel" (Algorithm 2, with cancellation).
+	Algorithm string
+	// Heuristic is one of "Mct", "MinMin", "MaxMin", "MaxGain",
+	// "MaxRelGain", "Sufferage" (default "Mct"). Ignored when Algorithm is
+	// "none".
+	Heuristic string
+	// Mapping is the online mapping policy: "MCT" (default), "Random" or
+	// "RoundRobin".
+	Mapping string
+	// ReallocPeriodSeconds overrides the hourly reallocation period.
+	ReallocPeriodSeconds int64
+	// MinGainSeconds overrides the one-minute improvement threshold of
+	// Algorithm 1.
+	MinGainSeconds int64
+}
+
+// GenerateScenario produces the synthetic trace of one of the paper's seven
+// scenarios. Fraction scales the job counts of Table 1 (1.0 reproduces them
+// exactly); the seed makes the trace reproducible.
+func GenerateScenario(scenario string, fraction float64, seed uint64) (*Trace, error) {
+	return workload.Scenario(workload.ScenarioName(scenario), fraction, seed)
+}
+
+// DefaultPlatform returns the platform the paper pairs with the named
+// scenario, in the requested variant ("homogeneous" or "heterogeneous").
+func DefaultPlatform(scenario, heterogeneity string) Platform {
+	return platform.ForScenario(scenario, parseHet(heterogeneity))
+}
+
+func parseHet(s string) platform.Heterogeneity {
+	if s == "heterogeneous" {
+		return platform.Heterogeneous
+	}
+	return platform.Homogeneous
+}
+
+// RunScenario runs one simulation according to cfg and returns its result.
+func RunScenario(cfg ScenarioConfig) (*Result, error) {
+	if cfg.Scenario == "" && cfg.Trace == nil && cfg.Platform == nil {
+		return nil, fmt.Errorf("gridrealloc: ScenarioConfig needs at least a Scenario, a Trace or a Platform")
+	}
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = 42
+	}
+	trace := cfg.Trace
+	if trace == nil {
+		fraction := cfg.TraceFraction
+		if fraction <= 0 {
+			fraction = 0.02
+		}
+		scenario := cfg.Scenario
+		if scenario == "" {
+			scenario = "jan"
+		}
+		var err error
+		trace, err = GenerateScenario(scenario, fraction, seed)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	var plat Platform
+	if cfg.Platform != nil {
+		plat = *cfg.Platform
+	} else {
+		plat = DefaultPlatform(cfg.Scenario, cfg.Heterogeneity)
+	}
+
+	policy := batch.FCFS
+	if cfg.Policy != "" {
+		var err error
+		policy, err = batch.ParsePolicy(cfg.Policy)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	algorithm, err := core.ParseAlgorithm(cfg.Algorithm)
+	if err != nil {
+		return nil, err
+	}
+	var heuristic core.Heuristic
+	if algorithm != core.NoReallocation {
+		name := cfg.Heuristic
+		if name == "" {
+			name = "Mct"
+		}
+		heuristic, err = core.HeuristicByName(name)
+		if err != nil {
+			return nil, err
+		}
+	}
+	mapping, err := core.MappingByName(cfg.Mapping, seed)
+	if err != nil {
+		return nil, err
+	}
+
+	return core.Run(core.Config{
+		Platform: plat,
+		Policy:   policy,
+		Trace:    trace,
+		Mapping:  mapping,
+		Realloc: core.ReallocConfig{
+			Algorithm: algorithm,
+			Heuristic: heuristic,
+			Period:    cfg.ReallocPeriodSeconds,
+			MinGain:   cfg.MinGainSeconds,
+		},
+		ClampOversized: true,
+	})
+}
+
+// Compare computes the paper's four evaluation metrics of a reallocation run
+// against its no-reallocation baseline on the same trace and platform.
+func Compare(baseline, with *Result) (Comparison, error) {
+	return metrics.Compare(baseline, with)
+}
+
+// Summarize aggregates user-facing statistics of a single run (mean and
+// median response time, mean wait time, makespan, number of reallocations).
+func Summarize(r *Result) Summary {
+	return metrics.Summarize(r)
+}
+
+// HeuristicNames lists the six reallocation heuristics in the order of the
+// paper's tables.
+func HeuristicNames() []string {
+	names := make([]string, 0, 6)
+	for _, h := range core.Heuristics() {
+		names = append(names, h.Name())
+	}
+	return names
+}
+
+// ScenarioNames lists the seven workload scenarios of the paper.
+func ScenarioNames() []string {
+	out := make([]string, 0, 7)
+	for _, s := range workload.ScenarioNames() {
+		out = append(out, string(s))
+	}
+	return out
+}

@@ -1,0 +1,124 @@
+package gridrealloc_test
+
+import (
+	"strings"
+	"testing"
+
+	gridrealloc "gridrealloc"
+)
+
+func TestScenarioConfigValidation(t *testing.T) {
+	if _, err := gridrealloc.RunScenario(gridrealloc.ScenarioConfig{}); err == nil {
+		t.Fatal("empty config accepted")
+	}
+	trace, err := gridrealloc.GenerateScenario("jan", 0.002, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := []gridrealloc.ScenarioConfig{
+		{Scenario: "jan", Trace: trace, Policy: "LIFO"},
+		{Scenario: "jan", Trace: trace, Algorithm: "warp"},
+		{Scenario: "jan", Trace: trace, Algorithm: "realloc", Heuristic: "Oracle"},
+		{Scenario: "jan", Trace: trace, Mapping: "Gravity"},
+	}
+	for i, cfg := range bad {
+		if _, err := gridrealloc.RunScenario(cfg); err == nil {
+			t.Errorf("case %d: invalid config accepted: %+v", i, cfg)
+		}
+	}
+	if _, err := gridrealloc.GenerateScenario("undecember", 0.01, 1); err == nil {
+		t.Fatal("unknown scenario accepted")
+	}
+}
+
+func TestRunScenarioGeneratesTraceWhenMissing(t *testing.T) {
+	res, err := gridrealloc.RunScenario(gridrealloc.ScenarioConfig{
+		Scenario:      "feb",
+		TraceFraction: 0.002,
+		Policy:        "FCFS",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Jobs) == 0 {
+		t.Fatal("no jobs recorded for an auto-generated trace")
+	}
+	if res.CompletedJobs() != len(res.Jobs) {
+		t.Fatalf("completed %d of %d", res.CompletedJobs(), len(res.Jobs))
+	}
+}
+
+func TestRunScenarioCustomPlatform(t *testing.T) {
+	trace, err := gridrealloc.GenerateScenario("jan", 0.002, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plat := gridrealloc.Platform{
+		Name: "mini",
+		Clusters: []gridrealloc.ClusterSpec{
+			{Name: "one", Cores: 64, Speed: 1.0},
+			{Name: "two", Cores: 32, Speed: 2.0},
+		},
+	}
+	res, err := gridrealloc.RunScenario(gridrealloc.ScenarioConfig{
+		Platform:  &plat,
+		Trace:     trace,
+		Policy:    "CBF",
+		Algorithm: "realloc",
+		Heuristic: "MaxGain",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PlatformName != "mini" {
+		t.Fatalf("platform name %q", res.PlatformName)
+	}
+	for _, rec := range res.SortedRecords() {
+		if rec.Cluster != "one" && rec.Cluster != "two" {
+			t.Fatalf("job %d ran on %q", rec.JobID, rec.Cluster)
+		}
+	}
+}
+
+func TestDefaultPlatformMapping(t *testing.T) {
+	p := gridrealloc.DefaultPlatform("pwa-g5k", "heterogeneous")
+	if !strings.Contains(p.Name, "pwa-g5k") || len(p.Clusters) != 3 {
+		t.Fatalf("pwa platform = %+v", p)
+	}
+	p = gridrealloc.DefaultPlatform("mar", "homogeneous")
+	if !strings.Contains(p.Name, "grid5000") {
+		t.Fatalf("monthly platform = %+v", p)
+	}
+}
+
+func TestNameListings(t *testing.T) {
+	h := gridrealloc.HeuristicNames()
+	if len(h) != 6 || h[0] != "Mct" || h[5] != "Sufferage" {
+		t.Fatalf("heuristic names = %v", h)
+	}
+	s := gridrealloc.ScenarioNames()
+	if len(s) != 7 || s[6] != "pwa-g5k" {
+		t.Fatalf("scenario names = %v", s)
+	}
+}
+
+func TestMappingPoliciesThroughFacade(t *testing.T) {
+	trace, err := gridrealloc.GenerateScenario("jan", 0.002, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, mapping := range []string{"MCT", "Random", "RoundRobin"} {
+		res, err := gridrealloc.RunScenario(gridrealloc.ScenarioConfig{
+			Scenario: "jan",
+			Trace:    trace,
+			Policy:   "CBF",
+			Mapping:  mapping,
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", mapping, err)
+		}
+		if res.CompletedJobs() != trace.Len() {
+			t.Fatalf("%s: completed %d of %d", mapping, res.CompletedJobs(), trace.Len())
+		}
+	}
+}

@@ -1,0 +1,69 @@
+package gridrealloc_test
+
+import (
+	"testing"
+
+	gridrealloc "gridrealloc"
+)
+
+// TestQuickScenarioEndToEnd runs a small generated scenario with and without
+// reallocation and sanity-checks the façade level results.
+func TestQuickScenarioEndToEnd(t *testing.T) {
+	trace, err := gridrealloc.GenerateScenario("jan", 0.01, 7)
+	if err != nil {
+		t.Fatalf("GenerateScenario: %v", err)
+	}
+	if trace.Len() == 0 {
+		t.Fatal("generated trace is empty")
+	}
+	base := gridrealloc.ScenarioConfig{
+		Scenario:      "jan",
+		Heterogeneity: "heterogeneous",
+		Policy:        "FCFS",
+		Trace:         trace,
+	}
+	baseline, err := gridrealloc.RunScenario(base)
+	if err != nil {
+		t.Fatalf("baseline run: %v", err)
+	}
+	if got, want := len(baseline.Jobs), trace.Len(); got != want {
+		t.Fatalf("baseline recorded %d jobs, want %d", got, want)
+	}
+	if baseline.CompletedJobs() != trace.Len() {
+		t.Fatalf("baseline completed %d of %d jobs", baseline.CompletedJobs(), trace.Len())
+	}
+	if baseline.TotalReallocations != 0 {
+		t.Fatalf("baseline performed %d reallocations, want 0", baseline.TotalReallocations)
+	}
+
+	withCfg := base
+	withCfg.Algorithm = "realloc-cancel"
+	withCfg.Heuristic = "MinMin"
+	with, err := gridrealloc.RunScenario(withCfg)
+	if err != nil {
+		t.Fatalf("reallocation run: %v", err)
+	}
+	if with.CompletedJobs() != trace.Len() {
+		t.Fatalf("reallocation run completed %d of %d jobs", with.CompletedJobs(), trace.Len())
+	}
+
+	cmp, err := gridrealloc.Compare(baseline, with)
+	if err != nil {
+		t.Fatalf("Compare: %v", err)
+	}
+	if cmp.TotalJobs != trace.Len() {
+		t.Fatalf("comparison covers %d jobs, want %d", cmp.TotalJobs, trace.Len())
+	}
+	if cmp.ImpactedPercent < 0 || cmp.ImpactedPercent > 100 {
+		t.Fatalf("impacted percent out of range: %v", cmp.ImpactedPercent)
+	}
+	if cmp.RelativeResponseTime < 0 {
+		t.Fatalf("negative relative response time: %v", cmp.RelativeResponseTime)
+	}
+	sum := gridrealloc.Summarize(with)
+	if sum.Completed != trace.Len() {
+		t.Fatalf("summary completed %d, want %d", sum.Completed, trace.Len())
+	}
+	t.Logf("impacted=%.2f%% earlier=%.2f%% relResp=%.2f reallocations=%d",
+		cmp.ImpactedPercent, cmp.EarlierPercent, cmp.RelativeResponseTime, cmp.Reallocations)
+}

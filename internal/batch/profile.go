@@ -1,0 +1,172 @@
+// Package batch simulates a cluster's local resource management system
+// (batch scheduler). It models the two policies the paper evaluates —
+// First Come First Served (FCFS) without backfilling and Conservative
+// Back-Filling (CBF) — on top of an availability profile, and exposes the
+// restricted set of operations the grid middleware is allowed to use:
+// submission, cancellation of waiting jobs, estimation of completion times
+// and listing of the waiting queue.
+//
+// The scheduler plans reservations using the jobs' requested walltimes
+// (rescaled to the cluster speed) because that is all a real batch system
+// knows; the actual runtimes only manifest as early completions (or
+// walltime kills), which trigger a re-plan. That gap between plan and
+// reality is precisely what the paper's reallocation mechanism exploits.
+package batch
+
+import (
+	"fmt"
+	"sort"
+)
+
+// noSlot is returned by findSlot when the request can never be satisfied.
+const noSlot int64 = -1
+
+// profile is a step function of free cores over time: free[i] cores are
+// available in [times[i], times[i+1]), and the last segment extends to
+// infinity. Breakpoints are strictly increasing. The zero value is not
+// usable; use newProfile.
+type profile struct {
+	times []int64
+	free  []int
+	cores int
+}
+
+// newProfile returns a profile with all cores free from `start` onwards.
+func newProfile(start int64, cores int) *profile {
+	return &profile{times: []int64{start}, free: []int{cores}, cores: cores}
+}
+
+// clone returns an independent copy of the profile.
+func (p *profile) clone() *profile {
+	return &profile{
+		times: append([]int64(nil), p.times...),
+		free:  append([]int(nil), p.free...),
+		cores: p.cores,
+	}
+}
+
+// segmentIndex returns the index of the segment containing time t, assuming
+// t >= p.times[0].
+func (p *profile) segmentIndex(t int64) int {
+	// sort.Search finds the first breakpoint strictly greater than t; the
+	// containing segment is the one before it.
+	idx := sort.Search(len(p.times), func(i int) bool { return p.times[i] > t })
+	return idx - 1
+}
+
+// ensureBreak inserts a breakpoint at time t (if not already present) and
+// returns its index. t must be >= p.times[0].
+func (p *profile) ensureBreak(t int64) int {
+	idx := p.segmentIndex(t)
+	if p.times[idx] == t {
+		return idx
+	}
+	// Split the segment: insert t after idx with the same free count.
+	p.times = append(p.times, 0)
+	p.free = append(p.free, 0)
+	copy(p.times[idx+2:], p.times[idx+1:])
+	copy(p.free[idx+2:], p.free[idx+1:])
+	p.times[idx+1] = t
+	p.free[idx+1] = p.free[idx]
+	return idx + 1
+}
+
+// freeAt returns the number of free cores at time t (t >= p.times[0]).
+func (p *profile) freeAt(t int64) int {
+	return p.free[p.segmentIndex(t)]
+}
+
+// reserve subtracts procs cores in [start, end). It returns an error if the
+// reservation would make any segment negative, which indicates a scheduling
+// bug rather than a recoverable condition.
+func (p *profile) reserve(start, end int64, procs int) error {
+	if end <= start {
+		return fmt.Errorf("batch: reserve with end %d <= start %d", end, start)
+	}
+	if start < p.times[0] {
+		return fmt.Errorf("batch: reserve starting at %d before profile origin %d", start, p.times[0])
+	}
+	si := p.ensureBreak(start)
+	ei := p.ensureBreak(end)
+	for i := si; i < ei; i++ {
+		if p.free[i] < procs {
+			return fmt.Errorf("batch: reservation of %d cores in [%d,%d) exceeds availability %d at t=%d",
+				procs, start, end, p.free[i], p.times[i])
+		}
+		p.free[i] -= procs
+	}
+	return nil
+}
+
+// findSlot returns the earliest start time >= earliest at which procs cores
+// are continuously free for `duration` seconds, or noSlot when procs exceeds
+// the cluster size. duration must be positive.
+func (p *profile) findSlot(earliest, duration int64, procs int) int64 {
+	if procs > p.cores || procs <= 0 || duration <= 0 {
+		return noSlot
+	}
+	if earliest < p.times[0] {
+		earliest = p.times[0]
+	}
+	start := earliest
+	idx := p.segmentIndex(start)
+	for {
+		// Advance start until the current segment has enough cores.
+		for idx < len(p.times) && p.free[idx] < procs {
+			idx++
+			if idx == len(p.times) {
+				// The final segment always has the idle cluster... not
+				// necessarily: running jobs bounded by walltime eventually
+				// end, so the last segment has at least procs free unless a
+				// reservation extends to infinity, which never happens.
+				return noSlot
+			}
+			start = p.times[idx]
+		}
+		if idx >= len(p.times) {
+			return noSlot
+		}
+		// Check that availability holds until start+duration.
+		end := start + duration
+		ok := true
+		for j := idx; j < len(p.times); j++ {
+			segStart := p.times[j]
+			if segStart >= end {
+				break
+			}
+			if p.free[j] < procs {
+				// Not enough here; restart the search from this breakpoint.
+				start = p.times[j]
+				idx = j
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return start
+		}
+	}
+}
+
+// minFree returns the minimum number of free cores over the whole profile.
+// It is used by invariant checks in tests.
+func (p *profile) minFree() int {
+	m := p.cores
+	for _, f := range p.free {
+		if f < m {
+			m = f
+		}
+	}
+	return m
+}
+
+// maxFree returns the maximum number of free cores over the whole profile.
+func (p *profile) maxFree() int {
+	m := 0
+	for _, f := range p.free {
+		if f > m {
+			m = f
+		}
+	}
+	return m
+}

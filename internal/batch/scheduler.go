@@ -1,0 +1,568 @@
+package batch
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"gridrealloc/internal/platform"
+	"gridrealloc/internal/workload"
+)
+
+// Policy selects the local scheduling algorithm of a cluster.
+type Policy int
+
+// The two local resource management policies the paper evaluates.
+const (
+	// FCFS (First Come First Served) gives each job the earliest slot at the
+	// end of the job queue: a job never starts before a job submitted before
+	// it (no backfilling).
+	FCFS Policy = iota
+	// CBF (Conservative Back-Filling) gives each job the earliest hole in
+	// the availability profile that does not delay any previously queued
+	// job.
+	CBF
+)
+
+// String returns "FCFS" or "CBF".
+func (p Policy) String() string {
+	if p == CBF {
+		return "CBF"
+	}
+	return "FCFS"
+}
+
+// ParsePolicy converts a string (case-sensitive "FCFS"/"CBF") to a Policy.
+func ParsePolicy(s string) (Policy, error) {
+	switch s {
+	case "FCFS":
+		return FCFS, nil
+	case "CBF":
+		return CBF, nil
+	default:
+		return FCFS, fmt.Errorf("batch: unknown policy %q", s)
+	}
+}
+
+// Errors returned by the scheduler API.
+var (
+	// ErrTooWide is returned when a job requests more processors than the
+	// cluster has.
+	ErrTooWide = errors.New("batch: job requests more processors than the cluster has")
+	// ErrUnknownJob is returned when an operation references a job the
+	// scheduler does not hold in its waiting queue.
+	ErrUnknownJob = errors.New("batch: unknown waiting job")
+	// ErrDuplicateJob is returned when a job ID is submitted twice.
+	ErrDuplicateJob = errors.New("batch: job already submitted")
+	// ErrTimeTravel is returned when an operation carries a timestamp before
+	// the scheduler's current time.
+	ErrTimeTravel = errors.New("batch: operation timestamp is in the past")
+)
+
+// allocation is a job currently executing on the cluster.
+type allocation struct {
+	job      workload.Job
+	start    int64
+	end      int64 // actual completion (or walltime kill) instant
+	wallEnd  int64 // reservation end used for planning (start + scaled walltime)
+	killed   bool  // true when end == wallEnd because the runtime exceeded it
+	migrated int   // number of times the job was reallocated before starting
+}
+
+// queueEntry is a job waiting in the batch queue.
+type queueEntry struct {
+	job          workload.Job
+	enqueued     int64
+	seq          int64
+	plannedStart int64
+	plannedEnd   int64
+	migrated     int
+}
+
+// Notification reports a state change that happened inside the cluster while
+// advancing virtual time: a job started or a job completed.
+type Notification struct {
+	// Kind is either Started or Finished.
+	Kind NotificationKind
+	// JobID identifies the job.
+	JobID int
+	// Time is the instant of the state change.
+	Time int64
+	// Killed is set on Finished notifications for jobs terminated by the
+	// walltime limit.
+	Killed bool
+}
+
+// NotificationKind distinguishes start from completion notifications.
+type NotificationKind int
+
+// Notification kinds.
+const (
+	Started NotificationKind = iota
+	Finished
+)
+
+// String returns "started" or "finished".
+func (k NotificationKind) String() string {
+	if k == Finished {
+		return "finished"
+	}
+	return "started"
+}
+
+// WaitingJob is the externally visible view of a queued job: the job itself
+// plus its current predicted start and completion on this cluster.
+type WaitingJob struct {
+	Job            workload.Job
+	EnqueuedAt     int64
+	PlannedStart   int64
+	PlannedEnd     int64
+	Reallocations  int
+	QueuePosition  int
+	ClusterName    string
+	ClusterSpeedup float64
+}
+
+// Scheduler simulates one cluster's batch system. It is not safe for
+// concurrent use; the simulation driver serialises all access.
+type Scheduler struct {
+	spec    platform.ClusterSpec
+	policy  Policy
+	now     int64
+	running []*allocation
+	waiting []*queueEntry
+	seq     int64
+
+	// planProf is the availability profile including running jobs and all
+	// planned waiting reservations, kept in sync by rebuildPlan so that
+	// completion-time estimates do not have to rebuild it on every query.
+	planProf *profile
+	// maxPlannedStart is the latest planned start among waiting jobs, used
+	// as the FCFS lower bound for hypothetical placements.
+	maxPlannedStart int64
+
+	// Request counters, reported by the server layer as system-load metrics.
+	submissions   int64
+	cancellations int64
+	ectQueries    int64
+}
+
+// NewScheduler returns a scheduler for the given cluster running the given
+// policy, with its clock at zero.
+func NewScheduler(spec platform.ClusterSpec, policy Policy) (*Scheduler, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	return &Scheduler{
+		spec:     spec,
+		policy:   policy,
+		planProf: newProfile(0, spec.Cores),
+	}, nil
+}
+
+// Spec returns the cluster description.
+func (s *Scheduler) Spec() platform.ClusterSpec { return s.spec }
+
+// Policy returns the local scheduling policy.
+func (s *Scheduler) Policy() Policy { return s.policy }
+
+// Now returns the scheduler's current virtual time.
+func (s *Scheduler) Now() int64 { return s.now }
+
+// Counters returns the number of submissions, cancellations and ECT queries
+// served so far.
+func (s *Scheduler) Counters() (submissions, cancellations, ectQueries int64) {
+	return s.submissions, s.cancellations, s.ectQueries
+}
+
+// RunningCount returns the number of jobs currently executing.
+func (s *Scheduler) RunningCount() int { return len(s.running) }
+
+// WaitingCount returns the number of jobs currently queued.
+func (s *Scheduler) WaitingCount() int { return len(s.waiting) }
+
+// UsedCores returns the number of cores occupied by running jobs at the
+// current time.
+func (s *Scheduler) UsedCores() int {
+	used := 0
+	for _, a := range s.running {
+		used += a.job.Procs
+	}
+	return used
+}
+
+// scaledRuntime returns the execution time of the job on this cluster,
+// bounded by the rescaled walltime (walltime kill).
+func (s *Scheduler) scaledRuntime(j workload.Job) int64 {
+	run := s.spec.ScaleDuration(j.Runtime)
+	wall := s.spec.ScaleDuration(j.Walltime)
+	if run > wall {
+		return wall
+	}
+	if run < 1 {
+		run = 1
+	}
+	return run
+}
+
+// scaledWalltime returns the reservation length of the job on this cluster.
+func (s *Scheduler) scaledWalltime(j workload.Job) int64 {
+	w := s.spec.ScaleDuration(j.Walltime)
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// Fits reports whether the job can ever run on this cluster.
+func (s *Scheduler) Fits(j workload.Job) bool { return j.Procs <= s.spec.Cores }
+
+// Submit enqueues a job at time now. The reallocations argument carries the
+// number of times the job has already been moved between clusters, so the
+// count survives migration. It returns an error if the job cannot fit, is a
+// duplicate, or the timestamp is in the past.
+func (s *Scheduler) Submit(j workload.Job, now int64, reallocations int) error {
+	if now < s.now {
+		return fmt.Errorf("%w: submit at %d, now %d", ErrTimeTravel, now, s.now)
+	}
+	if err := j.Validate(); err != nil {
+		return err
+	}
+	if !s.Fits(j) {
+		return fmt.Errorf("%w: job %d needs %d cores, cluster %q has %d", ErrTooWide, j.ID, j.Procs, s.spec.Name, s.spec.Cores)
+	}
+	if s.holdsJob(j.ID) {
+		return fmt.Errorf("%w: job %d on cluster %q", ErrDuplicateJob, j.ID, s.spec.Name)
+	}
+	s.now = now
+	s.submissions++
+	s.waiting = append(s.waiting, &queueEntry{
+		job:      j,
+		enqueued: now,
+		seq:      s.seq,
+		migrated: reallocations,
+	})
+	s.seq++
+	s.rebuildPlan()
+	return nil
+}
+
+func (s *Scheduler) holdsJob(id int) bool {
+	for _, a := range s.running {
+		if a.job.ID == id {
+			return true
+		}
+	}
+	for _, e := range s.waiting {
+		if e.job.ID == id {
+			return true
+		}
+	}
+	return false
+}
+
+// Cancel removes a waiting job from the queue. Running jobs cannot be
+// cancelled (the middleware only reallocates jobs in waiting state). It
+// returns the job's accumulated reallocation count so the caller can carry
+// it to the destination cluster.
+func (s *Scheduler) Cancel(jobID int, now int64) (workload.Job, int, error) {
+	if now < s.now {
+		return workload.Job{}, 0, fmt.Errorf("%w: cancel at %d, now %d", ErrTimeTravel, now, s.now)
+	}
+	s.now = now
+	for i, e := range s.waiting {
+		if e.job.ID == jobID {
+			s.cancellations++
+			s.waiting = append(s.waiting[:i], s.waiting[i+1:]...)
+			s.rebuildPlan()
+			return e.job, e.migrated, nil
+		}
+	}
+	return workload.Job{}, 0, fmt.Errorf("%w: job %d on cluster %q", ErrUnknownJob, jobID, s.spec.Name)
+}
+
+// WaitingJobs returns a snapshot of the waiting queue in queue order,
+// including each job's current predicted start and completion.
+func (s *Scheduler) WaitingJobs() []WaitingJob {
+	out := make([]WaitingJob, 0, len(s.waiting))
+	for i, e := range s.waiting {
+		out = append(out, WaitingJob{
+			Job:            e.job,
+			EnqueuedAt:     e.enqueued,
+			PlannedStart:   e.plannedStart,
+			PlannedEnd:     e.plannedEnd,
+			Reallocations:  e.migrated,
+			QueuePosition:  i,
+			ClusterName:    s.spec.Name,
+			ClusterSpeedup: s.spec.Speed,
+		})
+	}
+	return out
+}
+
+// CurrentCompletion returns the predicted completion time of a job already
+// held by this cluster (waiting or running). For running jobs the prediction
+// is the walltime end, which is all a real batch system can promise.
+func (s *Scheduler) CurrentCompletion(jobID int) (int64, error) {
+	for _, e := range s.waiting {
+		if e.job.ID == jobID {
+			return e.plannedEnd, nil
+		}
+	}
+	for _, a := range s.running {
+		if a.job.ID == jobID {
+			return a.wallEnd, nil
+		}
+	}
+	return 0, fmt.Errorf("%w: job %d on cluster %q", ErrUnknownJob, jobID, s.spec.Name)
+}
+
+// EstimateCompletion answers the middleware's "where would this job
+// complete if I submitted it to you now" query without mutating any state.
+// It returns ErrTooWide if the job can never run here.
+func (s *Scheduler) EstimateCompletion(j workload.Job, now int64) (int64, error) {
+	if now < s.now {
+		return 0, fmt.Errorf("%w: estimate at %d, now %d", ErrTimeTravel, now, s.now)
+	}
+	if !s.Fits(j) {
+		return 0, fmt.Errorf("%w: job %d needs %d cores, cluster %q has %d", ErrTooWide, j.ID, j.Procs, s.spec.Name, s.spec.Cores)
+	}
+	s.ectQueries++
+	prof := s.planProf
+	lower := now
+	if s.policy == FCFS && s.maxPlannedStart > lower {
+		// FCFS: the hypothetical job goes to the end of the queue and cannot
+		// start before the job currently last in the queue.
+		lower = s.maxPlannedStart
+	}
+	wall := s.scaledWalltime(j)
+	start := prof.findSlot(lower, wall, j.Procs)
+	if start == noSlot {
+		return 0, fmt.Errorf("%w: job %d on cluster %q", ErrTooWide, j.ID, j.Procs)
+	}
+	return start + wall, nil
+}
+
+// Advance moves the cluster's clock to `now`, starting planned jobs and
+// completing running jobs whose time has come, in chronological order. It
+// returns the notifications generated, in order.
+func (s *Scheduler) Advance(now int64) ([]Notification, error) {
+	if now < s.now {
+		return nil, fmt.Errorf("%w: advance to %d, now %d", ErrTimeTravel, now, s.now)
+	}
+	var notes []Notification
+	for {
+		t, kind, ok := s.nextInternalEvent()
+		if !ok || t > now {
+			break
+		}
+		switch kind {
+		case Finished:
+			notes = append(notes, s.finishDueAt(t)...)
+		case Started:
+			notes = append(notes, s.startDueAt(t)...)
+		}
+	}
+	s.now = now
+	return notes, nil
+}
+
+// NextEventTime returns the earliest instant at which this cluster will
+// change state on its own (a running job completes or a planned job starts),
+// or ok=false when the cluster is idle with an empty queue.
+func (s *Scheduler) NextEventTime() (int64, bool) {
+	t, _, ok := s.nextInternalEvent()
+	return t, ok
+}
+
+// nextInternalEvent returns the time and kind of the next internal event.
+// Completions at time t take precedence over starts at time t because the
+// freed cores may allow an earlier (re-planned) start at that very instant.
+func (s *Scheduler) nextInternalEvent() (int64, NotificationKind, bool) {
+	bestT := int64(0)
+	kind := Started
+	found := false
+	for _, a := range s.running {
+		if !found || a.end < bestT {
+			bestT, kind, found = a.end, Finished, true
+		}
+	}
+	for _, e := range s.waiting {
+		if !found || e.plannedStart < bestT {
+			bestT, kind, found = e.plannedStart, Started, true
+		} else if e.plannedStart == bestT && kind == Finished {
+			// Finishes first at equal times; keep kind as Finished.
+			continue
+		}
+	}
+	return bestT, kind, found
+}
+
+// finishDueAt completes every running job whose end is exactly t, then
+// re-plans the queue (freed cores may advance waiting jobs).
+func (s *Scheduler) finishDueAt(t int64) []Notification {
+	var notes []Notification
+	kept := s.running[:0]
+	for _, a := range s.running {
+		if a.end == t {
+			notes = append(notes, Notification{Kind: Finished, JobID: a.job.ID, Time: t, Killed: a.killed})
+			continue
+		}
+		kept = append(kept, a)
+	}
+	s.running = kept
+	if len(notes) > 0 {
+		s.now = t
+		s.rebuildPlan()
+	}
+	return notes
+}
+
+// startDueAt starts every waiting job whose planned start is exactly t.
+func (s *Scheduler) startDueAt(t int64) []Notification {
+	var notes []Notification
+	kept := s.waiting[:0]
+	for _, e := range s.waiting {
+		if e.plannedStart == t {
+			run := s.scaledRuntime(e.job)
+			wall := s.scaledWalltime(e.job)
+			a := &allocation{
+				job:      e.job,
+				start:    t,
+				end:      t + run,
+				wallEnd:  t + wall,
+				killed:   run == wall && e.job.KilledByWalltime(),
+				migrated: e.migrated,
+			}
+			s.running = append(s.running, a)
+			notes = append(notes, Notification{Kind: Started, JobID: e.job.ID, Time: t})
+			continue
+		}
+		kept = append(kept, e)
+	}
+	s.waiting = kept
+	if len(notes) > 0 {
+		s.now = t
+	}
+	return notes
+}
+
+// rebuildPlan recomputes the planned start and completion of every waiting
+// job from the availability profile of the running jobs (bounded by their
+// walltimes), according to the local policy.
+func (s *Scheduler) rebuildPlan() {
+	prof := newProfile(s.now, s.spec.Cores)
+	for _, a := range s.running {
+		if a.wallEnd > s.now {
+			// reserve ignores errors here by construction: running jobs were
+			// admitted with compatible reservations. A failure would be a
+			// programming error surfaced by the invariant tests.
+			if err := prof.reserve(s.now, a.wallEnd, a.job.Procs); err != nil {
+				panic(fmt.Sprintf("batch: inconsistent running set on %s: %v", s.spec.Name, err))
+			}
+		}
+	}
+	// Waiting jobs are planned in queue order (submission order on this
+	// cluster). FCFS additionally forbids starting before the previous
+	// queued job.
+	sort.SliceStable(s.waiting, func(i, j int) bool { return s.waiting[i].seq < s.waiting[j].seq })
+	prevStart := s.now
+	for _, e := range s.waiting {
+		wall := s.scaledWalltime(e.job)
+		lower := s.now
+		if s.policy == FCFS && prevStart > lower {
+			lower = prevStart
+		}
+		start := prof.findSlot(lower, wall, e.job.Procs)
+		if start == noSlot {
+			// Cannot happen for admitted jobs (procs <= cores); guard anyway
+			// by pushing the job to the end of the known horizon.
+			start = prof.times[len(prof.times)-1]
+		}
+		if err := prof.reserve(start, start+wall, e.job.Procs); err != nil {
+			panic(fmt.Sprintf("batch: plan reservation failed on %s: %v", s.spec.Name, err))
+		}
+		e.plannedStart = start
+		e.plannedEnd = start + wall
+		if start > prevStart {
+			prevStart = start
+		}
+	}
+	// Keep the combined running+planned profile for cheap completion-time
+	// estimates; prevStart is the latest planned start (or now when the
+	// queue is empty), which is exactly the FCFS lower bound for a
+	// hypothetical extra job.
+	s.planProf = prof
+	s.maxPlannedStart = prevStart
+}
+
+// Snapshot describes the instantaneous state of the cluster, used by the
+// Gantt renderer and by tests.
+type Snapshot struct {
+	ClusterName string
+	Time        int64
+	Running     []SnapshotJob
+	Waiting     []SnapshotJob
+}
+
+// SnapshotJob is one job in a snapshot with its (planned or actual)
+// execution window.
+type SnapshotJob struct {
+	JobID int
+	Procs int
+	Start int64
+	End   int64
+}
+
+// Snapshot returns the current running and planned-waiting state.
+func (s *Scheduler) Snapshot() Snapshot {
+	snap := Snapshot{ClusterName: s.spec.Name, Time: s.now}
+	for _, a := range s.running {
+		snap.Running = append(snap.Running, SnapshotJob{JobID: a.job.ID, Procs: a.job.Procs, Start: a.start, End: a.wallEnd})
+	}
+	for _, e := range s.waiting {
+		snap.Waiting = append(snap.Waiting, SnapshotJob{JobID: e.job.ID, Procs: e.job.Procs, Start: e.plannedStart, End: e.plannedEnd})
+	}
+	return snap
+}
+
+// CheckInvariants verifies the internal consistency of the scheduler: no
+// core over-subscription at any instant (running and planned), FCFS start
+// ordering, and planned windows in the future. It is exported for use by the
+// property-based tests and returns a descriptive error on the first
+// violation.
+func (s *Scheduler) CheckInvariants() error {
+	prof := newProfile(s.now, s.spec.Cores)
+	for _, a := range s.running {
+		if a.wallEnd > s.now {
+			if err := prof.reserve(s.now, a.wallEnd, a.job.Procs); err != nil {
+				return fmt.Errorf("running over-subscription: %w", err)
+			}
+		}
+	}
+	prevStart := int64(-1)
+	prevSeq := int64(-1)
+	for _, e := range s.waiting {
+		if e.plannedStart < s.now {
+			return fmt.Errorf("job %d planned to start at %d before now %d", e.job.ID, e.plannedStart, s.now)
+		}
+		if e.plannedEnd <= e.plannedStart {
+			return fmt.Errorf("job %d has empty planned window [%d,%d)", e.job.ID, e.plannedStart, e.plannedEnd)
+		}
+		if err := prof.reserve(e.plannedStart, e.plannedEnd, e.job.Procs); err != nil {
+			return fmt.Errorf("planned over-subscription: %w", err)
+		}
+		if s.policy == FCFS && prevStart >= 0 && e.plannedStart < prevStart {
+			return fmt.Errorf("FCFS order violated: job %d starts at %d before its predecessor at %d", e.job.ID, e.plannedStart, prevStart)
+		}
+		if e.seq <= prevSeq {
+			return fmt.Errorf("queue order corrupted at job %d", e.job.ID)
+		}
+		prevStart = e.plannedStart
+		prevSeq = e.seq
+	}
+	if prof.minFree() < 0 {
+		return errors.New("profile went negative")
+	}
+	return nil
+}

@@ -1,0 +1,392 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"gridrealloc/internal/server"
+	"gridrealloc/internal/workload"
+)
+
+// Algorithm selects which reallocation mechanism the agent runs at each
+// periodic reallocation event.
+type Algorithm int
+
+// The reallocation algorithms compared in the paper, plus the baseline.
+const (
+	// NoReallocation disables the mechanism; the agent only performs the
+	// initial mapping. This is the reference every metric is compared to.
+	NoReallocation Algorithm = iota
+	// WithoutCancellation is Algorithm 1: consider every waiting job in
+	// heuristic order and move it (cancel + resubmit) only when another
+	// cluster offers a completion time at least MinGain seconds better.
+	WithoutCancellation
+	// WithCancellation is Algorithm 2: cancel every waiting job on every
+	// cluster, then re-submit them one by one in heuristic order, each to
+	// the cluster with the minimum estimated completion time.
+	WithCancellation
+)
+
+// String returns a short identifier ("none", "realloc", "realloc-cancel").
+func (a Algorithm) String() string {
+	switch a {
+	case WithoutCancellation:
+		return "realloc"
+	case WithCancellation:
+		return "realloc-cancel"
+	default:
+		return "none"
+	}
+}
+
+// ParseAlgorithm resolves an algorithm from its string form.
+func ParseAlgorithm(s string) (Algorithm, error) {
+	switch s {
+	case "none", "":
+		return NoReallocation, nil
+	case "realloc", "no-cancel", "algorithm1":
+		return WithoutCancellation, nil
+	case "realloc-cancel", "cancel", "algorithm2":
+		return WithCancellation, nil
+	default:
+		return NoReallocation, fmt.Errorf("core: unknown reallocation algorithm %q", s)
+	}
+}
+
+// DefaultReallocationPeriod is the paper's reallocation frequency: once per
+// hour.
+const DefaultReallocationPeriod int64 = 3600
+
+// DefaultMinGain is the paper's minimum improvement (one minute) required
+// before Algorithm 1 moves a job.
+const DefaultMinGain int64 = 60
+
+// ReallocConfig configures the reallocation mechanism of the agent.
+type ReallocConfig struct {
+	// Algorithm selects the mechanism (NoReallocation disables it).
+	Algorithm Algorithm
+	// Heuristic orders the candidates; nil defaults to MCT.
+	Heuristic Heuristic
+	// Period is the interval between reallocation events in seconds;
+	// non-positive values default to DefaultReallocationPeriod.
+	Period int64
+	// MinGain is the minimum completion-time improvement (seconds) required
+	// for Algorithm 1 to move a job; non-positive values default to
+	// DefaultMinGain. Algorithm 2 ignores it.
+	MinGain int64
+}
+
+// normalized returns the config with defaults applied.
+func (c ReallocConfig) normalized() ReallocConfig {
+	if c.Heuristic == nil {
+		c.Heuristic = MCT()
+	}
+	if c.Period <= 0 {
+		c.Period = DefaultReallocationPeriod
+	}
+	if c.MinGain <= 0 {
+		c.MinGain = DefaultMinGain
+	}
+	return c
+}
+
+// Agent is the meta-scheduler of the paper's architecture: it maps every
+// incoming job to a cluster (MappingPolicy) and periodically reallocates
+// waiting jobs between clusters (ReallocConfig).
+type Agent struct {
+	servers  []*server.Server
+	mapping  MappingPolicy
+	realloc  ReallocConfig
+	location map[int]int // jobID -> server index while the job is in the system
+
+	totalReallocations int64
+	reallocationEvents int64
+}
+
+// NewAgent builds an agent over the given servers. Mapping defaults to MCT
+// when nil.
+func NewAgent(servers []*server.Server, mapping MappingPolicy, realloc ReallocConfig) (*Agent, error) {
+	if len(servers) == 0 {
+		return nil, errors.New("core: agent needs at least one server")
+	}
+	if mapping == nil {
+		mapping = MCTMapping()
+	}
+	return &Agent{
+		servers:  servers,
+		mapping:  mapping,
+		realloc:  realloc.normalized(),
+		location: make(map[int]int),
+	}, nil
+}
+
+// Servers returns the servers the agent manages, in platform order.
+func (a *Agent) Servers() []*server.Server { return a.servers }
+
+// Realloc returns the normalized reallocation configuration.
+func (a *Agent) Realloc() ReallocConfig { return a.realloc }
+
+// TotalReallocations returns the number of migrations performed so far. A
+// job migrated several times is counted once per migration, as in the
+// paper's "number of reallocations" metric.
+func (a *Agent) TotalReallocations() int64 { return a.totalReallocations }
+
+// ReallocationEvents returns the number of periodic reallocation passes run.
+func (a *Agent) ReallocationEvents() int64 { return a.reallocationEvents }
+
+// SubmitJob maps the job to a cluster using the mapping policy and submits
+// it there. It returns the name of the chosen cluster.
+func (a *Agent) SubmitJob(j workload.Job, now int64) (string, error) {
+	idx, err := a.mapping.ChooseCluster(j, a.servers, now)
+	if err != nil {
+		return "", err
+	}
+	if err := a.servers[idx].Submit(j, now, 0); err != nil {
+		return "", fmt.Errorf("core: submitting job %d to %s: %w", j.ID, a.servers[idx].Name(), err)
+	}
+	a.location[j.ID] = idx
+	return a.servers[idx].Name(), nil
+}
+
+// JobCluster returns the name of the cluster currently holding the job, or
+// "" when the agent does not know the job (never submitted or forgotten).
+func (a *Agent) JobCluster(jobID int) string {
+	idx, ok := a.location[jobID]
+	if !ok {
+		return ""
+	}
+	return a.servers[idx].Name()
+}
+
+// Forget drops the agent's location record for a completed job.
+func (a *Agent) Forget(jobID int) { delete(a.location, jobID) }
+
+// Reallocate runs one reallocation pass at time now using the configured
+// algorithm and heuristic. It returns the number of migrations performed
+// during this pass.
+func (a *Agent) Reallocate(now int64) (int, error) {
+	if a.realloc.Algorithm == NoReallocation {
+		return 0, nil
+	}
+	a.reallocationEvents++
+	switch a.realloc.Algorithm {
+	case WithoutCancellation:
+		return a.reallocateWithoutCancellation(now)
+	case WithCancellation:
+		return a.reallocateWithCancellation(now)
+	default:
+		return 0, fmt.Errorf("core: unsupported algorithm %v", a.realloc.Algorithm)
+	}
+}
+
+// gatherCandidates snapshots the waiting queues of every cluster.
+func (a *Agent) gatherCandidates() ([]Candidate, []int) {
+	var cands []Candidate
+	var origins []int
+	for idx, s := range a.servers {
+		for _, w := range s.WaitingJobs() {
+			cands = append(cands, Candidate{
+				Job:           w.Job,
+				OriginCluster: s.Name(),
+				OriginECT:     w.PlannedEnd,
+				Reallocations: w.Reallocations,
+			})
+			origins = append(origins, idx)
+		}
+	}
+	// Deterministic processing order regardless of server iteration:
+	// submission time then job ID.
+	order := make([]int, len(cands))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(x, y int) bool {
+		return submitsBefore(cands[order[x]].Job, cands[order[y]].Job)
+	})
+	sortedCands := make([]Candidate, len(cands))
+	sortedOrigins := make([]int, len(cands))
+	for i, o := range order {
+		sortedCands[i] = cands[o]
+		sortedOrigins[i] = origins[o]
+	}
+	return sortedCands, sortedOrigins
+}
+
+// estimateAll computes, for every candidate, the completion-time estimates
+// across all clusters. When hypothetical is true, the origin cluster is
+// queried like any other cluster (the job is no longer queued there, as in
+// Algorithm 2); otherwise the origin cluster contributes the job's current
+// planned completion.
+func (a *Agent) estimateAll(cands []Candidate, origins []int, now int64, hypothetical bool) []Estimate {
+	ests := make([]Estimate, len(cands))
+	for i, c := range cands {
+		ests[i] = a.estimateOne(c, origins[i], now, hypothetical)
+	}
+	return ests
+}
+
+func (a *Agent) estimateOne(c Candidate, origin int, now int64, hypothetical bool) Estimate {
+	est := Estimate{BestECT: NoEstimate, SecondECT: NoEstimate, BestOtherECT: NoEstimate}
+	consider := func(clusterName string, ect int64, other bool) {
+		if ect < est.BestECT {
+			est.SecondECT = est.BestECT
+			est.BestECT = ect
+			est.BestCluster = clusterName
+		} else if ect < est.SecondECT {
+			est.SecondECT = ect
+		}
+		if other && ect < est.BestOtherECT {
+			est.BestOtherECT = ect
+			est.BestOtherCluster = clusterName
+		}
+	}
+	for idx, s := range a.servers {
+		if idx == origin && !hypothetical {
+			consider(s.Name(), c.OriginECT, false)
+			continue
+		}
+		if !s.Fits(c.Job) {
+			continue
+		}
+		ect, ok := s.EstimateCompletion(c.Job, now)
+		if !ok {
+			continue
+		}
+		consider(s.Name(), ect, idx != origin)
+	}
+	return est
+}
+
+// reallocateWithoutCancellation implements Algorithm 1 of the paper.
+func (a *Agent) reallocateWithoutCancellation(now int64) (int, error) {
+	cands, origins := a.gatherCandidates()
+	if len(cands) == 0 {
+		return 0, nil
+	}
+	moves := 0
+	ests := a.estimateAll(cands, origins, now, false)
+	for len(cands) > 0 {
+		pick := a.realloc.Heuristic.Select(cands, ests)
+		c, origin := cands[pick], origins[pick]
+		est := ests[pick]
+
+		moved := false
+		if est.BestOtherECT != NoEstimate && est.BestOtherECT+a.realloc.MinGain < c.OriginECT {
+			if err := a.moveJob(c, origin, est.BestOtherCluster, now); err != nil {
+				return moves, err
+			}
+			moves++
+			moved = true
+		}
+
+		// Drop the handled candidate.
+		cands = append(cands[:pick], cands[pick+1:]...)
+		origins = append(origins[:pick], origins[pick+1:]...)
+		ests = append(ests[:pick], ests[pick+1:]...)
+
+		// A migration changes two clusters' queues, so the remaining
+		// estimates are stale; recompute them. When nothing moved, the
+		// platform state is unchanged and the estimates stay valid.
+		if moved && len(cands) > 0 {
+			// Refresh the origin ECT of candidates still queued (their
+			// planned completion may have changed after the cancellation).
+			for i := range cands {
+				if ect, err := a.servers[origins[i]].CurrentCompletion(cands[i].Job.ID); err == nil {
+					cands[i].OriginECT = ect
+				}
+			}
+			ests = a.estimateAll(cands, origins, now, false)
+		}
+	}
+	return moves, nil
+}
+
+// moveJob cancels the job on its origin cluster and submits it to the named
+// destination cluster, preserving and incrementing its reallocation count.
+func (a *Agent) moveJob(c Candidate, origin int, destination string, now int64) error {
+	destIdx := -1
+	for i, s := range a.servers {
+		if s.Name() == destination {
+			destIdx = i
+			break
+		}
+	}
+	if destIdx == -1 {
+		return fmt.Errorf("core: unknown destination cluster %q", destination)
+	}
+	job, migrated, err := a.servers[origin].Cancel(c.Job.ID, now)
+	if err != nil {
+		return fmt.Errorf("core: cancelling job %d on %s: %w", c.Job.ID, a.servers[origin].Name(), err)
+	}
+	if err := a.servers[destIdx].Submit(job, now, migrated+1); err != nil {
+		// Try to put the job back where it was rather than losing it; this
+		// should never fail because the slot was just freed.
+		if backErr := a.servers[origin].Submit(job, now, migrated); backErr != nil {
+			return fmt.Errorf("core: job %d lost during reallocation: %v (restore failed: %v)", job.ID, err, backErr)
+		}
+		return fmt.Errorf("core: resubmitting job %d to %s: %w", job.ID, destination, err)
+	}
+	a.location[job.ID] = destIdx
+	a.totalReallocations++
+	return nil
+}
+
+// reallocateWithCancellation implements Algorithm 2 of the paper: cancel all
+// waiting jobs everywhere, then re-place them one at a time in heuristic
+// order on the cluster with the minimum estimated completion time.
+func (a *Agent) reallocateWithCancellation(now int64) (int, error) {
+	cands, origins := a.gatherCandidates()
+	if len(cands) == 0 {
+		return 0, nil
+	}
+	// Cancel every waiting job.
+	for i, c := range cands {
+		job, migrated, err := a.servers[origins[i]].Cancel(c.Job.ID, now)
+		if err != nil {
+			return 0, fmt.Errorf("core: cancelling job %d on %s: %w", c.Job.ID, a.servers[origins[i]].Name(), err)
+		}
+		cands[i].Job = job
+		cands[i].Reallocations = migrated
+	}
+	moves := 0
+	for len(cands) > 0 {
+		// Re-estimate at every iteration: each submission changes the
+		// queues, and the origin cluster now answers hypothetically because
+		// the job is no longer queued there.
+		for i := range cands {
+			if ect, ok := a.servers[origins[i]].EstimateCompletion(cands[i].Job, now); ok {
+				cands[i].OriginECT = ect
+			} else {
+				cands[i].OriginECT = NoEstimate
+			}
+		}
+		ests := a.estimateAll(cands, origins, now, true)
+		pick := a.realloc.Heuristic.Select(cands, ests)
+		c, origin, est := cands[pick], origins[pick], ests[pick]
+
+		destIdx := origin
+		if est.BestCluster != "" {
+			for i, s := range a.servers {
+				if s.Name() == est.BestCluster {
+					destIdx = i
+					break
+				}
+			}
+		}
+		migrated := c.Reallocations
+		if destIdx != origin {
+			migrated++
+			moves++
+			a.totalReallocations++
+		}
+		if err := a.servers[destIdx].Submit(c.Job, now, migrated); err != nil {
+			return moves, fmt.Errorf("core: resubmitting job %d to %s: %w", c.Job.ID, a.servers[destIdx].Name(), err)
+		}
+		a.location[c.Job.ID] = destIdx
+
+		cands = append(cands[:pick], cands[pick+1:]...)
+		origins = append(origins[:pick], origins[pick+1:]...)
+	}
+	return moves, nil
+}

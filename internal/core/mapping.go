@@ -1,0 +1,122 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"gridrealloc/internal/server"
+	"gridrealloc/internal/stats"
+	"gridrealloc/internal/workload"
+)
+
+// MappingPolicy decides which cluster an incoming job is submitted to. The
+// paper's meta-scheduler uses MCT (minimum completion time); Random and
+// RoundRobin are provided as the degraded modes a middleware falls back to
+// when monitoring is unavailable, and the ablation benchmarks compare them.
+type MappingPolicy interface {
+	// Name identifies the policy in configuration and reports.
+	Name() string
+	// ChooseCluster returns the index (into servers) of the cluster to
+	// submit the job to. It must only return clusters the job fits on.
+	ChooseCluster(j workload.Job, servers []*server.Server, now int64) (int, error)
+}
+
+// ErrNoCluster is returned when no cluster of the platform can run the job.
+var ErrNoCluster = errors.New("core: no cluster can run this job")
+
+// mctMapping submits each job to the cluster with the minimum estimated
+// completion time.
+type mctMapping struct{}
+
+// MCTMapping returns the Minimum Completion Time mapping policy used by the
+// paper's meta-scheduler.
+func MCTMapping() MappingPolicy { return mctMapping{} }
+
+func (mctMapping) Name() string { return "MCT" }
+
+func (mctMapping) ChooseCluster(j workload.Job, servers []*server.Server, now int64) (int, error) {
+	best := -1
+	bestECT := int64(0)
+	for i, s := range servers {
+		if !s.Fits(j) {
+			continue
+		}
+		ect, ok := s.EstimateCompletion(j, now)
+		if !ok {
+			continue
+		}
+		if best == -1 || ect < bestECT {
+			best, bestECT = i, ect
+		}
+	}
+	if best == -1 {
+		return 0, fmt.Errorf("%w: job %d (%d procs)", ErrNoCluster, j.ID, j.Procs)
+	}
+	return best, nil
+}
+
+// randomMapping submits each job to a uniformly random cluster among those
+// it fits on.
+type randomMapping struct {
+	rng *stats.RNG
+}
+
+// RandomMapping returns a mapping policy choosing a random eligible cluster,
+// deterministically from the seed.
+func RandomMapping(seed uint64) MappingPolicy {
+	return &randomMapping{rng: stats.NewRNG(seed)}
+}
+
+func (*randomMapping) Name() string { return "Random" }
+
+func (m *randomMapping) ChooseCluster(j workload.Job, servers []*server.Server, _ int64) (int, error) {
+	eligible := make([]int, 0, len(servers))
+	for i, s := range servers {
+		if s.Fits(j) {
+			eligible = append(eligible, i)
+		}
+	}
+	if len(eligible) == 0 {
+		return 0, fmt.Errorf("%w: job %d (%d procs)", ErrNoCluster, j.ID, j.Procs)
+	}
+	return eligible[m.rng.Intn(len(eligible))], nil
+}
+
+// roundRobinMapping cycles through the clusters, skipping clusters the job
+// does not fit on.
+type roundRobinMapping struct {
+	next int
+}
+
+// RoundRobinMapping returns a mapping policy selecting clusters one after
+// the other.
+func RoundRobinMapping() MappingPolicy { return &roundRobinMapping{} }
+
+func (*roundRobinMapping) Name() string { return "RoundRobin" }
+
+func (m *roundRobinMapping) ChooseCluster(j workload.Job, servers []*server.Server, _ int64) (int, error) {
+	n := len(servers)
+	for k := 0; k < n; k++ {
+		idx := (m.next + k) % n
+		if servers[idx].Fits(j) {
+			m.next = (idx + 1) % n
+			return idx, nil
+		}
+	}
+	return 0, fmt.Errorf("%w: job %d (%d procs)", ErrNoCluster, j.ID, j.Procs)
+}
+
+// MappingByName resolves a mapping policy by name ("MCT", "Random",
+// "RoundRobin"). The seed is only used by the Random policy.
+func MappingByName(name string, seed uint64) (MappingPolicy, error) {
+	switch name {
+	case "MCT", "":
+		return MCTMapping(), nil
+	case "Random":
+		return RandomMapping(seed), nil
+	case "RoundRobin":
+		return RoundRobinMapping(), nil
+	default:
+		return nil, fmt.Errorf("core: unknown mapping policy %q", name)
+	}
+}

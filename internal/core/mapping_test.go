@@ -1,0 +1,131 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"gridrealloc/internal/batch"
+	"gridrealloc/internal/platform"
+	"gridrealloc/internal/server"
+	"gridrealloc/internal/workload"
+)
+
+func twoServers(t *testing.T, policy batch.Policy) []*server.Server {
+	t.Helper()
+	a, err := server.New(platform.ClusterSpec{Name: "big", Cores: 16, Speed: 1.0}, policy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := server.New(platform.ClusterSpec{Name: "small", Cores: 4, Speed: 1.0}, policy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return []*server.Server{a, b}
+}
+
+func mapJob(id int, procs int) workload.Job {
+	return workload.Job{ID: id, Submit: 0, Runtime: 100, Walltime: 600, Procs: procs}
+}
+
+func TestMCTMappingPicksEarliestCompletion(t *testing.T) {
+	servers := twoServers(t, batch.FCFS)
+	// Load the big cluster completely so the small one finishes earlier.
+	if err := servers[0].Submit(workload.Job{ID: 100, Submit: 0, Runtime: 5000, Walltime: 5000, Procs: 16}, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	idx, err := MCTMapping().ChooseCluster(mapJob(1, 2), servers, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx != 1 {
+		t.Fatalf("MCT chose cluster %d, want 1 (idle small cluster)", idx)
+	}
+	// A 10-proc job only fits on the big cluster despite its load.
+	idx, err = MCTMapping().ChooseCluster(mapJob(2, 10), servers, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx != 0 {
+		t.Fatalf("MCT chose cluster %d for a wide job, want 0", idx)
+	}
+}
+
+func TestMCTMappingNoCluster(t *testing.T) {
+	servers := twoServers(t, batch.FCFS)
+	_, err := MCTMapping().ChooseCluster(mapJob(1, 64), servers, 0)
+	if !errors.Is(err, ErrNoCluster) {
+		t.Fatalf("err = %v, want ErrNoCluster", err)
+	}
+}
+
+func TestRandomMappingEligibilityAndDeterminism(t *testing.T) {
+	servers := twoServers(t, batch.FCFS)
+	m1 := RandomMapping(77)
+	m2 := RandomMapping(77)
+	for i := 0; i < 50; i++ {
+		a, err1 := m1.ChooseCluster(mapJob(i, 2), servers, 0)
+		b, err2 := m2.ChooseCluster(mapJob(i, 2), servers, 0)
+		if err1 != nil || err2 != nil {
+			t.Fatal(err1, err2)
+		}
+		if a != b {
+			t.Fatal("Random mapping is not deterministic for a fixed seed")
+		}
+	}
+	// Only the big cluster fits a 10-proc job.
+	for i := 0; i < 20; i++ {
+		idx, err := m1.ChooseCluster(mapJob(100+i, 10), servers, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if idx != 0 {
+			t.Fatal("Random mapping chose a cluster the job does not fit on")
+		}
+	}
+	if _, err := m1.ChooseCluster(mapJob(999, 64), servers, 0); !errors.Is(err, ErrNoCluster) {
+		t.Fatalf("err = %v, want ErrNoCluster", err)
+	}
+}
+
+func TestRoundRobinMappingCycles(t *testing.T) {
+	servers := twoServers(t, batch.FCFS)
+	m := RoundRobinMapping()
+	var got []int
+	for i := 0; i < 4; i++ {
+		idx, err := m.ChooseCluster(mapJob(i+1, 2), servers, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, idx)
+	}
+	want := []int{0, 1, 0, 1}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("round robin sequence = %v, want %v", got, want)
+		}
+	}
+	// Oversized-for-small jobs always land on the big cluster but do not
+	// break the rotation for subsequent jobs.
+	idx, err := m.ChooseCluster(mapJob(10, 10), servers, 0)
+	if err != nil || idx != 0 {
+		t.Fatalf("wide job went to %d (%v), want 0", idx, err)
+	}
+	if _, err := m.ChooseCluster(mapJob(11, 99), servers, 0); !errors.Is(err, ErrNoCluster) {
+		t.Fatalf("err = %v, want ErrNoCluster", err)
+	}
+}
+
+func TestMappingByName(t *testing.T) {
+	for _, name := range []string{"", "MCT", "Random", "RoundRobin"} {
+		m, err := MappingByName(name, 1)
+		if err != nil || m == nil {
+			t.Fatalf("MappingByName(%q) failed: %v", name, err)
+		}
+	}
+	if m, _ := MappingByName("", 1); m.Name() != "MCT" {
+		t.Fatal("empty mapping name should default to MCT")
+	}
+	if _, err := MappingByName("LeastLoaded", 1); err == nil {
+		t.Fatal("unknown mapping accepted")
+	}
+}

@@ -1,0 +1,381 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"gridrealloc/internal/batch"
+	"gridrealloc/internal/platform"
+	"gridrealloc/internal/server"
+	"gridrealloc/internal/sim"
+	"gridrealloc/internal/workload"
+)
+
+// Config describes one simulation run: a platform, a local batch policy (the
+// same on every cluster, as in the paper), a trace, an initial mapping
+// policy and a reallocation configuration.
+type Config struct {
+	// Platform is the set of clusters. Required.
+	Platform platform.Platform
+	// Policy is the local batch scheduling policy used by every cluster.
+	Policy batch.Policy
+	// Trace is the workload to replay. Required and non-empty.
+	Trace *workload.Trace
+	// Mapping is the online policy the agent uses at submission time. Nil
+	// defaults to MCT, the policy used throughout the paper.
+	Mapping MappingPolicy
+	// Realloc configures the reallocation mechanism. The zero value means no
+	// reallocation (the baseline runs).
+	Realloc ReallocConfig
+	// ClampOversized controls what happens to jobs wider than the largest
+	// cluster: when true (the harness default) their processor request is
+	// clamped to the largest cluster, otherwise the run fails.
+	ClampOversized bool
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if err := c.Platform.Validate(); err != nil {
+		return err
+	}
+	if c.Trace == nil || len(c.Trace.Jobs) == 0 {
+		return errors.New("core: configuration without a trace")
+	}
+	return nil
+}
+
+// JobRecord is the outcome of one job in a simulation run.
+type JobRecord struct {
+	// JobID identifies the job within the trace.
+	JobID int
+	// Submit is the grid-level submission time.
+	Submit int64
+	// Start is the time the job began executing, or -1 if it never started.
+	Start int64
+	// Completion is the time the job finished (or was killed), or -1 if it
+	// never completed.
+	Completion int64
+	// Cluster is the cluster that finally executed the job.
+	Cluster string
+	// Procs is the job's processor request after any clamping.
+	Procs int
+	// Reallocations is the number of times the job was migrated between
+	// clusters before starting.
+	Reallocations int
+	// Killed reports whether the batch system killed the job at its
+	// walltime.
+	Killed bool
+}
+
+// ResponseTime returns the time the job spent in the system from submission
+// to completion, the user-centric quantity of the paper. It returns -1 for a
+// job that never completed.
+func (r JobRecord) ResponseTime() int64 {
+	if r.Completion < 0 {
+		return -1
+	}
+	return r.Completion - r.Submit
+}
+
+// WaitTime returns the time spent waiting before execution, or -1 for a job
+// that never started.
+func (r JobRecord) WaitTime() int64 {
+	if r.Start < 0 {
+		return -1
+	}
+	return r.Start - r.Submit
+}
+
+// Result is the outcome of a simulation run.
+type Result struct {
+	// Scenario echoes the trace name.
+	Scenario string
+	// PlatformName echoes the platform name.
+	PlatformName string
+	// Policy echoes the local batch policy.
+	Policy batch.Policy
+	// Algorithm and HeuristicName echo the reallocation configuration.
+	Algorithm     Algorithm
+	HeuristicName string
+	// Jobs maps job ID to its record.
+	Jobs map[int]*JobRecord
+	// TotalReallocations is the number of migrations performed over the
+	// whole run.
+	TotalReallocations int64
+	// ReallocationEvents is the number of periodic reallocation passes run.
+	ReallocationEvents int64
+	// Makespan is the completion time of the last job.
+	Makespan int64
+	// ServerLoads reports the number of requests issued to each cluster's
+	// batch system.
+	ServerLoads []server.RequestLoad
+	// EventsExecuted is the number of discrete events the engine processed.
+	EventsExecuted uint64
+}
+
+// SortedRecords returns the job records ordered by job ID.
+func (r *Result) SortedRecords() []*JobRecord {
+	out := make([]*JobRecord, 0, len(r.Jobs))
+	for _, rec := range r.Jobs {
+		out = append(out, rec)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].JobID < out[j].JobID })
+	return out
+}
+
+// MeanResponseTime returns the average response time over completed jobs.
+func (r *Result) MeanResponseTime() float64 {
+	sum, n := 0.0, 0
+	for _, rec := range r.Jobs {
+		if rt := rec.ResponseTime(); rt >= 0 {
+			sum += float64(rt)
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// CompletedJobs returns the number of jobs that completed.
+func (r *Result) CompletedJobs() int {
+	n := 0
+	for _, rec := range r.Jobs {
+		if rec.Completion >= 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// Run executes one simulation and returns its result.
+func Run(cfg Config) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	trace := cfg.Trace
+	if cfg.ClampOversized {
+		trace = trace.Clamp(cfg.Platform.MaxCores())
+	} else if trace.MaxProcs() > cfg.Platform.MaxCores() {
+		return nil, fmt.Errorf("core: trace %q contains a job wider (%d procs) than the largest cluster (%d cores)",
+			trace.Name, trace.MaxProcs(), cfg.Platform.MaxCores())
+	}
+
+	servers := make([]*server.Server, 0, len(cfg.Platform.Clusters))
+	for _, spec := range cfg.Platform.Clusters {
+		srv, err := server.New(spec, cfg.Policy)
+		if err != nil {
+			return nil, err
+		}
+		servers = append(servers, srv)
+	}
+	agent, err := NewAgent(servers, cfg.Mapping, cfg.Realloc)
+	if err != nil {
+		return nil, err
+	}
+
+	result := &Result{
+		Scenario:      trace.Name,
+		PlatformName:  cfg.Platform.Name,
+		Policy:        cfg.Policy,
+		Algorithm:     cfg.Realloc.Algorithm,
+		HeuristicName: agent.Realloc().Heuristic.Name(),
+		Jobs:          make(map[int]*JobRecord, len(trace.Jobs)),
+	}
+
+	d := &driver{
+		engine:  sim.NewEngine(),
+		agent:   agent,
+		servers: servers,
+		result:  result,
+		wakes:   make([]*sim.Event, len(servers)),
+		total:   len(trace.Jobs),
+	}
+
+	// Schedule all submissions.
+	for _, job := range trace.Jobs {
+		job := job
+		result.Jobs[job.ID] = &JobRecord{
+			JobID:  job.ID,
+			Submit: job.Submit,
+			Start:  -1, Completion: -1,
+			Procs: job.Procs,
+		}
+		d.engine.MustSchedule(sim.Time(job.Submit), sim.PrioritySubmission, fmt.Sprintf("submit-%d", job.ID), func(now sim.Time) {
+			d.handleSubmission(job, int64(now))
+		})
+	}
+
+	// Schedule the periodic reallocation, starting one hour (one period)
+	// after the first submission, as in the paper's experiments.
+	if cfg.Realloc.Algorithm != NoReallocation {
+		first := trace.Jobs[0].Submit
+		period := agent.Realloc().Period
+		d.engine.MustSchedule(sim.Time(first+period), sim.PriorityRealloc, "realloc", d.handleReallocation)
+	}
+
+	if err := d.engine.RunAll(); err != nil {
+		return nil, fmt.Errorf("core: simulation of %q failed: %w", trace.Name, err)
+	}
+	// Defensive drain: if any cluster still has work (should not happen,
+	// wake events cover the tail), advance it to the end.
+	if err := d.drain(); err != nil {
+		return nil, err
+	}
+
+	for _, srv := range servers {
+		result.ServerLoads = append(result.ServerLoads, srv.Load())
+	}
+	result.TotalReallocations = agent.TotalReallocations()
+	result.ReallocationEvents = agent.ReallocationEvents()
+	result.EventsExecuted = d.engine.Steps()
+	return result, nil
+}
+
+// driver glues the event engine, the agent and the cluster servers together
+// and records per-job outcomes.
+type driver struct {
+	engine    *sim.Engine
+	agent     *Agent
+	servers   []*server.Server
+	result    *Result
+	wakes     []*sim.Event
+	total     int
+	completed int
+	errs      []error
+}
+
+// advanceAll brings every cluster to the current time and records the
+// notifications they emit.
+func (d *driver) advanceAll(now int64) {
+	for i, srv := range d.servers {
+		notes, err := srv.Scheduler().Advance(now)
+		if err != nil {
+			d.errs = append(d.errs, err)
+			continue
+		}
+		d.record(srv.Name(), notes)
+		_ = i
+	}
+}
+
+// record applies cluster notifications to the per-job records.
+func (d *driver) record(cluster string, notes []batch.Notification) {
+	for _, n := range notes {
+		rec, ok := d.result.Jobs[n.JobID]
+		if !ok {
+			d.errs = append(d.errs, fmt.Errorf("core: notification for unknown job %d", n.JobID))
+			continue
+		}
+		switch n.Kind {
+		case batch.Started:
+			rec.Start = n.Time
+			rec.Cluster = cluster
+		case batch.Finished:
+			rec.Completion = n.Time
+			rec.Killed = n.Killed
+			rec.Cluster = cluster
+			if n.Time > d.result.Makespan {
+				d.result.Makespan = n.Time
+			}
+			d.completed++
+			d.agent.Forget(n.JobID)
+		}
+	}
+}
+
+// refreshWakes re-schedules the per-cluster wake-up events according to each
+// cluster's next internal event.
+func (d *driver) refreshWakes(now int64) {
+	for i, srv := range d.servers {
+		next, ok := srv.Scheduler().NextEventTime()
+		if d.wakes[i] != nil {
+			d.wakes[i].Cancel()
+			d.wakes[i] = nil
+		}
+		if !ok {
+			continue
+		}
+		if next < now {
+			next = now
+		}
+		i := i
+		d.wakes[i] = d.engine.MustSchedule(sim.Time(next), sim.PriorityFinish, fmt.Sprintf("wake-%s", srv.Name()), func(t sim.Time) {
+			d.handleWake(int64(t))
+		})
+	}
+}
+
+func (d *driver) handleWake(now int64) {
+	d.advanceAll(now)
+	d.refreshWakes(now)
+}
+
+func (d *driver) handleSubmission(job workload.Job, now int64) {
+	d.advanceAll(now)
+	rec := d.result.Jobs[job.ID]
+	cluster, err := d.agent.SubmitJob(job, now)
+	if err != nil {
+		d.errs = append(d.errs, fmt.Errorf("core: job %d could not be mapped: %w", job.ID, err))
+		// The job is dropped; its record keeps Start/Completion at -1.
+		d.completed++
+		d.refreshWakes(now)
+		return
+	}
+	rec.Cluster = cluster
+	d.refreshWakes(now)
+}
+
+func (d *driver) handleReallocation(now sim.Time) {
+	t := int64(now)
+	d.advanceAll(t)
+	if _, err := d.agent.Reallocate(t); err != nil {
+		d.errs = append(d.errs, err)
+	}
+	d.updateReallocationCounts()
+	d.refreshWakes(t)
+	// Keep reallocating while jobs remain in the system.
+	if d.completed < d.total {
+		d.engine.MustSchedule(now+sim.Time(d.agent.Realloc().Period), sim.PriorityRealloc, "realloc", d.handleReallocation)
+	}
+}
+
+// updateReallocationCounts copies the per-job migration counters from the
+// waiting queues into the job records, so the final records reflect how many
+// times each job moved before starting.
+func (d *driver) updateReallocationCounts() {
+	for _, srv := range d.servers {
+		for _, w := range srv.WaitingJobs() {
+			if rec, ok := d.result.Jobs[w.Job.ID]; ok {
+				rec.Reallocations = w.Reallocations
+				rec.Cluster = w.ClusterName
+			}
+		}
+	}
+}
+
+// drain advances the clusters past the last queued event, guarding against a
+// missed wake-up. It is a no-op in normal runs.
+func (d *driver) drain() error {
+	for iter := 0; ; iter++ {
+		if iter > 1<<22 {
+			return errors.New("core: drain did not converge; a job can never start")
+		}
+		next := int64(-1)
+		for _, srv := range d.servers {
+			if t, ok := srv.Scheduler().NextEventTime(); ok && (next == -1 || t < next) {
+				next = t
+			}
+		}
+		if next == -1 {
+			break
+		}
+		d.advanceAll(next)
+	}
+	if len(d.errs) > 0 {
+		return fmt.Errorf("core: %d error(s) during simulation, first: %w", len(d.errs), d.errs[0])
+	}
+	return nil
+}

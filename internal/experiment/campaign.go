@@ -1,0 +1,269 @@
+package experiment
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"sort"
+	"sync"
+
+	"gridrealloc/internal/batch"
+	"gridrealloc/internal/core"
+	"gridrealloc/internal/metrics"
+	"gridrealloc/internal/platform"
+	"gridrealloc/internal/workload"
+)
+
+// CampaignConfig parameterises a campaign run.
+type CampaignConfig struct {
+	// Fraction scales the workload sizes; 1.0 reproduces the paper's trace
+	// sizes, smaller values are used by the test-suite and the benchmarks.
+	Fraction float64
+	// Seed makes the synthetic traces reproducible.
+	Seed uint64
+	// Scenarios, Heterogeneities, Policies, Algorithms, Heuristics restrict
+	// the campaign; empty slices select the paper's defaults.
+	Scenarios       []workload.ScenarioName
+	Heterogeneities []platform.Heterogeneity
+	Policies        []batch.Policy
+	Algorithms      []core.Algorithm
+	Heuristics      []core.Heuristic
+	// Parallelism bounds the number of simulations run concurrently; 0
+	// means one worker per CPU.
+	Parallelism int
+	// Progress, when non-nil, receives one line per finished experiment.
+	Progress io.Writer
+	// ReallocPeriod and MinGain override the paper's defaults (3600 s and
+	// 60 s) when positive; the ablation benchmarks use them.
+	ReallocPeriod int64
+	MinGain       int64
+	// Mapping overrides the initial mapping policy name ("MCT" by default).
+	Mapping string
+}
+
+func (c CampaignConfig) withDefaults() CampaignConfig {
+	if c.Fraction <= 0 {
+		c.Fraction = 1
+	}
+	if c.Seed == 0 {
+		c.Seed = 42
+	}
+	if len(c.Scenarios) == 0 {
+		c.Scenarios = DefaultScenarios()
+	}
+	if len(c.Heterogeneities) == 0 {
+		c.Heterogeneities = DefaultHeterogeneities()
+	}
+	if len(c.Policies) == 0 {
+		c.Policies = DefaultPolicies()
+	}
+	if len(c.Algorithms) == 0 {
+		c.Algorithms = DefaultAlgorithms()
+	}
+	if len(c.Heuristics) == 0 {
+		c.Heuristics = core.Heuristics()
+	}
+	if c.Parallelism <= 0 {
+		c.Parallelism = runtime.NumCPU()
+	}
+	if c.Mapping == "" {
+		c.Mapping = "MCT"
+	}
+	return c
+}
+
+// Key identifies one non-baseline experiment inside a campaign.
+type Key struct {
+	Scenario  string
+	Het       string
+	Policy    string
+	Algorithm string
+	Heuristic string // plain heuristic name, without the "-C" postfix
+}
+
+// Campaign holds the outcome of a campaign: one metrics.Comparison per
+// non-baseline experiment and one summary per baseline.
+type Campaign struct {
+	Config      CampaignConfig
+	Comparisons map[Key]metrics.Comparison
+	Baselines   map[Key]metrics.Summary
+	Experiments int
+}
+
+// Run executes the campaign described by cfg. Baselines are computed once
+// per (scenario, heterogeneity, policy) triple and shared by the twelve
+// reallocation runs compared against them.
+func Run(cfg CampaignConfig) (*Campaign, error) {
+	cfg = cfg.withDefaults()
+	camp := &Campaign{
+		Config:      cfg,
+		Comparisons: make(map[Key]metrics.Comparison),
+		Baselines:   make(map[Key]metrics.Summary),
+	}
+
+	// Pre-generate the traces once per scenario.
+	traces := make(map[workload.ScenarioName]*workload.Trace, len(cfg.Scenarios))
+	for _, sc := range cfg.Scenarios {
+		t, err := workload.Scenario(sc, cfg.Fraction, cfg.Seed)
+		if err != nil {
+			return nil, fmt.Errorf("experiment: generating scenario %s: %w", sc, err)
+		}
+		traces[sc] = t
+	}
+
+	type cell struct {
+		scenario workload.ScenarioName
+		het      platform.Heterogeneity
+		policy   batch.Policy
+	}
+	var cells []cell
+	for _, sc := range cfg.Scenarios {
+		for _, het := range cfg.Heterogeneities {
+			for _, pol := range cfg.Policies {
+				cells = append(cells, cell{sc, het, pol})
+			}
+		}
+	}
+
+	var mu sync.Mutex
+	var firstErr error
+	sem := make(chan struct{}, cfg.Parallelism)
+	var wg sync.WaitGroup
+
+	for _, cl := range cells {
+		cl := cl
+		wg.Add(1)
+		sem <- struct{}{}
+		go func() {
+			defer wg.Done()
+			defer func() { <-sem }()
+			comparisons, baseline, n, err := runCell(cfg, traces[cl.scenario], cl.scenario, cl.het, cl.policy)
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				if firstErr == nil {
+					firstErr = err
+				}
+				return
+			}
+			for k, v := range comparisons {
+				camp.Comparisons[k] = v
+			}
+			baseKey := Key{Scenario: string(cl.scenario), Het: cl.het.String(), Policy: cl.policy.String(), Algorithm: core.NoReallocation.String(), Heuristic: "none"}
+			camp.Baselines[baseKey] = baseline
+			camp.Experiments += n
+			if cfg.Progress != nil {
+				fmt.Fprintf(cfg.Progress, "done %s/%s/%s (%d experiments)\n", cl.scenario, cl.het, cl.policy, n)
+			}
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return camp, nil
+}
+
+// runCell runs the baseline plus every (algorithm, heuristic) variant for
+// one (scenario, heterogeneity, policy) triple.
+func runCell(cfg CampaignConfig, trace *workload.Trace, sc workload.ScenarioName,
+	het platform.Heterogeneity, policy batch.Policy) (map[Key]metrics.Comparison, metrics.Summary, int, error) {
+
+	plat := platform.ForScenario(string(sc), het)
+	mapping, err := core.MappingByName(cfg.Mapping, cfg.Seed)
+	if err != nil {
+		return nil, metrics.Summary{}, 0, err
+	}
+
+	baselineCfg := core.Config{
+		Platform:       plat,
+		Policy:         policy,
+		Trace:          trace,
+		Mapping:        mapping,
+		ClampOversized: true,
+	}
+	baseline, err := core.Run(baselineCfg)
+	if err != nil {
+		return nil, metrics.Summary{}, 0, fmt.Errorf("experiment: baseline %s/%s/%s: %w", sc, het, policy, err)
+	}
+	count := 1
+	comparisons := make(map[Key]metrics.Comparison)
+
+	for _, alg := range cfg.Algorithms {
+		if alg == core.NoReallocation {
+			continue
+		}
+		for _, h := range cfg.Heuristics {
+			runCfg := baselineCfg
+			// Each run needs a fresh mapping policy instance so stateful
+			// policies (RoundRobin, Random) do not leak state across runs.
+			runCfg.Mapping, err = core.MappingByName(cfg.Mapping, cfg.Seed)
+			if err != nil {
+				return nil, metrics.Summary{}, 0, err
+			}
+			runCfg.Realloc = core.ReallocConfig{
+				Algorithm: alg,
+				Heuristic: h,
+				Period:    cfg.ReallocPeriod,
+				MinGain:   cfg.MinGain,
+			}
+			res, err := core.Run(runCfg)
+			if err != nil {
+				return nil, metrics.Summary{}, 0, fmt.Errorf("experiment: %s/%s/%s/%s/%s: %w", sc, het, policy, alg, h.Name(), err)
+			}
+			count++
+			cmp, err := metrics.Compare(baseline, res)
+			if err != nil {
+				return nil, metrics.Summary{}, 0, err
+			}
+			key := Key{
+				Scenario:  string(sc),
+				Het:       het.String(),
+				Policy:    policy.String(),
+				Algorithm: alg.String(),
+				Heuristic: h.Name(),
+			}
+			comparisons[key] = cmp
+		}
+	}
+	return comparisons, metrics.Summarize(baseline), count, nil
+}
+
+// Comparison returns the stored comparison for the given coordinates.
+func (c *Campaign) Comparison(scenario workload.ScenarioName, het platform.Heterogeneity,
+	policy batch.Policy, alg core.Algorithm, heuristic string) (metrics.Comparison, bool) {
+	k := Key{
+		Scenario:  string(scenario),
+		Het:       het.String(),
+		Policy:    policy.String(),
+		Algorithm: alg.String(),
+		Heuristic: heuristic,
+	}
+	cmp, ok := c.Comparisons[k]
+	return cmp, ok
+}
+
+// SortedKeys returns the comparison keys in a deterministic order.
+func (c *Campaign) SortedKeys() []Key {
+	keys := make([]Key, 0, len(c.Comparisons))
+	for k := range c.Comparisons {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		if a.Algorithm != b.Algorithm {
+			return a.Algorithm < b.Algorithm
+		}
+		if a.Het != b.Het {
+			return a.Het < b.Het
+		}
+		if a.Policy != b.Policy {
+			return a.Policy < b.Policy
+		}
+		if a.Scenario != b.Scenario {
+			return a.Scenario < b.Scenario
+		}
+		return a.Heuristic < b.Heuristic
+	})
+	return keys
+}

@@ -1,0 +1,257 @@
+package experiment
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"gridrealloc/internal/batch"
+	"gridrealloc/internal/core"
+	"gridrealloc/internal/platform"
+	"gridrealloc/internal/workload"
+)
+
+func TestEnumerateMatchesPaperCount(t *testing.T) {
+	exps := Enumerate(DefaultScenarios(), DefaultHeterogeneities(), DefaultPolicies(), DefaultAlgorithms(), core.Heuristics())
+	if len(exps) != PaperExperimentCount {
+		t.Fatalf("enumerated %d experiments, the paper runs %d", len(exps), PaperExperimentCount)
+	}
+	baselines := 0
+	for _, e := range exps {
+		if e.IsBaseline() {
+			baselines++
+		}
+	}
+	if baselines != 28 {
+		t.Fatalf("%d baselines, the paper has 28 reference experiments", baselines)
+	}
+}
+
+func TestExperimentNaming(t *testing.T) {
+	e := Experiment{
+		Scenario:      "apr",
+		Heterogeneity: platform.Heterogeneous,
+		Policy:        batch.CBF,
+		Algorithm:     core.WithCancellation,
+		Heuristic:     core.MinMin(),
+	}
+	if e.HeuristicName() != "MinMin-C" {
+		t.Fatalf("HeuristicName = %q, want MinMin-C (cancellation postfix)", e.HeuristicName())
+	}
+	if !strings.Contains(e.String(), "apr/heterogeneous/CBF") {
+		t.Fatalf("String = %q", e.String())
+	}
+	base := Experiment{Scenario: "apr", Algorithm: core.NoReallocation}
+	if base.HeuristicName() != "none" || !base.IsBaseline() {
+		t.Fatalf("baseline naming broken: %q", base.HeuristicName())
+	}
+	e.Algorithm = core.WithoutCancellation
+	if e.HeuristicName() != "MinMin" {
+		t.Fatalf("HeuristicName = %q, want MinMin without postfix", e.HeuristicName())
+	}
+}
+
+func TestTablesSpecs(t *testing.T) {
+	tables := Tables()
+	if len(tables) != 16 {
+		t.Fatalf("%d tables, the paper has 16 result tables (2..17)", len(tables))
+	}
+	for i, spec := range tables {
+		if spec.ID != i+2 {
+			t.Fatalf("table %d has ID %d", i, spec.ID)
+		}
+		if spec.Caption == "" {
+			t.Fatalf("table %d has no caption", spec.ID)
+		}
+		if spec.Metric == MetricReallocations && spec.HasAverage {
+			t.Fatalf("table %d: reallocation-count tables have no AVG column in the paper", spec.ID)
+		}
+	}
+	if _, err := TableByID(1); err == nil {
+		t.Fatal("table 1 is not a result table")
+	}
+	if _, err := TableByID(18); err == nil {
+		t.Fatal("table 18 does not exist")
+	}
+	spec, err := TableByID(16)
+	if err != nil || spec.Metric != MetricResponse || spec.Algorithm != core.WithCancellation || spec.Heterogeneity != platform.Homogeneous {
+		t.Fatalf("table 16 spec = %+v, %v", spec, err)
+	}
+}
+
+func TestMetricKindString(t *testing.T) {
+	for _, k := range []MetricKind{MetricImpacted, MetricReallocations, MetricEarlier, MetricResponse} {
+		if k.String() == "unknown" {
+			t.Fatalf("metric %d has no name", k)
+		}
+	}
+	if MetricKind(99).String() != "unknown" {
+		t.Fatal("invalid metric kind not flagged")
+	}
+}
+
+// runTinyCampaign runs a reduced campaign once and shares it across the
+// table-oriented tests (building the campaign dominates the test time).
+var tinyCampaign *Campaign
+
+func getTinyCampaign(t *testing.T) *Campaign {
+	t.Helper()
+	if tinyCampaign != nil {
+		return tinyCampaign
+	}
+	var buf bytes.Buffer
+	camp, err := Run(CampaignConfig{
+		Fraction:  0.004,
+		Seed:      7,
+		Scenarios: []workload.ScenarioName{"jan", "apr"},
+		Heuristics: []core.Heuristic{
+			core.MCT(), core.MinMin(),
+		},
+		Progress: &buf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() == 0 {
+		t.Fatal("no progress output written")
+	}
+	tinyCampaign = camp
+	return camp
+}
+
+func TestCampaignRunCountsAndKeys(t *testing.T) {
+	camp := getTinyCampaign(t)
+	// 2 scenarios x 2 het x 2 policies = 8 cells; each cell = 1 baseline +
+	// 2 algorithms x 2 heuristics = 5 experiments.
+	if camp.Experiments != 40 {
+		t.Fatalf("campaign ran %d experiments, want 40", camp.Experiments)
+	}
+	if len(camp.Baselines) != 8 {
+		t.Fatalf("%d baselines, want 8", len(camp.Baselines))
+	}
+	if len(camp.Comparisons) != 32 {
+		t.Fatalf("%d comparisons, want 32", len(camp.Comparisons))
+	}
+	keys := camp.SortedKeys()
+	if len(keys) != 32 {
+		t.Fatalf("SortedKeys returned %d keys", len(keys))
+	}
+	for i := 1; i < len(keys); i++ {
+		if keys[i] == keys[i-1] {
+			t.Fatal("duplicate keys")
+		}
+	}
+	// Every comparison is retrievable through the typed accessor.
+	if _, ok := camp.Comparison("apr", platform.Heterogeneous, batch.CBF, core.WithCancellation, "MinMin"); !ok {
+		t.Fatal("expected comparison missing")
+	}
+	if _, ok := camp.Comparison("apr", platform.Heterogeneous, batch.CBF, core.WithCancellation, "Sufferage"); ok {
+		t.Fatal("comparison for a heuristic outside the campaign reported present")
+	}
+}
+
+func TestCampaignMetricsSanity(t *testing.T) {
+	camp := getTinyCampaign(t)
+	for k, cmp := range camp.Comparisons {
+		if cmp.ImpactedPercent < 0 || cmp.ImpactedPercent > 100 {
+			t.Fatalf("%v: impacted%% out of range: %v", k, cmp.ImpactedPercent)
+		}
+		if cmp.EarlierPercent < 0 || cmp.EarlierPercent > 100 {
+			t.Fatalf("%v: earlier%% out of range: %v", k, cmp.EarlierPercent)
+		}
+		if cmp.RelativeResponseTime < 0 {
+			t.Fatalf("%v: negative relative response time", k)
+		}
+		if cmp.Reallocations < 0 {
+			t.Fatalf("%v: negative reallocation count", k)
+		}
+		if cmp.TotalJobs == 0 {
+			t.Fatalf("%v: comparison covers no jobs", k)
+		}
+	}
+}
+
+func TestBuildAndFormatTables(t *testing.T) {
+	camp := getTinyCampaign(t)
+	for id := 2; id <= 17; id++ {
+		table, err := camp.BuildTable(id)
+		if err != nil {
+			t.Fatalf("table %d: %v", id, err)
+		}
+		// Rows: 2 policies x 2 heuristics of the reduced campaign.
+		if len(table.Rows) != 4 {
+			t.Fatalf("table %d has %d rows, want 4", id, len(table.Rows))
+		}
+		if len(table.Scenarios) != 2 {
+			t.Fatalf("table %d has %d scenario columns", id, len(table.Scenarios))
+		}
+		text := table.Format()
+		if !strings.Contains(text, "Table") || !strings.Contains(text, "Heuristic") {
+			t.Fatalf("table %d formatting missing headers:\n%s", id, text)
+		}
+		if table.Spec.Algorithm == core.WithCancellation && !strings.Contains(text, "-C") {
+			t.Fatalf("table %d (cancellation) rows lack the -C postfix:\n%s", id, text)
+		}
+		csv := table.CSV()
+		if !strings.HasPrefix(csv, "table,policy,heuristic") {
+			t.Fatalf("table %d CSV header wrong", id)
+		}
+		if got := strings.Count(csv, "\n"); got != 5 { // header + 4 rows
+			t.Fatalf("table %d CSV has %d lines, want 5", id, got)
+		}
+	}
+	if _, err := camp.BuildTable(42); err == nil {
+		t.Fatal("invalid table ID accepted")
+	}
+}
+
+func TestCompareAlgorithmsSection(t *testing.T) {
+	camp := getTinyCampaign(t)
+	rows := CompareAlgorithms(camp)
+	if len(rows) == 0 {
+		t.Fatal("no comparison rows")
+	}
+	// 2 het x 2 policies x 2 heuristics = 8 aggregate rows.
+	if len(rows) != 8 {
+		t.Fatalf("%d aggregate rows, want 8", len(rows))
+	}
+	for _, r := range rows {
+		if r.ScenariosUsed != 2 {
+			t.Fatalf("row %+v aggregates %d scenarios, want 2", r, r.ScenariosUsed)
+		}
+		if r.ResponseAlg1 <= 0 || r.ResponseAlg2 <= 0 {
+			t.Fatalf("row %+v has non-positive response ratios", r)
+		}
+	}
+	text := FormatComparison(rows)
+	if !strings.Contains(text, "RespAlg1") || !strings.Contains(text, "CancellationWins") {
+		t.Fatalf("comparison formatting missing columns:\n%s", text)
+	}
+}
+
+// CompareAlgorithms is a method; this helper keeps the test readable.
+func CompareAlgorithms(c *Campaign) []AlgorithmComparison { return c.CompareAlgorithms() }
+
+func TestTable1Rendering(t *testing.T) {
+	out, err := Table1(0.002, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "paper reference counts") || !strings.Contains(out, "generated traces") {
+		t.Fatalf("Table 1 output incomplete:\n%s", out)
+	}
+	if !strings.Contains(out, "33250") {
+		t.Fatal("paper reference count for April missing")
+	}
+}
+
+func TestCampaignConfigDefaults(t *testing.T) {
+	cfg := CampaignConfig{}.withDefaults()
+	if cfg.Fraction != 1 || cfg.Seed == 0 || cfg.Parallelism <= 0 || cfg.Mapping != "MCT" {
+		t.Fatalf("defaults = %+v", cfg)
+	}
+	if len(cfg.Scenarios) != 7 || len(cfg.Heterogeneities) != 2 || len(cfg.Policies) != 2 ||
+		len(cfg.Algorithms) != 2 || len(cfg.Heuristics) != 6 {
+		t.Fatalf("default dimensions wrong: %+v", cfg)
+	}
+}

@@ -1,0 +1,101 @@
+// Package experiment enumerates and runs the simulation campaign of the
+// paper's evaluation (Section 4): 364 simulations covering seven workload
+// scenarios, homogeneous and heterogeneous platforms, FCFS and CBF local
+// policies, the two reallocation algorithms and the six heuristics, plus the
+// 28 no-reallocation baselines. It renders the results in the exact layout
+// of Tables 2 through 17.
+package experiment
+
+import (
+	"fmt"
+
+	"gridrealloc/internal/batch"
+	"gridrealloc/internal/core"
+	"gridrealloc/internal/platform"
+	"gridrealloc/internal/workload"
+)
+
+// Experiment identifies one simulation run of the campaign.
+type Experiment struct {
+	// Scenario is one of the seven workload scenarios ("jan".."jun",
+	// "pwa-g5k").
+	Scenario workload.ScenarioName
+	// Heterogeneity selects the homogeneous or heterogeneous platform
+	// variant.
+	Heterogeneity platform.Heterogeneity
+	// Policy is the local batch policy used on every cluster.
+	Policy batch.Policy
+	// Algorithm is the reallocation algorithm (NoReallocation for the
+	// baselines).
+	Algorithm core.Algorithm
+	// Heuristic is nil for the baselines.
+	Heuristic core.Heuristic
+}
+
+// HeuristicName returns the heuristic's table name, postfixed with "-C" for
+// the cancellation algorithm as in the paper, or "none" for baselines.
+func (e Experiment) HeuristicName() string {
+	if e.Heuristic == nil {
+		return "none"
+	}
+	name := e.Heuristic.Name()
+	if e.Algorithm == core.WithCancellation {
+		name += "-C"
+	}
+	return name
+}
+
+// String renders a compact identifier such as
+// "apr/heterogeneous/CBF/realloc-cancel/MinMin-C".
+func (e Experiment) String() string {
+	return fmt.Sprintf("%s/%s/%s/%s/%s", e.Scenario, e.Heterogeneity, e.Policy, e.Algorithm, e.HeuristicName())
+}
+
+// IsBaseline reports whether the experiment is one of the 28 reference runs
+// without reallocation.
+func (e Experiment) IsBaseline() bool { return e.Algorithm == core.NoReallocation }
+
+// Enumerate lists the full campaign: for every scenario, heterogeneity and
+// batch policy, one baseline plus one run per (algorithm, heuristic) pair.
+// With the paper's parameters this yields 7×2×2×(1+2×6) = 364 experiments.
+func Enumerate(scenarios []workload.ScenarioName, hets []platform.Heterogeneity, policies []batch.Policy,
+	algorithms []core.Algorithm, heuristics []core.Heuristic) []Experiment {
+
+	var out []Experiment
+	for _, sc := range scenarios {
+		for _, het := range hets {
+			for _, pol := range policies {
+				out = append(out, Experiment{Scenario: sc, Heterogeneity: het, Policy: pol, Algorithm: core.NoReallocation})
+				for _, alg := range algorithms {
+					if alg == core.NoReallocation {
+						continue
+					}
+					for _, h := range heuristics {
+						out = append(out, Experiment{Scenario: sc, Heterogeneity: het, Policy: pol, Algorithm: alg, Heuristic: h})
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// DefaultScenarios returns the seven scenarios of the paper.
+func DefaultScenarios() []workload.ScenarioName { return workload.ScenarioNames() }
+
+// DefaultHeterogeneities returns the homogeneous and heterogeneous variants.
+func DefaultHeterogeneities() []platform.Heterogeneity {
+	return []platform.Heterogeneity{platform.Homogeneous, platform.Heterogeneous}
+}
+
+// DefaultPolicies returns FCFS and CBF.
+func DefaultPolicies() []batch.Policy { return []batch.Policy{batch.FCFS, batch.CBF} }
+
+// DefaultAlgorithms returns the two reallocation algorithms.
+func DefaultAlgorithms() []core.Algorithm {
+	return []core.Algorithm{core.WithoutCancellation, core.WithCancellation}
+}
+
+// PaperExperimentCount is the number of simulations of the full campaign,
+// including the 28 baselines.
+const PaperExperimentCount = 364

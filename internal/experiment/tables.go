@@ -1,0 +1,352 @@
+package experiment
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"gridrealloc/internal/core"
+	"gridrealloc/internal/metrics"
+	"gridrealloc/internal/platform"
+	"gridrealloc/internal/stats"
+	"gridrealloc/internal/workload"
+)
+
+// MetricKind selects which of the paper's four metrics a table reports.
+type MetricKind int
+
+// The four metrics of the paper's tables.
+const (
+	// MetricImpacted is the percentage of jobs whose completion time changed
+	// (Tables 2, 3, 10, 11).
+	MetricImpacted MetricKind = iota
+	// MetricReallocations is the number of migrations (Tables 4, 5, 12, 13).
+	MetricReallocations
+	// MetricEarlier is the percentage of impacted jobs finishing earlier
+	// (Tables 6, 7, 14, 15).
+	MetricEarlier
+	// MetricResponse is the relative average response time (Tables 8, 9, 16,
+	// 17).
+	MetricResponse
+)
+
+// String returns a short metric label.
+func (m MetricKind) String() string {
+	switch m {
+	case MetricImpacted:
+		return "impacted %"
+	case MetricReallocations:
+		return "reallocations"
+	case MetricEarlier:
+		return "earlier %"
+	case MetricResponse:
+		return "relative response time"
+	default:
+		return "unknown"
+	}
+}
+
+// TableSpec describes one of the paper's result tables.
+type TableSpec struct {
+	// ID is the table number in the paper (2..17).
+	ID int
+	// Metric is the value reported in every cell.
+	Metric MetricKind
+	// Algorithm is the reallocation algorithm of the table.
+	Algorithm core.Algorithm
+	// Heterogeneity is the platform variant of the table.
+	Heterogeneity platform.Heterogeneity
+	// Caption is the paper's caption.
+	Caption string
+	// HasAverage reports whether the table carries an AVG column (the
+	// reallocation-count tables do not).
+	HasAverage bool
+}
+
+// Tables lists the sixteen result tables of the paper in order.
+func Tables() []TableSpec {
+	return []TableSpec{
+		{2, MetricImpacted, core.WithoutCancellation, platform.Homogeneous, "Percentage of jobs that have their completion time changed when reallocation is performed on homogeneous platforms.", true},
+		{3, MetricImpacted, core.WithoutCancellation, platform.Heterogeneous, "Percentage of jobs that have their completion time changed when reallocation is performed on heterogeneous platforms.", true},
+		{4, MetricReallocations, core.WithoutCancellation, platform.Homogeneous, "Number of reallocations on homogeneous platforms.", false},
+		{5, MetricReallocations, core.WithoutCancellation, platform.Heterogeneous, "Number of reallocations on heterogeneous platforms.", false},
+		{6, MetricEarlier, core.WithoutCancellation, platform.Homogeneous, "Percentage of jobs finishing earlier when reallocation is performed on homogeneous platforms.", true},
+		{7, MetricEarlier, core.WithoutCancellation, platform.Heterogeneous, "Percentage of jobs finishing earlier when reallocation is performed on heterogeneous platforms.", true},
+		{8, MetricResponse, core.WithoutCancellation, platform.Homogeneous, "Relative average response time on homogeneous platforms.", true},
+		{9, MetricResponse, core.WithoutCancellation, platform.Heterogeneous, "Relative average response time on heterogeneous platforms.", true},
+		{10, MetricImpacted, core.WithCancellation, platform.Homogeneous, "Percentage of jobs that have their completion time changed when reallocation with cancellation is performed on homogeneous platforms.", true},
+		{11, MetricImpacted, core.WithCancellation, platform.Heterogeneous, "Percentage of jobs that have their completion time changed when reallocation with cancellation is performed on heterogeneous platforms.", true},
+		{12, MetricReallocations, core.WithCancellation, platform.Homogeneous, "Number of reallocations with cancellation on homogeneous platforms.", false},
+		{13, MetricReallocations, core.WithCancellation, platform.Heterogeneous, "Number of reallocations with cancellation on heterogeneous platforms.", false},
+		{14, MetricEarlier, core.WithCancellation, platform.Homogeneous, "Percentage of jobs finishing earlier when reallocation with cancellation is performed on homogeneous platforms.", true},
+		{15, MetricEarlier, core.WithCancellation, platform.Heterogeneous, "Percentage of jobs finishing earlier when reallocation with cancellation is performed on heterogeneous platforms.", true},
+		{16, MetricResponse, core.WithCancellation, platform.Homogeneous, "Relative average response time with cancellation on homogeneous platforms.", true},
+		{17, MetricResponse, core.WithCancellation, platform.Heterogeneous, "Relative average response time with cancellation on heterogeneous platforms.", true},
+	}
+}
+
+// TableByID returns the spec of the numbered table.
+func TableByID(id int) (TableSpec, error) {
+	for _, t := range Tables() {
+		if t.ID == id {
+			return t, nil
+		}
+	}
+	return TableSpec{}, fmt.Errorf("experiment: no table %d in the paper (valid: 2..17)", id)
+}
+
+// Table is a rendered result table: one row per (batch policy, heuristic),
+// one column per scenario, plus an optional average column.
+type Table struct {
+	Spec      TableSpec
+	Scenarios []string
+	Rows      []TableRow
+}
+
+// TableRow is one line of a result table.
+type TableRow struct {
+	Policy    string
+	Heuristic string
+	Values    []float64 // one per scenario, in Scenarios order
+	Average   float64
+	Missing   []bool // true where the campaign did not include the cell
+}
+
+// BuildTable assembles the numbered table from the campaign's comparisons.
+func (c *Campaign) BuildTable(id int) (Table, error) {
+	spec, err := TableByID(id)
+	if err != nil {
+		return Table{}, err
+	}
+	cfg := c.Config
+	table := Table{Spec: spec}
+	for _, sc := range cfg.Scenarios {
+		table.Scenarios = append(table.Scenarios, string(sc))
+	}
+	for _, policy := range cfg.Policies {
+		for _, h := range cfg.Heuristics {
+			row := TableRow{Policy: policy.String(), Heuristic: heuristicLabel(h.Name(), spec.Algorithm)}
+			var present []float64
+			for _, sc := range cfg.Scenarios {
+				cmp, ok := c.Comparison(sc, spec.Heterogeneity, policy, spec.Algorithm, h.Name())
+				if !ok {
+					row.Values = append(row.Values, 0)
+					row.Missing = append(row.Missing, true)
+					continue
+				}
+				v := metricValue(cmp, spec.Metric)
+				row.Values = append(row.Values, v)
+				row.Missing = append(row.Missing, false)
+				present = append(present, v)
+			}
+			if spec.HasAverage {
+				row.Average = stats.Mean(present)
+			}
+			table.Rows = append(table.Rows, row)
+		}
+	}
+	return table, nil
+}
+
+func heuristicLabel(name string, alg core.Algorithm) string {
+	if alg == core.WithCancellation {
+		return name + "-C"
+	}
+	return name
+}
+
+func metricValue(cmp metrics.Comparison, kind MetricKind) float64 {
+	switch kind {
+	case MetricImpacted:
+		return stats.Round2(cmp.ImpactedPercent)
+	case MetricReallocations:
+		return float64(cmp.Reallocations)
+	case MetricEarlier:
+		return stats.Round2(cmp.EarlierPercent)
+	case MetricResponse:
+		return stats.Round2(cmp.RelativeResponseTime)
+	default:
+		return 0
+	}
+}
+
+// Format renders the table as fixed-width text in the paper's layout
+// (rows grouped by batch policy, one column per scenario, optional AVG).
+func (t Table) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table %d: %s\n", t.Spec.ID, t.Spec.Caption)
+	header := fmt.Sprintf("%-6s %-14s", "Batch", "Heuristic")
+	for _, sc := range t.Scenarios {
+		header += fmt.Sprintf(" %10s", sc)
+	}
+	if t.Spec.HasAverage {
+		header += fmt.Sprintf(" %10s", "AVG")
+	}
+	b.WriteString(header + "\n")
+	b.WriteString(strings.Repeat("-", len(header)) + "\n")
+	lastPolicy := ""
+	for _, row := range t.Rows {
+		policy := row.Policy
+		if policy == lastPolicy {
+			policy = ""
+		} else {
+			lastPolicy = row.Policy
+		}
+		line := fmt.Sprintf("%-6s %-14s", policy, row.Heuristic)
+		for i, v := range row.Values {
+			if row.Missing[i] {
+				line += fmt.Sprintf(" %10s", "-")
+				continue
+			}
+			line += " " + formatCell(v, t.Spec.Metric)
+		}
+		if t.Spec.HasAverage {
+			line += " " + formatCell(row.Average, t.Spec.Metric)
+		}
+		b.WriteString(line + "\n")
+	}
+	return b.String()
+}
+
+func formatCell(v float64, kind MetricKind) string {
+	if kind == MetricReallocations {
+		return fmt.Sprintf("%10.0f", v)
+	}
+	return fmt.Sprintf("%10.2f", v)
+}
+
+// CSV renders the table as comma-separated values with a header row.
+func (t Table) CSV() string {
+	var b strings.Builder
+	b.WriteString("table,policy,heuristic")
+	for _, sc := range t.Scenarios {
+		b.WriteString("," + sc)
+	}
+	if t.Spec.HasAverage {
+		b.WriteString(",avg")
+	}
+	b.WriteString("\n")
+	for _, row := range t.Rows {
+		fmt.Fprintf(&b, "%d,%s,%s", t.Spec.ID, row.Policy, row.Heuristic)
+		for i, v := range row.Values {
+			if row.Missing[i] {
+				b.WriteString(",")
+				continue
+			}
+			fmt.Fprintf(&b, ",%g", v)
+		}
+		if t.Spec.HasAverage {
+			fmt.Fprintf(&b, ",%g", row.Average)
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// AlgorithmComparison aggregates, per (heterogeneity, policy, heuristic),
+// the average relative response time of the two algorithms, backing the
+// Section 4.3 comparison of the paper.
+type AlgorithmComparison struct {
+	Het                  string
+	Policy               string
+	Heuristic            string
+	ResponseAlg1         float64
+	ResponseAlg2         float64
+	ReallocAlg1          float64
+	ReallocAlg2          float64
+	ScenariosUsed        int
+	CancellationIsBetter bool
+}
+
+// CompareAlgorithms builds the Section 4.3 style comparison between the
+// algorithm without cancellation and the algorithm with cancellation.
+func (c *Campaign) CompareAlgorithms() []AlgorithmComparison {
+	type aggKey struct{ het, policy, heuristic string }
+	type agg struct {
+		resp1, resp2, realloc1, realloc2 []float64
+	}
+	byKey := make(map[aggKey]*agg)
+	for k, cmp := range c.Comparisons {
+		ak := aggKey{k.Het, k.Policy, k.Heuristic}
+		a := byKey[ak]
+		if a == nil {
+			a = &agg{}
+			byKey[ak] = a
+		}
+		switch k.Algorithm {
+		case core.WithoutCancellation.String():
+			a.resp1 = append(a.resp1, cmp.RelativeResponseTime)
+			a.realloc1 = append(a.realloc1, float64(cmp.Reallocations))
+		case core.WithCancellation.String():
+			a.resp2 = append(a.resp2, cmp.RelativeResponseTime)
+			a.realloc2 = append(a.realloc2, float64(cmp.Reallocations))
+		}
+	}
+	var out []AlgorithmComparison
+	for ak, a := range byKey {
+		cmp := AlgorithmComparison{
+			Het:           ak.het,
+			Policy:        ak.policy,
+			Heuristic:     ak.heuristic,
+			ResponseAlg1:  stats.Round2(stats.Mean(a.resp1)),
+			ResponseAlg2:  stats.Round2(stats.Mean(a.resp2)),
+			ReallocAlg1:   stats.Round2(stats.Mean(a.realloc1)),
+			ReallocAlg2:   stats.Round2(stats.Mean(a.realloc2)),
+			ScenariosUsed: len(a.resp1),
+		}
+		cmp.CancellationIsBetter = cmp.ResponseAlg2 < cmp.ResponseAlg1
+		out = append(out, cmp)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Het != out[j].Het {
+			return out[i].Het < out[j].Het
+		}
+		if out[i].Policy != out[j].Policy {
+			return out[i].Policy < out[j].Policy
+		}
+		return out[i].Heuristic < out[j].Heuristic
+	})
+	return out
+}
+
+// FormatComparison renders the Section 4.3 comparison as fixed-width text.
+func FormatComparison(rows []AlgorithmComparison) string {
+	var b strings.Builder
+	b.WriteString("Section 4.3 comparison: average relative response time and reallocations per algorithm\n")
+	header := fmt.Sprintf("%-14s %-6s %-12s %12s %12s %12s %12s %s",
+		"Platform", "Batch", "Heuristic", "RespAlg1", "RespAlg2", "MovesAlg1", "MovesAlg2", "CancellationWins")
+	b.WriteString(header + "\n")
+	b.WriteString(strings.Repeat("-", len(header)) + "\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-14s %-6s %-12s %12.2f %12.2f %12.0f %12.0f %v\n",
+			r.Het, r.Policy, r.Heuristic, r.ResponseAlg1, r.ResponseAlg2, r.ReallocAlg1, r.ReallocAlg2, r.CancellationIsBetter)
+	}
+	return b.String()
+}
+
+// Table1 renders the reproduction of Table 1 (job counts of the generated
+// monthly traces) together with the paper's reference counts.
+func Table1(fraction float64, seed uint64) (string, error) {
+	if fraction <= 0 {
+		fraction = 1
+	}
+	measured := make(map[string][4]int)
+	for _, m := range workload.Months() {
+		traces, err := workload.MonthScenario(m, fraction, seed)
+		if err != nil {
+			return "", err
+		}
+		var counts [4]int
+		for i, t := range traces {
+			counts[i] = t.Len()
+			counts[3] += t.Len()
+		}
+		measured[m.String()] = counts
+	}
+	var b strings.Builder
+	b.WriteString("Table 1 (paper reference counts):\n")
+	b.WriteString(workload.FormatTable1(workload.Table1Counts()))
+	fmt.Fprintf(&b, "\nTable 1 (generated traces, fraction=%.3f):\n", fraction)
+	b.WriteString(workload.FormatTable1(measured))
+	return b.String(), nil
+}

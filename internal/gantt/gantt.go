@@ -1,0 +1,144 @@
+// Package gantt renders cluster schedules as ASCII Gantt charts. It backs
+// the reproduction of the paper's two illustrative figures (Figure 1, the
+// reallocation of two tasks between clusters, and Figure 2, the side effects
+// of a reallocation) and is also handy for debugging small scenarios.
+package gantt
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Bar is one job drawn on the chart: a rectangle of Procs processors from
+// Start to End.
+type Bar struct {
+	// Label is drawn inside the bar (usually the job ID or a letter).
+	Label string
+	// Start and End bound the bar in virtual seconds.
+	Start, End int64
+	// Procs is the height of the bar in processors.
+	Procs int
+	// Waiting marks bars that represent planned (not yet started)
+	// reservations; they are drawn with a different fill character.
+	Waiting bool
+}
+
+// Chart is the schedule of one cluster.
+type Chart struct {
+	// Title is printed above the chart.
+	Title string
+	// Cores is the height of the chart in processors.
+	Cores int
+	// Bars are the jobs to draw.
+	Bars []Bar
+}
+
+// Render draws the chart with the given horizontal resolution (seconds per
+// character column) over the window [from, to). Bars are packed greedily
+// onto processor rows in start order, which is sufficient for the
+// illustrative figures; the drawing is a visualisation aid, not a scheduler.
+func (c Chart) Render(from, to, secondsPerColumn int64) string {
+	if secondsPerColumn <= 0 {
+		secondsPerColumn = 1
+	}
+	if to <= from {
+		return c.Title + "\n(empty window)\n"
+	}
+	cols := int((to - from + secondsPerColumn - 1) / secondsPerColumn)
+	rows := c.Cores
+	grid := make([][]byte, rows)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(".", cols))
+	}
+
+	bars := append([]Bar(nil), c.Bars...)
+	sort.SliceStable(bars, func(i, j int) bool {
+		if bars[i].Start != bars[j].Start {
+			return bars[i].Start < bars[j].Start
+		}
+		return bars[i].Label < bars[j].Label
+	})
+
+	// rowFreeAt[r] is the first column still free on processor row r.
+	rowFreeAt := make([]int, rows)
+	for _, b := range bars {
+		startCol := int((b.Start - from) / secondsPerColumn)
+		endCol := int((b.End - from + secondsPerColumn - 1) / secondsPerColumn)
+		if startCol < 0 {
+			startCol = 0
+		}
+		if endCol > cols {
+			endCol = cols
+		}
+		if endCol <= startCol || b.Procs <= 0 {
+			continue
+		}
+		// Find b.Procs consecutive rows free from startCol on.
+		placedRow := -1
+		for r := 0; r+b.Procs <= rows; r++ {
+			ok := true
+			for k := r; k < r+b.Procs; k++ {
+				if rowFreeAt[k] > startCol {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				placedRow = r
+				break
+			}
+		}
+		if placedRow == -1 {
+			continue // cannot draw; visualisation only
+		}
+		fill := byte('#')
+		if b.Waiting {
+			fill = byte('~')
+		}
+		for k := placedRow; k < placedRow+b.Procs; k++ {
+			for col := startCol; col < endCol; col++ {
+				grid[k][col] = fill
+			}
+			rowFreeAt[k] = endCol
+		}
+		// Write the label on the middle row of the bar.
+		labelRow := placedRow + b.Procs/2
+		label := b.Label
+		if len(label) > endCol-startCol {
+			label = label[:endCol-startCol]
+		}
+		copy(grid[labelRow][startCol:], label)
+	}
+
+	var sb strings.Builder
+	sb.WriteString(c.Title + "\n")
+	// Print top row = highest processor index, like the paper's figures.
+	for r := rows - 1; r >= 0; r-- {
+		fmt.Fprintf(&sb, "p%02d |%s|\n", r, string(grid[r]))
+	}
+	// Time axis.
+	axis := make([]byte, cols)
+	for i := range axis {
+		axis[i] = '-'
+	}
+	sb.WriteString("     " + string(axis) + "\n")
+	ticks := fmt.Sprintf("     t=%d", from)
+	pad := cols - len(ticks) + 5
+	if pad < 1 {
+		pad = 1
+	}
+	ticks += strings.Repeat(" ", pad) + fmt.Sprintf("t=%d", to)
+	sb.WriteString(ticks + "\n")
+	return sb.String()
+}
+
+// SideBySide renders several charts one after the other, separated by a
+// blank line, so two clusters can be compared as in the figures.
+func SideBySide(from, to, secondsPerColumn int64, charts ...Chart) string {
+	parts := make([]string, 0, len(charts))
+	for _, c := range charts {
+		parts = append(parts, c.Render(from, to, secondsPerColumn))
+	}
+	return strings.Join(parts, "\n")
+}

@@ -1,0 +1,140 @@
+package gantt
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRenderBasicLayout(t *testing.T) {
+	c := Chart{
+		Title: "cluster-a",
+		Cores: 4,
+		Bars: []Bar{
+			{Label: "a", Start: 0, End: 10, Procs: 2},
+			{Label: "b", Start: 10, End: 20, Procs: 4},
+		},
+	}
+	out := c.Render(0, 20, 1)
+	if !strings.HasPrefix(out, "cluster-a\n") {
+		t.Fatalf("title missing:\n%s", out)
+	}
+	lines := strings.Split(out, "\n")
+	// 4 processor rows + axis + ticks + trailing newline split.
+	rowLines := 0
+	for _, l := range lines {
+		if strings.HasPrefix(l, "p0") || strings.HasPrefix(l, "p1") || strings.HasPrefix(l, "p2") || strings.HasPrefix(l, "p3") {
+			rowLines++
+		}
+	}
+	if rowLines != 4 {
+		t.Fatalf("%d processor rows, want 4:\n%s", rowLines, out)
+	}
+	if !strings.Contains(out, "#") {
+		t.Fatal("no bar drawn")
+	}
+	if !strings.Contains(out, "a") || !strings.Contains(out, "b") {
+		t.Fatal("labels missing")
+	}
+	if !strings.Contains(out, "t=0") || !strings.Contains(out, "t=20") {
+		t.Fatal("time axis missing")
+	}
+}
+
+func TestRenderWaitingBarsUseDifferentFill(t *testing.T) {
+	c := Chart{
+		Title: "c",
+		Cores: 2,
+		Bars: []Bar{
+			{Label: "r", Start: 0, End: 5, Procs: 1},
+			{Label: "w", Start: 5, End: 10, Procs: 1, Waiting: true},
+		},
+	}
+	out := c.Render(0, 10, 1)
+	if !strings.Contains(out, "#") || !strings.Contains(out, "~") {
+		t.Fatalf("running and waiting fills not distinguished:\n%s", out)
+	}
+}
+
+func TestRenderClipsToWindow(t *testing.T) {
+	c := Chart{
+		Title: "c",
+		Cores: 1,
+		Bars: []Bar{
+			{Label: "x", Start: -50, End: 500, Procs: 1},
+		},
+	}
+	out := c.Render(0, 10, 1)
+	row := ""
+	for _, l := range strings.Split(out, "\n") {
+		if strings.HasPrefix(l, "p00") {
+			row = l
+		}
+	}
+	if row == "" {
+		t.Fatalf("no row rendered:\n%s", out)
+	}
+	// The row between the pipes must be exactly 10 columns.
+	start := strings.Index(row, "|")
+	end := strings.LastIndex(row, "|")
+	if end-start-1 != 10 {
+		t.Fatalf("row width %d, want 10: %q", end-start-1, row)
+	}
+}
+
+func TestRenderEmptyWindowAndZeroResolution(t *testing.T) {
+	c := Chart{Title: "c", Cores: 1}
+	if out := c.Render(10, 10, 1); !strings.Contains(out, "empty window") {
+		t.Fatalf("empty window not reported: %q", out)
+	}
+	// secondsPerColumn <= 0 falls back to 1 and must not panic.
+	c.Bars = []Bar{{Label: "x", Start: 0, End: 3, Procs: 1}}
+	out := c.Render(0, 3, 0)
+	if !strings.Contains(out, "#") {
+		t.Fatalf("zero resolution fallback broken:\n%s", out)
+	}
+}
+
+func TestRenderSkipsUndrawableBars(t *testing.T) {
+	c := Chart{
+		Title: "c",
+		Cores: 2,
+		Bars: []Bar{
+			{Label: "wide", Start: 0, End: 5, Procs: 5}, // taller than the chart
+			{Label: "zero", Start: 5, End: 5, Procs: 1}, // empty window
+			{Label: "ok", Start: 0, End: 5, Procs: 1},
+		},
+	}
+	out := c.Render(0, 5, 1)
+	if !strings.Contains(out, "ok") {
+		t.Fatalf("valid bar missing:\n%s", out)
+	}
+}
+
+func TestSideBySide(t *testing.T) {
+	a := Chart{Title: "alpha", Cores: 1, Bars: []Bar{{Label: "x", Start: 0, End: 2, Procs: 1}}}
+	b := Chart{Title: "beta", Cores: 1, Bars: []Bar{{Label: "y", Start: 2, End: 4, Procs: 1}}}
+	out := SideBySide(0, 4, 1, a, b)
+	if !strings.Contains(out, "alpha") || !strings.Contains(out, "beta") {
+		t.Fatalf("both charts not rendered:\n%s", out)
+	}
+	if strings.Index(out, "alpha") > strings.Index(out, "beta") {
+		t.Fatal("charts rendered out of order")
+	}
+}
+
+func TestBarsDoNotOverlapRows(t *testing.T) {
+	// Two simultaneous 1-proc bars on a 2-core chart must land on different
+	// rows, so both labels appear.
+	c := Chart{
+		Title: "c",
+		Cores: 2,
+		Bars: []Bar{
+			{Label: "A", Start: 0, End: 10, Procs: 1},
+			{Label: "B", Start: 0, End: 10, Procs: 1},
+		},
+	}
+	out := c.Render(0, 10, 1)
+	if !strings.Contains(out, "A") || !strings.Contains(out, "B") {
+		t.Fatalf("concurrent bars collided:\n%s", out)
+	}
+}

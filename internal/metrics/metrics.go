@@ -1,0 +1,193 @@
+// Package metrics computes the evaluation metrics of the paper (Section
+// 3.4) by comparing a simulation run that used reallocation against the
+// reference run without reallocation on the same trace, platform and batch
+// policy:
+//
+//   - the percentage of jobs whose completion time changed (system metric),
+//   - the number of reallocations performed (system metric),
+//   - the percentage of impacted jobs that finish earlier (user metric),
+//   - the relative average response time of impacted jobs (user metric).
+package metrics
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"gridrealloc/internal/core"
+	"gridrealloc/internal/stats"
+)
+
+// Comparison holds the four metrics of one experiment against its baseline.
+type Comparison struct {
+	// Scenario, Policy and Heuristic identify the experiment.
+	Scenario  string
+	Policy    string
+	Algorithm string
+	Heuristic string
+
+	// TotalJobs is the number of jobs in the trace that completed in both
+	// runs (the comparable population).
+	TotalJobs int
+	// ImpactedJobs is the number of jobs whose completion time changed.
+	ImpactedJobs int
+	// ImpactedPercent is 100*ImpactedJobs/TotalJobs ("Jobs impacted by
+	// reallocation" in the paper).
+	ImpactedPercent float64
+	// Reallocations is the total number of migrations performed ("Number of
+	// reallocations").
+	Reallocations int64
+	// EarlierJobs is the number of impacted jobs that finished earlier with
+	// reallocation.
+	EarlierJobs int
+	// EarlierPercent is 100*EarlierJobs/ImpactedJobs ("Jobs finishing
+	// earlier"); 0 when no job was impacted.
+	EarlierPercent float64
+	// RelativeResponseTime is the ratio of the mean response time of the
+	// impacted jobs with reallocation over the mean response time of the
+	// same jobs without reallocation ("Gain on average job response time").
+	// A value of 0.85 means a 15% gain; a value above 1 means reallocation
+	// made the impacted jobs slower on average. It is 1 when no job was
+	// impacted.
+	RelativeResponseTime float64
+	// MeanResponseWith / MeanResponseWithout are the raw averages behind the
+	// ratio, over the impacted jobs only.
+	MeanResponseWith    float64
+	MeanResponseWithout float64
+	// MakespanWith / MakespanWithout compare the completion of the last job.
+	MakespanWith    int64
+	MakespanWithout int64
+}
+
+// ErrMismatchedRuns is returned when the two runs do not cover the same set
+// of jobs.
+var ErrMismatchedRuns = errors.New("metrics: runs cover different job sets")
+
+// Compare computes the paper's metrics from a baseline run (no reallocation)
+// and a run with reallocation of the same scenario.
+func Compare(baseline, with *core.Result) (Comparison, error) {
+	if baseline == nil || with == nil {
+		return Comparison{}, errors.New("metrics: nil result")
+	}
+	cmp := Comparison{
+		Scenario:  with.Scenario,
+		Policy:    with.Policy.String(),
+		Algorithm: with.Algorithm.String(),
+		Heuristic: with.HeuristicName,
+	}
+	if len(baseline.Jobs) != len(with.Jobs) {
+		return cmp, fmt.Errorf("%w: baseline has %d jobs, reallocated run has %d", ErrMismatchedRuns, len(baseline.Jobs), len(with.Jobs))
+	}
+
+	var respWith, respWithout []float64
+	for id, base := range baseline.Jobs {
+		other, ok := with.Jobs[id]
+		if !ok {
+			return cmp, fmt.Errorf("%w: job %d missing from reallocated run", ErrMismatchedRuns, id)
+		}
+		if base.Completion < 0 || other.Completion < 0 {
+			// Jobs that never completed in one of the runs are not
+			// comparable; they are excluded from the population as the paper
+			// excludes jobs still running at the end of the trace window.
+			continue
+		}
+		cmp.TotalJobs++
+		if base.Completion == other.Completion {
+			continue
+		}
+		cmp.ImpactedJobs++
+		if other.Completion < base.Completion {
+			cmp.EarlierJobs++
+		}
+		respWith = append(respWith, float64(other.ResponseTime()))
+		respWithout = append(respWithout, float64(base.ResponseTime()))
+	}
+
+	cmp.ImpactedPercent = stats.Percent(float64(cmp.ImpactedJobs), float64(cmp.TotalJobs))
+	cmp.EarlierPercent = stats.Percent(float64(cmp.EarlierJobs), float64(cmp.ImpactedJobs))
+	cmp.Reallocations = with.TotalReallocations
+	cmp.MeanResponseWith = stats.Mean(respWith)
+	cmp.MeanResponseWithout = stats.Mean(respWithout)
+	if cmp.ImpactedJobs == 0 || cmp.MeanResponseWithout == 0 {
+		cmp.RelativeResponseTime = 1
+	} else {
+		cmp.RelativeResponseTime = cmp.MeanResponseWith / cmp.MeanResponseWithout
+	}
+	cmp.MakespanWith = with.Makespan
+	cmp.MakespanWithout = baseline.Makespan
+	return cmp, nil
+}
+
+// Summary aggregates user-facing statistics of a single run (used by the
+// examples and the CLI when no baseline is available).
+type Summary struct {
+	Scenario           string
+	Jobs               int
+	Completed          int
+	Killed             int
+	MeanResponseTime   float64
+	MedianResponseTime float64
+	MeanWaitTime       float64
+	Makespan           int64
+	Reallocations      int64
+	ReallocationEvents int64
+}
+
+// Summarize computes a Summary for one run.
+func Summarize(r *core.Result) Summary {
+	s := Summary{
+		Scenario:           r.Scenario,
+		Jobs:               len(r.Jobs),
+		Makespan:           r.Makespan,
+		Reallocations:      r.TotalReallocations,
+		ReallocationEvents: r.ReallocationEvents,
+	}
+	var resp, wait []float64
+	for _, rec := range r.Jobs {
+		if rec.Completion < 0 {
+			continue
+		}
+		s.Completed++
+		if rec.Killed {
+			s.Killed++
+		}
+		resp = append(resp, float64(rec.ResponseTime()))
+		if rec.Start >= 0 {
+			wait = append(wait, float64(rec.WaitTime()))
+		}
+	}
+	s.MeanResponseTime = stats.Mean(resp)
+	s.MedianResponseTime = stats.Median(resp)
+	s.MeanWaitTime = stats.Mean(wait)
+	return s
+}
+
+// PerJobDelta describes how one job fared with reallocation compared to the
+// baseline; used by the detailed CLI output.
+type PerJobDelta struct {
+	JobID              int
+	BaselineCompletion int64
+	Completion         int64
+	Delta              int64 // negative = finished earlier with reallocation
+	Reallocations      int
+}
+
+// Deltas lists the impacted jobs sorted by job ID.
+func Deltas(baseline, with *core.Result) []PerJobDelta {
+	var out []PerJobDelta
+	for id, base := range baseline.Jobs {
+		other, ok := with.Jobs[id]
+		if !ok || base.Completion < 0 || other.Completion < 0 || base.Completion == other.Completion {
+			continue
+		}
+		out = append(out, PerJobDelta{
+			JobID:              id,
+			BaselineCompletion: base.Completion,
+			Completion:         other.Completion,
+			Delta:              other.Completion - base.Completion,
+			Reallocations:      other.Reallocations,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].JobID < out[j].JobID })
+	return out
+}

@@ -1,0 +1,165 @@
+package metrics
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"gridrealloc/internal/core"
+)
+
+// fabricate builds a Result with the given per-job (submit, completion)
+// pairs. Completion -1 marks a job that never finished.
+func fabricate(scenario string, reallocs int64, jobs map[int][2]int64) *core.Result {
+	res := &core.Result{
+		Scenario:           scenario,
+		Jobs:               make(map[int]*core.JobRecord, len(jobs)),
+		TotalReallocations: reallocs,
+	}
+	for id, sc := range jobs {
+		rec := &core.JobRecord{JobID: id, Submit: sc[0], Completion: sc[1], Start: sc[0]}
+		if sc[1] < 0 {
+			rec.Start = -1
+		}
+		res.Jobs[id] = rec
+		if sc[1] > res.Makespan {
+			res.Makespan = sc[1]
+		}
+	}
+	return res
+}
+
+func TestCompareBasicMetrics(t *testing.T) {
+	baseline := fabricate("t", 0, map[int][2]int64{
+		1: {0, 100},  // unchanged
+		2: {0, 200},  // improves to 150
+		3: {0, 300},  // worsens to 400
+		4: {0, 1000}, // improves to 500
+	})
+	with := fabricate("t", 7, map[int][2]int64{
+		1: {0, 100},
+		2: {0, 150},
+		3: {0, 400},
+		4: {0, 500},
+	})
+	with.Algorithm = core.WithCancellation
+	with.HeuristicName = "MinMin"
+
+	cmp, err := Compare(baseline, with)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmp.TotalJobs != 4 {
+		t.Fatalf("TotalJobs = %d", cmp.TotalJobs)
+	}
+	if cmp.ImpactedJobs != 3 || math.Abs(cmp.ImpactedPercent-75) > 1e-9 {
+		t.Fatalf("impacted = %d (%.2f%%), want 3 (75%%)", cmp.ImpactedJobs, cmp.ImpactedPercent)
+	}
+	if cmp.EarlierJobs != 2 || math.Abs(cmp.EarlierPercent-2.0/3.0*100) > 1e-6 {
+		t.Fatalf("earlier = %d (%.2f%%)", cmp.EarlierJobs, cmp.EarlierPercent)
+	}
+	if cmp.Reallocations != 7 {
+		t.Fatalf("reallocations = %d", cmp.Reallocations)
+	}
+	// Impacted jobs: baseline mean response = (200+300+1000)/3 = 500,
+	// with-reallocation mean = (150+400+500)/3 = 350 -> ratio 0.7.
+	if math.Abs(cmp.RelativeResponseTime-0.7) > 1e-9 {
+		t.Fatalf("relative response time = %v, want 0.7", cmp.RelativeResponseTime)
+	}
+	if cmp.MeanResponseWithout != 500 || cmp.MeanResponseWith != 350 {
+		t.Fatalf("means = %v / %v", cmp.MeanResponseWith, cmp.MeanResponseWithout)
+	}
+	if cmp.Algorithm != "realloc-cancel" || cmp.Heuristic != "MinMin" {
+		t.Fatalf("identity fields = %q %q", cmp.Algorithm, cmp.Heuristic)
+	}
+}
+
+func TestCompareNoImpact(t *testing.T) {
+	baseline := fabricate("t", 0, map[int][2]int64{1: {0, 100}, 2: {10, 50}})
+	with := fabricate("t", 0, map[int][2]int64{1: {0, 100}, 2: {10, 50}})
+	cmp, err := Compare(baseline, with)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmp.ImpactedJobs != 0 || cmp.ImpactedPercent != 0 {
+		t.Fatalf("impacted = %+v", cmp)
+	}
+	if cmp.EarlierPercent != 0 {
+		t.Fatalf("earlier%% = %v", cmp.EarlierPercent)
+	}
+	if cmp.RelativeResponseTime != 1 {
+		t.Fatalf("relative response time = %v, want 1 when nothing changed", cmp.RelativeResponseTime)
+	}
+}
+
+func TestCompareExcludesUnfinishedJobs(t *testing.T) {
+	baseline := fabricate("t", 0, map[int][2]int64{1: {0, 100}, 2: {0, -1}, 3: {0, 200}})
+	with := fabricate("t", 1, map[int][2]int64{1: {0, 90}, 2: {0, 500}, 3: {0, -1}})
+	cmp, err := Compare(baseline, with)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Jobs 2 and 3 are excluded (unfinished in one run); only job 1 counts.
+	if cmp.TotalJobs != 1 || cmp.ImpactedJobs != 1 || cmp.EarlierJobs != 1 {
+		t.Fatalf("cmp = %+v", cmp)
+	}
+}
+
+func TestCompareMismatchedRuns(t *testing.T) {
+	baseline := fabricate("t", 0, map[int][2]int64{1: {0, 100}})
+	with := fabricate("t", 0, map[int][2]int64{1: {0, 100}, 2: {0, 50}})
+	if _, err := Compare(baseline, with); !errors.Is(err, ErrMismatchedRuns) {
+		t.Fatalf("err = %v, want ErrMismatchedRuns", err)
+	}
+	withOther := fabricate("t", 0, map[int][2]int64{9: {0, 100}})
+	if _, err := Compare(baseline, withOther); !errors.Is(err, ErrMismatchedRuns) {
+		t.Fatalf("err = %v, want ErrMismatchedRuns (different IDs)", err)
+	}
+	if _, err := Compare(nil, baseline); err == nil {
+		t.Fatal("nil baseline accepted")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	res := fabricate("s", 3, map[int][2]int64{
+		1: {0, 100},
+		2: {50, 250},
+		3: {0, -1},
+	})
+	res.Jobs[1].Start = 20
+	res.Jobs[2].Start = 50
+	res.Jobs[1].Killed = true
+	res.ReallocationEvents = 4
+	sum := Summarize(res)
+	if sum.Jobs != 3 || sum.Completed != 2 || sum.Killed != 1 {
+		t.Fatalf("summary = %+v", sum)
+	}
+	if sum.MeanResponseTime != 150 { // (100 + 200)/2
+		t.Fatalf("mean response = %v", sum.MeanResponseTime)
+	}
+	if sum.MedianResponseTime != 150 {
+		t.Fatalf("median response = %v", sum.MedianResponseTime)
+	}
+	if sum.MeanWaitTime != 10 { // (20 + 0)/2
+		t.Fatalf("mean wait = %v", sum.MeanWaitTime)
+	}
+	if sum.Reallocations != 3 || sum.ReallocationEvents != 4 {
+		t.Fatalf("realloc counters = %d/%d", sum.Reallocations, sum.ReallocationEvents)
+	}
+}
+
+func TestDeltas(t *testing.T) {
+	baseline := fabricate("t", 0, map[int][2]int64{1: {0, 100}, 2: {0, 200}, 3: {0, 300}})
+	with := fabricate("t", 0, map[int][2]int64{1: {0, 100}, 2: {0, 150}, 3: {0, 350}})
+	with.Jobs[2].Reallocations = 2
+	deltas := Deltas(baseline, with)
+	if len(deltas) != 2 {
+		t.Fatalf("%d deltas, want 2", len(deltas))
+	}
+	if deltas[0].JobID != 2 || deltas[0].Delta != -50 || deltas[0].Reallocations != 2 {
+		t.Fatalf("delta[0] = %+v", deltas[0])
+	}
+	if deltas[1].JobID != 3 || deltas[1].Delta != 50 {
+		t.Fatalf("delta[1] = %+v", deltas[1])
+	}
+}

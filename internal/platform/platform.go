@@ -1,0 +1,201 @@
+// Package platform describes the multi-cluster grid platforms the
+// simulations run on: a cluster is a set of identical cores with a relative
+// speed, and a platform is a named set of clusters. The four platform
+// variants of the paper (two platforms, each homogeneous and heterogeneous)
+// are provided as constructors.
+package platform
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// ClusterSpec describes one cluster of the grid.
+type ClusterSpec struct {
+	// Name identifies the cluster; it must be unique within a platform.
+	Name string
+	// Cores is the number of processors of the cluster.
+	Cores int
+	// Speed is the processing speed relative to the reference cluster
+	// (Bordeaux in the paper). A job with reference runtime r runs in
+	// ceil(r/Speed) seconds on this cluster. Speed 1.0 on every cluster
+	// yields the homogeneous case.
+	Speed float64
+}
+
+// Validate checks the cluster description.
+func (c ClusterSpec) Validate() error {
+	switch {
+	case c.Name == "":
+		return errors.New("platform: cluster without a name")
+	case c.Cores <= 0:
+		return fmt.Errorf("platform: cluster %q has %d cores", c.Name, c.Cores)
+	case c.Speed <= 0:
+		return fmt.Errorf("platform: cluster %q has non-positive speed %g", c.Name, c.Speed)
+	}
+	return nil
+}
+
+// ScaleDuration converts a duration expressed on the reference cluster into
+// the duration on this cluster (ceil(d/Speed), never below 1 second for a
+// positive input). This implements the paper's automatic adjustment of the
+// walltime to the speed of the cluster.
+func (c ClusterSpec) ScaleDuration(d int64) int64 {
+	if d <= 0 {
+		return 0
+	}
+	scaled := int64(float64(d) / c.Speed)
+	if float64(scaled)*c.Speed < float64(d) {
+		scaled++
+	}
+	if scaled < 1 {
+		scaled = 1
+	}
+	return scaled
+}
+
+// Platform is a named set of clusters forming the grid.
+type Platform struct {
+	Name     string
+	Clusters []ClusterSpec
+}
+
+// Validate checks the platform: at least one cluster, all clusters valid,
+// names unique.
+func (p Platform) Validate() error {
+	if len(p.Clusters) == 0 {
+		return fmt.Errorf("platform %q: no clusters", p.Name)
+	}
+	seen := make(map[string]struct{}, len(p.Clusters))
+	for _, c := range p.Clusters {
+		if err := c.Validate(); err != nil {
+			return fmt.Errorf("platform %q: %w", p.Name, err)
+		}
+		if _, dup := seen[c.Name]; dup {
+			return fmt.Errorf("platform %q: duplicate cluster name %q", p.Name, c.Name)
+		}
+		seen[c.Name] = struct{}{}
+	}
+	return nil
+}
+
+// TotalCores returns the number of cores across all clusters.
+func (p Platform) TotalCores() int {
+	total := 0
+	for _, c := range p.Clusters {
+		total += c.Cores
+	}
+	return total
+}
+
+// MaxCores returns the size of the largest cluster. Jobs wider than this can
+// never run anywhere on the platform.
+func (p Platform) MaxCores() int {
+	maxC := 0
+	for _, c := range p.Clusters {
+		if c.Cores > maxC {
+			maxC = c.Cores
+		}
+	}
+	return maxC
+}
+
+// Cluster returns the spec of the named cluster and whether it exists.
+func (p Platform) Cluster(name string) (ClusterSpec, bool) {
+	for _, c := range p.Clusters {
+		if c.Name == name {
+			return c, true
+		}
+	}
+	return ClusterSpec{}, false
+}
+
+// Homogeneous reports whether every cluster has the same speed.
+func (p Platform) Homogeneous() bool {
+	if len(p.Clusters) == 0 {
+		return true
+	}
+	first := p.Clusters[0].Speed
+	for _, c := range p.Clusters[1:] {
+		if c.Speed != first {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders a compact description such as
+// "grid5000[bordeaux:640x1.0 lyon:270x1.2 toulouse:434x1.4]".
+func (p Platform) String() string {
+	parts := make([]string, 0, len(p.Clusters))
+	for _, c := range p.Clusters {
+		parts = append(parts, fmt.Sprintf("%s:%dx%.1f", c.Name, c.Cores, c.Speed))
+	}
+	return fmt.Sprintf("%s[%s]", p.Name, strings.Join(parts, " "))
+}
+
+// Heterogeneity identifies the homogeneous or heterogeneous variant of a
+// platform.
+type Heterogeneity int
+
+// The two platform variants of every scenario.
+const (
+	Homogeneous Heterogeneity = iota
+	Heterogeneous
+)
+
+// String returns "homogeneous" or "heterogeneous".
+func (h Heterogeneity) String() string {
+	if h == Heterogeneous {
+		return "heterogeneous"
+	}
+	return "homogeneous"
+}
+
+// Grid5000 returns the first platform of the paper: the Bordeaux (640
+// cores), Lyon (270 cores) and Toulouse (434 cores) clusters of Grid'5000.
+// In the heterogeneous variant Lyon is 20% and Toulouse 40% faster than
+// Bordeaux; in the homogeneous variant all speeds are 1.0.
+func Grid5000(h Heterogeneity) Platform {
+	lyonSpeed, toulouseSpeed := 1.0, 1.0
+	if h == Heterogeneous {
+		lyonSpeed, toulouseSpeed = 1.2, 1.4
+	}
+	return Platform{
+		Name: "grid5000-" + h.String(),
+		Clusters: []ClusterSpec{
+			{Name: "bordeaux", Cores: 640, Speed: 1.0},
+			{Name: "lyon", Cores: 270, Speed: lyonSpeed},
+			{Name: "toulouse", Cores: 434, Speed: toulouseSpeed},
+		},
+	}
+}
+
+// PWAG5K returns the second platform of the paper: Bordeaux (640 cores), CTC
+// (430 cores, 20% faster when heterogeneous) and SDSC (128 cores, 40% faster
+// when heterogeneous).
+func PWAG5K(h Heterogeneity) Platform {
+	ctcSpeed, sdscSpeed := 1.0, 1.0
+	if h == Heterogeneous {
+		ctcSpeed, sdscSpeed = 1.2, 1.4
+	}
+	return Platform{
+		Name: "pwa-g5k-" + h.String(),
+		Clusters: []ClusterSpec{
+			{Name: "bordeaux", Cores: 640, Speed: 1.0},
+			{Name: "ctc", Cores: 430, Speed: ctcSpeed},
+			{Name: "sdsc", Cores: 128, Speed: sdscSpeed},
+		},
+	}
+}
+
+// ForScenario returns the platform the paper pairs with the given scenario
+// name: the Grid'5000 platform for the six monthly traces and the PWA-G5K
+// platform for the six-month mixed trace.
+func ForScenario(scenario string, h Heterogeneity) Platform {
+	if scenario == "pwa-g5k" {
+		return PWAG5K(h)
+	}
+	return Grid5000(h)
+}

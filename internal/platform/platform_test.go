@@ -1,0 +1,170 @@
+package platform
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestClusterSpecValidate(t *testing.T) {
+	ok := ClusterSpec{Name: "c", Cores: 8, Speed: 1.0}
+	if err := ok.Validate(); err != nil {
+		t.Fatalf("valid spec rejected: %v", err)
+	}
+	bad := []ClusterSpec{
+		{Name: "", Cores: 8, Speed: 1},
+		{Name: "c", Cores: 0, Speed: 1},
+		{Name: "c", Cores: -2, Speed: 1},
+		{Name: "c", Cores: 8, Speed: 0},
+		{Name: "c", Cores: 8, Speed: -1},
+	}
+	for i, spec := range bad {
+		if err := spec.Validate(); err == nil {
+			t.Errorf("case %d: invalid spec accepted: %+v", i, spec)
+		}
+	}
+}
+
+func TestScaleDuration(t *testing.T) {
+	ref := ClusterSpec{Name: "ref", Cores: 1, Speed: 1.0}
+	fast := ClusterSpec{Name: "fast", Cores: 1, Speed: 1.4}
+	cases := []struct {
+		spec ClusterSpec
+		in   int64
+		want int64
+	}{
+		{ref, 100, 100},
+		{ref, 0, 0},
+		{ref, -5, 0},
+		{fast, 140, 100},
+		{fast, 141, 101}, // ceil
+		{fast, 1, 1},     // never below one second
+	}
+	for _, c := range cases {
+		if got := c.spec.ScaleDuration(c.in); got != c.want {
+			t.Errorf("%s.ScaleDuration(%d) = %d, want %d", c.spec.Name, c.in, got, c.want)
+		}
+	}
+}
+
+// TestScaleDurationNeverUndershoots: the scaled duration times the speed
+// always covers the reference duration (ceil semantics), so a faster cluster
+// never silently truncates work.
+func TestScaleDurationNeverUndershoots(t *testing.T) {
+	f := func(d uint32, speedRaw uint8) bool {
+		speed := 0.5 + float64(speedRaw%40)/10 // 0.5 .. 4.4
+		spec := ClusterSpec{Name: "p", Cores: 1, Speed: speed}
+		in := int64(d % 1000000)
+		out := spec.ScaleDuration(in)
+		if in <= 0 {
+			return out == 0
+		}
+		return float64(out)*speed >= float64(in) && out >= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000, Rand: rand.New(rand.NewSource(5))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPlatformValidate(t *testing.T) {
+	ok := Platform{Name: "p", Clusters: []ClusterSpec{{Name: "a", Cores: 4, Speed: 1}, {Name: "b", Cores: 2, Speed: 1}}}
+	if err := ok.Validate(); err != nil {
+		t.Fatalf("valid platform rejected: %v", err)
+	}
+	empty := Platform{Name: "p"}
+	if err := empty.Validate(); err == nil {
+		t.Fatal("empty platform accepted")
+	}
+	dup := Platform{Name: "p", Clusters: []ClusterSpec{{Name: "a", Cores: 4, Speed: 1}, {Name: "a", Cores: 2, Speed: 1}}}
+	if err := dup.Validate(); err == nil {
+		t.Fatal("duplicate cluster names accepted")
+	}
+	badCluster := Platform{Name: "p", Clusters: []ClusterSpec{{Name: "a", Cores: 0, Speed: 1}}}
+	if err := badCluster.Validate(); err == nil {
+		t.Fatal("invalid cluster accepted")
+	}
+}
+
+func TestPlatformAccessors(t *testing.T) {
+	p := Platform{Name: "p", Clusters: []ClusterSpec{
+		{Name: "a", Cores: 100, Speed: 1},
+		{Name: "b", Cores: 50, Speed: 1.2},
+	}}
+	if p.TotalCores() != 150 {
+		t.Fatalf("TotalCores = %d", p.TotalCores())
+	}
+	if p.MaxCores() != 100 {
+		t.Fatalf("MaxCores = %d", p.MaxCores())
+	}
+	if c, ok := p.Cluster("b"); !ok || c.Cores != 50 {
+		t.Fatalf("Cluster(b) = %+v, %v", c, ok)
+	}
+	if _, ok := p.Cluster("missing"); ok {
+		t.Fatal("Cluster(missing) found")
+	}
+	if p.Homogeneous() {
+		t.Fatal("mixed-speed platform reported homogeneous")
+	}
+	if !strings.Contains(p.String(), "a:100x1.0") {
+		t.Fatalf("String = %q", p.String())
+	}
+}
+
+func TestGrid5000Variants(t *testing.T) {
+	homo := Grid5000(Homogeneous)
+	if err := homo.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !homo.Homogeneous() {
+		t.Fatal("homogeneous Grid5000 is not homogeneous")
+	}
+	if homo.TotalCores() != 640+270+434 {
+		t.Fatalf("Grid5000 total cores = %d", homo.TotalCores())
+	}
+	hetero := Grid5000(Heterogeneous)
+	if hetero.Homogeneous() {
+		t.Fatal("heterogeneous Grid5000 is homogeneous")
+	}
+	lyon, _ := hetero.Cluster("lyon")
+	toulouse, _ := hetero.Cluster("toulouse")
+	bordeaux, _ := hetero.Cluster("bordeaux")
+	if bordeaux.Speed != 1.0 || lyon.Speed != 1.2 || toulouse.Speed != 1.4 {
+		t.Fatalf("speeds = %v/%v/%v, want 1.0/1.2/1.4", bordeaux.Speed, lyon.Speed, toulouse.Speed)
+	}
+	if bordeaux.Cores != 640 || lyon.Cores != 270 || toulouse.Cores != 434 {
+		t.Fatal("Grid5000 core counts do not match the paper")
+	}
+}
+
+func TestPWAG5KVariants(t *testing.T) {
+	hetero := PWAG5K(Heterogeneous)
+	ctc, _ := hetero.Cluster("ctc")
+	sdsc, _ := hetero.Cluster("sdsc")
+	bordeaux, _ := hetero.Cluster("bordeaux")
+	if bordeaux.Cores != 640 || ctc.Cores != 430 || sdsc.Cores != 128 {
+		t.Fatal("PWA platform core counts do not match the paper")
+	}
+	if ctc.Speed != 1.2 || sdsc.Speed != 1.4 {
+		t.Fatal("PWA platform speeds do not match the paper")
+	}
+	homo := PWAG5K(Homogeneous)
+	if !homo.Homogeneous() {
+		t.Fatal("homogeneous PWA platform is not homogeneous")
+	}
+}
+
+func TestForScenario(t *testing.T) {
+	if p := ForScenario("pwa-g5k", Heterogeneous); p.Name != "pwa-g5k-heterogeneous" {
+		t.Fatalf("pwa scenario mapped to %q", p.Name)
+	}
+	if p := ForScenario("apr", Homogeneous); p.Name != "grid5000-homogeneous" {
+		t.Fatalf("monthly scenario mapped to %q", p.Name)
+	}
+}
+
+func TestHeterogeneityString(t *testing.T) {
+	if Homogeneous.String() != "homogeneous" || Heterogeneous.String() != "heterogeneous" {
+		t.Fatal("Heterogeneity.String broken")
+	}
+}

@@ -1,0 +1,239 @@
+// Package sim provides a small deterministic discrete-event simulation
+// engine used as the substrate of the grid simulator.
+//
+// The engine is intentionally minimal: a virtual clock expressed in integer
+// seconds and a priority queue of events ordered by (time, priority,
+// insertion sequence). Determinism is a hard requirement of the experiment
+// harness (the same trace and seed must always produce the same schedule),
+// so ties are broken by an explicit priority and then by insertion order,
+// never by map iteration or wall-clock time.
+package sim
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+)
+
+// Time is a point in virtual time, in seconds since the start of the
+// simulation. Negative times are invalid.
+type Time int64
+
+// Infinity is a sentinel time larger than any event the simulator will ever
+// schedule. It is used by components that currently have nothing to do.
+const Infinity Time = 1<<62 - 1
+
+// Priority orders events that fire at the same instant. Lower values run
+// first. The grid simulator uses these bands so that, at a given second,
+// job completions are observed before new submissions, which are observed
+// before periodic reallocation, mirroring the behaviour of a real system in
+// which the batch queues are up to date when the meta-scheduler queries them.
+type Priority int
+
+// Priority bands used by the grid simulator. They are defined here so that
+// every component agrees on the same total order.
+const (
+	PriorityFinish     Priority = 0 // job completions and walltime kills
+	PriorityClusterOp  Priority = 1 // cluster wake-ups that start planned jobs
+	PrioritySubmission Priority = 2 // new jobs entering the system
+	PriorityRealloc    Priority = 3 // periodic reallocation events
+	PriorityReport     Priority = 4 // bookkeeping, end-of-simulation reports
+)
+
+// Event is a unit of work scheduled at a virtual instant. Handlers run with
+// the engine clock already advanced to the event time.
+type Event struct {
+	// Time is the virtual instant at which the event fires.
+	Time Time
+	// Priority breaks ties between events at the same instant.
+	Priority Priority
+	// Name is a short human-readable label used in traces and error messages.
+	Name string
+	// Handler is invoked when the event fires. It may schedule further
+	// events. A nil handler is a no-op (useful for cancelled events).
+	Handler func(now Time)
+
+	seq       uint64
+	index     int
+	cancelled bool
+}
+
+// Cancel marks the event so its handler will not run. The event stays in the
+// queue (removing from the middle of a heap is not worth the complexity) but
+// is skipped when popped.
+func (e *Event) Cancel() {
+	if e != nil {
+		e.cancelled = true
+	}
+}
+
+// Cancelled reports whether Cancel has been called on the event.
+func (e *Event) Cancelled() bool { return e != nil && e.cancelled }
+
+// Engine is the discrete-event simulation core. The zero value is not usable;
+// use NewEngine.
+type Engine struct {
+	now     Time
+	queue   eventQueue
+	seq     uint64
+	stepped uint64
+	limit   uint64
+}
+
+// NewEngine returns an engine with the clock at zero and an empty event
+// queue.
+func NewEngine() *Engine {
+	e := &Engine{}
+	heap.Init(&e.queue)
+	// A very large default step limit guards against accidental infinite
+	// event loops in user code while never triggering in legitimate runs.
+	e.limit = 1 << 40
+	return e
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Len returns the number of events currently queued, including cancelled
+// events that have not been popped yet.
+func (e *Engine) Len() int { return e.queue.Len() }
+
+// Steps returns the number of events executed so far.
+func (e *Engine) Steps() uint64 { return e.stepped }
+
+// SetStepLimit bounds the number of events the engine will execute before
+// aborting with ErrStepLimit. A limit of zero restores the default.
+func (e *Engine) SetStepLimit(n uint64) {
+	if n == 0 {
+		e.limit = 1 << 40
+		return
+	}
+	e.limit = n
+}
+
+// ErrStepLimit is returned by Run when the configured step limit is reached,
+// which almost always indicates an event loop scheduling itself forever.
+var ErrStepLimit = errors.New("sim: step limit reached")
+
+// ErrPastEvent is returned by Schedule when asked to schedule an event in
+// the past.
+var ErrPastEvent = errors.New("sim: cannot schedule event in the past")
+
+// Schedule inserts an event at time t with the given priority and handler.
+// It returns the event so the caller can later cancel it. Scheduling before
+// the current time is an error; scheduling exactly at the current time is
+// allowed and the event will fire during the current Run loop.
+func (e *Engine) Schedule(t Time, p Priority, name string, handler func(now Time)) (*Event, error) {
+	if t < e.now {
+		return nil, fmt.Errorf("%w: event %q at t=%d, now=%d", ErrPastEvent, name, t, e.now)
+	}
+	ev := &Event{Time: t, Priority: p, Name: name, Handler: handler, seq: e.seq}
+	e.seq++
+	heap.Push(&e.queue, ev)
+	return ev, nil
+}
+
+// MustSchedule is Schedule but panics on error. It is used internally by the
+// grid simulator where scheduling in the past is a programming error.
+func (e *Engine) MustSchedule(t Time, p Priority, name string, handler func(now Time)) *Event {
+	ev, err := e.Schedule(t, p, name, handler)
+	if err != nil {
+		panic(err)
+	}
+	return ev
+}
+
+// PeekTime returns the time of the next non-cancelled event and true, or
+// (Infinity, false) if the queue is empty.
+func (e *Engine) PeekTime() (Time, bool) {
+	e.dropCancelled()
+	if e.queue.Len() == 0 {
+		return Infinity, false
+	}
+	return e.queue[0].Time, true
+}
+
+func (e *Engine) dropCancelled() {
+	for e.queue.Len() > 0 && e.queue[0].cancelled {
+		heap.Pop(&e.queue)
+	}
+}
+
+// Step executes the next event. It returns false when the queue is empty.
+func (e *Engine) Step() (bool, error) {
+	e.dropCancelled()
+	if e.queue.Len() == 0 {
+		return false, nil
+	}
+	if e.stepped >= e.limit {
+		return false, ErrStepLimit
+	}
+	ev := heap.Pop(&e.queue).(*Event)
+	if ev.Time < e.now {
+		return false, fmt.Errorf("sim: event %q travels back in time (t=%d, now=%d)", ev.Name, ev.Time, e.now)
+	}
+	e.now = ev.Time
+	e.stepped++
+	if ev.Handler != nil && !ev.cancelled {
+		ev.Handler(e.now)
+	}
+	return true, nil
+}
+
+// Run executes events until the queue is empty or until the optional horizon
+// is passed. A horizon of Infinity means "run to completion". Events at
+// exactly the horizon still execute.
+func (e *Engine) Run(horizon Time) error {
+	for {
+		e.dropCancelled()
+		if e.queue.Len() == 0 {
+			return nil
+		}
+		if e.queue[0].Time > horizon {
+			return nil
+		}
+		if _, err := e.Step(); err != nil {
+			return err
+		}
+	}
+}
+
+// RunAll executes every queued event.
+func (e *Engine) RunAll() error { return e.Run(Infinity) }
+
+// eventQueue implements heap.Interface ordered by (Time, Priority, seq).
+type eventQueue []*Event
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].Time != q[j].Time {
+		return q[i].Time < q[j].Time
+	}
+	if q[i].Priority != q[j].Priority {
+		return q[i].Priority < q[j].Priority
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+
+func (q *eventQueue) Push(x any) {
+	ev := x.(*Event)
+	ev.index = len(*q)
+	*q = append(*q, ev)
+}
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*q = old[:n-1]
+	return ev
+}

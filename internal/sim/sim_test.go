@@ -1,0 +1,297 @@
+package sim
+
+import (
+	"errors"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEngineStartsAtZero(t *testing.T) {
+	e := NewEngine()
+	if e.Now() != 0 {
+		t.Fatalf("new engine clock = %d, want 0", e.Now())
+	}
+	if e.Len() != 0 {
+		t.Fatalf("new engine has %d events, want 0", e.Len())
+	}
+}
+
+func TestScheduleAndRunInOrder(t *testing.T) {
+	e := NewEngine()
+	var got []Time
+	for _, tm := range []Time{30, 10, 20} {
+		tm := tm
+		if _, err := e.Schedule(tm, PrioritySubmission, "ev", func(now Time) {
+			got = append(got, now)
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := e.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	want := []Time{10, 20, 30}
+	if len(got) != len(want) {
+		t.Fatalf("executed %d events, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("event %d ran at %d, want %d", i, got[i], want[i])
+		}
+	}
+	if e.Now() != 30 {
+		t.Fatalf("clock = %d, want 30", e.Now())
+	}
+}
+
+func TestPriorityBreaksTies(t *testing.T) {
+	e := NewEngine()
+	var order []string
+	add := func(name string, p Priority) {
+		e.MustSchedule(100, p, name, func(Time) { order = append(order, name) })
+	}
+	add("submission", PrioritySubmission)
+	add("finish", PriorityFinish)
+	add("realloc", PriorityRealloc)
+	add("cluster", PriorityClusterOp)
+	if err := e.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"finish", "cluster", "submission", "realloc"}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestInsertionOrderBreaksRemainingTies(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.MustSchedule(5, PrioritySubmission, "tie", func(Time) { order = append(order, i) })
+	}
+	if err := e.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if order[i] != i {
+			t.Fatalf("ties not broken by insertion order: %v", order)
+		}
+	}
+}
+
+func TestSchedulingInPastFails(t *testing.T) {
+	e := NewEngine()
+	e.MustSchedule(50, PrioritySubmission, "later", func(now Time) {
+		if _, err := e.Schedule(now-1, PrioritySubmission, "past", nil); !errors.Is(err, ErrPastEvent) {
+			t.Errorf("scheduling in the past: err = %v, want ErrPastEvent", err)
+		}
+		if _, err := e.Schedule(now, PrioritySubmission, "same-time", func(Time) {}); err != nil {
+			t.Errorf("scheduling at the current time should be allowed: %v", err)
+		}
+	})
+	if err := e.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCancelledEventDoesNotRun(t *testing.T) {
+	e := NewEngine()
+	ran := false
+	ev := e.MustSchedule(10, PrioritySubmission, "cancelled", func(Time) { ran = true })
+	ev.Cancel()
+	if !ev.Cancelled() {
+		t.Fatal("Cancelled() = false after Cancel")
+	}
+	if err := e.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	if ran {
+		t.Fatal("cancelled event still ran")
+	}
+}
+
+func TestEventsScheduledFromHandlersRun(t *testing.T) {
+	e := NewEngine()
+	var chain []Time
+	var schedule func(depth int) func(Time)
+	schedule = func(depth int) func(Time) {
+		return func(now Time) {
+			chain = append(chain, now)
+			if depth < 5 {
+				e.MustSchedule(now+10, PrioritySubmission, "chain", schedule(depth+1))
+			}
+		}
+	}
+	e.MustSchedule(0, PrioritySubmission, "chain", schedule(0))
+	if err := e.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	if len(chain) != 6 {
+		t.Fatalf("chain length = %d, want 6", len(chain))
+	}
+	for i, tm := range chain {
+		if tm != Time(i*10) {
+			t.Fatalf("chain[%d] = %d, want %d", i, tm, i*10)
+		}
+	}
+}
+
+func TestRunHorizonStopsEarly(t *testing.T) {
+	e := NewEngine()
+	var ran []Time
+	for _, tm := range []Time{10, 20, 30, 40} {
+		tm := tm
+		e.MustSchedule(tm, PrioritySubmission, "ev", func(now Time) { ran = append(ran, now) })
+	}
+	if err := e.Run(25); err != nil {
+		t.Fatal(err)
+	}
+	if len(ran) != 2 {
+		t.Fatalf("ran %d events before horizon 25, want 2", len(ran))
+	}
+	if next, ok := e.PeekTime(); !ok || next != 30 {
+		t.Fatalf("PeekTime = %d,%v want 30,true", next, ok)
+	}
+	if err := e.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	if len(ran) != 4 {
+		t.Fatalf("ran %d events in total, want 4", len(ran))
+	}
+}
+
+func TestRunAtHorizonIncludesBoundary(t *testing.T) {
+	e := NewEngine()
+	ran := false
+	e.MustSchedule(25, PrioritySubmission, "ev", func(Time) { ran = true })
+	if err := e.Run(25); err != nil {
+		t.Fatal(err)
+	}
+	if !ran {
+		t.Fatal("event at the horizon did not run")
+	}
+}
+
+func TestStepLimit(t *testing.T) {
+	e := NewEngine()
+	e.SetStepLimit(10)
+	var loop func(Time)
+	loop = func(now Time) {
+		e.MustSchedule(now+1, PrioritySubmission, "loop", loop)
+	}
+	e.MustSchedule(0, PrioritySubmission, "loop", loop)
+	err := e.RunAll()
+	if !errors.Is(err, ErrStepLimit) {
+		t.Fatalf("err = %v, want ErrStepLimit", err)
+	}
+	if e.Steps() != 10 {
+		t.Fatalf("steps = %d, want 10", e.Steps())
+	}
+	// Resetting the limit to zero restores the (huge) default.
+	e.SetStepLimit(0)
+	if e.limit != 1<<40 {
+		t.Fatalf("default limit not restored: %d", e.limit)
+	}
+}
+
+func TestPeekTimeEmptyQueue(t *testing.T) {
+	e := NewEngine()
+	if tm, ok := e.PeekTime(); ok || tm != Infinity {
+		t.Fatalf("PeekTime on empty queue = %d,%v want Infinity,false", tm, ok)
+	}
+	ok, err := e.Step()
+	if err != nil || ok {
+		t.Fatalf("Step on empty queue = %v,%v want false,nil", ok, err)
+	}
+}
+
+func TestNilHandlerIsNoOp(t *testing.T) {
+	e := NewEngine()
+	e.MustSchedule(1, PrioritySubmission, "nil", nil)
+	if err := e.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	if e.Now() != 1 {
+		t.Fatalf("clock = %d, want 1 (nil handler still advances time)", e.Now())
+	}
+}
+
+// TestPropertyChronologicalExecution checks with random event sets that the
+// engine always executes events in non-decreasing time order and never loses
+// an event.
+func TestPropertyChronologicalExecution(t *testing.T) {
+	f := func(times []uint16) bool {
+		e := NewEngine()
+		var executed []Time
+		for _, raw := range times {
+			tm := Time(raw)
+			e.MustSchedule(tm, PrioritySubmission, "p", func(now Time) {
+				executed = append(executed, now)
+			})
+		}
+		if err := e.RunAll(); err != nil {
+			return false
+		}
+		if len(executed) != len(times) {
+			return false
+		}
+		if !sort.SliceIsSorted(executed, func(i, j int) bool { return executed[i] < executed[j] }) {
+			return false
+		}
+		// The multiset of execution times must equal the scheduled times.
+		want := make([]Time, len(times))
+		for i, raw := range times {
+			want[i] = Time(raw)
+		}
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+		for i := range want {
+			if executed[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(1))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyCancellationNeverExecutes verifies that randomly cancelled
+// events never run and non-cancelled events always do.
+func TestPropertyCancellationNeverExecutes(t *testing.T) {
+	f := func(times []uint16, cancelMask []bool) bool {
+		e := NewEngine()
+		type tracked struct {
+			ev        *Event
+			cancelled bool
+			ran       *bool
+		}
+		var all []tracked
+		for i, raw := range times {
+			ran := new(bool)
+			ev := e.MustSchedule(Time(raw), PrioritySubmission, "p", func(Time) { *ran = true })
+			cancel := i < len(cancelMask) && cancelMask[i]
+			if cancel {
+				ev.Cancel()
+			}
+			all = append(all, tracked{ev, cancel, ran})
+		}
+		if err := e.RunAll(); err != nil {
+			return false
+		}
+		for _, tr := range all {
+			if tr.cancelled == *tr.ran {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(2))}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,259 @@
+// Package stats bundles the small numeric helpers shared by the workload
+// generators, the metric computations and the experiment tables: a
+// deterministic splittable pseudo-random number generator, means and ratios
+// guarded against empty inputs, and the rounding used when printing the
+// paper-layout tables.
+//
+// The PRNG is implemented locally (SplitMix64 seeding a xoshiro256**-like
+// core) rather than relying on math/rand global state so that every
+// generator stream in the experiment harness is independent and reproducible
+// regardless of evaluation order.
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// RNG is a deterministic pseudo-random number generator. The zero value is
+// not useful; construct one with NewRNG. It is not safe for concurrent use;
+// each goroutine should derive its own stream with Split.
+type RNG struct {
+	s [4]uint64
+}
+
+// NewRNG returns a generator seeded deterministically from seed.
+func NewRNG(seed uint64) *RNG {
+	r := &RNG{}
+	// SplitMix64 to expand the seed into the four state words, as recommended
+	// by the xoshiro authors: never seed the state with all zeros.
+	x := seed
+	for i := range r.s {
+		x += 0x9e3779b97f4a7c15
+		z := x
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		r.s[i] = z ^ (z >> 31)
+	}
+	return r
+}
+
+// Split derives an independent generator from the current one. The parent
+// stream advances, so successive Split calls yield distinct children.
+func (r *RNG) Split() *RNG {
+	return NewRNG(r.Uint64() ^ 0xa3ec647659359acd)
+}
+
+func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
+
+// Uint64 returns the next 64 pseudo-random bits.
+func (r *RNG) Uint64() uint64 {
+	result := rotl(r.s[1]*5, 7) * 9
+	t := r.s[1] << 17
+	r.s[2] ^= r.s[0]
+	r.s[3] ^= r.s[1]
+	r.s[1] ^= r.s[2]
+	r.s[0] ^= r.s[3]
+	r.s[2] ^= t
+	r.s[3] = rotl(r.s[3], 45)
+	return result
+}
+
+// Float64 returns a uniformly distributed value in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniformly distributed integer in [0, n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("stats: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Int63n returns a uniformly distributed int64 in [0, n). It panics if n <= 0.
+func (r *RNG) Int63n(n int64) int64 {
+	if n <= 0 {
+		panic("stats: Int63n with non-positive n")
+	}
+	return int64(r.Uint64() % uint64(n))
+}
+
+// Range returns a uniformly distributed int64 in [lo, hi]. It panics if
+// hi < lo.
+func (r *RNG) Range(lo, hi int64) int64 {
+	if hi < lo {
+		panic("stats: Range with hi < lo")
+	}
+	return lo + r.Int63n(hi-lo+1)
+}
+
+// LogUniform returns a value distributed log-uniformly in [lo, hi], which is
+// the classic model for parallel job runtimes (many short jobs, a heavy tail
+// of long ones). It panics if lo <= 0 or hi < lo.
+func (r *RNG) LogUniform(lo, hi float64) float64 {
+	if lo <= 0 || hi < lo {
+		panic("stats: LogUniform requires 0 < lo <= hi")
+	}
+	return math.Exp(math.Log(lo) + r.Float64()*(math.Log(hi)-math.Log(lo)))
+}
+
+// Exponential returns a draw from an exponential distribution with the given
+// mean. It panics if mean <= 0.
+func (r *RNG) Exponential(mean float64) float64 {
+	if mean <= 0 {
+		panic("stats: Exponential requires mean > 0")
+	}
+	u := r.Float64()
+	if u >= 1 {
+		u = math.Nextafter(1, 0)
+	}
+	return -mean * math.Log(1-u)
+}
+
+// Bool returns true with probability p (clamped to [0,1]).
+func (r *RNG) Bool(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return r.Float64() < p
+}
+
+// Choice returns a random index in [0, len(weights)) with probability
+// proportional to the weights. Non-positive weights are treated as zero. It
+// panics if the slice is empty or all weights are zero.
+func (r *RNG) Choice(weights []float64) int {
+	if len(weights) == 0 {
+		panic("stats: Choice with empty weights")
+	}
+	total := 0.0
+	for _, w := range weights {
+		if w > 0 {
+			total += w
+		}
+	}
+	if total <= 0 {
+		panic("stats: Choice with all-zero weights")
+	}
+	target := r.Float64() * total
+	acc := 0.0
+	for i, w := range weights {
+		if w <= 0 {
+			continue
+		}
+		acc += w
+		if target < acc {
+			return i
+		}
+	}
+	return len(weights) - 1
+}
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// MeanInt64 returns the arithmetic mean of xs as a float64, or 0 for an
+// empty slice.
+func MeanInt64(xs []int64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += float64(x)
+	}
+	return sum / float64(len(xs))
+}
+
+// Ratio returns num/den, or 0 when den is 0. It is used for the relative
+// metrics of the paper where an empty comparison set must not divide by zero.
+func Ratio(num, den float64) float64 {
+	if den == 0 {
+		return 0
+	}
+	return num / den
+}
+
+// Percent returns 100*part/total, or 0 when total is 0.
+func Percent(part, total float64) float64 {
+	if total == 0 {
+		return 0
+	}
+	return 100 * part / total
+}
+
+// Round2 rounds to two decimal places, the precision used throughout the
+// paper's tables.
+func Round2(x float64) float64 {
+	return math.Round(x*100) / 100
+}
+
+// Median returns the median of xs, or 0 for an empty slice. The input is not
+// modified.
+func Median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	cp := append([]float64(nil), xs...)
+	sort.Float64s(cp)
+	n := len(cp)
+	if n%2 == 1 {
+		return cp[n/2]
+	}
+	return (cp[n/2-1] + cp[n/2]) / 2
+}
+
+// StdDev returns the population standard deviation of xs, or 0 for fewer
+// than two samples.
+func StdDev(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	sum := 0.0
+	for _, x := range xs {
+		d := x - m
+		sum += d * d
+	}
+	return math.Sqrt(sum / float64(len(xs)))
+}
+
+// MinInt64 returns the smaller of a and b.
+func MinInt64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// MaxInt64 returns the larger of a and b.
+func MaxInt64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// CeilDiv returns ceil(a/b) for positive b. It panics if b <= 0.
+func CeilDiv(a, b int64) int64 {
+	if b <= 0 {
+		panic("stats: CeilDiv with non-positive divisor")
+	}
+	if a <= 0 {
+		return 0
+	}
+	return (a + b - 1) / b
+}

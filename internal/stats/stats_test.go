@@ -1,0 +1,320 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestRNGDeterminism(t *testing.T) {
+	a := NewRNG(123)
+	b := NewRNG(123)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same seed diverged at draw %d", i)
+		}
+	}
+}
+
+func TestRNGDifferentSeedsDiffer(t *testing.T) {
+	a := NewRNG(1)
+	b := NewRNG(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("different seeds produced %d identical draws out of 100", same)
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	parent := NewRNG(7)
+	c1 := parent.Split()
+	c2 := parent.Split()
+	same := 0
+	for i := 0; i < 100; i++ {
+		if c1.Uint64() == c2.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("split streams produced %d identical draws out of 100", same)
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := NewRNG(11)
+	for i := 0; i < 10000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of range: %v", v)
+		}
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	r := NewRNG(12)
+	seen := make(map[int]bool)
+	for i := 0; i < 10000; i++ {
+		v := r.Intn(7)
+		if v < 0 || v >= 7 {
+			t.Fatalf("Intn(7) = %d", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != 7 {
+		t.Fatalf("Intn(7) only produced %d distinct values", len(seen))
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	NewRNG(1).Intn(0)
+}
+
+func TestRangeInclusive(t *testing.T) {
+	r := NewRNG(13)
+	sawLo, sawHi := false, false
+	for i := 0; i < 20000; i++ {
+		v := r.Range(3, 5)
+		if v < 3 || v > 5 {
+			t.Fatalf("Range(3,5) = %d", v)
+		}
+		if v == 3 {
+			sawLo = true
+		}
+		if v == 5 {
+			sawHi = true
+		}
+	}
+	if !sawLo || !sawHi {
+		t.Fatal("Range never hit one of its bounds")
+	}
+}
+
+func TestLogUniformBounds(t *testing.T) {
+	r := NewRNG(14)
+	for i := 0; i < 10000; i++ {
+		v := r.LogUniform(10, 1000)
+		if v < 10 || v > 1000 {
+			t.Fatalf("LogUniform out of bounds: %v", v)
+		}
+	}
+}
+
+func TestExponentialMean(t *testing.T) {
+	r := NewRNG(15)
+	sum := 0.0
+	n := 200000
+	for i := 0; i < n; i++ {
+		sum += r.Exponential(100)
+	}
+	mean := sum / float64(n)
+	if mean < 95 || mean > 105 {
+		t.Fatalf("exponential sample mean = %v, want ~100", mean)
+	}
+}
+
+func TestBoolProbabilities(t *testing.T) {
+	r := NewRNG(16)
+	if r.Bool(0) {
+		t.Fatal("Bool(0) returned true")
+	}
+	if !r.Bool(1) {
+		t.Fatal("Bool(1) returned false")
+	}
+	hits := 0
+	n := 100000
+	for i := 0; i < n; i++ {
+		if r.Bool(0.25) {
+			hits++
+		}
+	}
+	p := float64(hits) / float64(n)
+	if p < 0.23 || p > 0.27 {
+		t.Fatalf("Bool(0.25) frequency = %v", p)
+	}
+}
+
+func TestChoiceWeights(t *testing.T) {
+	r := NewRNG(17)
+	counts := make([]int, 3)
+	n := 90000
+	for i := 0; i < n; i++ {
+		counts[r.Choice([]float64{1, 2, 0})]++
+	}
+	if counts[2] != 0 {
+		t.Fatalf("zero-weight option chosen %d times", counts[2])
+	}
+	ratio := float64(counts[1]) / float64(counts[0])
+	if ratio < 1.8 || ratio > 2.2 {
+		t.Fatalf("weight ratio = %v, want ~2", ratio)
+	}
+}
+
+func TestChoicePanics(t *testing.T) {
+	r := NewRNG(18)
+	for _, weights := range [][]float64{nil, {0, 0}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Choice(%v) did not panic", weights)
+				}
+			}()
+			r.Choice(weights)
+		}()
+	}
+}
+
+func TestMeanAndMedian(t *testing.T) {
+	if got := Mean(nil); got != 0 {
+		t.Fatalf("Mean(nil) = %v", got)
+	}
+	if got := Mean([]float64{1, 2, 3, 4}); got != 2.5 {
+		t.Fatalf("Mean = %v, want 2.5", got)
+	}
+	if got := Median([]float64{5, 1, 3}); got != 3 {
+		t.Fatalf("Median odd = %v, want 3", got)
+	}
+	if got := Median([]float64{4, 1, 3, 2}); got != 2.5 {
+		t.Fatalf("Median even = %v, want 2.5", got)
+	}
+	if got := Median(nil); got != 0 {
+		t.Fatalf("Median(nil) = %v", got)
+	}
+}
+
+func TestMedianDoesNotMutateInput(t *testing.T) {
+	in := []float64{3, 1, 2}
+	Median(in)
+	if in[0] != 3 || in[1] != 1 || in[2] != 2 {
+		t.Fatalf("Median mutated its input: %v", in)
+	}
+}
+
+func TestMeanInt64(t *testing.T) {
+	if got := MeanInt64([]int64{2, 4}); got != 3 {
+		t.Fatalf("MeanInt64 = %v", got)
+	}
+	if got := MeanInt64(nil); got != 0 {
+		t.Fatalf("MeanInt64(nil) = %v", got)
+	}
+}
+
+func TestRatioAndPercent(t *testing.T) {
+	if got := Ratio(1, 0); got != 0 {
+		t.Fatalf("Ratio(1,0) = %v", got)
+	}
+	if got := Ratio(3, 4); got != 0.75 {
+		t.Fatalf("Ratio = %v", got)
+	}
+	if got := Percent(1, 0); got != 0 {
+		t.Fatalf("Percent(1,0) = %v", got)
+	}
+	if got := Percent(25, 200); got != 12.5 {
+		t.Fatalf("Percent = %v", got)
+	}
+}
+
+func TestRound2(t *testing.T) {
+	cases := map[float64]float64{
+		1.234:  1.23,
+		1.235:  1.24, // round half away handled by math.Round on 123.5
+		-2.567: -2.57,
+		0:      0,
+	}
+	for in, want := range cases {
+		if got := Round2(in); math.Abs(got-want) > 1e-9 {
+			t.Errorf("Round2(%v) = %v, want %v", in, got, want)
+		}
+	}
+}
+
+func TestStdDev(t *testing.T) {
+	if got := StdDev([]float64{5}); got != 0 {
+		t.Fatalf("StdDev single = %v", got)
+	}
+	got := StdDev([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if math.Abs(got-2) > 1e-9 {
+		t.Fatalf("StdDev = %v, want 2", got)
+	}
+}
+
+func TestMinMaxInt64(t *testing.T) {
+	if MinInt64(2, 3) != 2 || MinInt64(3, 2) != 2 {
+		t.Fatal("MinInt64 broken")
+	}
+	if MaxInt64(2, 3) != 3 || MaxInt64(3, 2) != 3 {
+		t.Fatal("MaxInt64 broken")
+	}
+}
+
+func TestCeilDiv(t *testing.T) {
+	cases := []struct{ a, b, want int64 }{
+		{10, 3, 4}, {9, 3, 3}, {0, 5, 0}, {-3, 5, 0}, {1, 1, 1},
+	}
+	for _, c := range cases {
+		if got := CeilDiv(c.a, c.b); got != c.want {
+			t.Errorf("CeilDiv(%d,%d) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("CeilDiv with zero divisor did not panic")
+		}
+	}()
+	CeilDiv(1, 0)
+}
+
+// TestPropertyMeanBounds: the mean of any non-empty slice lies between its
+// minimum and maximum.
+func TestPropertyMeanBounds(t *testing.T) {
+	f := func(xs []float64) bool {
+		clean := xs[:0:0]
+		for _, x := range xs {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) && math.Abs(x) < 1e12 {
+				clean = append(clean, x)
+			}
+		}
+		if len(clean) == 0 {
+			return Mean(clean) == 0
+		}
+		m := Mean(clean)
+		lo, hi := clean[0], clean[0]
+		for _, x := range clean {
+			if x < lo {
+				lo = x
+			}
+			if x > hi {
+				hi = x
+			}
+		}
+		return m >= lo-1e-6 && m <= hi+1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(3))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyLogUniformWithinBounds: draws always stay within [lo, hi] for
+// random valid bounds.
+func TestPropertyLogUniformWithinBounds(t *testing.T) {
+	r := NewRNG(99)
+	f := func(a, b uint32) bool {
+		lo := float64(a%100000) + 1
+		hi := lo + float64(b%100000) + 1
+		v := r.LogUniform(lo, hi)
+		return v >= lo && v <= hi
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000, Rand: rand.New(rand.NewSource(4))}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,336 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func testProfile(jobs int) SiteProfile {
+	return SiteProfile{
+		Site: "gen", Jobs: jobs, Duration: 7 * 86400, MaxProcs: 128,
+		MeanRuntime: 900, MaxRuntime: 4 * 3600,
+		SerialFraction: 0.3, PowerOfTwoFraction: 0.7,
+		BurstFraction: 0.3, BurstSize: 20,
+		OverestimationMax: 4, ExactWalltimeFraction: 0.1,
+		BadJobFraction: 0.05, Users: 10,
+	}
+}
+
+func TestGenerateSiteCountAndBounds(t *testing.T) {
+	p := testProfile(500)
+	tr, err := GenerateSite(p, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 500 {
+		t.Fatalf("generated %d jobs, want 500", tr.Len())
+	}
+	for _, j := range tr.Jobs {
+		if err := j.Validate(); err != nil {
+			t.Fatalf("generated invalid job: %v", err)
+		}
+		if j.Submit < 0 || j.Submit >= p.Duration {
+			t.Fatalf("job %d submitted at %d outside [0,%d)", j.ID, j.Submit, p.Duration)
+		}
+		if j.Procs > p.MaxProcs {
+			t.Fatalf("job %d requests %d procs, max %d", j.ID, j.Procs, p.MaxProcs)
+		}
+		if j.User < 1 || j.User > p.Users {
+			t.Fatalf("job %d has user %d", j.ID, j.User)
+		}
+		if j.Site != "gen" {
+			t.Fatalf("job %d has site %q", j.ID, j.Site)
+		}
+	}
+}
+
+func TestGenerateSiteDeterministic(t *testing.T) {
+	p := testProfile(300)
+	a, err := GenerateSite(p, 1234)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GenerateSite(p, 1234)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Len() != b.Len() {
+		t.Fatalf("lengths differ: %d vs %d", a.Len(), b.Len())
+	}
+	for i := range a.Jobs {
+		if a.Jobs[i] != b.Jobs[i] {
+			t.Fatalf("job %d differs between identical seeds", i)
+		}
+	}
+	c, err := GenerateSite(p, 9999)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := 0
+	for i := range a.Jobs {
+		if a.Jobs[i].Submit == c.Jobs[i].Submit && a.Jobs[i].Runtime == c.Jobs[i].Runtime {
+			same++
+		}
+	}
+	if same == a.Len() {
+		t.Fatal("different seeds produced identical traces")
+	}
+}
+
+func TestGenerateSiteWalltimeOverestimation(t *testing.T) {
+	p := testProfile(2000)
+	tr, err := GenerateSite(p, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	over, bad := 0, 0
+	for _, j := range tr.Jobs {
+		if j.Walltime > j.Runtime {
+			over++
+		}
+		if j.KilledByWalltime() {
+			bad++
+		}
+	}
+	if float64(over) < 0.6*float64(tr.Len()) {
+		t.Fatalf("only %d/%d jobs over-estimate their walltime; the reallocation mechanism needs the gap", over, tr.Len())
+	}
+	// BadJobFraction is 5%: expect some but not too many bad jobs.
+	if bad == 0 {
+		t.Fatal("no bad jobs generated despite BadJobFraction > 0")
+	}
+	if float64(bad) > 0.15*float64(tr.Len()) {
+		t.Fatalf("too many bad jobs: %d/%d", bad, tr.Len())
+	}
+}
+
+func TestGenerateSiteWalltimesAreRounded(t *testing.T) {
+	tr, err := GenerateSite(testProfile(500), 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, j := range tr.Jobs {
+		if j.KilledByWalltime() {
+			// Bad jobs deliberately carry an under-estimated, unrounded
+			// walltime; only well-formed requests are rounded.
+			continue
+		}
+		if j.Walltime < 300 {
+			t.Fatalf("job %d walltime %d below the 5-minute floor", j.ID, j.Walltime)
+		}
+		if j.Walltime%900 != 0 && j.Walltime != 300 {
+			t.Fatalf("job %d walltime %d not rounded to 15-minute quanta", j.ID, j.Walltime)
+		}
+	}
+}
+
+func TestGenerateSiteZeroJobs(t *testing.T) {
+	p := testProfile(0)
+	tr, err := GenerateSite(p, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 0 {
+		t.Fatalf("zero-job profile generated %d jobs", tr.Len())
+	}
+}
+
+func TestGenerateSiteValidation(t *testing.T) {
+	bad := []func(*SiteProfile){
+		func(p *SiteProfile) { p.Site = "" },
+		func(p *SiteProfile) { p.Jobs = -1 },
+		func(p *SiteProfile) { p.Duration = 0 },
+		func(p *SiteProfile) { p.MaxProcs = 0 },
+		func(p *SiteProfile) { p.MeanRuntime = 0 },
+		func(p *SiteProfile) { p.MaxRuntime = p.MeanRuntime - 1 },
+		func(p *SiteProfile) { p.Users = 0 },
+	}
+	for i, mut := range bad {
+		p := testProfile(10)
+		mut(&p)
+		if _, err := GenerateSite(p, 1); err == nil {
+			t.Errorf("case %d: invalid profile accepted", i)
+		}
+	}
+}
+
+func TestDiurnalWeightShape(t *testing.T) {
+	// 15:00 on a Monday should be the peak; 03:00 should be much lower; a
+	// Saturday afternoon lower than a Monday afternoon.
+	monday15 := int64(15 * 3600)
+	monday03 := int64(3 * 3600)
+	saturday15 := int64(5*86400 + 15*3600)
+	if diurnalWeight(monday15) <= diurnalWeight(monday03) {
+		t.Fatal("afternoon not busier than night")
+	}
+	if diurnalWeight(saturday15) >= diurnalWeight(monday15) {
+		t.Fatal("weekend not quieter than weekday")
+	}
+}
+
+func TestMonthScenarioCountsMatchTable1(t *testing.T) {
+	for _, m := range Months() {
+		traces, err := MonthScenario(m, 1.0, 11)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := table1[m]
+		if len(traces) != 3 {
+			t.Fatalf("%v: %d traces, want 3", m, len(traces))
+		}
+		for i, tr := range traces {
+			if tr.Len() != want[i] {
+				t.Fatalf("%v site %d: %d jobs, want %d (Table 1)", m, i, tr.Len(), want[i])
+			}
+		}
+	}
+}
+
+func TestMonthScenarioFraction(t *testing.T) {
+	traces, err := MonthScenario(April, 0.01, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := traces[0].Len(), table1[April][0]/100; got != want {
+		t.Fatalf("fraction 0.01: bordeaux has %d jobs, want %d", got, want)
+	}
+}
+
+func TestPWAScenarioCounts(t *testing.T) {
+	traces, err := PWAScenario(0.01, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(traces) != 3 {
+		t.Fatalf("%d traces, want 3", len(traces))
+	}
+	wants := []int{bordeauxSixMonthJobs / 100, ctcJobs / 100, sdscJobs / 100}
+	for i, tr := range traces {
+		if tr.Len() != wants[i] {
+			t.Fatalf("site %d has %d jobs, want %d", i, tr.Len(), wants[i])
+		}
+	}
+	// The archive-style traces must include some bad jobs.
+	badCTC := 0
+	for _, j := range traces[1].Jobs {
+		if j.KilledByWalltime() {
+			badCTC++
+		}
+	}
+	if badCTC == 0 {
+		t.Fatal("CTC-like trace contains no bad jobs")
+	}
+}
+
+func TestScenarioMergedAndNamed(t *testing.T) {
+	for _, name := range ScenarioNames() {
+		tr, err := Scenario(name, 0.005, 4)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if tr.Name != string(name) {
+			t.Fatalf("trace name %q, want %q", tr.Name, name)
+		}
+		if tr.Len() == 0 {
+			t.Fatalf("%s: empty merged trace", name)
+		}
+		prev := int64(-1)
+		for _, j := range tr.Jobs {
+			if j.Submit < prev {
+				t.Fatalf("%s: merged trace not sorted", name)
+			}
+			prev = j.Submit
+		}
+	}
+	if _, err := Scenario("bogus", 1, 1); err == nil {
+		t.Fatal("unknown scenario accepted")
+	}
+}
+
+func TestTable1CountsComplete(t *testing.T) {
+	counts := Table1Counts()
+	if len(counts) != 6 {
+		t.Fatalf("Table1Counts has %d months, want 6", len(counts))
+	}
+	if counts["apr"][0] != 33250 || counts["apr"][3] != 36041 {
+		t.Fatalf("april counts wrong: %v", counts["apr"])
+	}
+	total := 0
+	for _, c := range counts {
+		total += c[3]
+	}
+	if total != 14155+9640+20937+36041+10517+9182 {
+		t.Fatalf("total job count %d does not match the paper", total)
+	}
+}
+
+func TestMonthString(t *testing.T) {
+	if January.String() != "jan" || June.String() != "jun" {
+		t.Fatal("month names wrong")
+	}
+	if Month(99).String() == "jan" {
+		t.Fatal("out-of-range month not flagged")
+	}
+}
+
+func TestScaleCount(t *testing.T) {
+	if scaleCount(1000, 1.5) != 1000 {
+		t.Fatal("fraction > 1 should not inflate counts")
+	}
+	if scaleCount(1000, 0.25) != 250 {
+		t.Fatal("fraction 0.25 wrong")
+	}
+	if scaleCount(10, 0.001) != 1 {
+		t.Fatal("tiny fractions must keep at least one job")
+	}
+	if scaleCount(10, 0) != 0 {
+		t.Fatal("zero fraction must drop all jobs")
+	}
+}
+
+// TestPropertyGeneratedTracesAlwaysValid: any sane profile yields a trace of
+// the requested size whose jobs all validate and respect the bounds.
+func TestPropertyGeneratedTracesAlwaysValid(t *testing.T) {
+	f := func(seed uint64, jobs uint16, maxProcsRaw uint16) bool {
+		n := int(jobs%200) + 1
+		maxProcs := int(maxProcsRaw%512) + 1
+		p := SiteProfile{
+			Site: "prop", Jobs: n, Duration: 86400, MaxProcs: maxProcs,
+			MeanRuntime: 300, MaxRuntime: 3600,
+			SerialFraction: 0.4, PowerOfTwoFraction: 0.6,
+			BurstFraction: 0.3, BurstSize: 5,
+			OverestimationMax: 3, ExactWalltimeFraction: 0.2,
+			BadJobFraction: 0.02, Users: 3,
+		}
+		tr, err := GenerateSite(p, seed)
+		if err != nil || tr.Len() != n {
+			return false
+		}
+		for _, j := range tr.Jobs {
+			if j.Validate() != nil || j.Procs > maxProcs || j.Submit >= p.Duration {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60, Rand: rand.New(rand.NewSource(8))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSortInt64(t *testing.T) {
+	f := func(xs []int64) bool {
+		cp := append([]int64(nil), xs...)
+		sortInt64(cp)
+		for i := 1; i < len(cp); i++ {
+			if cp[i-1] > cp[i] {
+				return false
+			}
+		}
+		return len(cp) == len(xs)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(9))}); err != nil {
+		t.Fatal(err)
+	}
+}

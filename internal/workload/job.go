@@ -1,0 +1,218 @@
+// Package workload defines the job model used throughout the simulator, the
+// Standard Workload Format (SWF) reader and writer, and the calibrated
+// synthetic trace generators that substitute for the Grid'5000 and Parallel
+// Workload Archive traces the paper uses (see DESIGN.md §4 for the
+// substitution rationale).
+package workload
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Job is a rigid parallel job as submitted to the grid. Runtime and Walltime
+// are expressed in seconds on a reference-speed cluster (speed 1.0); the
+// batch layer rescales them to the speed of the cluster that actually
+// executes the job.
+type Job struct {
+	// ID is unique within a trace. IDs are positive.
+	ID int
+	// Submit is the submission time in seconds from the start of the trace.
+	Submit int64
+	// Runtime is the actual execution time on a reference-speed cluster. The
+	// scheduler never sees this value directly; it only observes the job
+	// finishing. A runtime larger than the walltime models the "bad" jobs of
+	// the raw Parallel Workload Archive logs: such a job is killed at its
+	// walltime.
+	Runtime int64
+	// Walltime is the user-requested execution time bound on a
+	// reference-speed cluster. The batch system kills the job when it is
+	// exceeded, so users over-estimate it; the gap between Walltime and
+	// Runtime is what creates reallocation opportunities.
+	Walltime int64
+	// Procs is the number of processors the job needs for its whole
+	// execution (rigid job).
+	Procs int
+	// User is an opaque user identifier carried over from the trace. It is
+	// informational only.
+	User int
+	// Site is the name of the site the job was originally submitted to in
+	// the trace. The meta-scheduler ignores it (the paper routes every job
+	// through the agent), but trace statistics such as Table 1 group by it.
+	Site string
+}
+
+// Validate checks the structural invariants of a job. It does not reject
+// "bad" jobs (runtime exceeding walltime) because the paper deliberately
+// keeps them; it rejects jobs the simulator cannot represent at all.
+func (j Job) Validate() error {
+	switch {
+	case j.ID <= 0:
+		return fmt.Errorf("job %d: non-positive ID", j.ID)
+	case j.Submit < 0:
+		return fmt.Errorf("job %d: negative submit time %d", j.ID, j.Submit)
+	case j.Procs <= 0:
+		return fmt.Errorf("job %d: non-positive processor count %d", j.ID, j.Procs)
+	case j.Walltime <= 0:
+		return fmt.Errorf("job %d: non-positive walltime %d", j.ID, j.Walltime)
+	case j.Runtime < 0:
+		return fmt.Errorf("job %d: negative runtime %d", j.ID, j.Runtime)
+	}
+	return nil
+}
+
+// EffectiveRuntime returns the time the job actually occupies processors on
+// a reference-speed cluster: its runtime bounded by its walltime (walltime
+// kill).
+func (j Job) EffectiveRuntime() int64 {
+	if j.Runtime > j.Walltime {
+		return j.Walltime
+	}
+	return j.Runtime
+}
+
+// KilledByWalltime reports whether the job would be killed by the batch
+// system because its real execution exceeds its requested walltime.
+func (j Job) KilledByWalltime() bool { return j.Runtime > j.Walltime }
+
+// Trace is an ordered collection of jobs. Jobs are kept sorted by submission
+// time (ties broken by ID) which is the order the client replays them in.
+type Trace struct {
+	// Name identifies the trace in tables and file names (e.g. "jan",
+	// "pwa-g5k").
+	Name string
+	// Jobs is sorted by (Submit, ID).
+	Jobs []Job
+}
+
+// ErrEmptyTrace is returned when an operation needs at least one job.
+var ErrEmptyTrace = errors.New("workload: empty trace")
+
+// NewTrace builds a trace from jobs, copying and sorting them by submission
+// time. Jobs failing validation are rejected.
+func NewTrace(name string, jobs []Job) (*Trace, error) {
+	cp := append([]Job(nil), jobs...)
+	for _, j := range cp {
+		if err := j.Validate(); err != nil {
+			return nil, fmt.Errorf("workload: trace %q: %w", name, err)
+		}
+	}
+	sortJobs(cp)
+	if err := checkUniqueIDs(cp); err != nil {
+		return nil, fmt.Errorf("workload: trace %q: %w", name, err)
+	}
+	return &Trace{Name: name, Jobs: cp}, nil
+}
+
+func sortJobs(jobs []Job) {
+	sort.SliceStable(jobs, func(i, k int) bool {
+		if jobs[i].Submit != jobs[k].Submit {
+			return jobs[i].Submit < jobs[k].Submit
+		}
+		return jobs[i].ID < jobs[k].ID
+	})
+}
+
+func checkUniqueIDs(jobs []Job) error {
+	seen := make(map[int]struct{}, len(jobs))
+	for _, j := range jobs {
+		if _, dup := seen[j.ID]; dup {
+			return fmt.Errorf("duplicate job ID %d", j.ID)
+		}
+		seen[j.ID] = struct{}{}
+	}
+	return nil
+}
+
+// Len returns the number of jobs in the trace.
+func (t *Trace) Len() int { return len(t.Jobs) }
+
+// Span returns the submission time of the first and last job. It returns an
+// error for an empty trace.
+func (t *Trace) Span() (first, last int64, err error) {
+	if len(t.Jobs) == 0 {
+		return 0, 0, ErrEmptyTrace
+	}
+	return t.Jobs[0].Submit, t.Jobs[len(t.Jobs)-1].Submit, nil
+}
+
+// MaxProcs returns the largest processor request in the trace (0 for an
+// empty trace).
+func (t *Trace) MaxProcs() int {
+	maxP := 0
+	for _, j := range t.Jobs {
+		if j.Procs > maxP {
+			maxP = j.Procs
+		}
+	}
+	return maxP
+}
+
+// Scale returns a new trace containing approximately fraction of the jobs
+// (every k-th job, preserving order and relative burstiness). A fraction
+// >= 1 returns a copy of the whole trace; a fraction <= 0 returns an empty
+// trace. Scaling is used by the test-suite and the benchmarks, which replay
+// the paper's scenarios on reduced trace sizes.
+func (t *Trace) Scale(fraction float64) *Trace {
+	out := &Trace{Name: t.Name}
+	if fraction <= 0 || len(t.Jobs) == 0 {
+		return out
+	}
+	if fraction >= 1 {
+		out.Jobs = append([]Job(nil), t.Jobs...)
+		return out
+	}
+	stride := 1.0 / fraction
+	next := 0.0
+	for i, j := range t.Jobs {
+		if float64(i) >= next {
+			out.Jobs = append(out.Jobs, j)
+			next += stride
+		}
+	}
+	return out
+}
+
+// Clamp returns a copy of the trace in which no job requests more than
+// maxProcs processors. Jobs larger than the largest cluster could never be
+// scheduled anywhere; the experiment harness clamps them, mimicking what a
+// production middleware does when it refuses oversized requests.
+func (t *Trace) Clamp(maxProcs int) *Trace {
+	out := &Trace{Name: t.Name, Jobs: make([]Job, 0, len(t.Jobs))}
+	for _, j := range t.Jobs {
+		if j.Procs > maxProcs {
+			j.Procs = maxProcs
+		}
+		out.Jobs = append(out.Jobs, j)
+	}
+	return out
+}
+
+// Merge combines several traces into one, re-assigning IDs so they stay
+// unique while preserving each job's submission time and originating site.
+// The result is sorted by submission time. The merged trace is what the
+// seventh scenario of the paper uses (Bordeaux + CTC + SDSC over six
+// months).
+func Merge(name string, traces ...*Trace) *Trace {
+	var jobs []Job
+	id := 1
+	for _, t := range traces {
+		if t == nil {
+			continue
+		}
+		for _, j := range t.Jobs {
+			j.ID = id
+			id++
+			jobs = append(jobs, j)
+		}
+	}
+	sortJobs(jobs)
+	// Re-assign IDs after sorting so that submission order and ID order
+	// agree, which keeps the MCT heuristic's "submission order" selection
+	// unambiguous.
+	for i := range jobs {
+		jobs[i].ID = i + 1
+	}
+	return &Trace{Name: name, Jobs: jobs}
+}

@@ -1,0 +1,205 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+)
+
+func validJob(id int) Job {
+	return Job{ID: id, Submit: int64(id * 10), Runtime: 100, Walltime: 200, Procs: 4, Site: "test"}
+}
+
+func TestJobValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*Job)
+		ok   bool
+	}{
+		{"valid", func(*Job) {}, true},
+		{"zero id", func(j *Job) { j.ID = 0 }, false},
+		{"negative id", func(j *Job) { j.ID = -1 }, false},
+		{"negative submit", func(j *Job) { j.Submit = -5 }, false},
+		{"zero procs", func(j *Job) { j.Procs = 0 }, false},
+		{"negative procs", func(j *Job) { j.Procs = -2 }, false},
+		{"zero walltime", func(j *Job) { j.Walltime = 0 }, false},
+		{"negative runtime", func(j *Job) { j.Runtime = -1 }, false},
+		{"zero runtime ok", func(j *Job) { j.Runtime = 0 }, true},
+		{"bad job ok", func(j *Job) { j.Runtime = j.Walltime + 100 }, true},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			j := validJob(1)
+			c.mut(&j)
+			err := j.Validate()
+			if c.ok && err != nil {
+				t.Fatalf("unexpected error: %v", err)
+			}
+			if !c.ok && err == nil {
+				t.Fatal("expected an error")
+			}
+		})
+	}
+}
+
+func TestEffectiveRuntimeAndKill(t *testing.T) {
+	j := Job{ID: 1, Runtime: 100, Walltime: 200, Procs: 1}
+	if j.EffectiveRuntime() != 100 {
+		t.Fatalf("EffectiveRuntime = %d, want 100", j.EffectiveRuntime())
+	}
+	if j.KilledByWalltime() {
+		t.Fatal("job within walltime flagged as killed")
+	}
+	bad := Job{ID: 2, Runtime: 500, Walltime: 200, Procs: 1}
+	if bad.EffectiveRuntime() != 200 {
+		t.Fatalf("bad job EffectiveRuntime = %d, want walltime 200", bad.EffectiveRuntime())
+	}
+	if !bad.KilledByWalltime() {
+		t.Fatal("bad job not flagged as killed")
+	}
+}
+
+func TestNewTraceSortsBySubmit(t *testing.T) {
+	jobs := []Job{
+		{ID: 1, Submit: 300, Runtime: 10, Walltime: 20, Procs: 1},
+		{ID: 2, Submit: 100, Runtime: 10, Walltime: 20, Procs: 1},
+		{ID: 3, Submit: 200, Runtime: 10, Walltime: 20, Procs: 1},
+	}
+	tr, err := NewTrace("t", jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantOrder := []int{2, 3, 1}
+	for i, j := range tr.Jobs {
+		if j.ID != wantOrder[i] {
+			t.Fatalf("position %d has job %d, want %d", i, j.ID, wantOrder[i])
+		}
+	}
+	// The input slice must not be reordered.
+	if jobs[0].ID != 1 {
+		t.Fatal("NewTrace mutated its input slice")
+	}
+}
+
+func TestNewTraceTieBreakByID(t *testing.T) {
+	jobs := []Job{
+		{ID: 5, Submit: 100, Runtime: 10, Walltime: 20, Procs: 1},
+		{ID: 2, Submit: 100, Runtime: 10, Walltime: 20, Procs: 1},
+	}
+	tr, err := NewTrace("t", jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Jobs[0].ID != 2 || tr.Jobs[1].ID != 5 {
+		t.Fatalf("tie not broken by ID: %v", []int{tr.Jobs[0].ID, tr.Jobs[1].ID})
+	}
+}
+
+func TestNewTraceRejectsInvalidAndDuplicate(t *testing.T) {
+	if _, err := NewTrace("t", []Job{{ID: 1, Procs: 0, Walltime: 10}}); err == nil {
+		t.Fatal("invalid job accepted")
+	}
+	dup := []Job{validJob(1), validJob(1)}
+	if _, err := NewTrace("t", dup); err == nil || !strings.Contains(err.Error(), "duplicate") {
+		t.Fatalf("duplicate IDs accepted: %v", err)
+	}
+}
+
+func TestTraceSpanAndEmpty(t *testing.T) {
+	tr, _ := NewTrace("t", []Job{validJob(1), validJob(5)})
+	first, last, err := tr.Span()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first != 10 || last != 50 {
+		t.Fatalf("span = %d..%d, want 10..50", first, last)
+	}
+	empty := &Trace{Name: "empty"}
+	if _, _, err := empty.Span(); err != ErrEmptyTrace {
+		t.Fatalf("empty span error = %v, want ErrEmptyTrace", err)
+	}
+	if empty.MaxProcs() != 0 {
+		t.Fatal("MaxProcs of empty trace should be 0")
+	}
+}
+
+func TestTraceScale(t *testing.T) {
+	var jobs []Job
+	for i := 1; i <= 100; i++ {
+		jobs = append(jobs, validJob(i))
+	}
+	tr, _ := NewTrace("t", jobs)
+
+	full := tr.Scale(1.0)
+	if full.Len() != 100 {
+		t.Fatalf("Scale(1) kept %d jobs", full.Len())
+	}
+	half := tr.Scale(0.5)
+	if half.Len() < 45 || half.Len() > 55 {
+		t.Fatalf("Scale(0.5) kept %d jobs", half.Len())
+	}
+	none := tr.Scale(0)
+	if none.Len() != 0 {
+		t.Fatalf("Scale(0) kept %d jobs", none.Len())
+	}
+	over := tr.Scale(2)
+	if over.Len() != 100 {
+		t.Fatalf("Scale(2) kept %d jobs", over.Len())
+	}
+	// Order is preserved.
+	prev := int64(-1)
+	for _, j := range half.Jobs {
+		if j.Submit < prev {
+			t.Fatal("Scale broke submission order")
+		}
+		prev = j.Submit
+	}
+}
+
+func TestTraceClamp(t *testing.T) {
+	tr, _ := NewTrace("t", []Job{
+		{ID: 1, Submit: 0, Runtime: 10, Walltime: 20, Procs: 1000},
+		{ID: 2, Submit: 1, Runtime: 10, Walltime: 20, Procs: 4},
+	})
+	clamped := tr.Clamp(128)
+	if clamped.Jobs[0].Procs != 128 {
+		t.Fatalf("oversized job clamped to %d, want 128", clamped.Jobs[0].Procs)
+	}
+	if clamped.Jobs[1].Procs != 4 {
+		t.Fatalf("small job modified: %d", clamped.Jobs[1].Procs)
+	}
+	// The original trace is untouched.
+	if tr.Jobs[0].Procs != 1000 {
+		t.Fatal("Clamp mutated the original trace")
+	}
+}
+
+func TestMergeReassignsIDsAndSorts(t *testing.T) {
+	t1, _ := NewTrace("a", []Job{
+		{ID: 1, Submit: 100, Runtime: 10, Walltime: 20, Procs: 1, Site: "a"},
+		{ID: 2, Submit: 300, Runtime: 10, Walltime: 20, Procs: 1, Site: "a"},
+	})
+	t2, _ := NewTrace("b", []Job{
+		{ID: 1, Submit: 200, Runtime: 10, Walltime: 20, Procs: 1, Site: "b"},
+	})
+	merged := Merge("m", t1, nil, t2)
+	if merged.Len() != 3 {
+		t.Fatalf("merged %d jobs, want 3", merged.Len())
+	}
+	// IDs are 1..n in submission order, sites preserved.
+	wantSites := []string{"a", "b", "a"}
+	for i, j := range merged.Jobs {
+		if j.ID != i+1 {
+			t.Fatalf("job %d has ID %d", i, j.ID)
+		}
+		if j.Site != wantSites[i] {
+			t.Fatalf("job %d site = %q, want %q", i, j.Site, wantSites[i])
+		}
+	}
+}
+
+func TestMergeEmpty(t *testing.T) {
+	merged := Merge("m")
+	if merged.Len() != 0 {
+		t.Fatalf("empty merge has %d jobs", merged.Len())
+	}
+}

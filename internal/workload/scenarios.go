@@ -1,0 +1,239 @@
+package workload
+
+import "fmt"
+
+// The paper evaluates seven scenarios: the first six months of 2008 on three
+// Grid'5000 sites (Bordeaux, Lyon, Toulouse), plus a six-month scenario
+// mixing the Bordeaux trace with the CTC and SDSC traces of the Parallel
+// Workload Archive. Table 1 gives the per-site job counts reproduced below.
+// Since the original traces cannot be redistributed, the scenario
+// constructors generate calibrated synthetic traces with exactly these
+// counts (scaled by the caller-provided fraction for tests and benchmarks).
+
+// Month identifies one of the six monthly scenarios.
+type Month int
+
+// The six months covered by the Grid'5000 traces (first half of 2008).
+const (
+	January Month = iota
+	February
+	March
+	April
+	May
+	June
+)
+
+// String returns the short lowercase month name used in the paper's tables.
+func (m Month) String() string {
+	names := [...]string{"jan", "feb", "mar", "apr", "may", "jun"}
+	if m < January || m > June {
+		return fmt.Sprintf("month(%d)", int(m))
+	}
+	return names[m]
+}
+
+// Months lists the six monthly scenarios in order.
+func Months() []Month {
+	return []Month{January, February, March, April, May, June}
+}
+
+// table1 holds the job counts of Table 1 (jobs per month and per site).
+var table1 = map[Month][3]int{
+	January:  {13084, 583, 488},
+	February: {5822, 2695, 1123},
+	March:    {11673, 8315, 949},
+	April:    {33250, 1330, 1461},
+	May:      {6765, 2179, 1573},
+	June:     {4094, 3540, 1548},
+}
+
+// Grid'5000 and PWA cluster sizes used to bound generated job widths; they
+// match the platform definitions in internal/platform.
+const (
+	bordeauxCores = 640
+	lyonCores     = 270
+	toulouseCores = 434
+	ctcCores      = 430
+	sdscCores     = 128
+)
+
+// PWA six-month job counts from Section 3.3 of the paper.
+const (
+	bordeauxSixMonthJobs = 74647
+	ctcJobs              = 42873
+	sdscJobs             = 15615
+)
+
+// Table1Counts returns the job counts of Table 1: per month, the counts for
+// Bordeaux, Lyon and Toulouse (in that order) and the total.
+func Table1Counts() map[string][4]int {
+	out := make(map[string][4]int, len(table1))
+	for m, c := range table1 {
+		out[m.String()] = [4]int{c[0], c[1], c[2], c[0] + c[1] + c[2]}
+	}
+	return out
+}
+
+// ScenarioName is the identifier of one of the seven workloads of the paper
+// ("jan" ... "jun", "pwa-g5k").
+type ScenarioName string
+
+// PWAG5K is the name of the seventh, six-month scenario.
+const PWAG5K ScenarioName = "pwa-g5k"
+
+// ScenarioNames lists the seven scenarios in the order of the paper's table
+// columns.
+func ScenarioNames() []ScenarioName {
+	return []ScenarioName{"jan", "feb", "mar", "apr", "may", "jun", PWAG5K}
+}
+
+// scaleDuration shortens the submission window proportionally to the job
+// count fraction so that reduced traces keep the full-scale offered load
+// (jobs per core-second): cutting only the job count would leave the
+// platform nearly idle and no reallocation would ever trigger. A floor keeps
+// the window long enough for several hourly reallocation events.
+func scaleDuration(full int64, fraction float64, floor int64) int64 {
+	if fraction >= 1 {
+		return full
+	}
+	if fraction <= 0 {
+		return floor
+	}
+	d := int64(float64(full) * fraction)
+	if d < floor {
+		d = floor
+	}
+	return d
+}
+
+// MonthScenario generates the three per-site traces of one monthly scenario.
+// Fraction scales the job counts (1.0 reproduces the counts of Table 1) and
+// the submission window together, preserving the offered load; seeds are
+// derived from the month so each scenario is independent yet reproducible.
+func MonthScenario(m Month, fraction float64, seed uint64) ([]*Trace, error) {
+	counts, ok := table1[m]
+	if !ok {
+		return nil, fmt.Errorf("workload: unknown month %v", m)
+	}
+	duration := scaleDuration(MonthSeconds, fraction, 6*3600)
+	sites := []struct {
+		name  string
+		count int
+		cores int
+		mean  int64
+	}{
+		{"bordeaux", counts[0], bordeauxCores, 1300},
+		{"lyon", counts[1], lyonCores, 1600},
+		{"toulouse", counts[2], toulouseCores, 1800},
+	}
+	traces := make([]*Trace, 0, len(sites))
+	for i, s := range sites {
+		p := defaultProfile(s.name, scaleCount(s.count, fraction), duration, s.cores)
+		p.MeanRuntime = s.mean
+		p.MaxRuntime = 12 * 3600
+		t, err := GenerateSite(p, seed^uint64(m)<<8^uint64(i+1)*0x9e37)
+		if err != nil {
+			return nil, err
+		}
+		traces = append(traces, t)
+	}
+	return traces, nil
+}
+
+// PWAScenario generates the three traces of the six-month pwa-g5k scenario:
+// Bordeaux (Grid'5000 style), CTC-like and SDSC-like. The two archive-style
+// traces include a fraction of "bad" jobs whose runtime exceeds the
+// walltime, as the paper keeps the raw unclean logs.
+func PWAScenario(fraction float64, seed uint64) ([]*Trace, error) {
+	duration := scaleDuration(SixMonthSeconds, fraction, 12*3600)
+	bordeaux := defaultProfile("bordeaux", scaleCount(bordeauxSixMonthJobs, fraction), duration, bordeauxCores)
+	bordeaux.MeanRuntime = 1300
+	bordeaux.MaxRuntime = 12 * 3600
+
+	ctc := GenerateCTCLikeProfile(scaleCount(ctcJobs, fraction))
+	ctc.Duration = duration
+	sdsc := GenerateSDSCLikeProfile(scaleCount(sdscJobs, fraction))
+	sdsc.Duration = duration
+
+	profiles := []SiteProfile{bordeaux, ctc, sdsc}
+	traces := make([]*Trace, 0, len(profiles))
+	for i, p := range profiles {
+		t, err := GenerateSite(p, seed^0xbeef^uint64(i+1)*0x85eb)
+		if err != nil {
+			return nil, err
+		}
+		traces = append(traces, t)
+	}
+	return traces, nil
+}
+
+// GenerateCTCLikeProfile returns a profile mimicking the CTC SP2 archive
+// trace: longer jobs, larger over-estimation, a small fraction of bad jobs.
+func GenerateCTCLikeProfile(jobs int) SiteProfile {
+	p := defaultProfile("ctc", jobs, SixMonthSeconds, ctcCores)
+	p.MeanRuntime = 3600
+	p.MaxRuntime = 12 * 3600
+	p.SerialFraction = 0.25
+	p.OverestimationMax = 6.0
+	p.BadJobFraction = 0.03
+	p.Users = 120
+	return p
+}
+
+// GenerateSDSCLikeProfile returns a profile mimicking the SDSC SP2 archive
+// trace: a small cluster with long jobs and heavy over-estimation.
+func GenerateSDSCLikeProfile(jobs int) SiteProfile {
+	p := defaultProfile("sdsc", jobs, SixMonthSeconds, sdscCores)
+	p.MeanRuntime = 3000
+	p.MaxRuntime = 12 * 3600
+	p.SerialFraction = 0.30
+	p.OverestimationMax = 6.0
+	p.BadJobFraction = 0.04
+	p.Users = 90
+	return p
+}
+
+// Scenario generates the merged grid-level trace for the named scenario
+// (jobs from every site interleaved by submission time, as the paper routes
+// all submissions through the meta-scheduler). Fraction scales the number
+// of jobs.
+func Scenario(name ScenarioName, fraction float64, seed uint64) (*Trace, error) {
+	var traces []*Trace
+	var err error
+	switch name {
+	case "jan", "feb", "mar", "apr", "may", "jun":
+		traces, err = MonthScenario(monthFromName(name), fraction, seed)
+	case PWAG5K:
+		traces, err = PWAScenario(fraction, seed)
+	default:
+		return nil, fmt.Errorf("workload: unknown scenario %q", name)
+	}
+	if err != nil {
+		return nil, err
+	}
+	merged := Merge(string(name), traces...)
+	return merged, nil
+}
+
+func monthFromName(name ScenarioName) Month {
+	for _, m := range Months() {
+		if m.String() == string(name) {
+			return m
+		}
+	}
+	return January
+}
+
+func scaleCount(count int, fraction float64) int {
+	if fraction >= 1 {
+		return count
+	}
+	if fraction <= 0 {
+		return 0
+	}
+	scaled := int(float64(count) * fraction)
+	if scaled < 1 && count > 0 {
+		scaled = 1
+	}
+	return scaled
+}

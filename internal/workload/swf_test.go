@@ -1,0 +1,156 @@
+package workload
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+const sampleSWF = `; Comment header line
+; another ; comment
+1 0 5 3600 8 -1 -1 8 7200 -1 1 17 -1 -1 -1 -1 -1 -1
+2 60 -1 100 -1 -1 -1 4 900 -1 1 18 -1 -1 -1 -1 -1 -1
+3 120 0 50 2 -1 -1 -1 -1 -1 0 19 -1 -1 -1 -1 -1 -1
+`
+
+func TestReadSWFBasic(t *testing.T) {
+	tr, err := ReadSWF(strings.NewReader(sampleSWF), "sample")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 3 {
+		t.Fatalf("read %d jobs, want 3", tr.Len())
+	}
+	j1 := tr.Jobs[0]
+	if j1.ID != 1 || j1.Submit != 0 || j1.Runtime != 3600 || j1.Procs != 8 || j1.Walltime != 7200 || j1.User != 17 {
+		t.Fatalf("job 1 parsed as %+v", j1)
+	}
+	// Job 2 has requested procs 4 and no allocated procs.
+	if tr.Jobs[1].Procs != 4 {
+		t.Fatalf("job 2 procs = %d, want 4", tr.Jobs[1].Procs)
+	}
+	// Job 3 has no requested procs; falls back to allocated (2), and no
+	// walltime; falls back to runtime (50).
+	j3 := tr.Jobs[2]
+	if j3.Procs != 2 {
+		t.Fatalf("job 3 procs = %d, want 2 (allocated fallback)", j3.Procs)
+	}
+	if j3.Walltime != 50 {
+		t.Fatalf("job 3 walltime = %d, want runtime fallback 50", j3.Walltime)
+	}
+	// Site is set to the trace name.
+	for _, j := range tr.Jobs {
+		if j.Site != "sample" {
+			t.Fatalf("job %d site = %q", j.ID, j.Site)
+		}
+	}
+}
+
+func TestReadSWFRepairsBadValues(t *testing.T) {
+	raw := "7 -10 0 -1 0 -1 -1 0 0 -1 0 5 -1 -1 -1 -1 -1 -1\n"
+	tr, err := ReadSWF(strings.NewReader(raw), "bad")
+	if err != nil {
+		t.Fatal(err)
+	}
+	j := tr.Jobs[0]
+	if j.Submit != 0 {
+		t.Fatalf("negative submit not repaired: %d", j.Submit)
+	}
+	if j.Procs != 1 {
+		t.Fatalf("zero procs not repaired: %d", j.Procs)
+	}
+	if j.Runtime != 0 {
+		t.Fatalf("negative runtime not repaired: %d", j.Runtime)
+	}
+	if j.Walltime != 1 {
+		t.Fatalf("zero walltime not repaired: %d", j.Walltime)
+	}
+}
+
+func TestReadSWFRenumbersDuplicates(t *testing.T) {
+	raw := "1 0 0 10 1 -1 -1 1 20 -1 1 1 -1 -1 -1 -1 -1 -1\n" +
+		"1 5 0 10 1 -1 -1 1 20 -1 1 1 -1 -1 -1 -1 -1 -1\n"
+	tr, err := ReadSWF(strings.NewReader(raw), "dup")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 2 {
+		t.Fatalf("read %d jobs, want 2", tr.Len())
+	}
+	if tr.Jobs[0].ID == tr.Jobs[1].ID {
+		t.Fatal("duplicate IDs not renumbered")
+	}
+}
+
+func TestReadSWFMalformedLine(t *testing.T) {
+	raw := "1 0 0\n"
+	if _, err := ReadSWF(strings.NewReader(raw), "short"); err == nil {
+		t.Fatal("short line accepted")
+	}
+	raw = "1 0 0 x 1 -1 -1 1 20 -1 1 1 -1 -1 -1 -1 -1 -1\n"
+	if _, err := ReadSWF(strings.NewReader(raw), "notanumber"); err == nil || !strings.Contains(err.Error(), "line 1") {
+		t.Fatalf("malformed number: err = %v, want mention of line 1", err)
+	}
+}
+
+func TestReadSWFEmpty(t *testing.T) {
+	tr, err := ReadSWF(strings.NewReader("; nothing here\n\n"), "empty")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 0 {
+		t.Fatalf("empty input produced %d jobs", tr.Len())
+	}
+}
+
+func TestSWFRoundTrip(t *testing.T) {
+	original, err := GenerateSite(SiteProfile{
+		Site: "rt", Jobs: 200, Duration: 86400, MaxProcs: 64,
+		MeanRuntime: 600, MaxRuntime: 7200,
+		SerialFraction: 0.3, PowerOfTwoFraction: 0.7,
+		BurstFraction: 0.2, BurstSize: 10,
+		OverestimationMax: 3, ExactWalltimeFraction: 0.2,
+		Users: 5,
+	}, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteSWF(&buf, original); err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := ReadSWF(&buf, "rt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parsed.Len() != original.Len() {
+		t.Fatalf("round trip lost jobs: %d -> %d", original.Len(), parsed.Len())
+	}
+	for i := range original.Jobs {
+		a, b := original.Jobs[i], parsed.Jobs[i]
+		if a.ID != b.ID || a.Submit != b.Submit || a.Runtime != b.Runtime ||
+			a.Walltime != b.Walltime || a.Procs != b.Procs || a.User != b.User {
+			t.Fatalf("job %d changed in round trip:\n  wrote %+v\n  read  %+v", a.ID, a, b)
+		}
+	}
+}
+
+func TestWriteSWFHeader(t *testing.T) {
+	tr, _ := NewTrace("hdr", []Job{validJob(1)})
+	var buf bytes.Buffer
+	if err := WriteSWF(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.HasPrefix(out, ";") {
+		t.Fatal("SWF output does not start with a comment header")
+	}
+	if !strings.Contains(out, "hdr") {
+		t.Fatal("SWF header does not mention the trace name")
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	last := lines[len(lines)-1]
+	if len(strings.Fields(last)) != swfFields {
+		t.Fatalf("record line has %d fields, want %d", len(strings.Fields(last)), swfFields)
+	}
+}

@@ -1,0 +1,104 @@
+package workload
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"gridrealloc/internal/stats"
+)
+
+// TraceStats summarises a trace: job counts per site, mean sizes and the
+// over-estimation ratio. It backs the reproduction of Table 1 and the trace
+// sanity checks of the experiment harness.
+type TraceStats struct {
+	Name             string
+	Jobs             int
+	JobsPerSite      map[string]int
+	MeanProcs        float64
+	MaxProcs         int
+	MeanRuntime      float64
+	MeanWalltime     float64
+	MeanOverestimate float64
+	BadJobs          int
+	SpanSeconds      int64
+}
+
+// Stats computes summary statistics for the trace.
+func Stats(t *Trace) TraceStats {
+	s := TraceStats{Name: t.Name, Jobs: len(t.Jobs), JobsPerSite: make(map[string]int)}
+	if len(t.Jobs) == 0 {
+		return s
+	}
+	var procs, runtimes, walltimes, ratios []float64
+	for _, j := range t.Jobs {
+		s.JobsPerSite[j.Site]++
+		procs = append(procs, float64(j.Procs))
+		runtimes = append(runtimes, float64(j.Runtime))
+		walltimes = append(walltimes, float64(j.Walltime))
+		if j.Runtime > 0 {
+			ratios = append(ratios, float64(j.Walltime)/float64(j.Runtime))
+		}
+		if j.KilledByWalltime() {
+			s.BadJobs++
+		}
+		if j.Procs > s.MaxProcs {
+			s.MaxProcs = j.Procs
+		}
+	}
+	s.MeanProcs = stats.Mean(procs)
+	s.MeanRuntime = stats.Mean(runtimes)
+	s.MeanWalltime = stats.Mean(walltimes)
+	s.MeanOverestimate = stats.Mean(ratios)
+	first, last, _ := t.Span()
+	s.SpanSeconds = last - first
+	return s
+}
+
+// FormatTable1 renders the job counts of the six monthly scenarios in the
+// layout of Table 1 of the paper (rows: months; columns: Bordeaux, Lyon,
+// Toulouse, Total). The counts argument normally comes from Table1Counts
+// (the paper's reference numbers) or from generated traces for a
+// measured-vs-paper comparison.
+func FormatTable1(counts map[string][4]int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-10s %10s %10s %10s %10s\n", "Month/Site", "Bordeaux", "Lyon", "Toulouse", "Total")
+	order := []string{"jan", "feb", "mar", "apr", "may", "jun"}
+	labels := map[string]string{
+		"jan": "January", "feb": "February", "mar": "March",
+		"apr": "April", "may": "May", "jun": "June",
+	}
+	for _, key := range order {
+		c, ok := counts[key]
+		if !ok {
+			continue
+		}
+		fmt.Fprintf(&b, "%-10s %10d %10d %10d %10d\n", labels[key], c[0], c[1], c[2], c[3])
+	}
+	return b.String()
+}
+
+// SiteCounts returns, for a merged scenario trace, the number of jobs that
+// originated on each site, in deterministic (sorted) site order.
+func SiteCounts(t *Trace) []SiteCount {
+	byName := make(map[string]int)
+	for _, j := range t.Jobs {
+		byName[j.Site]++
+	}
+	names := make([]string, 0, len(byName))
+	for n := range byName {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	out := make([]SiteCount, 0, len(names))
+	for _, n := range names {
+		out = append(out, SiteCount{Site: n, Jobs: byName[n]})
+	}
+	return out
+}
+
+// SiteCount pairs a site name with a job count.
+type SiteCount struct {
+	Site string
+	Jobs int
+}

@@ -1,0 +1,93 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestStatsBasic(t *testing.T) {
+	tr, _ := NewTrace("s", []Job{
+		{ID: 1, Submit: 0, Runtime: 100, Walltime: 200, Procs: 2, Site: "a"},
+		{ID: 2, Submit: 100, Runtime: 300, Walltime: 200, Procs: 4, Site: "b"},
+		{ID: 3, Submit: 200, Runtime: 50, Walltime: 100, Procs: 6, Site: "a"},
+	})
+	s := Stats(tr)
+	if s.Jobs != 3 {
+		t.Fatalf("Jobs = %d", s.Jobs)
+	}
+	if s.JobsPerSite["a"] != 2 || s.JobsPerSite["b"] != 1 {
+		t.Fatalf("JobsPerSite = %v", s.JobsPerSite)
+	}
+	if s.MeanProcs != 4 {
+		t.Fatalf("MeanProcs = %v, want 4", s.MeanProcs)
+	}
+	if s.MaxProcs != 6 {
+		t.Fatalf("MaxProcs = %v", s.MaxProcs)
+	}
+	if s.BadJobs != 1 {
+		t.Fatalf("BadJobs = %d, want 1 (job 2 exceeds its walltime)", s.BadJobs)
+	}
+	if s.SpanSeconds != 200 {
+		t.Fatalf("SpanSeconds = %d", s.SpanSeconds)
+	}
+}
+
+func TestStatsEmptyTrace(t *testing.T) {
+	s := Stats(&Trace{Name: "empty"})
+	if s.Jobs != 0 || s.MeanProcs != 0 || s.MeanRuntime != 0 {
+		t.Fatalf("empty stats not zeroed: %+v", s)
+	}
+}
+
+func TestFormatTable1Layout(t *testing.T) {
+	out := workloadFormatTable1ForTest()
+	if !strings.Contains(out, "Month/Site") {
+		t.Fatal("header missing")
+	}
+	if !strings.Contains(out, "January") || !strings.Contains(out, "June") {
+		t.Fatal("month rows missing")
+	}
+	if !strings.Contains(out, "36041") {
+		t.Fatal("April total (36041) missing")
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 7 {
+		t.Fatalf("table has %d lines, want header + 6 months", len(lines))
+	}
+}
+
+func workloadFormatTable1ForTest() string {
+	return FormatTable1(Table1Counts())
+}
+
+func TestSiteCountsSortedAndComplete(t *testing.T) {
+	tr, _ := NewTrace("s", []Job{
+		{ID: 1, Submit: 0, Runtime: 1, Walltime: 10, Procs: 1, Site: "zeta"},
+		{ID: 2, Submit: 1, Runtime: 1, Walltime: 10, Procs: 1, Site: "alpha"},
+		{ID: 3, Submit: 2, Runtime: 1, Walltime: 10, Procs: 1, Site: "alpha"},
+	})
+	counts := SiteCounts(tr)
+	if len(counts) != 2 {
+		t.Fatalf("got %d sites", len(counts))
+	}
+	if counts[0].Site != "alpha" || counts[0].Jobs != 2 {
+		t.Fatalf("first site = %+v, want alpha/2", counts[0])
+	}
+	if counts[1].Site != "zeta" || counts[1].Jobs != 1 {
+		t.Fatalf("second site = %+v, want zeta/1", counts[1])
+	}
+}
+
+func TestStatsOverestimateAboveOne(t *testing.T) {
+	tr, err := GenerateSite(testProfile(400), 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := Stats(tr)
+	if s.MeanOverestimate <= 1.0 {
+		t.Fatalf("mean walltime over-estimation = %v, want > 1 (users over-request)", s.MeanOverestimate)
+	}
+	if s.MeanWalltime <= s.MeanRuntime {
+		t.Fatalf("mean walltime %v not larger than mean runtime %v", s.MeanWalltime, s.MeanRuntime)
+	}
+}

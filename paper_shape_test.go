@@ -1,0 +1,131 @@
+package gridrealloc_test
+
+import (
+	"testing"
+
+	gridrealloc "gridrealloc"
+)
+
+// The tests in this file check that the reproduction preserves the *shape*
+// of the paper's findings (Section 4 and the conclusion), not its absolute
+// numbers: reallocation is beneficial on average, the cancellation algorithm
+// (Algorithm 2) beats the algorithm without cancellation on the average
+// response time of impacted jobs, the number of migrations stays small
+// relative to the trace, and more jobs finish earlier than later.
+//
+// They run on a 15% slice of the February and April scenarios; the
+// submission window scales with the slice so the offered load matches the
+// full-scale traces.
+
+type shapeResult struct {
+	cmpAlg1 gridrealloc.Comparison
+	cmpAlg2 gridrealloc.Comparison
+	jobs    int
+}
+
+func runShape(t *testing.T, scenario, het, policy string) shapeResult {
+	t.Helper()
+	trace, err := gridrealloc.GenerateScenario(scenario, 0.15, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := gridrealloc.ScenarioConfig{
+		Scenario:      scenario,
+		Heterogeneity: het,
+		Policy:        policy,
+		Trace:         trace,
+	}
+	baseline, err := gridrealloc.RunScenario(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	alg1 := base
+	alg1.Algorithm = "realloc"
+	alg1.Heuristic = "MinMin"
+	resAlg1, err := gridrealloc.RunScenario(alg1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmp1, err := gridrealloc.Compare(baseline, resAlg1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	alg2 := base
+	alg2.Algorithm = "realloc-cancel"
+	alg2.Heuristic = "MinMin"
+	resAlg2, err := gridrealloc.RunScenario(alg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmp2, err := gridrealloc.Compare(baseline, resAlg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return shapeResult{cmpAlg1: cmp1, cmpAlg2: cmp2, jobs: trace.Len()}
+}
+
+// TestPaperShapeLoadedMonth checks the paper's headline findings on the
+// loaded April scenario (the month where the paper reports its largest
+// gains, close to a factor of four with cancellation).
+func TestPaperShapeLoadedMonth(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shape tests replay sizeable traces")
+	}
+	sr := runShape(t, "apr", "homogeneous", "FCFS")
+
+	// Reallocation touches a visible share of the jobs on the loaded month.
+	if sr.cmpAlg1.ImpactedPercent < 2 {
+		t.Errorf("Algorithm 1 impacted only %.2f%% of jobs on the loaded month", sr.cmpAlg1.ImpactedPercent)
+	}
+	if sr.cmpAlg2.ImpactedPercent < 5 {
+		t.Errorf("Algorithm 2 impacted only %.2f%% of jobs on the loaded month", sr.cmpAlg2.ImpactedPercent)
+	}
+	// The paper: reallocation improves the average response time of the
+	// impacted jobs, and cancellation improves it further (up to ~4x).
+	if sr.cmpAlg1.RelativeResponseTime >= 1.05 {
+		t.Errorf("Algorithm 1 relative response time = %.3f, expected a gain on the loaded month", sr.cmpAlg1.RelativeResponseTime)
+	}
+	if sr.cmpAlg2.RelativeResponseTime >= sr.cmpAlg1.RelativeResponseTime {
+		t.Errorf("cancellation (%.3f) did not beat no-cancellation (%.3f) on the loaded month",
+			sr.cmpAlg2.RelativeResponseTime, sr.cmpAlg1.RelativeResponseTime)
+	}
+	if sr.cmpAlg2.RelativeResponseTime > 0.75 {
+		t.Errorf("cancellation gain %.3f is far from the paper's large April gains", sr.cmpAlg2.RelativeResponseTime)
+	}
+	// More impacted jobs finish earlier than later with cancellation.
+	if sr.cmpAlg2.EarlierPercent <= 50 {
+		t.Errorf("only %.2f%% of impacted jobs finish earlier with cancellation", sr.cmpAlg2.EarlierPercent)
+	}
+	// Reallocations stay a small fraction of the jobs (paper: 2.3% on
+	// average, 5.8% with cancellation, max 28.8%).
+	if float64(sr.cmpAlg1.Reallocations) > 0.35*float64(sr.jobs) {
+		t.Errorf("Algorithm 1 performed %d migrations for %d jobs", sr.cmpAlg1.Reallocations, sr.jobs)
+	}
+	if float64(sr.cmpAlg2.Reallocations) > 0.60*float64(sr.jobs) {
+		t.Errorf("Algorithm 2 performed %d migrations for %d jobs", sr.cmpAlg2.Reallocations, sr.jobs)
+	}
+	t.Logf("apr/homogeneous/FCFS: alg1 relResp=%.3f impacted=%.1f%%; alg2 relResp=%.3f impacted=%.1f%% earlier=%.1f%%",
+		sr.cmpAlg1.RelativeResponseTime, sr.cmpAlg1.ImpactedPercent,
+		sr.cmpAlg2.RelativeResponseTime, sr.cmpAlg2.ImpactedPercent, sr.cmpAlg2.EarlierPercent)
+}
+
+// TestPaperShapeLightMonthNotHarmed checks that on a lightly loaded month
+// the mechanism stays essentially neutral-to-beneficial (the paper: "in the
+// other cases, the reallocation mechanism is beneficial most of the time").
+func TestPaperShapeLightMonthNotHarmed(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shape tests replay sizeable traces")
+	}
+	sr := runShape(t, "feb", "heterogeneous", "CBF")
+	if sr.cmpAlg1.RelativeResponseTime > 1.15 {
+		t.Errorf("Algorithm 1 degraded the light month by %.3f", sr.cmpAlg1.RelativeResponseTime)
+	}
+	if sr.cmpAlg2.RelativeResponseTime > 1.15 {
+		t.Errorf("Algorithm 2 degraded the light month by %.3f", sr.cmpAlg2.RelativeResponseTime)
+	}
+	t.Logf("feb/heterogeneous/CBF: alg1 relResp=%.3f, alg2 relResp=%.3f, moves %d/%d",
+		sr.cmpAlg1.RelativeResponseTime, sr.cmpAlg2.RelativeResponseTime,
+		sr.cmpAlg1.Reallocations, sr.cmpAlg2.Reallocations)
+}
