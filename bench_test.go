@@ -17,7 +17,10 @@ package gridrealloc_test
 // metric so regressions in behaviour (not only in speed) are visible.
 
 import (
+	"encoding/json"
 	"fmt"
+	"os"
+	"runtime"
 	"testing"
 
 	gridrealloc "gridrealloc"
@@ -425,6 +428,190 @@ func BenchmarkBatchEstimateCompletion(b *testing.B) {
 			})
 		}
 	}
+}
+
+// BenchmarkBatchMassCancel measures the cancel-all pattern Algorithm 2
+// issues at the start of every reallocation pass: every waiting job is
+// cancelled back-to-back, then the queue is observed once. A scheduler that
+// re-plans eagerly after every cancellation pays O(n) rebuilds of O(n) work
+// each; a lazily re-planning scheduler pays one rebuild at the final
+// observation.
+func BenchmarkBatchMassCancel(b *testing.B) {
+	for _, depth := range []int{100, 1000} {
+		depth := depth
+		b.Run(fmt.Sprintf("depth_%d", depth), func(b *testing.B) {
+			probe := workload.Job{ID: 999999, Submit: 0, Runtime: 600, Walltime: 1800, Procs: 8}
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				s := loadedScheduler(b, batch.CBF, depth)
+				b.StartTimer()
+				for id := 1; id <= depth; id++ {
+					if _, _, err := s.Cancel(id, 0); err != nil {
+						b.Fatal(err)
+					}
+				}
+				// Observe the queue once so lazy implementations pay their
+				// deferred re-plan inside the timed region.
+				if _, err := s.EstimateCompletion(probe, 0); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkReallocCancelMonthSweep measures a complete month-scenario
+// simulation under Algorithm 2 (realloc-cancel), the workload whose periodic
+// sweeps issue the O(waiting-jobs x clusters) ECT queries the incremental
+// scheduler is designed to absorb.
+func BenchmarkReallocCancelMonthSweep(b *testing.B) {
+	trace, err := gridrealloc.GenerateScenario("apr", 0.05, benchSeed)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := gridrealloc.RunScenario(gridrealloc.ScenarioConfig{
+			Scenario: "apr", Heterogeneity: "heterogeneous", Policy: "CBF",
+			Trace: trace, Algorithm: "realloc-cancel", Heuristic: "MinMin",
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBatchEstimateCompletionFromScratch measures the same ECT query
+// with the incremental machinery defeated: every query pays a from-scratch
+// rebuild of the run profile and a full re-plan of the waiting queue, which
+// is what a scheduler without the incremental profile does. The ratio
+// against BenchmarkBatchEstimateCompletion is the speedup the incremental
+// path buys and is recorded in BENCH_batch.json.
+func BenchmarkBatchEstimateCompletionFromScratch(b *testing.B) {
+	for _, depth := range []int{10, 100, 1000} {
+		depth := depth
+		for _, policy := range []batch.Policy{batch.FCFS, batch.CBF} {
+			policy := policy
+			b.Run(fmt.Sprintf("%s_depth_%d", policy, depth), func(b *testing.B) {
+				s := loadedScheduler(b, policy, depth)
+				probe := workload.Job{ID: 999999, Submit: 0, Runtime: 600, Walltime: 1800, Procs: 8}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					s.InvalidateRunProfile()
+					s.InvalidatePlan()
+					if _, err := s.EstimateCompletion(probe, 0); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestWriteBenchBatchBaseline regenerates BENCH_batch.json, the committed
+// baseline of the batch-scheduler hot paths. Run it with:
+//
+//	WRITE_BENCH_BASELINE=1 go test -run TestWriteBenchBatchBaseline .
+//
+// and commit the refreshed file alongside any change to the scheduler so
+// regressions are visible in review.
+func TestWriteBenchBatchBaseline(t *testing.T) {
+	if os.Getenv("WRITE_BENCH_BASELINE") == "" {
+		t.Skip("set WRITE_BENCH_BASELINE=1 to rewrite BENCH_batch.json")
+	}
+	nsPerOp := func(r testing.BenchmarkResult) float64 {
+		if r.N == 0 {
+			return 0
+		}
+		return float64(r.T.Nanoseconds()) / float64(r.N)
+	}
+	probe := workload.Job{ID: 999999, Submit: 0, Runtime: 600, Walltime: 1800, Procs: 8}
+	cached := nsPerOp(testing.Benchmark(func(b *testing.B) {
+		s := loadedScheduler(b, batch.CBF, 1000)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := s.EstimateCompletion(probe, 0); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}))
+	scratch := nsPerOp(testing.Benchmark(func(b *testing.B) {
+		s := loadedScheduler(b, batch.CBF, 1000)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			s.InvalidateRunProfile()
+			s.InvalidatePlan()
+			if _, err := s.EstimateCompletion(probe, 0); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}))
+	submitCancel := nsPerOp(testing.Benchmark(func(b *testing.B) {
+		s := loadedScheduler(b, batch.CBF, 1000)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			j := workload.Job{ID: 1000 + i + 1, Submit: 0, Runtime: 600, Walltime: 1800, Procs: 4}
+			if err := s.Submit(j, 0, 0); err != nil {
+				b.Fatal(err)
+			}
+			if _, _, err := s.Cancel(j.ID, 0); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}))
+	massCancel := nsPerOp(testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			s := loadedScheduler(b, batch.CBF, 1000)
+			b.StartTimer()
+			for id := 1; id <= 1000; id++ {
+				if _, _, err := s.Cancel(id, 0); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if _, err := s.EstimateCompletion(probe, 0); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}))
+	trace, err := gridrealloc.GenerateScenario("apr", 0.05, benchSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	monthSweep := nsPerOp(testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := gridrealloc.RunScenario(gridrealloc.ScenarioConfig{
+				Scenario: "apr", Heterogeneity: "heterogeneous", Policy: "CBF",
+				Trace: trace, Algorithm: "realloc-cancel", Heuristic: "MinMin",
+			}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}))
+	payload := map[string]any{
+		"go":        runtime.Version(),
+		"goos":      runtime.GOOS,
+		"goarch":    runtime.GOARCH,
+		"benchtime": "default (testing.Benchmark)",
+		"ns_per_op": map[string]float64{
+			"estimate_completion_cbf_depth_1000":              cached,
+			"estimate_completion_from_scratch_cbf_depth_1000": scratch,
+			"submit_cancel_cbf_depth_1000":                    submitCancel,
+			"mass_cancel_cbf_depth_1000":                      massCancel,
+			"realloc_cancel_month_sweep_apr_5pct":             monthSweep,
+		},
+		"derived": map[string]float64{
+			"estimate_speedup_vs_from_scratch": scratch / cached,
+		},
+	}
+	data, err := json.MarshalIndent(payload, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_batch.json", append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote BENCH_batch.json: cached=%.0fns scratch=%.0fns (%.1fx), mass_cancel=%.0fns, sweep=%.0fns",
+		cached, scratch, scratch/cached, massCancel, monthSweep)
 }
 
 // BenchmarkHeuristicSelection measures one heuristic selection step over

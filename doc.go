@@ -24,4 +24,23 @@
 // by the experiment package through cmd/experiments; the individual building
 // blocks (event engine, batch schedulers, meta-scheduling agent, heuristics,
 // metrics) live under internal/ and are documented there.
+//
+// # Performance
+//
+// The batch scheduler is indexed and incremental: jobs are addressed through
+// ID maps, the next internal event comes from min-heaps, the running-jobs
+// availability profile is maintained as jobs start/finish instead of being
+// rebuilt per query, and queue re-planning is deferred until the next
+// observation so bursts of mutations (Algorithm 2 cancels every waiting job
+// back-to-back) pay for one re-plan. The meta-scheduler takes one
+// availability snapshot per cluster per reallocation sweep and reuses it
+// across all candidate jobs and heuristics. A from-scratch reference
+// implementation remains available behind the explicit invalidation hooks;
+// GRIDREALLOC_DEBUG_PROFILE=1 cross-checks the incremental state against it
+// on every re-plan. BENCH_batch.json is the committed baseline of the hot
+// paths; regenerate it with
+//
+//	WRITE_BENCH_BASELINE=1 go test -run TestWriteBenchBatchBaseline .
+//
+// whenever scheduler internals change.
 package gridrealloc

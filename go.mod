@@ -1,0 +1,3 @@
+module gridrealloc
+
+go 1.24

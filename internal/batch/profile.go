@@ -98,6 +98,80 @@ func (p *profile) reserve(start, end int64, procs int) error {
 	return nil
 }
 
+// release adds procs cores back in [start, end), undoing the tail of an
+// earlier reservation (a job that finished before its walltime returns the
+// remainder of its reservation). It returns an error if any segment would
+// exceed the cluster size, which indicates a release without a matching
+// reservation.
+func (p *profile) release(start, end int64, procs int) error {
+	if end <= start {
+		return fmt.Errorf("batch: release with end %d <= start %d", end, start)
+	}
+	if start < p.times[0] {
+		return fmt.Errorf("batch: release starting at %d before profile origin %d", start, p.times[0])
+	}
+	si := p.ensureBreak(start)
+	ei := p.ensureBreak(end)
+	for i := si; i < ei; i++ {
+		if p.free[i]+procs > p.cores {
+			return fmt.Errorf("batch: release of %d cores in [%d,%d) exceeds cluster size %d at t=%d",
+				procs, start, end, p.cores, p.times[i])
+		}
+		p.free[i] += procs
+	}
+	p.normalize()
+	return nil
+}
+
+// trimTo drops every breakpoint before t, making t the new origin. The free
+// count at t is preserved. A t at or before the current origin is a no-op.
+func (p *profile) trimTo(t int64) {
+	if t <= p.times[0] {
+		return
+	}
+	idx := p.segmentIndex(t)
+	n := copy(p.times, p.times[idx:])
+	p.times = p.times[:n]
+	p.times[0] = t
+	n = copy(p.free, p.free[idx:])
+	p.free = p.free[:n]
+	p.normalize()
+}
+
+// normalize merges adjacent segments with equal free counts, keeping the
+// step function in canonical form so profiles can be compared and stay small
+// under repeated release/trim cycles.
+func (p *profile) normalize() {
+	out := 0
+	for i := 1; i < len(p.times); i++ {
+		if p.free[i] == p.free[out] {
+			continue
+		}
+		out++
+		p.times[out] = p.times[i]
+		p.free[out] = p.free[i]
+	}
+	p.times = p.times[:out+1]
+	p.free = p.free[:out+1]
+}
+
+// equal reports whether two profiles describe the same step function. Both
+// sides are compared in canonical (normalized) form without being mutated.
+func (p *profile) equal(o *profile) bool {
+	a, b := p.clone(), o.clone()
+	a.normalize()
+	b.normalize()
+	if a.cores != b.cores || len(a.times) != len(b.times) {
+		return false
+	}
+	for i := range a.times {
+		if a.times[i] != b.times[i] || a.free[i] != b.free[i] {
+			return false
+		}
+	}
+	return true
+}
+
 // findSlot returns the earliest start time >= earliest at which procs cores
 // are continuously free for `duration` seconds, or noSlot when procs exceeds
 // the cluster size. duration must be positive.

@@ -1,8 +1,10 @@
 package batch
 
 import (
+	"container/heap"
 	"errors"
 	"fmt"
+	"os"
 	"sort"
 
 	"gridrealloc/internal/platform"
@@ -50,8 +52,13 @@ var (
 	// cluster has.
 	ErrTooWide = errors.New("batch: job requests more processors than the cluster has")
 	// ErrUnknownJob is returned when an operation references a job the
-	// scheduler does not hold in its waiting queue.
+	// scheduler does not hold at all.
 	ErrUnknownJob = errors.New("batch: unknown waiting job")
+	// ErrJobRunning is returned by Cancel when the job is already executing:
+	// the middleware only reallocates jobs in waiting state, and a cancel that
+	// races with a job start must be distinguishable from a cancel of a job
+	// the cluster never heard of.
+	ErrJobRunning = errors.New("batch: job is already running")
 	// ErrDuplicateJob is returned when a job ID is submitted twice.
 	ErrDuplicateJob = errors.New("batch: job already submitted")
 	// ErrTimeTravel is returned when an operation carries a timestamp before
@@ -77,6 +84,44 @@ type queueEntry struct {
 	plannedStart int64
 	plannedEnd   int64
 	migrated     int
+}
+
+// startQueue is a min-heap of waiting jobs ordered by planned start. It is
+// rebuilt wholesale on every plan flush (the flush already visits every
+// waiting job), so it needs no incremental maintenance beyond popping
+// started jobs.
+type startQueue []*queueEntry
+
+func (q startQueue) Len() int           { return len(q) }
+func (q startQueue) Less(i, j int) bool { return q[i].plannedStart < q[j].plannedStart }
+func (q startQueue) Swap(i, j int)      { q[i], q[j] = q[j], q[i] }
+func (q *startQueue) Push(x any)        { *q = append(*q, x.(*queueEntry)) }
+func (q *startQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return e
+}
+
+// finishQueue is a min-heap of running jobs ordered by completion time.
+// Entries are pushed when a job starts and popped when it finishes; unlike
+// planned starts, completion instants never change, so the heap is
+// maintained incrementally across the scheduler's whole lifetime.
+type finishQueue []*allocation
+
+func (q finishQueue) Len() int           { return len(q) }
+func (q finishQueue) Less(i, j int) bool { return q[i].end < q[j].end }
+func (q finishQueue) Swap(i, j int)      { q[i], q[j] = q[j], q[i] }
+func (q *finishQueue) Push(x any)        { *q = append(*q, x.(*allocation)) }
+func (q *finishQueue) Pop() any {
+	old := *q
+	n := len(old)
+	a := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return a
 }
 
 // Notification reports a state change that happened inside the cluster while
@@ -123,28 +168,72 @@ type WaitingJob struct {
 	ClusterSpeedup float64
 }
 
+// debugProfileEnv enables the incremental-vs-from-scratch profile cross-check
+// on every plan rebuild when set to a non-empty value in the environment.
+const debugProfileEnv = "GRIDREALLOC_DEBUG_PROFILE"
+
 // Scheduler simulates one cluster's batch system. It is not safe for
 // concurrent use; the simulation driver serialises all access.
+//
+// Internally the scheduler is indexed and incremental: jobs are found by ID
+// through hash maps, the next internal event comes from two min-heaps
+// (planned starts, running completions), the availability profile of the
+// running jobs is maintained incrementally as jobs start/finish instead of
+// being reconstructed from the running set, and the waiting-queue plan is
+// recomputed lazily — a burst of mutations (such as Algorithm 2 cancelling
+// every waiting job back-to-back) pays for a single re-plan at the next
+// observation instead of one per mutation.
 type Scheduler struct {
-	spec    platform.ClusterSpec
-	policy  Policy
-	now     int64
-	running []*allocation
-	waiting []*queueEntry
-	seq     int64
+	spec   platform.ClusterSpec
+	policy Policy
+	now    int64
+
+	running     []*allocation
+	runningByID map[int]*allocation
+	waiting     []*queueEntry // always sorted by seq (submission order)
+	waitingByID map[int]*queueEntry
+	seq         int64
+
+	startHeap  startQueue
+	finishHeap finishQueue
+
+	// runProf is the availability profile of the running jobs only, bounded
+	// by their walltime reservations. It is maintained incrementally: a start
+	// reserves [t, wallEnd), an early finish releases the unused tail, and
+	// the origin is trimmed forward as virtual time advances. runProfValid is
+	// the explicit invalidation path: when false, the next plan rebuild
+	// reconstructs it from the running set.
+	runProf      *profile
+	runProfValid bool
 
 	// planProf is the availability profile including running jobs and all
-	// planned waiting reservations, kept in sync by rebuildPlan so that
-	// completion-time estimates do not have to rebuild it on every query.
-	planProf *profile
+	// planned waiting reservations; planDirty defers its reconstruction until
+	// the next observation. Once published, planProf is never mutated in
+	// place (rebuilds swap in a fresh profile), so estimate snapshots may
+	// share it by reference.
+	planProf    *profile
+	planDirty   bool
+	planVersion uint64
 	// maxPlannedStart is the latest planned start among waiting jobs, used
 	// as the FCFS lower bound for hypothetical placements.
 	maxPlannedStart int64
+
+	// debugCheck cross-checks the incremental run profile against a
+	// from-scratch build on every plan rebuild.
+	debugCheck bool
 
 	// Request counters, reported by the server layer as system-load metrics.
 	submissions   int64
 	cancellations int64
 	ectQueries    int64
+
+	// Profile bookkeeping counters, exposed through ProfileStats.
+	planRebuilds    int64
+	planAppends     int64
+	planReuses      int64
+	snapshots       int64
+	snapshotHits    int64
+	runProfRebuilds int64
 }
 
 // NewScheduler returns a scheduler for the given cluster running the given
@@ -154,9 +243,14 @@ func NewScheduler(spec platform.ClusterSpec, policy Policy) (*Scheduler, error) 
 		return nil, err
 	}
 	return &Scheduler{
-		spec:     spec,
-		policy:   policy,
-		planProf: newProfile(0, spec.Cores),
+		spec:         spec,
+		policy:       policy,
+		runningByID:  make(map[int]*allocation),
+		waitingByID:  make(map[int]*queueEntry),
+		runProf:      newProfile(0, spec.Cores),
+		runProfValid: true,
+		planProf:     newProfile(0, spec.Cores),
+		debugCheck:   os.Getenv(debugProfileEnv) != "",
 	}, nil
 }
 
@@ -169,10 +263,51 @@ func (s *Scheduler) Policy() Policy { return s.policy }
 // Now returns the scheduler's current virtual time.
 func (s *Scheduler) Now() int64 { return s.now }
 
+// SetDebugCrossCheck toggles the incremental-vs-from-scratch profile
+// cross-check on every plan rebuild (also enabled by the
+// GRIDREALLOC_DEBUG_PROFILE environment variable). A mismatch panics,
+// because it means the incremental profile diverged from the ground truth.
+func (s *Scheduler) SetDebugCrossCheck(on bool) { s.debugCheck = on }
+
 // Counters returns the number of submissions, cancellations and ECT queries
 // served so far.
 func (s *Scheduler) Counters() (submissions, cancellations, ectQueries int64) {
 	return s.submissions, s.cancellations, s.ectQueries
+}
+
+// ProfileStats reports how the incremental machinery behaved: how many times
+// the waiting-queue plan was rebuilt versus served from cache, how many ECT
+// queries were answered from detached snapshots, and how often the
+// incremental run profile had to be reconstructed from scratch through the
+// invalidation path.
+type ProfileStats struct {
+	// PlanRebuilds counts full re-plans of the waiting queue.
+	PlanRebuilds int64
+	// PlanAppends counts submissions planned through the append fast path,
+	// which places only the new job instead of re-planning the whole queue.
+	PlanAppends int64
+	// PlanReuses counts observations served without a re-plan.
+	PlanReuses int64
+	// Snapshots counts EstimateSnapshot calls.
+	Snapshots int64
+	// SnapshotHits counts ECT queries answered from a snapshot.
+	SnapshotHits int64
+	// RunProfileRebuilds counts from-scratch reconstructions of the running
+	// profile (the invalidation path; 0 in healthy runs after the initial
+	// build).
+	RunProfileRebuilds int64
+}
+
+// ProfileStats returns the current profile bookkeeping counters.
+func (s *Scheduler) ProfileStats() ProfileStats {
+	return ProfileStats{
+		PlanRebuilds:       s.planRebuilds,
+		PlanAppends:        s.planAppends,
+		PlanReuses:         s.planReuses,
+		Snapshots:          s.snapshots,
+		SnapshotHits:       s.snapshotHits,
+		RunProfileRebuilds: s.runProfRebuilds,
+	}
 }
 
 // RunningCount returns the number of jobs currently executing.
@@ -217,6 +352,16 @@ func (s *Scheduler) scaledWalltime(j workload.Job) int64 {
 // Fits reports whether the job can ever run on this cluster.
 func (s *Scheduler) Fits(j workload.Job) bool { return j.Procs <= s.spec.Cores }
 
+// holdsJob reports whether the scheduler currently holds the job, waiting or
+// running.
+func (s *Scheduler) holdsJob(id int) bool {
+	if _, ok := s.runningByID[id]; ok {
+		return true
+	}
+	_, ok := s.waitingByID[id]
+	return ok
+}
+
 // Submit enqueues a job at time now. The reallocations argument carries the
 // number of times the job has already been moved between clusters, so the
 // count survives migration. It returns an error if the job cannot fit, is a
@@ -234,56 +379,104 @@ func (s *Scheduler) Submit(j workload.Job, now int64, reallocations int) error {
 	if s.holdsJob(j.ID) {
 		return fmt.Errorf("%w: job %d on cluster %q", ErrDuplicateJob, j.ID, s.spec.Name)
 	}
+	sameNow := now == s.now
 	s.now = now
 	s.submissions++
-	s.waiting = append(s.waiting, &queueEntry{
+	e := &queueEntry{
 		job:      j,
 		enqueued: now,
 		seq:      s.seq,
 		migrated: reallocations,
-	})
+	}
 	s.seq++
-	s.rebuildPlan()
+	s.waiting = append(s.waiting, e)
+	s.waitingByID[j.ID] = e
+	if sameNow && !s.planDirty {
+		// Fast path: a job appended at the end of the queue cannot move any
+		// earlier job under either policy, so only the new entry needs
+		// planning, on top of the already published plan.
+		s.appendToPlan(e)
+	} else {
+		s.planDirty = true
+	}
 	return nil
 }
 
-func (s *Scheduler) holdsJob(id int) bool {
-	for _, a := range s.running {
-		if a.job.ID == id {
-			return true
-		}
+// placeEntry plans one job onto prof: the earliest slot at or after the
+// policy's lower bound (FCFS forbids starting before prevStart, the latest
+// start planned so far), with the end-of-horizon fallback for the
+// cannot-happen case of no slot. It reserves the window and returns it.
+// This is the single planning rule shared by full re-plans, the append fast
+// path and the consistency checker, so the three can never drift apart.
+func (s *Scheduler) placeEntry(prof *profile, j workload.Job, prevStart int64) (start, end int64, err error) {
+	wall := s.scaledWalltime(j)
+	lower := s.now
+	if s.policy == FCFS && prevStart > lower {
+		lower = prevStart
 	}
-	for _, e := range s.waiting {
-		if e.job.ID == id {
-			return true
-		}
+	start = prof.findSlot(lower, wall, j.Procs)
+	if start == noSlot {
+		// Cannot happen for admitted jobs (procs <= cores); guard anyway by
+		// pushing the job to the end of the known horizon.
+		start = prof.times[len(prof.times)-1]
 	}
-	return false
+	return start, start + wall, prof.reserve(start, start+wall, j.Procs)
 }
 
-// Cancel removes a waiting job from the queue. Running jobs cannot be
-// cancelled (the middleware only reallocates jobs in waiting state). It
-// returns the job's accumulated reallocation count so the caller can carry
-// it to the destination cluster.
+// appendToPlan plans a newly appended entry against the current plan
+// profile without re-planning the rest of the queue. The profile is cloned
+// before the reservation (copy-on-write) so snapshots sharing the published
+// profile keep answering for the state they were taken at.
+func (s *Scheduler) appendToPlan(e *queueEntry) {
+	prof := s.planProf.clone()
+	start, end, err := s.placeEntry(prof, e.job, s.maxPlannedStart)
+	if err != nil {
+		// Fall back to a full re-plan rather than publishing a bad profile.
+		s.planDirty = true
+		return
+	}
+	e.plannedStart = start
+	e.plannedEnd = end
+	s.planProf = prof
+	if start > s.maxPlannedStart {
+		s.maxPlannedStart = start
+	}
+	s.planVersion++
+	s.planAppends++
+	heap.Push(&s.startHeap, e)
+}
+
+// Cancel removes a waiting job from the queue. It returns ErrJobRunning for
+// a job that already started (the middleware only reallocates jobs in
+// waiting state) and ErrUnknownJob for a job the cluster does not hold. On
+// success it returns the job's accumulated reallocation count so the caller
+// can carry it to the destination cluster.
 func (s *Scheduler) Cancel(jobID int, now int64) (workload.Job, int, error) {
 	if now < s.now {
 		return workload.Job{}, 0, fmt.Errorf("%w: cancel at %d, now %d", ErrTimeTravel, now, s.now)
 	}
 	s.now = now
-	for i, e := range s.waiting {
-		if e.job.ID == jobID {
-			s.cancellations++
-			s.waiting = append(s.waiting[:i], s.waiting[i+1:]...)
-			s.rebuildPlan()
-			return e.job, e.migrated, nil
-		}
+	if _, ok := s.runningByID[jobID]; ok {
+		return workload.Job{}, 0, fmt.Errorf("%w: job %d on cluster %q", ErrJobRunning, jobID, s.spec.Name)
 	}
-	return workload.Job{}, 0, fmt.Errorf("%w: job %d on cluster %q", ErrUnknownJob, jobID, s.spec.Name)
+	e, ok := s.waitingByID[jobID]
+	if !ok {
+		return workload.Job{}, 0, fmt.Errorf("%w: job %d on cluster %q", ErrUnknownJob, jobID, s.spec.Name)
+	}
+	s.cancellations++
+	delete(s.waitingByID, jobID)
+	// The waiting slice is sorted by seq, so the entry's position is found by
+	// binary search rather than a linear scan.
+	i := sort.Search(len(s.waiting), func(i int) bool { return s.waiting[i].seq >= e.seq })
+	s.waiting = append(s.waiting[:i], s.waiting[i+1:]...)
+	s.planDirty = true
+	return e.job, e.migrated, nil
 }
 
 // WaitingJobs returns a snapshot of the waiting queue in queue order,
 // including each job's current predicted start and completion.
 func (s *Scheduler) WaitingJobs() []WaitingJob {
+	s.observePlan()
 	out := make([]WaitingJob, 0, len(s.waiting))
 	for i, e := range s.waiting {
 		out = append(out, WaitingJob{
@@ -304,15 +497,12 @@ func (s *Scheduler) WaitingJobs() []WaitingJob {
 // held by this cluster (waiting or running). For running jobs the prediction
 // is the walltime end, which is all a real batch system can promise.
 func (s *Scheduler) CurrentCompletion(jobID int) (int64, error) {
-	for _, e := range s.waiting {
-		if e.job.ID == jobID {
-			return e.plannedEnd, nil
-		}
+	if a, ok := s.runningByID[jobID]; ok {
+		return a.wallEnd, nil
 	}
-	for _, a := range s.running {
-		if a.job.ID == jobID {
-			return a.wallEnd, nil
-		}
+	if e, ok := s.waitingByID[jobID]; ok {
+		s.observePlan()
+		return e.plannedEnd, nil
 	}
 	return 0, fmt.Errorf("%w: job %d on cluster %q", ErrUnknownJob, jobID, s.spec.Name)
 }
@@ -327,8 +517,8 @@ func (s *Scheduler) EstimateCompletion(j workload.Job, now int64) (int64, error)
 	if !s.Fits(j) {
 		return 0, fmt.Errorf("%w: job %d needs %d cores, cluster %q has %d", ErrTooWide, j.ID, j.Procs, s.spec.Name, s.spec.Cores)
 	}
+	s.observePlan()
 	s.ectQueries++
-	prof := s.planProf
 	lower := now
 	if s.policy == FCFS && s.maxPlannedStart > lower {
 		// FCFS: the hypothetical job goes to the end of the queue and cannot
@@ -336,7 +526,73 @@ func (s *Scheduler) EstimateCompletion(j workload.Job, now int64) (int64, error)
 		lower = s.maxPlannedStart
 	}
 	wall := s.scaledWalltime(j)
-	start := prof.findSlot(lower, wall, j.Procs)
+	start := s.planProf.findSlot(lower, wall, j.Procs)
+	if start == noSlot {
+		return 0, fmt.Errorf("%w: job %d on cluster %q", ErrTooWide, j.ID, j.Procs)
+	}
+	return start + wall, nil
+}
+
+// EstimateSnapshot is a detached, immutable view of the cluster's planned
+// availability at a given instant. It answers the same query as
+// EstimateCompletion but can be taken once per cluster per reallocation
+// sweep and reused across every candidate job and heuristic, avoiding one
+// plan consultation per (job, cluster) pair.
+type EstimateSnapshot struct {
+	sched   *Scheduler
+	prof    *profile
+	now     int64
+	lower   int64
+	version uint64
+}
+
+// EstimateSnapshot returns a snapshot of the cluster's planned availability
+// at time now. The snapshot shares the plan profile by reference (rebuilds
+// swap in a fresh profile rather than mutating the published one), so taking
+// one is O(1).
+func (s *Scheduler) EstimateSnapshot(now int64) (*EstimateSnapshot, error) {
+	if now < s.now {
+		return nil, fmt.Errorf("%w: snapshot at %d, now %d", ErrTimeTravel, now, s.now)
+	}
+	s.observePlan()
+	s.snapshots++
+	lower := now
+	if s.policy == FCFS && s.maxPlannedStart > lower {
+		lower = s.maxPlannedStart
+	}
+	return &EstimateSnapshot{
+		sched:   s,
+		prof:    s.planProf,
+		now:     now,
+		lower:   lower,
+		version: s.planVersion,
+	}, nil
+}
+
+// Cluster returns the name of the cluster the snapshot was taken from.
+func (sn *EstimateSnapshot) Cluster() string { return sn.sched.spec.Name }
+
+// Time returns the instant the snapshot describes.
+func (sn *EstimateSnapshot) Time() int64 { return sn.now }
+
+// Stale reports whether the cluster's plan has changed since the snapshot
+// was taken; a stale snapshot answers queries for the state at snapshot
+// time, not the current state.
+func (sn *EstimateSnapshot) Stale() bool {
+	return sn.sched.planDirty || sn.sched.planVersion != sn.version
+}
+
+// EstimateCompletion answers the completion-time query against the snapshot.
+// It returns ErrTooWide if the job can never run on the cluster.
+func (sn *EstimateSnapshot) EstimateCompletion(j workload.Job) (int64, error) {
+	s := sn.sched
+	if !s.Fits(j) {
+		return 0, fmt.Errorf("%w: job %d needs %d cores, cluster %q has %d", ErrTooWide, j.ID, j.Procs, s.spec.Name, s.spec.Cores)
+	}
+	s.ectQueries++
+	s.snapshotHits++
+	wall := s.scaledWalltime(j)
+	start := sn.prof.findSlot(sn.lower, wall, j.Procs)
 	if start == noSlot {
 		return 0, fmt.Errorf("%w: job %d on cluster %q", ErrTooWide, j.ID, j.Procs)
 	}
@@ -375,37 +631,41 @@ func (s *Scheduler) NextEventTime() (int64, bool) {
 	return t, ok
 }
 
-// nextInternalEvent returns the time and kind of the next internal event.
-// Completions at time t take precedence over starts at time t because the
-// freed cores may allow an earlier (re-planned) start at that very instant.
+// nextInternalEvent returns the time and kind of the next internal event by
+// peeking the two event heaps. Completions at time t take precedence over
+// starts at time t because the freed cores may allow an earlier (re-planned)
+// start at that very instant.
 func (s *Scheduler) nextInternalEvent() (int64, NotificationKind, bool) {
+	s.ensurePlan()
 	bestT := int64(0)
 	kind := Started
 	found := false
-	for _, a := range s.running {
-		if !found || a.end < bestT {
-			bestT, kind, found = a.end, Finished, true
-		}
+	if len(s.finishHeap) > 0 {
+		bestT, kind, found = s.finishHeap[0].end, Finished, true
 	}
-	for _, e := range s.waiting {
-		if !found || e.plannedStart < bestT {
-			bestT, kind, found = e.plannedStart, Started, true
-		} else if e.plannedStart == bestT && kind == Finished {
-			// Finishes first at equal times; keep kind as Finished.
-			continue
+	if len(s.startHeap) > 0 {
+		if t := s.startHeap[0].plannedStart; !found || t < bestT {
+			bestT, kind, found = t, Started, true
 		}
 	}
 	return bestT, kind, found
 }
 
-// finishDueAt completes every running job whose end is exactly t, then
-// re-plans the queue (freed cores may advance waiting jobs).
+// finishDueAt completes every running job whose end is exactly t, releasing
+// the unused tail of each walltime reservation back into the incremental run
+// profile. The freed cores may advance waiting jobs, so the plan is marked
+// dirty.
 func (s *Scheduler) finishDueAt(t int64) []Notification {
 	var notes []Notification
+	for len(s.finishHeap) > 0 && s.finishHeap[0].end == t {
+		heap.Pop(&s.finishHeap)
+	}
 	kept := s.running[:0]
 	for _, a := range s.running {
 		if a.end == t {
 			notes = append(notes, Notification{Kind: Finished, JobID: a.job.ID, Time: t, Killed: a.killed})
+			delete(s.runningByID, a.job.ID)
+			s.releaseReservation(a, t)
 			continue
 		}
 		kept = append(kept, a)
@@ -413,13 +673,38 @@ func (s *Scheduler) finishDueAt(t int64) []Notification {
 	s.running = kept
 	if len(notes) > 0 {
 		s.now = t
-		s.rebuildPlan()
+		s.planDirty = true
 	}
 	return notes
 }
 
-// startDueAt starts every waiting job whose planned start is exactly t.
+// releaseReservation returns the unused tail [t, wallEnd) of a finished
+// job's reservation to the run profile. A failure invalidates the
+// incremental profile so the next plan rebuild reconstructs it from scratch.
+func (s *Scheduler) releaseReservation(a *allocation, t int64) {
+	if !s.runProfValid {
+		return
+	}
+	from := t
+	if origin := s.runProf.times[0]; from < origin {
+		from = origin
+	}
+	if a.wallEnd <= from {
+		return
+	}
+	if err := s.runProf.release(from, a.wallEnd, a.job.Procs); err != nil {
+		s.InvalidateRunProfile()
+	}
+}
+
+// startDueAt starts every waiting job whose planned start is exactly t,
+// reserving its walltime window in the incremental run profile. The plan
+// profile stays valid: a started job occupies exactly the window it was
+// planned to.
 func (s *Scheduler) startDueAt(t int64) []Notification {
+	for len(s.startHeap) > 0 && s.startHeap[0].plannedStart == t {
+		heap.Pop(&s.startHeap)
+	}
 	var notes []Notification
 	kept := s.waiting[:0]
 	for _, e := range s.waiting {
@@ -435,6 +720,14 @@ func (s *Scheduler) startDueAt(t int64) []Notification {
 				migrated: e.migrated,
 			}
 			s.running = append(s.running, a)
+			s.runningByID[a.job.ID] = a
+			heap.Push(&s.finishHeap, a)
+			delete(s.waitingByID, e.job.ID)
+			if s.runProfValid {
+				if err := s.runProf.reserve(t, a.wallEnd, a.job.Procs); err != nil {
+					s.InvalidateRunProfile()
+				}
+			}
 			notes = append(notes, Notification{Kind: Started, JobID: e.job.ID, Time: t})
 			continue
 		}
@@ -447,43 +740,139 @@ func (s *Scheduler) startDueAt(t int64) []Notification {
 	return notes
 }
 
-// rebuildPlan recomputes the planned start and completion of every waiting
-// job from the availability profile of the running jobs (bounded by their
-// walltimes), according to the local policy.
-func (s *Scheduler) rebuildPlan() {
+// InvalidateRunProfile discards the incremental run profile; the next plan
+// rebuild reconstructs it from the running set. This is the explicit
+// recovery path for any suspected divergence, and the hook benchmarks use to
+// measure the cost of the from-scratch build the incremental profile avoids.
+func (s *Scheduler) InvalidateRunProfile() {
+	s.runProfValid = false
+	s.planDirty = true
+}
+
+// InvalidatePlan forces the next observation to re-plan the waiting queue
+// even though no state changed. Together with InvalidateRunProfile it lets
+// benchmarks compare the incremental scheduler against a from-scratch one.
+func (s *Scheduler) InvalidatePlan() { s.planDirty = true }
+
+// ensurePlan re-plans the waiting queue if any mutation happened since the
+// last observation, reporting whether a rebuild ran.
+func (s *Scheduler) ensurePlan() bool {
+	if !s.planDirty {
+		return false
+	}
+	s.rebuildPlan()
+	s.planDirty = false
+	return true
+}
+
+// observePlan is ensurePlan for the external observation entry points
+// (estimates, snapshots, queue listings): it additionally counts plan
+// reuses, so PlanReuses measures how much middleware-facing load the cached
+// plan absorbed rather than the driver's internal event polling.
+func (s *Scheduler) observePlan() {
+	if !s.ensurePlan() {
+		s.planReuses++
+	}
+}
+
+// scratchRunProfile builds the running-jobs availability profile from
+// scratch: the reference the incremental profile is checked against, and the
+// fallback of the invalidation path.
+func (s *Scheduler) scratchRunProfile() *profile {
 	prof := newProfile(s.now, s.spec.Cores)
 	for _, a := range s.running {
 		if a.wallEnd > s.now {
-			// reserve ignores errors here by construction: running jobs were
-			// admitted with compatible reservations. A failure would be a
-			// programming error surfaced by the invariant tests.
 			if err := prof.reserve(s.now, a.wallEnd, a.job.Procs); err != nil {
 				panic(fmt.Sprintf("batch: inconsistent running set on %s: %v", s.spec.Name, err))
 			}
 		}
 	}
+	return prof
+}
+
+// ensureRunProfile brings the incremental run profile to the current time,
+// rebuilding it from scratch if it was invalidated.
+func (s *Scheduler) ensureRunProfile() {
+	if !s.runProfValid {
+		s.runProf = s.scratchRunProfile()
+		s.runProfValid = true
+		s.runProfRebuilds++
+		return
+	}
+	s.runProf.trimTo(s.now)
+}
+
+// CheckProfileConsistency verifies that the incremental run profile matches
+// the from-scratch build over the live horizon, and that the published plan
+// (which may have been extended through the append fast path) is identical
+// to what a full re-plan would produce. It is exported for the
+// property-based tests; the run-profile comparison also runs on every plan
+// rebuild when debug cross-checking is enabled.
+func (s *Scheduler) CheckProfileConsistency() error {
+	s.ensurePlan()
+	if !s.runProfValid {
+		return nil
+	}
+	s.runProf.trimTo(s.now)
+	fresh := s.scratchRunProfile()
+	if !s.runProf.equal(fresh) {
+		return fmt.Errorf("batch: incremental run profile diverged on %s at t=%d: incremental %v/%v, from-scratch %v/%v",
+			s.spec.Name, s.now, s.runProf.times, s.runProf.free, fresh.times, fresh.free)
+	}
+	// Re-plan every waiting job onto the fresh profile and compare against
+	// the published plan.
+	prevStart := s.now
+	for _, e := range s.waiting {
+		start, end, err := s.placeEntry(fresh, e.job, prevStart)
+		if err != nil {
+			return fmt.Errorf("batch: re-plan reservation failed on %s: %w", s.spec.Name, err)
+		}
+		if start != e.plannedStart || end != e.plannedEnd {
+			return fmt.Errorf("batch: plan diverged on %s for job %d: published [%d,%d), re-plan [%d,%d)",
+				s.spec.Name, e.job.ID, e.plannedStart, e.plannedEnd, start, end)
+		}
+		if start > prevStart {
+			prevStart = start
+		}
+	}
+	// maxPlannedStart may be stale (it is only refreshed on rebuilds, as
+	// starts and idle time advances do not change any remaining plan); what
+	// estimates observe is the effective FCFS lower bound max(now, max).
+	published := s.maxPlannedStart
+	if s.now > published {
+		published = s.now
+	}
+	if published != prevStart {
+		return fmt.Errorf("batch: FCFS lower bound diverged on %s: published %d, re-plan %d", s.spec.Name, published, prevStart)
+	}
+	return nil
+}
+
+// rebuildPlan recomputes the planned start and completion of every waiting
+// job, according to the local policy, on top of the incrementally maintained
+// running-jobs profile. The waiting slice is kept in submission (seq) order
+// by construction, so planning needs no sort.
+func (s *Scheduler) rebuildPlan() {
+	s.planRebuilds++
+	s.ensureRunProfile()
+	if s.debugCheck {
+		if fresh := s.scratchRunProfile(); !s.runProf.equal(fresh) {
+			panic(fmt.Sprintf("batch: incremental run profile diverged on %s at t=%d: incremental %v/%v, from-scratch %v/%v",
+				s.spec.Name, s.now, s.runProf.times, s.runProf.free, fresh.times, fresh.free))
+		}
+	}
+	prof := s.runProf.clone()
 	// Waiting jobs are planned in queue order (submission order on this
 	// cluster). FCFS additionally forbids starting before the previous
 	// queued job.
-	sort.SliceStable(s.waiting, func(i, j int) bool { return s.waiting[i].seq < s.waiting[j].seq })
 	prevStart := s.now
 	for _, e := range s.waiting {
-		wall := s.scaledWalltime(e.job)
-		lower := s.now
-		if s.policy == FCFS && prevStart > lower {
-			lower = prevStart
-		}
-		start := prof.findSlot(lower, wall, e.job.Procs)
-		if start == noSlot {
-			// Cannot happen for admitted jobs (procs <= cores); guard anyway
-			// by pushing the job to the end of the known horizon.
-			start = prof.times[len(prof.times)-1]
-		}
-		if err := prof.reserve(start, start+wall, e.job.Procs); err != nil {
+		start, end, err := s.placeEntry(prof, e.job, prevStart)
+		if err != nil {
 			panic(fmt.Sprintf("batch: plan reservation failed on %s: %v", s.spec.Name, err))
 		}
 		e.plannedStart = start
-		e.plannedEnd = start + wall
+		e.plannedEnd = end
 		if start > prevStart {
 			prevStart = start
 		}
@@ -494,6 +883,11 @@ func (s *Scheduler) rebuildPlan() {
 	// hypothetical extra job.
 	s.planProf = prof
 	s.maxPlannedStart = prevStart
+	s.planVersion++
+	// The start heap is rebuilt wholesale: planning already visited every
+	// waiting job, so heap.Init costs no extra asymptotic work.
+	s.startHeap = append(s.startHeap[:0], s.waiting...)
+	heap.Init(&s.startHeap)
 }
 
 // Snapshot describes the instantaneous state of the cluster, used by the
@@ -516,6 +910,7 @@ type SnapshotJob struct {
 
 // Snapshot returns the current running and planned-waiting state.
 func (s *Scheduler) Snapshot() Snapshot {
+	s.observePlan()
 	snap := Snapshot{ClusterName: s.spec.Name, Time: s.now}
 	for _, a := range s.running {
 		snap.Running = append(snap.Running, SnapshotJob{JobID: a.job.ID, Procs: a.job.Procs, Start: a.start, End: a.wallEnd})
@@ -528,12 +923,20 @@ func (s *Scheduler) Snapshot() Snapshot {
 
 // CheckInvariants verifies the internal consistency of the scheduler: no
 // core over-subscription at any instant (running and planned), FCFS start
-// ordering, and planned windows in the future. It is exported for use by the
-// property-based tests and returns a descriptive error on the first
-// violation.
+// ordering, planned windows in the future, and agreement between the slices
+// and the job-ID indexes. It is exported for use by the property-based tests
+// and returns a descriptive error on the first violation.
 func (s *Scheduler) CheckInvariants() error {
+	s.ensurePlan()
+	if len(s.running) != len(s.runningByID) || len(s.waiting) != len(s.waitingByID) {
+		return fmt.Errorf("index out of sync: %d/%d running, %d/%d waiting",
+			len(s.running), len(s.runningByID), len(s.waiting), len(s.waitingByID))
+	}
 	prof := newProfile(s.now, s.spec.Cores)
 	for _, a := range s.running {
+		if s.runningByID[a.job.ID] != a {
+			return fmt.Errorf("running index misses job %d", a.job.ID)
+		}
 		if a.wallEnd > s.now {
 			if err := prof.reserve(s.now, a.wallEnd, a.job.Procs); err != nil {
 				return fmt.Errorf("running over-subscription: %w", err)
@@ -543,6 +946,9 @@ func (s *Scheduler) CheckInvariants() error {
 	prevStart := int64(-1)
 	prevSeq := int64(-1)
 	for _, e := range s.waiting {
+		if s.waitingByID[e.job.ID] != e {
+			return fmt.Errorf("waiting index misses job %d", e.job.ID)
+		}
 		if e.plannedStart < s.now {
 			return fmt.Errorf("job %d planned to start at %d before now %d", e.job.ID, e.plannedStart, s.now)
 		}
@@ -564,5 +970,5 @@ func (s *Scheduler) CheckInvariants() error {
 	if prof.minFree() < 0 {
 		return errors.New("profile went negative")
 	}
-	return nil
+	return s.CheckProfileConsistency()
 }

@@ -260,12 +260,13 @@ func TestCancelWaitingJob(t *testing.T) {
 	if after[0].PlannedStart >= before[1].PlannedStart {
 		t.Fatalf("job 3 did not move forward after the cancellation: %d -> %d", before[1].PlannedStart, after[0].PlannedStart)
 	}
-	// Cancelling again or cancelling a running job fails.
+	// Cancelling again or cancelling a running job fails, with distinct
+	// sentinels for the two situations.
 	if _, _, err := s.Cancel(2, 0); !errors.Is(err, ErrUnknownJob) {
 		t.Fatalf("second cancel: err = %v", err)
 	}
-	if _, _, err := s.Cancel(1, 0); !errors.Is(err, ErrUnknownJob) {
-		t.Fatalf("cancelling a running job: err = %v, want ErrUnknownJob", err)
+	if _, _, err := s.Cancel(1, 0); !errors.Is(err, ErrJobRunning) {
+		t.Fatalf("cancelling a running job: err = %v, want ErrJobRunning", err)
 	}
 }
 

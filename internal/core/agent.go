@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sort"
 
+	"gridrealloc/internal/batch"
 	"gridrealloc/internal/server"
 	"gridrealloc/internal/workload"
 )
@@ -96,12 +97,14 @@ func (c ReallocConfig) normalized() ReallocConfig {
 // waiting jobs between clusters (ReallocConfig).
 type Agent struct {
 	servers  []*server.Server
+	byName   map[string]int // cluster name -> server index
 	mapping  MappingPolicy
 	realloc  ReallocConfig
 	location map[int]int // jobID -> server index while the job is in the system
 
 	totalReallocations int64
 	reallocationEvents int64
+	skippedRaces       int64
 }
 
 // NewAgent builds an agent over the given servers. Mapping defaults to MCT
@@ -113,8 +116,13 @@ func NewAgent(servers []*server.Server, mapping MappingPolicy, realloc ReallocCo
 	if mapping == nil {
 		mapping = MCTMapping()
 	}
+	byName := make(map[string]int, len(servers))
+	for i, s := range servers {
+		byName[s.Name()] = i
+	}
 	return &Agent{
 		servers:  servers,
+		byName:   byName,
 		mapping:  mapping,
 		realloc:  realloc.normalized(),
 		location: make(map[int]int),
@@ -134,6 +142,11 @@ func (a *Agent) TotalReallocations() int64 { return a.totalReallocations }
 
 // ReallocationEvents returns the number of periodic reallocation passes run.
 func (a *Agent) ReallocationEvents() int64 { return a.reallocationEvents }
+
+// SkippedRaces returns the number of reallocation moves abandoned because
+// the job started between the queue snapshot and the cancellation attempt.
+// Such a race skips the one candidate instead of aborting the whole sweep.
+func (a *Agent) SkippedRaces() int64 { return a.skippedRaces }
 
 // SubmitJob maps the job to a cluster using the mapping policy and submits
 // it there. It returns the name of the chosen cluster.
@@ -213,47 +226,103 @@ func (a *Agent) gatherCandidates() ([]Candidate, []int) {
 	return sortedCands, sortedOrigins
 }
 
-// estimateAll computes, for every candidate, the completion-time estimates
-// across all clusters. When hypothetical is true, the origin cluster is
-// queried like any other cluster (the job is no longer queued there, as in
-// Algorithm 2); otherwise the origin cluster contributes the job's current
-// planned completion.
-func (a *Agent) estimateAll(cands []Candidate, origins []int, now int64, hypothetical bool) []Estimate {
-	ests := make([]Estimate, len(cands))
-	for i, c := range cands {
-		ests[i] = a.estimateOne(c, origins[i], now, hypothetical)
-	}
-	return ests
+// sweep is the per-pass estimation state: one availability snapshot per
+// cluster, taken once and reused across every candidate job and every
+// heuristic iteration, plus the ECT matrix derived from the snapshots.
+// After a migration only the two touched clusters are re-snapshotted and
+// only their matrix columns recomputed, so a pass over n candidates and m
+// clusters costs O(n*m) slot searches up front plus O(n) per move instead
+// of O(n*m) per move.
+type sweep struct {
+	a     *Agent
+	now   int64
+	snaps []*batch.EstimateSnapshot
+	ects  [][]int64 // [candidate][cluster]; NoEstimate when unavailable
 }
 
-func (a *Agent) estimateOne(c Candidate, origin int, now int64, hypothetical bool) Estimate {
+// newSweep snapshots every cluster and fills the ECT matrix for the given
+// candidates.
+func (a *Agent) newSweep(now int64, cands []Candidate) (*sweep, error) {
+	sw := &sweep{
+		a:     a,
+		now:   now,
+		snaps: make([]*batch.EstimateSnapshot, len(a.servers)),
+		ects:  make([][]int64, len(cands)),
+	}
+	for idx, s := range a.servers {
+		snap, err := s.EstimateSnapshot(now)
+		if err != nil {
+			return nil, fmt.Errorf("core: snapshotting %s: %w", s.Name(), err)
+		}
+		sw.snaps[idx] = snap
+	}
+	for i := range cands {
+		row := make([]int64, len(a.servers))
+		for idx := range a.servers {
+			row[idx] = sw.query(idx, cands[i].Job)
+		}
+		sw.ects[i] = row
+	}
+	return sw, nil
+}
+
+// query answers one (job, cluster) ECT from the cluster's snapshot,
+// returning NoEstimate when the job can never run there.
+func (sw *sweep) query(idx int, j workload.Job) int64 {
+	ect, err := sw.snaps[idx].EstimateCompletion(j)
+	if err != nil {
+		return NoEstimate
+	}
+	return ect
+}
+
+// refreshCluster re-snapshots one cluster (whose queue just changed) and
+// recomputes its matrix column for the remaining candidates.
+func (sw *sweep) refreshCluster(idx int, cands []Candidate) error {
+	snap, err := sw.a.servers[idx].EstimateSnapshot(sw.now)
+	if err != nil {
+		return fmt.Errorf("core: snapshotting %s: %w", sw.a.servers[idx].Name(), err)
+	}
+	sw.snaps[idx] = snap
+	for i := range cands {
+		sw.ects[i][idx] = sw.query(idx, cands[i].Job)
+	}
+	return nil
+}
+
+// remove drops the candidate's matrix row, mirroring the caller's removal
+// from the candidate slice.
+func (sw *sweep) remove(i int) {
+	sw.ects = append(sw.ects[:i], sw.ects[i+1:]...)
+}
+
+// estimate builds the Estimate for one candidate from its matrix row. When
+// hypothetical is true, the origin cluster is treated like any other cluster
+// (the job is no longer queued there, as in Algorithm 2); otherwise the
+// origin cluster contributes originECT, the job's current planned
+// completion.
+func (sw *sweep) estimate(i, origin int, originECT int64, hypothetical bool) Estimate {
 	est := Estimate{BestECT: NoEstimate, SecondECT: NoEstimate, BestOtherECT: NoEstimate}
-	consider := func(clusterName string, ect int64, other bool) {
+	for idx, s := range sw.a.servers {
+		ect := sw.ects[i][idx]
+		other := idx != origin
+		if idx == origin && !hypothetical {
+			ect = originECT
+		}
+		if ect == NoEstimate {
+			continue
+		}
 		if ect < est.BestECT {
 			est.SecondECT = est.BestECT
 			est.BestECT = ect
-			est.BestCluster = clusterName
+			est.BestCluster = s.Name()
 		} else if ect < est.SecondECT {
 			est.SecondECT = ect
 		}
 		if other && ect < est.BestOtherECT {
 			est.BestOtherECT = ect
-			est.BestOtherCluster = clusterName
+			est.BestOtherCluster = s.Name()
 		}
-	}
-	for idx, s := range a.servers {
-		if idx == origin && !hypothetical {
-			consider(s.Name(), c.OriginECT, false)
-			continue
-		}
-		if !s.Fits(c.Job) {
-			continue
-		}
-		ect, ok := s.EstimateCompletion(c.Job, now)
-		if !ok {
-			continue
-		}
-		consider(s.Name(), ect, idx != origin)
 	}
 	return est
 }
@@ -264,57 +333,79 @@ func (a *Agent) reallocateWithoutCancellation(now int64) (int, error) {
 	if len(cands) == 0 {
 		return 0, nil
 	}
+	sw, err := a.newSweep(now, cands)
+	if err != nil {
+		return 0, err
+	}
+	ests := make([]Estimate, len(cands))
+	for i := range cands {
+		ests[i] = sw.estimate(i, origins[i], cands[i].OriginECT, false)
+	}
 	moves := 0
-	ests := a.estimateAll(cands, origins, now, false)
 	for len(cands) > 0 {
 		pick := a.realloc.Heuristic.Select(cands, ests)
 		c, origin := cands[pick], origins[pick]
 		est := ests[pick]
 
 		moved := false
+		destIdx := -1
 		if est.BestOtherECT != NoEstimate && est.BestOtherECT+a.realloc.MinGain < c.OriginECT {
-			if err := a.moveJob(c, origin, est.BestOtherCluster, now); err != nil {
+			var ok bool
+			destIdx, ok = a.byName[est.BestOtherCluster]
+			if !ok {
+				return moves, fmt.Errorf("core: unknown destination cluster %q", est.BestOtherCluster)
+			}
+			switch err := a.moveJob(c, origin, destIdx, now); {
+			case err == nil:
+				moves++
+				moved = true
+			case errors.Is(err, batch.ErrJobRunning):
+				// The job started between the queue snapshot and the cancel;
+				// it is no longer a candidate. Skip it, keep the sweep going.
+				a.skippedRaces++
+			default:
 				return moves, err
 			}
-			moves++
-			moved = true
 		}
 
 		// Drop the handled candidate.
 		cands = append(cands[:pick], cands[pick+1:]...)
 		origins = append(origins[:pick], origins[pick+1:]...)
 		ests = append(ests[:pick], ests[pick+1:]...)
+		sw.remove(pick)
 
-		// A migration changes two clusters' queues, so the remaining
-		// estimates are stale; recompute them. When nothing moved, the
-		// platform state is unchanged and the estimates stay valid.
+		// A migration changes exactly two clusters' queues; refresh their
+		// snapshots and matrix columns and rebuild the estimates. Estimates
+		// against untouched clusters are reused from the matrix. When
+		// nothing moved, the platform state is unchanged and everything
+		// stays valid.
 		if moved && len(cands) > 0 {
-			// Refresh the origin ECT of candidates still queued (their
-			// planned completion may have changed after the cancellation).
-			for i := range cands {
-				if ect, err := a.servers[origins[i]].CurrentCompletion(cands[i].Job.ID); err == nil {
-					cands[i].OriginECT = ect
-				}
+			if err := sw.refreshCluster(origin, cands); err != nil {
+				return moves, err
 			}
-			ests = a.estimateAll(cands, origins, now, false)
+			if err := sw.refreshCluster(destIdx, cands); err != nil {
+				return moves, err
+			}
+			for i := range cands {
+				// Only jobs queued on a touched cluster can have a changed
+				// planned completion.
+				if origins[i] == origin || origins[i] == destIdx {
+					if ect, err := a.servers[origins[i]].CurrentCompletion(cands[i].Job.ID); err == nil {
+						cands[i].OriginECT = ect
+					}
+				}
+				ests[i] = sw.estimate(i, origins[i], cands[i].OriginECT, false)
+			}
 		}
 	}
 	return moves, nil
 }
 
-// moveJob cancels the job on its origin cluster and submits it to the named
+// moveJob cancels the job on its origin cluster and submits it to the
 // destination cluster, preserving and incrementing its reallocation count.
-func (a *Agent) moveJob(c Candidate, origin int, destination string, now int64) error {
-	destIdx := -1
-	for i, s := range a.servers {
-		if s.Name() == destination {
-			destIdx = i
-			break
-		}
-	}
-	if destIdx == -1 {
-		return fmt.Errorf("core: unknown destination cluster %q", destination)
-	}
+// A batch.ErrJobRunning from the cancellation is passed through unwrapped in
+// meaning (via errors.Is) so the caller can skip the candidate.
+func (a *Agent) moveJob(c Candidate, origin, destIdx int, now int64) error {
 	job, migrated, err := a.servers[origin].Cancel(c.Job.ID, now)
 	if err != nil {
 		return fmt.Errorf("core: cancelling job %d on %s: %w", c.Job.ID, a.servers[origin].Name(), err)
@@ -325,7 +416,7 @@ func (a *Agent) moveJob(c Candidate, origin int, destination string, now int64) 
 		if backErr := a.servers[origin].Submit(job, now, migrated); backErr != nil {
 			return fmt.Errorf("core: job %d lost during reallocation: %v (restore failed: %v)", job.ID, err, backErr)
 		}
-		return fmt.Errorf("core: resubmitting job %d to %s: %w", job.ID, destination, err)
+		return fmt.Errorf("core: resubmitting job %d to %s: %w", job.ID, a.servers[destIdx].Name(), err)
 	}
 	a.location[job.ID] = destIdx
 	a.totalReallocations++
@@ -340,38 +431,51 @@ func (a *Agent) reallocateWithCancellation(now int64) (int, error) {
 	if len(cands) == 0 {
 		return 0, nil
 	}
-	// Cancel every waiting job.
+	// Cancel every waiting job. A job that started since the queue snapshot
+	// is skipped (it is no longer reallocatable), not a fatal error.
+	keptC := cands[:0]
+	keptO := origins[:0]
 	for i, c := range cands {
 		job, migrated, err := a.servers[origins[i]].Cancel(c.Job.ID, now)
+		if errors.Is(err, batch.ErrJobRunning) {
+			a.skippedRaces++
+			continue
+		}
 		if err != nil {
 			return 0, fmt.Errorf("core: cancelling job %d on %s: %w", c.Job.ID, a.servers[origins[i]].Name(), err)
 		}
-		cands[i].Job = job
-		cands[i].Reallocations = migrated
+		c.Job = job
+		c.Reallocations = migrated
+		keptC = append(keptC, c)
+		keptO = append(keptO, origins[i])
+	}
+	cands, origins = keptC, keptO
+	if len(cands) == 0 {
+		return 0, nil
+	}
+	// Snapshot the emptied queues once; each placement below changes exactly
+	// one cluster, whose snapshot and matrix column are then refreshed.
+	sw, err := a.newSweep(now, cands)
+	if err != nil {
+		return 0, err
 	}
 	moves := 0
+	ests := make([]Estimate, len(cands))
 	for len(cands) > 0 {
-		// Re-estimate at every iteration: each submission changes the
-		// queues, and the origin cluster now answers hypothetically because
-		// the job is no longer queued there.
+		// The origin cluster answers hypothetically because the job is no
+		// longer queued there.
+		ests = ests[:len(cands)]
 		for i := range cands {
-			if ect, ok := a.servers[origins[i]].EstimateCompletion(cands[i].Job, now); ok {
-				cands[i].OriginECT = ect
-			} else {
-				cands[i].OriginECT = NoEstimate
-			}
+			cands[i].OriginECT = sw.ects[i][origins[i]]
+			ests[i] = sw.estimate(i, origins[i], cands[i].OriginECT, true)
 		}
-		ests := a.estimateAll(cands, origins, now, true)
 		pick := a.realloc.Heuristic.Select(cands, ests)
 		c, origin, est := cands[pick], origins[pick], ests[pick]
 
 		destIdx := origin
 		if est.BestCluster != "" {
-			for i, s := range a.servers {
-				if s.Name() == est.BestCluster {
-					destIdx = i
-					break
-				}
+			if idx, ok := a.byName[est.BestCluster]; ok {
+				destIdx = idx
 			}
 		}
 		migrated := c.Reallocations
@@ -387,6 +491,12 @@ func (a *Agent) reallocateWithCancellation(now int64) (int, error) {
 
 		cands = append(cands[:pick], cands[pick+1:]...)
 		origins = append(origins[:pick], origins[pick+1:]...)
+		sw.remove(pick)
+		if len(cands) > 0 {
+			if err := sw.refreshCluster(destIdx, cands); err != nil {
+				return moves, err
+			}
+		}
 	}
 	return moves, nil
 }

@@ -186,26 +186,57 @@ func Run(cfg Config) (*Result, error) {
 	}
 
 	d := &driver{
-		engine:  sim.NewEngine(),
-		agent:   agent,
-		servers: servers,
-		result:  result,
-		wakes:   make([]*sim.Event, len(servers)),
-		total:   len(trace.Jobs),
+		engine:    sim.NewEngine(),
+		agent:     agent,
+		servers:   servers,
+		result:    result,
+		wakes:     make([]*sim.Event, len(servers)),
+		wakeNames: make([]string, len(servers)),
+		total:     len(trace.Jobs),
+	}
+	for i, srv := range servers {
+		d.wakeNames[i] = "wake-" + srv.Name()
 	}
 
-	// Schedule all submissions.
 	for _, job := range trace.Jobs {
-		job := job
 		result.Jobs[job.ID] = &JobRecord{
 			JobID:  job.ID,
 			Submit: job.Submit,
 			Start:  -1, Completion: -1,
 			Procs: job.Procs,
 		}
-		d.engine.MustSchedule(sim.Time(job.Submit), sim.PrioritySubmission, fmt.Sprintf("submit-%d", job.ID), func(now sim.Time) {
-			d.handleSubmission(job, int64(now))
-		})
+	}
+	// Schedule the submissions. Traces are sorted by (Submit, ID), so each
+	// submission event schedules the next one when it fires, keeping the
+	// engine's queue small no matter how long the trace is. A hand-built
+	// unsorted trace falls back to scheduling every submission upfront.
+	sorted := true
+	for i := 1; i < len(trace.Jobs); i++ {
+		if trace.Jobs[i].Submit < trace.Jobs[i-1].Submit {
+			sorted = false
+			break
+		}
+	}
+	if sorted {
+		jobs := trace.Jobs
+		var scheduleSubmit func(i int)
+		scheduleSubmit = func(i int) {
+			job := jobs[i]
+			d.engine.MustSchedule(sim.Time(job.Submit), sim.PrioritySubmission, "submit", func(now sim.Time) {
+				if i+1 < len(jobs) {
+					scheduleSubmit(i + 1)
+				}
+				d.handleSubmission(job, int64(now))
+			})
+		}
+		scheduleSubmit(0)
+	} else {
+		for _, job := range trace.Jobs {
+			job := job
+			d.engine.MustSchedule(sim.Time(job.Submit), sim.PrioritySubmission, fmt.Sprintf("submit-%d", job.ID), func(now sim.Time) {
+				d.handleSubmission(job, int64(now))
+			})
+		}
 	}
 
 	// Schedule the periodic reallocation, starting one hour (one period)
@@ -242,6 +273,7 @@ type driver struct {
 	servers   []*server.Server
 	result    *Result
 	wakes     []*sim.Event
+	wakeNames []string
 	total     int
 	completed int
 	errs      []error
@@ -287,22 +319,35 @@ func (d *driver) record(cluster string, notes []batch.Notification) {
 }
 
 // refreshWakes re-schedules the per-cluster wake-up events according to each
-// cluster's next internal event.
+// cluster's next internal event. A wake that is already pending at the right
+// instant is kept rather than cancelled and re-inserted: the handler is
+// idempotent (it advances every cluster to the current time), so only the
+// fire time matters, and keeping the event avoids flooding the engine's
+// queue with cancelled tombstones on every submission and notification.
 func (d *driver) refreshWakes(now int64) {
 	for i, srv := range d.servers {
 		next, ok := srv.Scheduler().NextEventTime()
-		if d.wakes[i] != nil {
-			d.wakes[i].Cancel()
-			d.wakes[i] = nil
-		}
 		if !ok {
+			if d.wakes[i] != nil {
+				d.wakes[i].Cancel()
+				d.wakes[i] = nil
+			}
 			continue
 		}
 		if next < now {
 			next = now
 		}
+		if w := d.wakes[i]; w != nil && !w.Cancelled() && w.Time == sim.Time(next) {
+			continue
+		}
+		if d.wakes[i] != nil {
+			d.wakes[i].Cancel()
+		}
 		i := i
-		d.wakes[i] = d.engine.MustSchedule(sim.Time(next), sim.PriorityFinish, fmt.Sprintf("wake-%s", srv.Name()), func(t sim.Time) {
+		d.wakes[i] = d.engine.MustSchedule(sim.Time(next), sim.PriorityFinish, d.wakeNames[i], func(t sim.Time) {
+			// A fired event must not be mistaken for a pending one by the
+			// keep-if-same-time test above.
+			d.wakes[i] = nil
 			d.handleWake(int64(t))
 		})
 	}

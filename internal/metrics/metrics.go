@@ -162,6 +162,48 @@ func Summarize(r *core.Result) Summary {
 	return s
 }
 
+// LoadSummary aggregates, across every cluster of a run, the request load
+// the reallocation mechanism put on the local batch systems (the paper's
+// system-load concern) together with the scheduler-internal counters that
+// show how much of that load the incremental plan machinery absorbed.
+type LoadSummary struct {
+	// Submissions, Cancellations and ECTQueries total the middleware
+	// requests served by all clusters.
+	Submissions   int64
+	Cancellations int64
+	ECTQueries    int64
+	// SnapshotHits is the number of ECT queries answered from a per-sweep
+	// availability snapshot instead of a direct scheduler consultation.
+	SnapshotHits int64
+	// SnapshotHitPercent is 100*SnapshotHits/ECTQueries (0 when no queries).
+	SnapshotHitPercent float64
+	// PlanRebuilds and PlanReuses count full waiting-queue re-plans versus
+	// observations served from the cached plan.
+	PlanRebuilds int64
+	PlanReuses   int64
+	// PlanReusePercent is 100*PlanReuses/(PlanRebuilds+PlanReuses).
+	PlanReusePercent float64
+}
+
+// SummarizeLoad totals the per-cluster request loads of a run.
+func SummarizeLoad(r *core.Result) LoadSummary {
+	var s LoadSummary
+	if r == nil {
+		return s
+	}
+	for _, l := range r.ServerLoads {
+		s.Submissions += l.Submissions
+		s.Cancellations += l.Cancellations
+		s.ECTQueries += l.ECTQueries
+		s.SnapshotHits += l.SnapshotHits
+		s.PlanRebuilds += l.PlanRebuilds
+		s.PlanReuses += l.PlanReuses
+	}
+	s.SnapshotHitPercent = stats.Percent(float64(s.SnapshotHits), float64(s.ECTQueries))
+	s.PlanReusePercent = stats.Percent(float64(s.PlanReuses), float64(s.PlanRebuilds+s.PlanReuses))
+	return s
+}
+
 // PerJobDelta describes how one job fared with reallocation compared to the
 // baseline; used by the detailed CLI output.
 type PerJobDelta struct {

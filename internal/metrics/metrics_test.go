@@ -5,7 +5,11 @@ import (
 	"math"
 	"testing"
 
+	"gridrealloc/internal/batch"
 	"gridrealloc/internal/core"
+	"gridrealloc/internal/platform"
+	"gridrealloc/internal/server"
+	"gridrealloc/internal/workload"
 )
 
 // fabricate builds a Result with the given per-job (submit, completion)
@@ -161,5 +165,64 @@ func TestDeltas(t *testing.T) {
 	}
 	if deltas[1].JobID != 3 || deltas[1].Delta != 50 {
 		t.Fatalf("delta[1] = %+v", deltas[1])
+	}
+}
+
+func TestSummarizeLoad(t *testing.T) {
+	res := &core.Result{
+		ServerLoads: []server.RequestLoad{
+			{Cluster: "a", Submissions: 10, Cancellations: 4, ECTQueries: 100, SnapshotHits: 80, PlanRebuilds: 5, PlanReuses: 15},
+			{Cluster: "b", Submissions: 6, Cancellations: 2, ECTQueries: 100, SnapshotHits: 70, PlanRebuilds: 5, PlanReuses: 25},
+		},
+	}
+	got := SummarizeLoad(res)
+	if got.Submissions != 16 || got.Cancellations != 6 || got.ECTQueries != 200 {
+		t.Fatalf("request totals = %+v", got)
+	}
+	if got.SnapshotHits != 150 || got.SnapshotHitPercent != 75 {
+		t.Fatalf("snapshot stats = %+v", got)
+	}
+	if got.PlanRebuilds != 10 || got.PlanReuses != 40 || got.PlanReusePercent != 80 {
+		t.Fatalf("plan stats = %+v", got)
+	}
+	if zero := SummarizeLoad(nil); zero != (LoadSummary{}) {
+		t.Fatalf("nil result summary = %+v", zero)
+	}
+}
+
+// TestLoadCountersFlowThroughRun checks the counters survive the trip from
+// the batch scheduler through the server layer into the run result: a run
+// with reallocation answers most ECT queries from per-sweep snapshots.
+func TestLoadCountersFlowThroughRun(t *testing.T) {
+	var jobs []workload.Job
+	for i := 0; i < 40; i++ {
+		jobs = append(jobs, workload.Job{
+			ID: i + 1, Submit: int64(i * 5), Runtime: 200, Walltime: 1200, Procs: 1 + i%8,
+		})
+	}
+	trace, err := workload.NewTrace("load", jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.Run(core.Config{
+		Platform: platform.Platform{Name: "test", Clusters: []platform.ClusterSpec{
+			{Name: "a", Cores: 8, Speed: 1}, {Name: "b", Cores: 8, Speed: 1},
+		}},
+		Policy:  batch.CBF,
+		Trace:   trace,
+		Realloc: core.ReallocConfig{Algorithm: core.WithCancellation, Period: 100},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := SummarizeLoad(res)
+	if sum.Submissions == 0 || sum.ECTQueries == 0 {
+		t.Fatalf("no load recorded: %+v", sum)
+	}
+	if sum.SnapshotHits == 0 {
+		t.Fatalf("reallocating run answered no queries from snapshots: %+v", sum)
+	}
+	if sum.PlanReuses == 0 {
+		t.Fatalf("no plan reuse recorded: %+v", sum)
 	}
 }

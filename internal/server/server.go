@@ -74,6 +74,14 @@ func (s *Server) EstimateCompletion(j workload.Job, now int64) (ect int64, ok bo
 	return v, true
 }
 
+// EstimateSnapshot returns a detached snapshot of the cluster's planned
+// availability at time now. The meta-scheduler takes one snapshot per
+// cluster per reallocation sweep and reuses it across every candidate job
+// instead of issuing one EstimateCompletion request per (job, cluster) pair.
+func (s *Server) EstimateSnapshot(now int64) (*batch.EstimateSnapshot, error) {
+	return s.sched.EstimateSnapshot(now)
+}
+
 // CurrentCompletion returns the current predicted completion time of a job
 // already held by this cluster.
 func (s *Server) CurrentCompletion(jobID int) (int64, error) {
@@ -89,16 +97,33 @@ func (s *Server) WaitingJobs() []batch.WaitingJob {
 func (s *Server) Fits(j workload.Job) bool { return s.sched.Fits(j) }
 
 // RequestLoad summarises the number of requests the middleware has issued to
-// this cluster's batch system.
+// this cluster's batch system, together with the scheduler-internal
+// counters that show how much work the incremental plan machinery absorbed.
 type RequestLoad struct {
 	Cluster       string
 	Submissions   int64
 	Cancellations int64
 	ECTQueries    int64
+	// SnapshotHits is the number of ECT queries answered from a detached
+	// per-sweep snapshot rather than a direct scheduler consultation.
+	SnapshotHits int64
+	// PlanRebuilds and PlanReuses count, respectively, full re-plans of the
+	// waiting queue and observations served from the cached plan.
+	PlanRebuilds int64
+	PlanReuses   int64
 }
 
 // Load returns the request counters of the local batch system.
 func (s *Server) Load() RequestLoad {
 	sub, can, ect := s.sched.Counters()
-	return RequestLoad{Cluster: s.name, Submissions: sub, Cancellations: can, ECTQueries: ect}
+	st := s.sched.ProfileStats()
+	return RequestLoad{
+		Cluster:       s.name,
+		Submissions:   sub,
+		Cancellations: can,
+		ECTQueries:    ect,
+		SnapshotHits:  st.SnapshotHits,
+		PlanRebuilds:  st.PlanRebuilds,
+		PlanReuses:    st.PlanReuses,
+	}
 }
