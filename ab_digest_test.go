@@ -1,0 +1,84 @@
+package gridrealloc_test
+
+// A/B digest harness: runs a 72-configuration grid of simulations and folds
+// every per-job outcome into a single SHA-256 digest. Comparing the digest
+// across two checkouts (or before/after a refactor) proves bit-identical
+// simulation results far more cheaply than archiving full result dumps.
+//
+//	go test -run TestABDigest -v .
+//
+// The digest is sensitive to every job's start, completion, cluster,
+// reallocation count and kill flag, plus the run-level makespan and
+// reallocation totals. It is NOT asserted against a committed constant:
+// trace-generator changes legitimately shift it (and are recorded in
+// CHANGES.md); the harness exists so such shifts are deliberate, observable
+// and attributable.
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"testing"
+
+	gridrealloc "gridrealloc"
+)
+
+// abConfigs enumerates the 72-configuration grid: 3 scenarios x 2 platform
+// variants x 2 batch policies x (baseline + 5 algorithm/heuristic pairs).
+func abConfigs() []gridrealloc.ScenarioConfig {
+	type algPair struct{ alg, heur string }
+	pairs := []algPair{
+		{"none", ""},
+		{"realloc", "Mct"},
+		{"realloc", "MinMin"},
+		{"realloc", "MaxGain"},
+		{"realloc-cancel", "Mct"},
+		{"realloc-cancel", "MinMin"},
+	}
+	var out []gridrealloc.ScenarioConfig
+	for _, scenario := range []string{"jan", "apr", "pwa-g5k"} {
+		for _, het := range []string{"homogeneous", "heterogeneous"} {
+			for _, policy := range []string{"FCFS", "CBF"} {
+				for _, p := range pairs {
+					out = append(out, gridrealloc.ScenarioConfig{
+						Scenario:      scenario,
+						Heterogeneity: het,
+						Policy:        policy,
+						TraceFraction: 0.01,
+						Algorithm:     p.alg,
+						Heuristic:     p.heur,
+					})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// digestResult folds one run's observable outcome into the hash.
+func digestResult(h interface{ Write(p []byte) (int, error) }, cfg gridrealloc.ScenarioConfig, res *gridrealloc.Result) {
+	fmt.Fprintf(h, "cfg %s/%s/%s/%s/%s\n", cfg.Scenario, cfg.Heterogeneity, cfg.Policy, cfg.Algorithm, cfg.Heuristic)
+	fmt.Fprintf(h, "run makespan=%d moves=%d events=%d\n", res.Makespan, res.TotalReallocations, res.ReallocationEvents)
+	for _, rec := range res.SortedRecords() {
+		fmt.Fprintf(h, "job %d submit=%d start=%d completion=%d cluster=%s procs=%d realloc=%d killed=%v\n",
+			rec.JobID, rec.Submit, rec.Start, rec.Completion, rec.Cluster, rec.Procs, rec.Reallocations, rec.Killed)
+	}
+}
+
+// TestABDigest runs the grid and logs the digest. It fails only when a
+// simulation errors; digest comparison is done by the human (or CI job)
+// diffing the logged value across two builds.
+func TestABDigest(t *testing.T) {
+	if testing.Short() {
+		t.Skip("A/B digest replays 72 simulations")
+	}
+	h := sha256.New()
+	for _, cfg := range abConfigs() {
+		res, err := gridrealloc.RunScenario(cfg)
+		if err != nil {
+			t.Fatalf("%s/%s/%s/%s/%s: %v", cfg.Scenario, cfg.Heterogeneity, cfg.Policy, cfg.Algorithm, cfg.Heuristic, err)
+		}
+		digestResult(h, cfg, res)
+	}
+	t.Logf("A/B digest over %d configurations: %s", len(abConfigs()), hex.EncodeToString(h.Sum(nil)))
+}

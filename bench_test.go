@@ -514,10 +514,11 @@ func BenchmarkBatchEstimateCompletionFromScratch(b *testing.B) {
 //
 // and commit the refreshed file alongside any change to the scheduler so
 // regressions are visible in review.
-func TestWriteBenchBatchBaseline(t *testing.T) {
-	if os.Getenv("WRITE_BENCH_BASELINE") == "" {
-		t.Skip("set WRITE_BENCH_BASELINE=1 to rewrite BENCH_batch.json")
-	}
+// measureBatchBaseline reruns the five committed hot-path measurements and
+// returns them keyed exactly as in BENCH_batch.json. It is shared by the
+// baseline writer and the CI bench smoke.
+func measureBatchBaseline(t *testing.T) map[string]float64 {
+	t.Helper()
 	nsPerOp := func(r testing.BenchmarkResult) float64 {
 		if r.N == 0 {
 			return 0
@@ -587,18 +588,28 @@ func TestWriteBenchBatchBaseline(t *testing.T) {
 			}
 		}
 	}))
+	return map[string]float64{
+		"estimate_completion_cbf_depth_1000":              cached,
+		"estimate_completion_from_scratch_cbf_depth_1000": scratch,
+		"submit_cancel_cbf_depth_1000":                    submitCancel,
+		"mass_cancel_cbf_depth_1000":                      massCancel,
+		"realloc_cancel_month_sweep_apr_5pct":             monthSweep,
+	}
+}
+
+func TestWriteBenchBatchBaseline(t *testing.T) {
+	if os.Getenv("WRITE_BENCH_BASELINE") == "" {
+		t.Skip("set WRITE_BENCH_BASELINE=1 to rewrite BENCH_batch.json")
+	}
+	measured := measureBatchBaseline(t)
+	cached := measured["estimate_completion_cbf_depth_1000"]
+	scratch := measured["estimate_completion_from_scratch_cbf_depth_1000"]
 	payload := map[string]any{
 		"go":        runtime.Version(),
 		"goos":      runtime.GOOS,
 		"goarch":    runtime.GOARCH,
 		"benchtime": "default (testing.Benchmark)",
-		"ns_per_op": map[string]float64{
-			"estimate_completion_cbf_depth_1000":              cached,
-			"estimate_completion_from_scratch_cbf_depth_1000": scratch,
-			"submit_cancel_cbf_depth_1000":                    submitCancel,
-			"mass_cancel_cbf_depth_1000":                      massCancel,
-			"realloc_cancel_month_sweep_apr_5pct":             monthSweep,
-		},
+		"ns_per_op": measured,
 		"derived": map[string]float64{
 			"estimate_speedup_vs_from_scratch": scratch / cached,
 		},
@@ -611,7 +622,47 @@ func TestWriteBenchBatchBaseline(t *testing.T) {
 		t.Fatal(err)
 	}
 	t.Logf("wrote BENCH_batch.json: cached=%.0fns scratch=%.0fns (%.1fx), mass_cancel=%.0fns, sweep=%.0fns",
-		cached, scratch, scratch/cached, massCancel, monthSweep)
+		cached, scratch, scratch/cached, measured["mass_cancel_cbf_depth_1000"], measured["realloc_cancel_month_sweep_apr_5pct"])
+}
+
+// benchSmokeTolerance is how many times slower than the committed baseline a
+// hot path may measure before the bench smoke fails. It is deliberately
+// generous: CI machines are slower and noisier than the machine that wrote
+// the baseline, and the smoke exists to catch order-of-magnitude regressions
+// (losing the incremental profile costs ~670x on the ECT path), not
+// percentage drift.
+const benchSmokeTolerance = 8.0
+
+// TestBenchSmokeAgainstBaseline reruns the committed hot-path measurements
+// and fails when any of them regressed past the generous CI tolerance. It is
+// opt-in (BENCH_SMOKE=1) because timing assertions do not belong in the
+// default test run.
+func TestBenchSmokeAgainstBaseline(t *testing.T) {
+	if os.Getenv("BENCH_SMOKE") == "" {
+		t.Skip("set BENCH_SMOKE=1 to compare hot paths against BENCH_batch.json")
+	}
+	data, err := os.ReadFile("BENCH_batch.json")
+	if err != nil {
+		t.Fatalf("reading committed baseline: %v", err)
+	}
+	var baseline struct {
+		NsPerOp map[string]float64 `json:"ns_per_op"`
+	}
+	if err := json.Unmarshal(data, &baseline); err != nil {
+		t.Fatalf("parsing BENCH_batch.json: %v", err)
+	}
+	measured := measureBatchBaseline(t)
+	for name, want := range baseline.NsPerOp {
+		got, ok := measured[name]
+		if !ok {
+			t.Errorf("baseline entry %q is no longer measured; rewrite BENCH_batch.json", name)
+			continue
+		}
+		t.Logf("%-48s %12.0f ns/op (baseline %12.0f, %.2fx)", name, got, want, got/want)
+		if got > want*benchSmokeTolerance {
+			t.Errorf("%s regressed: %.0f ns/op vs baseline %.0f (tolerance %.0fx)", name, got, want, benchSmokeTolerance)
+		}
+	}
 }
 
 // BenchmarkHeuristicSelection measures one heuristic selection step over

@@ -45,6 +45,13 @@ func run(args []string) error {
 		quiet     = fs.Bool("quiet", false, "suppress progress output")
 		period    = fs.Int64("period", 0, "override the reallocation period in seconds (0 = paper default 3600)")
 		minGain   = fs.Int64("min-gain", 0, "override the Algorithm 1 improvement threshold in seconds (0 = paper default 60)")
+
+		outageCluster   = fs.String("outage-cluster", "", "cluster hit by the campaign's capacity window (default: each platform's first cluster)")
+		outageStart     = fs.Int64("outage-start", 0, "start of the capacity window in trace seconds")
+		outageDuration  = fs.Int64("outage-duration", 0, "length of the capacity window in seconds (0 = only scenario-variant defaults apply)")
+		outageSeverity  = fs.Float64("outage-severity", 0, "fraction of cores lost during the window, in (0,1]; sweep severities by running one campaign per value")
+		outageAnnounced = fs.Bool("outage-announced", false, "treat the window as announced maintenance instead of a surprise outage")
+		outagePolicy    = fs.String("outage-policy", "", "displaced running jobs are killed (default) or requeued: kill or requeue")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -56,6 +63,16 @@ func run(args []string) error {
 		Parallelism:   *parallel,
 		ReallocPeriod: *period,
 		MinGain:       *minGain,
+	}
+	if *outageDuration > 0 || *outageSeverity > 0 || *outageStart > 0 || *outageAnnounced || *outagePolicy != "" || *outageCluster != "" {
+		cfg.Outage = &experiment.OutageSpec{
+			Cluster:   *outageCluster,
+			Start:     *outageStart,
+			Duration:  *outageDuration,
+			Severity:  *outageSeverity,
+			Announced: *outageAnnounced,
+			Policy:    *outagePolicy,
+		}
 	}
 	if !*quiet {
 		cfg.Progress = os.Stderr

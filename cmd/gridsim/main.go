@@ -9,6 +9,9 @@
 //	        -algorithm realloc-cancel -heuristic MinMin -compare
 //
 //	gridsim -swf trace.swf -batch FCFS -algorithm realloc -heuristic Mct
+//
+//	gridsim -scenario jan-outage -outage-policy requeue \
+//	        -algorithm realloc-cancel -heuristic MinMin -compare
 package main
 
 import (
@@ -31,7 +34,7 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("gridsim", flag.ContinueOnError)
 	var (
-		scenario  = fs.String("scenario", "jan", "workload scenario: jan..jun or pwa-g5k")
+		scenario  = fs.String("scenario", "jan", "workload scenario: jan..jun, pwa-g5k, or a capacity variant such as jan-maint/jan-outage")
 		fraction  = fs.Float64("fraction", 0.05, "fraction of the paper's trace size to generate")
 		seed      = fs.Uint64("seed", 42, "random seed for the synthetic trace")
 		swfPath   = fs.String("swf", "", "replay this SWF trace instead of generating one")
@@ -44,6 +47,13 @@ func run(args []string) error {
 		minGain   = fs.Int64("min-gain", 60, "minimum completion-time improvement (s) for Algorithm 1")
 		compare   = fs.Bool("compare", false, "also run the no-reallocation baseline and print the paper's metrics")
 		jobsOut   = fs.Bool("jobs", false, "print the per-job records")
+
+		outageCluster   = fs.String("outage-cluster", "", "cluster hit by the capacity window (default: the platform's first cluster)")
+		outageStart     = fs.Int64("outage-start", 0, "start of the capacity window in trace seconds")
+		outageDuration  = fs.Int64("outage-duration", 0, "length of the capacity window in seconds (0 disables the explicit window)")
+		outageSeverity  = fs.Float64("outage-severity", 0, "fraction of cores lost during the window, in (0,1] (<=0 means a full outage)")
+		outageAnnounced = fs.Bool("outage-announced", false, "treat the window as an announced maintenance window the scheduler plans around")
+		outagePolicy    = fs.String("outage-policy", "kill", "what happens to running jobs displaced by an outage: kill or requeue")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -80,12 +90,22 @@ func run(args []string) error {
 		Mapping:              *mapping,
 		ReallocPeriodSeconds: *period,
 		MinGainSeconds:       *minGain,
+
+		OutageCluster:         *outageCluster,
+		OutageStartSeconds:    *outageStart,
+		OutageDurationSeconds: *outageDuration,
+		OutageSeverity:        *outageSeverity,
+		OutageAnnounced:       *outageAnnounced,
+		OutagePolicy:          *outagePolicy,
 	}
 	result, err := gridrealloc.RunScenario(cfg)
 	if err != nil {
 		return err
 	}
 	printSummary("run", gridrealloc.Summarize(result))
+	if result.OutageKills > 0 || result.OutageRequeues > 0 {
+		fmt.Printf("  outage displacements: %d killed, %d requeued\n", result.OutageKills, result.OutageRequeues)
+	}
 
 	if *compare {
 		baseCfg := cfg

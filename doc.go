@@ -25,6 +25,20 @@
 // blocks (event engine, batch schedulers, meta-scheduling agent, heuristics,
 // metrics) live under internal/ and are documented there.
 //
+// # Capacity dynamics
+//
+// Beyond the paper's static platforms, every cluster can carry a capacity
+// timeline of bounded windows: announced maintenance windows the batch
+// scheduler plans around, and unannounced outages that strike mid-run and
+// displace running jobs (killed or requeued per ScenarioConfig.OutagePolicy).
+// Scenario names with a "-maint"/"-outage" suffix ("jan-maint",
+// "jan-outage") pair a burstier variant of the monthly workload with a
+// default window on the first cluster; the OutageCluster, OutageStartSeconds,
+// OutageDurationSeconds, OutageSeverity and OutageAnnounced fields place an
+// explicit window instead, which is how campaigns sweep outage severity.
+// With no capacity events configured, simulation results are bit-identical
+// to the static simulator.
+//
 // # Performance
 //
 // The batch scheduler is indexed and incremental: jobs are addressed through

@@ -1,0 +1,36 @@
+package gridrealloc_test
+
+// Smoke coverage for the example programs: each is built and executed
+// exactly as its doc comment advertises, so a façade change that breaks the
+// documented workflows fails the test suite instead of the first user.
+
+import (
+	"context"
+	"os/exec"
+	"testing"
+	"time"
+)
+
+func TestExamplesBuildAndRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("examples run full simulations")
+	}
+	if _, err := exec.LookPath("go"); err != nil {
+		t.Skipf("go tool unavailable: %v", err)
+	}
+	for _, name := range []string{"quickstart", "heterogeneous", "customheuristic", "tracedriven"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+			defer cancel()
+			out, err := exec.CommandContext(ctx, "go", "run", "./examples/"+name).CombinedOutput()
+			if err != nil {
+				t.Fatalf("go run ./examples/%s: %v\n%s", name, err, out)
+			}
+			if len(out) == 0 {
+				t.Fatalf("example %s produced no output", name)
+			}
+		})
+	}
+}

@@ -71,6 +71,31 @@ type ScenarioConfig struct {
 	// MinGainSeconds overrides the one-minute improvement threshold of
 	// Algorithm 1.
 	MinGainSeconds int64
+
+	// Capacity dynamics. A scenario name with a "-maint" or "-outage"
+	// suffix ("jan-maint", "jan-outage") attaches a default capacity window
+	// to the platform's first cluster; the fields below override or replace
+	// that default. All fields are inert at their zero values, keeping runs
+	// without capacity events bit-identical to the static simulator.
+
+	// OutageCluster names the cluster whose capacity changes (default: the
+	// platform's first cluster).
+	OutageCluster string
+	// OutageStartSeconds is the instant the capacity window opens.
+	OutageStartSeconds int64
+	// OutageDurationSeconds is the window length; a positive value enables
+	// the explicit window.
+	OutageDurationSeconds int64
+	// OutageSeverity is the fraction of the cluster's cores lost during the
+	// window, in (0, 1]; non-positive values default to 1 (full outage).
+	OutageSeverity float64
+	// OutageAnnounced marks the window as a maintenance window the batch
+	// scheduler knows in advance and plans around, instead of a surprise
+	// outage that displaces running jobs.
+	OutageAnnounced bool
+	// OutagePolicy is what happens to running jobs displaced by an
+	// unannounced outage: "kill" (default) or "requeue".
+	OutagePolicy string
 }
 
 // GenerateScenario produces the synthetic trace of one of the paper's seven
@@ -120,10 +145,24 @@ func RunScenario(cfg ScenarioConfig) (*Result, error) {
 	}
 
 	var plat Platform
-	if cfg.Platform != nil {
+	switch {
+	case cfg.Platform != nil:
 		plat = *cfg.Platform
-	} else {
+	case cfg.Scenario == "":
+		// A custom trace alone does not determine the platform; silently
+		// defaulting to Grid'5000 would simulate hardware the caller never
+		// chose.
+		return nil, fmt.Errorf("gridrealloc: ScenarioConfig with a custom Trace needs a Scenario or a Platform to pick the clusters")
+	default:
 		plat = DefaultPlatform(cfg.Scenario, cfg.Heterogeneity)
+	}
+	plat, err := applyCapacityConfig(plat, cfg, trace)
+	if err != nil {
+		return nil, err
+	}
+	outagePolicy, err := batch.ParseOutagePolicy(cfg.OutagePolicy)
+	if err != nil {
+		return nil, err
 	}
 
 	policy := batch.FCFS
@@ -166,8 +205,27 @@ func RunScenario(cfg ScenarioConfig) (*Result, error) {
 			Period:    cfg.ReallocPeriodSeconds,
 			MinGain:   cfg.MinGainSeconds,
 		},
+		OutagePolicy:   outagePolicy,
 		ClampOversized: true,
 	})
+}
+
+// applyCapacityConfig resolves the façade's capacity knobs through the
+// shared platform.ApplyCapacityRequest: an explicit window when
+// OutageDurationSeconds is set, otherwise the default schedule implied by a
+// "-maint"/"-outage" scenario variant (sized relative to the trace's
+// submission span, with the other Outage* fields overriding the default).
+// Without either, the platform is returned untouched, so static runs stay
+// bit-identical.
+func applyCapacityConfig(plat Platform, cfg ScenarioConfig, trace *Trace) (Platform, error) {
+	req := platform.CapacityRequest{
+		Cluster:   cfg.OutageCluster,
+		Start:     cfg.OutageStartSeconds,
+		Duration:  cfg.OutageDurationSeconds,
+		Severity:  cfg.OutageSeverity,
+		Announced: cfg.OutageAnnounced,
+	}
+	return platform.ApplyCapacityRequest(plat, cfg.Scenario, trace.LastSubmit(), req)
 }
 
 // Compare computes the paper's four evaluation metrics of a reallocation run

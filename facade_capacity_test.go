@@ -1,0 +1,125 @@
+package gridrealloc_test
+
+import (
+	"strings"
+	"testing"
+
+	gridrealloc "gridrealloc"
+)
+
+// TestTraceWithoutPlatformRejected pins the façade bugfix: a custom trace
+// with neither Scenario nor Platform must not silently run on the Grid'5000
+// platform.
+func TestTraceWithoutPlatformRejected(t *testing.T) {
+	trace, err := gridrealloc.GenerateScenario("jan", 0.002, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = gridrealloc.RunScenario(gridrealloc.ScenarioConfig{Trace: trace, Policy: "FCFS"})
+	if err == nil {
+		t.Fatal("custom trace without Scenario/Platform accepted")
+	}
+	if !strings.Contains(err.Error(), "Platform") {
+		t.Fatalf("error %q does not point at the missing platform", err)
+	}
+}
+
+// TestCapacityScenariosEndToEnd runs the two capacity-dynamics scenarios
+// under Algorithm 2, the acceptance configuration of the capacity-timeline
+// subsystem, under both displaced-job policies.
+func TestCapacityScenariosEndToEnd(t *testing.T) {
+	for _, scenario := range []string{"jan-maint", "jan-outage"} {
+		for _, policy := range []string{"kill", "requeue"} {
+			res, err := gridrealloc.RunScenario(gridrealloc.ScenarioConfig{
+				Scenario:      scenario,
+				TraceFraction: 0.02,
+				Policy:        "CBF",
+				Algorithm:     "realloc-cancel",
+				Heuristic:     "MinMin",
+				OutagePolicy:  policy,
+			})
+			if err != nil {
+				t.Fatalf("%s/%s: %v", scenario, policy, err)
+			}
+			if res.CompletedJobs() == 0 {
+				t.Fatalf("%s/%s: no job completed", scenario, policy)
+			}
+			switch {
+			case scenario == "jan-maint" && (res.OutageKills > 0 || res.OutageRequeues > 0):
+				// Announced windows are planned around; nothing may be displaced.
+				t.Fatalf("maintenance displaced jobs: kills=%d requeues=%d", res.OutageKills, res.OutageRequeues)
+			case scenario == "jan-outage" && policy == "kill" && res.OutageRequeues > 0:
+				t.Fatalf("kill policy requeued jobs: %d", res.OutageRequeues)
+			case scenario == "jan-outage" && policy == "requeue" && res.OutageKills > 0:
+				t.Fatalf("requeue policy killed jobs: %d", res.OutageKills)
+			}
+			// Every record stays well-formed: a completed job has a start,
+			// and a killed job is still recorded as completed.
+			for _, rec := range res.SortedRecords() {
+				if rec.Completion >= 0 && rec.Start < 0 {
+					t.Fatalf("%s/%s: job %d completed without starting", scenario, policy, rec.JobID)
+				}
+				if rec.Requeues > 0 && policy == "kill" {
+					t.Fatalf("%s/%s: job %d requeued under the kill policy", scenario, policy, rec.JobID)
+				}
+			}
+		}
+	}
+}
+
+// TestOutageSeverityKnobs drives the explicit capacity window through the
+// façade's plain-value fields, as a campaign severity sweep would.
+func TestOutageSeverityKnobs(t *testing.T) {
+	base := gridrealloc.ScenarioConfig{
+		Scenario:      "jan",
+		TraceFraction: 0.02,
+		Policy:        "FCFS",
+		Algorithm:     "realloc-cancel",
+		Heuristic:     "MinMin",
+	}
+	static, err := gridrealloc.RunScenario(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	outage := base
+	outage.OutageCluster = "bordeaux"
+	outage.OutageStartSeconds = 12000
+	outage.OutageDurationSeconds = 20000
+	outage.OutageSeverity = 1.0
+	outage.OutagePolicy = "requeue"
+	hit, err := gridrealloc.RunScenario(outage)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hit.OutageRequeues == 0 {
+		t.Fatal("full bordeaux outage displaced no running job")
+	}
+	if hit.Makespan <= 0 || hit.CompletedJobs() == 0 {
+		t.Fatalf("outage run degenerate: makespan=%d completed=%d", hit.Makespan, hit.CompletedJobs())
+	}
+	if static.MeanResponseTime() >= hit.MeanResponseTime() {
+		t.Fatalf("outage did not hurt: static %.1f vs outage %.1f", static.MeanResponseTime(), hit.MeanResponseTime())
+	}
+	// A milder announced window on the same span must not displace anyone.
+	maint := outage
+	maint.OutageSeverity = 0.5
+	maint.OutageAnnounced = true
+	soft, err := gridrealloc.RunScenario(maint)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if soft.OutageKills != 0 || soft.OutageRequeues != 0 {
+		t.Fatalf("announced window displaced jobs: kills=%d requeues=%d", soft.OutageKills, soft.OutageRequeues)
+	}
+	// Unknown knob values surface as errors.
+	bad := outage
+	bad.OutagePolicy = "shrug"
+	if _, err := gridrealloc.RunScenario(bad); err == nil {
+		t.Fatal("unknown outage policy accepted")
+	}
+	bad = outage
+	bad.OutageCluster = "atlantis"
+	if _, err := gridrealloc.RunScenario(bad); err == nil {
+		t.Fatal("unknown outage cluster accepted")
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"container/heap"
 	"errors"
 	"fmt"
+	"math"
 	"os"
 	"sort"
 
@@ -43,6 +44,42 @@ func ParsePolicy(s string) (Policy, error) {
 		return CBF, nil
 	default:
 		return FCFS, fmt.Errorf("batch: unknown policy %q", s)
+	}
+}
+
+// OutagePolicy selects what happens to running jobs displaced by an
+// unannounced capacity outage: the cores they occupy vanish, so they either
+// die or go back to the waiting queue.
+type OutagePolicy int
+
+const (
+	// KillDisplaced terminates displaced jobs at the outage instant, as a
+	// node crash would; they are reported finished with the Killed flag.
+	KillDisplaced OutagePolicy = iota
+	// RequeueDisplaced puts displaced jobs back at the head of the waiting
+	// queue (oldest first), where the grid middleware may reallocate them to
+	// another cluster before they restart from scratch.
+	RequeueDisplaced
+)
+
+// String returns "kill" or "requeue".
+func (p OutagePolicy) String() string {
+	if p == RequeueDisplaced {
+		return "requeue"
+	}
+	return "kill"
+}
+
+// ParseOutagePolicy resolves an outage policy from its string form; the
+// empty string selects the kill default.
+func ParseOutagePolicy(s string) (OutagePolicy, error) {
+	switch s {
+	case "kill", "":
+		return KillDisplaced, nil
+	case "requeue":
+		return RequeueDisplaced, nil
+	default:
+		return KillDisplaced, fmt.Errorf("batch: unknown outage policy %q", s)
 	}
 }
 
@@ -125,34 +162,46 @@ func (q *finishQueue) Pop() any {
 }
 
 // Notification reports a state change that happened inside the cluster while
-// advancing virtual time: a job started or a job completed.
+// advancing virtual time: a job started, completed, or was pushed back to
+// the waiting queue by a capacity outage.
 type Notification struct {
-	// Kind is either Started or Finished.
+	// Kind is Started, Finished or Requeued.
 	Kind NotificationKind
 	// JobID identifies the job.
 	JobID int
 	// Time is the instant of the state change.
 	Time int64
 	// Killed is set on Finished notifications for jobs terminated by the
-	// walltime limit.
+	// walltime limit or by a capacity outage.
 	Killed bool
+	// Displaced is set on Finished and Requeued notifications for jobs
+	// pushed out of execution by a capacity outage (it distinguishes an
+	// outage kill from a walltime kill).
+	Displaced bool
 }
 
-// NotificationKind distinguishes start from completion notifications.
+// NotificationKind distinguishes the notification flavours.
 type NotificationKind int
 
 // Notification kinds.
 const (
 	Started NotificationKind = iota
 	Finished
+	// Requeued reports a running job displaced by a capacity outage and put
+	// back at the head of the waiting queue (RequeueDisplaced policy).
+	Requeued
 )
 
-// String returns "started" or "finished".
+// String returns "started", "finished" or "requeued".
 func (k NotificationKind) String() string {
-	if k == Finished {
+	switch k {
+	case Finished:
 		return "finished"
+	case Requeued:
+		return "requeued"
+	default:
+		return "started"
 	}
-	return "started"
 }
 
 // WaitingJob is the externally visible view of a queued job: the job itself
@@ -193,6 +242,20 @@ type Scheduler struct {
 	waiting     []*queueEntry // always sorted by seq (submission order)
 	waitingByID map[int]*queueEntry
 	seq         int64
+	// frontSeq hands out decreasing sequence numbers for jobs requeued at
+	// the head of the queue after an outage, keeping the waiting slice
+	// sorted by seq without renumbering it.
+	frontSeq int64
+
+	// maintenance holds the announced capacity windows, baked into every
+	// availability profile from construction so planning works around them.
+	// outages holds the unannounced windows; outages[nextOutage:] are still
+	// invisible to planning and are revealed one by one as internal events
+	// when virtual time reaches their start.
+	maintenance  []platform.CapacityEvent
+	outages      []platform.CapacityEvent
+	nextOutage   int
+	outagePolicy OutagePolicy
 
 	startHeap  startQueue
 	finishHeap finishQueue
@@ -242,16 +305,55 @@ func NewScheduler(spec platform.ClusterSpec, policy Policy) (*Scheduler, error) 
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
-	return &Scheduler{
-		spec:         spec,
-		policy:       policy,
-		runningByID:  make(map[int]*allocation),
-		waitingByID:  make(map[int]*queueEntry),
-		runProf:      newProfile(0, spec.Cores),
-		runProfValid: true,
-		planProf:     newProfile(0, spec.Cores),
-		debugCheck:   os.Getenv(debugProfileEnv) != "",
-	}, nil
+	s := &Scheduler{
+		spec:        spec,
+		policy:      policy,
+		runningByID: make(map[int]*allocation),
+		waitingByID: make(map[int]*queueEntry),
+		frontSeq:    -1,
+		debugCheck:  os.Getenv(debugProfileEnv) != "",
+	}
+	for _, e := range spec.Capacity {
+		if e.Kind == platform.Maintenance {
+			s.maintenance = append(s.maintenance, e)
+		} else {
+			s.outages = append(s.outages, e)
+		}
+	}
+	s.runProf = s.capacityBaseProfile(0)
+	s.runProfValid = true
+	s.planProf = s.runProf.clone()
+	return s, nil
+}
+
+// capacityBaseProfile builds the zero-jobs availability profile from `from`
+// onwards: the nominal core count reduced by every announced maintenance
+// window and by every already revealed outage window. Unrevealed outages are
+// deliberately absent — the scheduler must not plan around a failure it
+// cannot know about yet.
+func (s *Scheduler) capacityBaseProfile(from int64) *profile {
+	prof := newProfile(from, s.spec.Cores)
+	reserveWindow := func(w platform.CapacityEvent) {
+		if w.End <= from {
+			return
+		}
+		start := w.Start
+		if start < from {
+			start = from
+		}
+		if err := prof.reserve(start, w.End, s.spec.Cores-w.Cores); err != nil {
+			// Windows are validated non-overlapping and within the cluster
+			// size, so a failed reservation is a programming error.
+			panic(fmt.Sprintf("batch: capacity window [%d,%d) unreservable on %s: %v", w.Start, w.End, s.spec.Name, err))
+		}
+	}
+	for _, w := range s.maintenance {
+		reserveWindow(w)
+	}
+	for _, w := range s.outages[:s.nextOutage] {
+		reserveWindow(w)
+	}
+	return prof
 }
 
 // Spec returns the cluster description.
@@ -268,6 +370,13 @@ func (s *Scheduler) Now() int64 { return s.now }
 // GRIDREALLOC_DEBUG_PROFILE environment variable). A mismatch panics,
 // because it means the incremental profile diverged from the ground truth.
 func (s *Scheduler) SetDebugCrossCheck(on bool) { s.debugCheck = on }
+
+// SetOutagePolicy selects what happens to running jobs displaced by an
+// unannounced capacity outage (kill by default).
+func (s *Scheduler) SetOutagePolicy(p OutagePolicy) { s.outagePolicy = p }
+
+// OutagePolicy returns the configured displacement policy.
+func (s *Scheduler) OutagePolicy() OutagePolicy { return s.outagePolicy }
 
 // Counters returns the number of submissions, cancellations and ECT queries
 // served so far.
@@ -599,9 +708,19 @@ func (sn *EstimateSnapshot) EstimateCompletion(j workload.Job) (int64, error) {
 	return start + wall, nil
 }
 
-// Advance moves the cluster's clock to `now`, starting planned jobs and
-// completing running jobs whose time has come, in chronological order. It
-// returns the notifications generated, in order.
+// internalEvent identifies the kind of the next scheduler-internal event.
+type internalEvent int
+
+const (
+	evFinish internalEvent = iota
+	evCapacity
+	evStart
+)
+
+// Advance moves the cluster's clock to `now`, starting planned jobs,
+// completing running jobs and revealing capacity outages whose time has
+// come, in chronological order. It returns the notifications generated, in
+// order.
 func (s *Scheduler) Advance(now int64) ([]Notification, error) {
 	if now < s.now {
 		return nil, fmt.Errorf("%w: advance to %d, now %d", ErrTimeTravel, now, s.now)
@@ -613,9 +732,11 @@ func (s *Scheduler) Advance(now int64) ([]Notification, error) {
 			break
 		}
 		switch kind {
-		case Finished:
+		case evFinish:
 			notes = append(notes, s.finishDueAt(t)...)
-		case Started:
+		case evCapacity:
+			notes = append(notes, s.revealNextOutage()...)
+		case evStart:
 			notes = append(notes, s.startDueAt(t)...)
 		}
 	}
@@ -624,31 +745,125 @@ func (s *Scheduler) Advance(now int64) ([]Notification, error) {
 }
 
 // NextEventTime returns the earliest instant at which this cluster will
-// change state on its own (a running job completes or a planned job starts),
-// or ok=false when the cluster is idle with an empty queue.
+// change state on its own (a running job completes, a planned job starts, or
+// a capacity outage strikes), or ok=false when the cluster is idle with an
+// empty queue and no pending outage.
 func (s *Scheduler) NextEventTime() (int64, bool) {
 	t, _, ok := s.nextInternalEvent()
 	return t, ok
 }
 
 // nextInternalEvent returns the time and kind of the next internal event by
-// peeking the two event heaps. Completions at time t take precedence over
-// starts at time t because the freed cores may allow an earlier (re-planned)
-// start at that very instant.
-func (s *Scheduler) nextInternalEvent() (int64, NotificationKind, bool) {
+// peeking the two event heaps and the outage timeline. At equal instants,
+// completions run first (the freed cores may allow an earlier re-planned
+// start), then outage reveals (so a job is not started into a window that
+// just lost its cores), then starts.
+func (s *Scheduler) nextInternalEvent() (int64, internalEvent, bool) {
 	s.ensurePlan()
 	bestT := int64(0)
-	kind := Started
+	kind := evStart
 	found := false
 	if len(s.finishHeap) > 0 {
-		bestT, kind, found = s.finishHeap[0].end, Finished, true
+		bestT, kind, found = s.finishHeap[0].end, evFinish, true
+	}
+	if s.nextOutage < len(s.outages) {
+		if t := s.outages[s.nextOutage].Start; !found || t < bestT {
+			bestT, kind, found = t, evCapacity, true
+		}
 	}
 	if len(s.startHeap) > 0 {
 		if t := s.startHeap[0].plannedStart; !found || t < bestT {
-			bestT, kind, found = t, Started, true
+			bestT, kind, found = t, evStart, true
 		}
 	}
 	return bestT, kind, found
+}
+
+// revealNextOutage makes the next unannounced capacity window visible to the
+// scheduler: running jobs that no longer fit under the reduced capacity are
+// displaced (killed or requeued per the outage policy), the lost cores are
+// reserved in the incremental run profile for the remainder of the window,
+// and the waiting-queue plan is invalidated so every planned start is
+// recomputed under the new ceiling.
+func (s *Scheduler) revealNextOutage() []Notification {
+	w := s.outages[s.nextOutage]
+	s.nextOutage++
+	if w.Start > s.now {
+		s.now = w.Start
+	}
+	// An outage entirely in the past (the caller's clock jumped over the
+	// window without observing it) changes nothing from now on.
+	if w.End <= s.now {
+		return nil
+	}
+	notes := s.displaceRunning(w)
+	if s.runProfValid {
+		s.runProf.trimTo(s.now)
+		if err := s.runProf.reserve(s.now, w.End, s.spec.Cores-w.Cores); err != nil {
+			s.InvalidateRunProfile()
+		}
+	}
+	s.planDirty = true
+	return notes
+}
+
+// displaceRunning removes running jobs until the remaining usage fits the
+// outage window's capacity, most recently started jobs first (seniority is
+// protected, as on real clusters where a crash takes out the nodes assigned
+// last). Displaced jobs are killed or requeued per the outage policy.
+func (s *Scheduler) displaceRunning(w platform.CapacityEvent) []Notification {
+	used := 0
+	for _, a := range s.running {
+		used += a.job.Procs
+	}
+	if used <= w.Cores {
+		return nil
+	}
+	victims := append([]*allocation(nil), s.running...)
+	sort.Slice(victims, func(i, j int) bool {
+		if victims[i].start != victims[j].start {
+			return victims[i].start > victims[j].start
+		}
+		return victims[i].job.ID > victims[j].job.ID
+	})
+	displaced := make(map[int]bool)
+	var notes []Notification
+	for _, a := range victims {
+		if used <= w.Cores {
+			break
+		}
+		used -= a.job.Procs
+		displaced[a.job.ID] = true
+		delete(s.runningByID, a.job.ID)
+		s.releaseReservation(a, s.now)
+		if s.outagePolicy == RequeueDisplaced {
+			e := &queueEntry{
+				job:      a.job,
+				enqueued: s.now,
+				seq:      s.frontSeq,
+				migrated: a.migrated,
+			}
+			s.frontSeq--
+			s.waiting = append([]*queueEntry{e}, s.waiting...)
+			s.waitingByID[a.job.ID] = e
+			notes = append(notes, Notification{Kind: Requeued, JobID: a.job.ID, Time: s.now, Displaced: true})
+		} else {
+			notes = append(notes, Notification{Kind: Finished, JobID: a.job.ID, Time: s.now, Killed: true, Displaced: true})
+		}
+	}
+	kept := s.running[:0]
+	for _, a := range s.running {
+		if !displaced[a.job.ID] {
+			kept = append(kept, a)
+		}
+	}
+	s.running = kept
+	// The finish heap is rebuilt wholesale: arbitrary removals from the
+	// middle of a heap are not worth the complexity for an event as rare as
+	// an outage.
+	s.finishHeap = append(s.finishHeap[:0], s.running...)
+	heap.Init(&s.finishHeap)
+	return notes
 }
 
 // finishDueAt completes every running job whose end is exactly t, releasing
@@ -776,10 +991,12 @@ func (s *Scheduler) observePlan() {
 }
 
 // scratchRunProfile builds the running-jobs availability profile from
-// scratch: the reference the incremental profile is checked against, and the
-// fallback of the invalidation path.
+// scratch — the capacity baseline (maintenance windows plus revealed
+// outages) with every running job's walltime reservation subtracted. It is
+// the reference the incremental profile is checked against, and the fallback
+// of the invalidation path.
 func (s *Scheduler) scratchRunProfile() *profile {
-	prof := newProfile(s.now, s.spec.Cores)
+	prof := s.capacityBaseProfile(s.now)
 	for _, a := range s.running {
 		if a.wallEnd > s.now {
 			if err := prof.reserve(s.now, a.wallEnd, a.job.Procs); err != nil {
@@ -932,7 +1149,9 @@ func (s *Scheduler) CheckInvariants() error {
 		return fmt.Errorf("index out of sync: %d/%d running, %d/%d waiting",
 			len(s.running), len(s.runningByID), len(s.waiting), len(s.waitingByID))
 	}
-	prof := newProfile(s.now, s.spec.Cores)
+	// Running and planned reservations must fit under the capacity timeline
+	// (maintenance windows and revealed outages), not just the nominal size.
+	prof := s.capacityBaseProfile(s.now)
 	for _, a := range s.running {
 		if s.runningByID[a.job.ID] != a {
 			return fmt.Errorf("running index misses job %d", a.job.ID)
@@ -944,7 +1163,9 @@ func (s *Scheduler) CheckInvariants() error {
 		}
 	}
 	prevStart := int64(-1)
-	prevSeq := int64(-1)
+	// Outage requeues hand out negative sequence numbers (frontSeq), so the
+	// order check must start below every possible seq.
+	prevSeq := int64(math.MinInt64)
 	for _, e := range s.waiting {
 		if s.waitingByID[e.job.ID] != e {
 			return fmt.Errorf("waiting index misses job %d", e.job.ID)

@@ -267,8 +267,18 @@ func (a *Agent) newSweep(now int64, cands []Candidate) (*sweep, error) {
 }
 
 // query answers one (job, cluster) ECT from the cluster's snapshot,
-// returning NoEstimate when the job can never run there.
+// returning NoEstimate when the job can never run there. A snapshot whose
+// plan changed under it — which only happens when a capacity event fires at
+// the sweep instant, as the sweep itself refreshes the clusters it mutates —
+// is re-taken first, so estimates never reflect capacity the cluster lost.
 func (sw *sweep) query(idx int, j workload.Job) int64 {
+	if sw.snaps[idx].Stale() {
+		snap, err := sw.a.servers[idx].EstimateSnapshot(sw.now)
+		if err != nil {
+			return NoEstimate
+		}
+		sw.snaps[idx] = snap
+	}
 	ect, err := sw.snaps[idx].EstimateCompletion(j)
 	if err != nil {
 		return NoEstimate

@@ -28,6 +28,11 @@ type Config struct {
 	// Realloc configures the reallocation mechanism. The zero value means no
 	// reallocation (the baseline runs).
 	Realloc ReallocConfig
+	// OutagePolicy selects what happens to jobs caught running by an
+	// unannounced capacity outage: batch.KillDisplaced (the default) or
+	// batch.RequeueDisplaced. It is irrelevant on platforms without
+	// capacity events.
+	OutagePolicy batch.OutagePolicy
 	// ClampOversized controls what happens to jobs wider than the largest
 	// cluster: when true (the harness default) their processor request is
 	// clamped to the largest cluster, otherwise the run fails.
@@ -63,8 +68,11 @@ type JobRecord struct {
 	// Reallocations is the number of times the job was migrated between
 	// clusters before starting.
 	Reallocations int
-	// Killed reports whether the batch system killed the job at its
-	// walltime.
+	// Requeues is the number of times the job was pushed back from
+	// execution to the waiting queue by a capacity outage.
+	Requeues int
+	// Killed reports whether the batch system killed the job, at its
+	// walltime or in a capacity outage.
 	Killed bool
 }
 
@@ -105,6 +113,11 @@ type Result struct {
 	TotalReallocations int64
 	// ReallocationEvents is the number of periodic reallocation passes run.
 	ReallocationEvents int64
+	// OutageKills and OutageRequeues count running jobs displaced by
+	// capacity outages (killed and requeued respectively); both stay zero on
+	// platforms without capacity events.
+	OutageKills    int64
+	OutageRequeues int64
 	// Makespan is the completion time of the last job.
 	Makespan int64
 	// ServerLoads reports the number of requests issued to each cluster's
@@ -169,6 +182,7 @@ func Run(cfg Config) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
+		srv.Scheduler().SetOutagePolicy(cfg.OutagePolicy)
 		servers = append(servers, srv)
 	}
 	agent, err := NewAgent(servers, cfg.Mapping, cfg.Realloc)
@@ -235,6 +249,19 @@ func Run(cfg Config) (*Result, error) {
 			job := job
 			d.engine.MustSchedule(sim.Time(job.Submit), sim.PrioritySubmission, fmt.Sprintf("submit-%d", job.ID), func(now sim.Time) {
 				d.handleSubmission(job, int64(now))
+			})
+		}
+	}
+
+	// Schedule one wake per capacity event so clusters observe outages the
+	// instant they strike (and maintenance boundaries the instant planning
+	// could improve) instead of at the next job event. The per-cluster wake
+	// refresh covers these instants too through NextEventTime, but an
+	// explicit event also wakes an otherwise idle platform.
+	for _, spec := range cfg.Platform.Clusters {
+		for _, ev := range spec.Capacity {
+			d.engine.MustSchedule(sim.Time(ev.Start), sim.PriorityFinish, "capacity-"+spec.Name, func(t sim.Time) {
+				d.handleWake(int64(t))
 			})
 		}
 	}
@@ -314,6 +341,15 @@ func (d *driver) record(cluster string, notes []batch.Notification) {
 			}
 			d.completed++
 			d.agent.Forget(n.JobID)
+			if n.Displaced {
+				d.result.OutageKills++
+			}
+		case batch.Requeued:
+			// The job lost its execution to an outage and is waiting again;
+			// its eventual restart will overwrite Start.
+			rec.Start = -1
+			rec.Requeues++
+			d.result.OutageRequeues++
 		}
 	}
 }

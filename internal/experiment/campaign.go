@@ -39,6 +39,27 @@ type CampaignConfig struct {
 	MinGain       int64
 	// Mapping overrides the initial mapping policy name ("MCT" by default).
 	Mapping string
+	// Outage, when non-nil, applies one capacity window to every platform
+	// of the campaign; severity sweeps run one campaign per severity value.
+	// Scenario names with a "-maint"/"-outage" suffix get their default
+	// window even when Outage is nil.
+	Outage *OutageSpec
+}
+
+// OutageSpec describes the capacity window a campaign applies to its
+// platforms, in façade-style plain values so it can be driven from flags.
+type OutageSpec struct {
+	// Cluster names the affected cluster ("" = the platform's first).
+	Cluster string
+	// Start and Duration place the window in trace time (seconds).
+	Start, Duration int64
+	// Severity is the fraction of cores lost in (0, 1]; non-positive
+	// values mean a full outage.
+	Severity float64
+	// Announced selects a maintenance window instead of a surprise outage.
+	Announced bool
+	// Policy is "kill" (default) or "requeue" for displaced running jobs.
+	Policy string
 }
 
 func (c CampaignConfig) withDefaults() CampaignConfig {
@@ -170,6 +191,10 @@ func runCell(cfg CampaignConfig, trace *workload.Trace, sc workload.ScenarioName
 	het platform.Heterogeneity, policy batch.Policy) (map[Key]metrics.Comparison, metrics.Summary, int, error) {
 
 	plat := platform.ForScenario(string(sc), het)
+	plat, outagePolicy, err := applyCampaignCapacity(cfg, plat, trace, string(sc))
+	if err != nil {
+		return nil, metrics.Summary{}, 0, err
+	}
 	mapping, err := core.MappingByName(cfg.Mapping, cfg.Seed)
 	if err != nil {
 		return nil, metrics.Summary{}, 0, err
@@ -180,6 +205,7 @@ func runCell(cfg CampaignConfig, trace *workload.Trace, sc workload.ScenarioName
 		Policy:         policy,
 		Trace:          trace,
 		Mapping:        mapping,
+		OutagePolicy:   outagePolicy,
 		ClampOversized: true,
 	}
 	baseline, err := core.Run(baselineCfg)
@@ -227,6 +253,36 @@ func runCell(cfg CampaignConfig, trace *workload.Trace, sc workload.ScenarioName
 		}
 	}
 	return comparisons, metrics.Summarize(baseline), count, nil
+}
+
+// applyCampaignCapacity resolves the campaign's OutageSpec and scenario
+// variant through the shared platform.ApplyCapacityRequest (the same
+// resolution the façade uses) and the displaced-job policy. Static
+// campaigns pass through untouched.
+func applyCampaignCapacity(cfg CampaignConfig, plat platform.Platform, trace *workload.Trace,
+	scenario string) (platform.Platform, batch.OutagePolicy, error) {
+
+	var req platform.CapacityRequest
+	policyName := ""
+	if cfg.Outage != nil {
+		req = platform.CapacityRequest{
+			Cluster:   cfg.Outage.Cluster,
+			Start:     cfg.Outage.Start,
+			Duration:  cfg.Outage.Duration,
+			Severity:  cfg.Outage.Severity,
+			Announced: cfg.Outage.Announced,
+		}
+		policyName = cfg.Outage.Policy
+	}
+	outagePolicy, err := batch.ParseOutagePolicy(policyName)
+	if err != nil {
+		return platform.Platform{}, 0, err
+	}
+	plat, err = platform.ApplyCapacityRequest(plat, scenario, trace.LastSubmit(), req)
+	if err != nil {
+		return platform.Platform{}, 0, fmt.Errorf("experiment: %w", err)
+	}
+	return plat, outagePolicy, nil
 }
 
 // Comparison returns the stored comparison for the given coordinates.

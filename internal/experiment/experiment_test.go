@@ -11,6 +11,51 @@ import (
 	"gridrealloc/internal/workload"
 )
 
+// TestCampaignCapacityScenarios runs the campaign harness over the two
+// capacity-dynamics scenarios under the cancellation algorithm, with a
+// severity override and the requeue policy, covering the sweep path the
+// -outage-* flags drive.
+func TestCampaignCapacityScenarios(t *testing.T) {
+	camp, err := Run(CampaignConfig{
+		Fraction:   0.02,
+		Scenarios:  []workload.ScenarioName{"jan-maint", "jan-outage"},
+		Algorithms: []core.Algorithm{core.WithCancellation},
+		Heuristics: []core.Heuristic{core.MinMin()},
+		Outage:     &OutageSpec{Severity: 0.75, Policy: "requeue"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 scenarios x 2 het x 2 policies x (baseline + MinMin-C) = 16 runs.
+	if camp.Experiments != 16 {
+		t.Fatalf("experiments = %d, want 16", camp.Experiments)
+	}
+	for _, sc := range []workload.ScenarioName{"jan-maint", "jan-outage"} {
+		key := Key{Scenario: string(sc), Het: "homogeneous", Policy: "FCFS",
+			Algorithm: core.WithCancellation.String(), Heuristic: "MinMin"}
+		cmp, ok := camp.Comparisons[key]
+		if !ok {
+			t.Fatalf("no comparison stored for %v", key)
+		}
+		if cmp.TotalJobs == 0 {
+			t.Fatalf("%s: comparison over zero jobs", sc)
+		}
+	}
+}
+
+// TestCampaignOutageSpecValidation checks that a bad outage cluster surfaces
+// as a campaign error instead of a silent static run.
+func TestCampaignOutageSpecValidation(t *testing.T) {
+	_, err := Run(CampaignConfig{
+		Fraction:  0.01,
+		Scenarios: []workload.ScenarioName{"jan"},
+		Outage:    &OutageSpec{Cluster: "atlantis", Start: 100, Duration: 100, Severity: 1},
+	})
+	if err == nil {
+		t.Fatal("unknown outage cluster accepted")
+	}
+}
+
 func TestEnumerateMatchesPaperCount(t *testing.T) {
 	exps := Enumerate(DefaultScenarios(), DefaultHeterogeneities(), DefaultPolicies(), DefaultAlgorithms(), core.Heuristics())
 	if len(exps) != PaperExperimentCount {

@@ -1,0 +1,188 @@
+package platform
+
+import "testing"
+
+func TestCapacityEventValidation(t *testing.T) {
+	spec := ClusterSpec{Name: "c", Cores: 16, Speed: 1}
+	valid := func(events ...CapacityEvent) error {
+		s := spec
+		s.Capacity = events
+		return s.Validate()
+	}
+	if err := valid(CapacityEvent{Start: 10, End: 20, Cores: 8}); err != nil {
+		t.Fatalf("valid window rejected: %v", err)
+	}
+	cases := map[string][]CapacityEvent{
+		"negative start":  {{Start: -1, End: 20, Cores: 8}},
+		"empty window":    {{Start: 10, End: 10, Cores: 8}},
+		"negative cores":  {{Start: 10, End: 20, Cores: -1}},
+		"no-op window":    {{Start: 10, End: 20, Cores: 16}},
+		"overlap":         {{Start: 10, End: 20, Cores: 8}, {Start: 15, End: 30, Cores: 4}},
+		"out of order":    {{Start: 50, End: 60, Cores: 8}, {Start: 10, End: 20, Cores: 4}},
+		"touching is ok?": nil, // placeholder replaced below
+	}
+	delete(cases, "touching is ok?")
+	for name, events := range cases {
+		if err := valid(events...); err == nil {
+			t.Errorf("%s accepted: %+v", name, events)
+		}
+	}
+	// Back-to-back windows are legal: End is exclusive.
+	if err := valid(CapacityEvent{Start: 10, End: 20, Cores: 8}, CapacityEvent{Start: 20, End: 30, Cores: 4}); err != nil {
+		t.Fatalf("touching windows rejected: %v", err)
+	}
+}
+
+func TestCapacityAt(t *testing.T) {
+	spec := ClusterSpec{Name: "c", Cores: 16, Speed: 1, Capacity: []CapacityEvent{
+		{Start: 10, End: 20, Cores: 4, Kind: Maintenance},
+		{Start: 30, End: 40, Cores: 0, Kind: Outage},
+	}}
+	for _, tc := range []struct {
+		t    int64
+		want int
+	}{{0, 16}, {10, 4}, {19, 4}, {20, 16}, {30, 0}, {39, 0}, {40, 16}} {
+		if got := spec.CapacityAt(tc.t); got != tc.want {
+			t.Errorf("CapacityAt(%d) = %d, want %d", tc.t, got, tc.want)
+		}
+	}
+}
+
+func TestApplyCapacityRequest(t *testing.T) {
+	plat := Grid5000(Homogeneous)
+	// Nothing requested, no variant: untouched.
+	same, err := ApplyCapacityRequest(plat, "jan", 0, CapacityRequest{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range same.Clusters {
+		if len(c.Capacity) != 0 {
+			t.Fatalf("static request attached a window to %q", c.Name)
+		}
+	}
+	// Variant default, with start and severity overrides honored.
+	mod, err := ApplyCapacityRequest(plat, "jan-outage", 240000, CapacityRequest{Start: 90000, Severity: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, _ := mod.Cluster("bordeaux")
+	if len(spec.Capacity) != 1 {
+		t.Fatalf("capacity = %+v", spec.Capacity)
+	}
+	ev := spec.Capacity[0]
+	if ev.Start != 90000 {
+		t.Fatalf("start override ignored: %d", ev.Start)
+	}
+	if want := int64(240000 / 8); ev.End-ev.Start != want {
+		t.Fatalf("window length %d, want the default %d", ev.End-ev.Start, want)
+	}
+	if ev.Cores != 320 || ev.Kind != Outage {
+		t.Fatalf("event = %+v, want 320 cores, outage", ev)
+	}
+	// Announced override flips the kind on the variant default.
+	mod, err = ApplyCapacityRequest(plat, "jan-outage", 240000, CapacityRequest{Announced: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, _ = mod.Cluster("bordeaux")
+	if spec.Capacity[0].Kind != Maintenance {
+		t.Fatalf("announced override ignored: %+v", spec.Capacity[0])
+	}
+	// Explicit window on a named cluster.
+	mod, err = ApplyCapacityRequest(plat, "jan", 0, CapacityRequest{Cluster: "lyon", Start: 100, Duration: 50, Severity: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, _ = mod.Cluster("lyon")
+	if len(spec.Capacity) != 1 || spec.Capacity[0].End != 150 || spec.Capacity[0].Cores != 0 {
+		t.Fatalf("explicit window = %+v", spec.Capacity)
+	}
+	// Unknown cluster errors.
+	if _, err := ApplyCapacityRequest(plat, "jan", 0, CapacityRequest{Cluster: "atlantis", Duration: 50}); err == nil {
+		t.Fatal("unknown cluster accepted")
+	}
+	// Knobs that would place no window must error, not silently run static.
+	if _, err := ApplyCapacityRequest(plat, "jan", 0, CapacityRequest{Severity: 0.5}); err == nil {
+		t.Fatal("severity without a window or variant accepted")
+	}
+	if _, err := ApplyCapacityRequest(plat, "jan", 0, CapacityRequest{Start: 3600}); err == nil {
+		t.Fatal("start without a window or variant accepted")
+	}
+}
+
+func TestWithClusterCapacityCopies(t *testing.T) {
+	orig := Grid5000(Homogeneous)
+	events := []CapacityEvent{{Start: 10, End: 20, Cores: 0, Kind: Outage}}
+	mod, err := WithClusterCapacity(orig, "lyon", events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(orig.Clusters[1].Capacity) != 0 {
+		t.Fatal("WithClusterCapacity mutated its input")
+	}
+	spec, _ := mod.Cluster("lyon")
+	if len(spec.Capacity) != 1 || spec.Capacity[0].End != 20 {
+		t.Fatalf("capacity not attached: %+v", spec)
+	}
+	if _, err := WithClusterCapacity(orig, "nowhere", events); err == nil {
+		t.Fatal("unknown cluster accepted")
+	}
+	// Invalid windows are rejected through the cluster validation.
+	if _, err := WithClusterCapacity(orig, "lyon", []CapacityEvent{{Start: 5, End: 2, Cores: 0}}); err == nil {
+		t.Fatal("invalid window accepted")
+	}
+}
+
+func TestCapacityVariant(t *testing.T) {
+	if k, ok := CapacityVariant("jan-maint"); !ok || k != Maintenance {
+		t.Fatalf("jan-maint = %v/%v", k, ok)
+	}
+	if k, ok := CapacityVariant("apr-outage"); !ok || k != Outage {
+		t.Fatalf("apr-outage = %v/%v", k, ok)
+	}
+	if _, ok := CapacityVariant("jan"); ok {
+		t.Fatal("plain scenario reported as variant")
+	}
+}
+
+func TestReducedCores(t *testing.T) {
+	for _, tc := range []struct {
+		nominal  int
+		severity float64
+		want     int
+	}{
+		{640, 1.0, 0},
+		{640, 0.5, 320},
+		{640, 0, 0},      // non-positive defaults to full outage
+		{640, 2.5, 0},    // out of range defaults to full outage
+		{640, 0.0001, 639}, // always a real reduction
+	} {
+		if got := ReducedCores(tc.nominal, tc.severity); got != tc.want {
+			t.Errorf("ReducedCores(%d, %g) = %d, want %d", tc.nominal, tc.severity, got, tc.want)
+		}
+	}
+}
+
+func TestDefaultCapacitySchedule(t *testing.T) {
+	spec := ClusterSpec{Name: "c", Cores: 640, Speed: 1}
+	span := int64(240000)
+	maint := DefaultCapacitySchedule(Maintenance, spec, span)
+	if len(maint) != 1 || maint[0].Kind != Maintenance || maint[0].Cores != 320 {
+		t.Fatalf("maintenance schedule = %+v", maint)
+	}
+	outage := DefaultCapacitySchedule(Outage, spec, span)
+	if len(outage) != 1 || outage[0].Kind != Outage || outage[0].Cores != 0 {
+		t.Fatalf("outage schedule = %+v", outage)
+	}
+	if maint[0].Start != span/4 || outage[0].Start != span/4 {
+		t.Fatalf("windows start at %d/%d, want %d", maint[0].Start, outage[0].Start, span/4)
+	}
+	if spec2 := (ClusterSpec{Name: "c", Cores: 640, Speed: 1, Capacity: maint}); spec2.Validate() != nil {
+		t.Fatalf("default maintenance schedule fails validation: %v", spec2.Validate())
+	}
+	// Degenerate spans still produce a valid, non-empty window.
+	tiny := DefaultCapacitySchedule(Outage, spec, 0)
+	if len(tiny) != 1 || tiny[0].End <= tiny[0].Start {
+		t.Fatalf("tiny-span schedule = %+v", tiny)
+	}
+}

@@ -8,20 +8,78 @@ package platform
 import (
 	"errors"
 	"fmt"
+	"math"
 	"strings"
 )
+
+// CapacityEventKind distinguishes how a capacity window is discovered by the
+// local batch system.
+type CapacityEventKind int
+
+const (
+	// Maintenance windows are announced: the batch scheduler knows about
+	// them in advance and plans job reservations around them, so no running
+	// job is ever caught inside one.
+	Maintenance CapacityEventKind = iota
+	// Outage windows are unannounced: the batch scheduler discovers them
+	// only when they strike, at which point running jobs that no longer fit
+	// are killed or requeued according to the scheduler's outage policy.
+	Outage
+)
+
+// String returns "maintenance" or "outage".
+func (k CapacityEventKind) String() string {
+	if k == Outage {
+		return "outage"
+	}
+	return "maintenance"
+}
+
+// CapacityEvent is one bounded window of reduced capacity in a cluster's
+// capacity timeline: during [Start, End) only Cores processors are usable
+// (0 models a full outage); outside every window the cluster runs at its
+// nominal size. Windows must not overlap.
+type CapacityEvent struct {
+	// Start is the instant the capacity reduction takes effect.
+	Start int64
+	// End is the instant full capacity is restored (exclusive).
+	End int64
+	// Cores is the number of processors usable during the window.
+	Cores int
+	// Kind selects announced (Maintenance) or unannounced (Outage)
+	// semantics.
+	Kind CapacityEventKind
+}
+
+// Validate checks one capacity window against the nominal cluster size.
+func (e CapacityEvent) Validate(nominalCores int) error {
+	switch {
+	case e.Start < 0:
+		return fmt.Errorf("platform: capacity window starting at negative time %d", e.Start)
+	case e.End <= e.Start:
+		return fmt.Errorf("platform: empty capacity window [%d,%d)", e.Start, e.End)
+	case e.Cores < 0 || e.Cores >= nominalCores:
+		return fmt.Errorf("platform: capacity window [%d,%d) with %d cores on a %d-core cluster",
+			e.Start, e.End, e.Cores, nominalCores)
+	}
+	return nil
+}
 
 // ClusterSpec describes one cluster of the grid.
 type ClusterSpec struct {
 	// Name identifies the cluster; it must be unique within a platform.
 	Name string
-	// Cores is the number of processors of the cluster.
+	// Cores is the nominal number of processors of the cluster.
 	Cores int
 	// Speed is the processing speed relative to the reference cluster
 	// (Bordeaux in the paper). A job with reference runtime r runs in
 	// ceil(r/Speed) seconds on this cluster. Speed 1.0 on every cluster
 	// yields the homogeneous case.
 	Speed float64
+	// Capacity is the cluster's capacity timeline: zero or more bounded,
+	// non-overlapping windows of reduced capacity, sorted by start time. An
+	// empty timeline models the static platforms of the paper.
+	Capacity []CapacityEvent
 }
 
 // Validate checks the cluster description.
@@ -34,7 +92,29 @@ func (c ClusterSpec) Validate() error {
 	case c.Speed <= 0:
 		return fmt.Errorf("platform: cluster %q has non-positive speed %g", c.Name, c.Speed)
 	}
+	for i, e := range c.Capacity {
+		if err := e.Validate(c.Cores); err != nil {
+			return fmt.Errorf("%w on cluster %q", err, c.Name)
+		}
+		if i > 0 && e.Start < c.Capacity[i-1].End {
+			return fmt.Errorf("platform: cluster %q capacity windows [%d,%d) and [%d,%d) overlap or are out of order",
+				c.Name, c.Capacity[i-1].Start, c.Capacity[i-1].End, e.Start, e.End)
+		}
+	}
 	return nil
+}
+
+// CapacityAt returns the number of usable cores at time t according to the
+// configured timeline. It describes the schedule as configured; whether the
+// batch scheduler already knows about a window (outages are revealed only
+// when they strike) is the scheduler's business, not the spec's.
+func (c ClusterSpec) CapacityAt(t int64) int {
+	for _, e := range c.Capacity {
+		if t >= e.Start && t < e.End {
+			return e.Cores
+		}
+	}
+	return c.Cores
 }
 
 // ScaleDuration converts a duration expressed on the reference cluster into
@@ -191,11 +271,169 @@ func PWAG5K(h Heterogeneity) Platform {
 }
 
 // ForScenario returns the platform the paper pairs with the given scenario
-// name: the Grid'5000 platform for the six monthly traces and the PWA-G5K
-// platform for the six-month mixed trace.
+// name: the Grid'5000 platform for the six monthly traces (and their
+// capacity-dynamics variants such as "jan-outage") and the PWA-G5K platform
+// for the six-month mixed trace.
 func ForScenario(scenario string, h Heterogeneity) Platform {
 	if scenario == "pwa-g5k" {
 		return PWAG5K(h)
 	}
 	return Grid5000(h)
+}
+
+// WithClusterCapacity returns a copy of the platform with the capacity
+// timeline of the named cluster replaced by events. The input platform is
+// not modified, so shared platform values stay safe to reuse.
+func WithClusterCapacity(p Platform, cluster string, events []CapacityEvent) (Platform, error) {
+	out := p
+	out.Clusters = append([]ClusterSpec(nil), p.Clusters...)
+	for i := range out.Clusters {
+		if out.Clusters[i].Name == cluster {
+			out.Clusters[i].Capacity = append([]CapacityEvent(nil), events...)
+			if err := out.Clusters[i].Validate(); err != nil {
+				return Platform{}, err
+			}
+			return out, nil
+		}
+	}
+	return Platform{}, fmt.Errorf("platform %q: no cluster %q to attach a capacity timeline to", p.Name, cluster)
+}
+
+// CapacityVariant reports the capacity-dynamics variant encoded in a
+// scenario name suffix: "<month>-maint" pairs the month's workload with an
+// announced maintenance window, "<month>-outage" with an unannounced outage.
+func CapacityVariant(scenario string) (CapacityEventKind, bool) {
+	switch {
+	case strings.HasSuffix(scenario, "-maint"):
+		return Maintenance, true
+	case strings.HasSuffix(scenario, "-outage"):
+		return Outage, true
+	default:
+		return Maintenance, false
+	}
+}
+
+// ReducedCores converts an outage severity (the fraction of cores lost, in
+// (0, 1]; non-positive or out-of-range values mean a full outage) into the
+// core count left during a capacity window, clamped so the window stays a
+// real reduction (at least one core lost, never negative).
+func ReducedCores(nominal int, severity float64) int {
+	if severity <= 0 || severity > 1 {
+		severity = 1
+	}
+	remaining := nominal - int(math.Round(float64(nominal)*severity))
+	if remaining < 0 {
+		remaining = 0
+	}
+	if remaining >= nominal {
+		remaining = nominal - 1
+	}
+	return remaining
+}
+
+// DefaultCapacitySchedule derives the capacity window a scenario variant
+// attaches to a cluster when no explicit window is configured, relative to
+// the workload's submission span: the window opens a quarter of the way into
+// the trace, when the queues are loaded. Maintenance keeps half the cores
+// for a sixth of the span; an outage takes the whole cluster down for an
+// eighth of it.
+func DefaultCapacitySchedule(kind CapacityEventKind, spec ClusterSpec, span int64) []CapacityEvent {
+	if span <= 0 {
+		span = 8
+	}
+	start := span / 4
+	ev := CapacityEvent{Start: start, Kind: kind}
+	if kind == Maintenance {
+		ev.End = start + span/6
+		ev.Cores = spec.Cores / 2
+	} else {
+		ev.End = start + span/8
+		ev.Cores = 0
+	}
+	if ev.End <= ev.Start {
+		ev.End = ev.Start + 1
+	}
+	return []CapacityEvent{ev}
+}
+
+// CapacityRequest carries the plain-value capacity knobs shared by the
+// façade and the experiment harness; the zero value requests nothing.
+type CapacityRequest struct {
+	// Cluster names the affected cluster ("" = the platform's first).
+	Cluster string
+	// Start is the window's opening instant; with Duration 0 it shifts the
+	// scenario-variant default window instead.
+	Start int64
+	// Duration, when positive, places an explicit [Start, Start+Duration)
+	// window instead of the scenario-variant default.
+	Duration int64
+	// Severity is the fraction of cores lost in (0, 1]; non-positive means
+	// a full outage for explicit windows, and "keep the default" for
+	// variant windows.
+	Severity float64
+	// Announced turns the window into a maintenance window the scheduler
+	// plans around instead of a surprise outage.
+	Announced bool
+}
+
+// requestsWindow reports whether the request places or modifies a window on
+// its own, without a scenario-variant suffix.
+func (r CapacityRequest) requestsWindow() bool { return r.Duration > 0 }
+
+// ApplyCapacityRequest attaches the capacity window described by the
+// scenario name and the request to the platform: an explicit window when
+// req.Duration is positive, otherwise the default schedule implied by a
+// "-maint"/"-outage" scenario variant sized relative to the workload span,
+// with req's non-zero fields (severity, start, announced-ness) overriding
+// the default. A zero request on a plain scenario returns the platform
+// untouched, so static runs stay bit-identical; a non-zero request that
+// would place no window is an error rather than a silently static run.
+// Both the façade and the campaign harness resolve their knobs through this
+// single function, so the two can never drift apart.
+func ApplyCapacityRequest(plat Platform, scenario string, span int64, req CapacityRequest) (Platform, error) {
+	variantKind, isVariant := CapacityVariant(scenario)
+	if !isVariant && !req.requestsWindow() {
+		if req != (CapacityRequest{}) {
+			return Platform{}, fmt.Errorf(
+				"platform: capacity request (cluster %q, start %d, severity %g, announced %v) places no window: set a duration or use a \"-maint\"/\"-outage\" scenario variant",
+				req.Cluster, req.Start, req.Severity, req.Announced)
+		}
+		return plat, nil
+	}
+	if len(plat.Clusters) == 0 {
+		return plat, nil
+	}
+	cluster := req.Cluster
+	if cluster == "" {
+		cluster = plat.Clusters[0].Name
+	}
+	spec, ok := plat.Cluster(cluster)
+	if !ok {
+		return Platform{}, fmt.Errorf("platform %q: no cluster %q to apply a capacity window to", plat.Name, cluster)
+	}
+	kind := Outage
+	if req.Announced || (isVariant && variantKind == Maintenance) {
+		kind = Maintenance
+	}
+	var events []CapacityEvent
+	if req.requestsWindow() {
+		events = []CapacityEvent{{
+			Start: req.Start,
+			End:   req.Start + req.Duration,
+			Cores: ReducedCores(spec.Cores, req.Severity),
+			Kind:  kind,
+		}}
+	} else {
+		events = DefaultCapacitySchedule(variantKind, spec, span)
+		if req.Severity > 0 {
+			events[0].Cores = ReducedCores(spec.Cores, req.Severity)
+		}
+		if req.Start > 0 {
+			length := events[0].End - events[0].Start
+			events[0].Start = req.Start
+			events[0].End = req.Start + length
+		}
+		events[0].Kind = kind
+	}
+	return WithClusterCapacity(plat, cluster, events)
 }

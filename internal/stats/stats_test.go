@@ -71,6 +71,41 @@ func TestIntnBounds(t *testing.T) {
 	}
 }
 
+func TestUint64nUniformity(t *testing.T) {
+	// With modulo reduction, a bound just above 2^63 maps almost the whole
+	// 64-bit range onto its low residues, making them twice as likely —
+	// the most extreme form of the bias that affects every
+	// non-power-of-two bound. Lemire sampling with rejection must keep the
+	// two halves of such a bound balanced.
+	r := NewRNG(99)
+	bound := uint64(1)<<63 + 1<<62 // 1.5 * 2^63
+	const draws = 200000
+	low := 0
+	for i := 0; i < draws; i++ {
+		v := r.Uint64n(bound)
+		if v >= bound {
+			t.Fatalf("Uint64n(%d) = %d out of range", bound, v)
+		}
+		if v < bound/2 {
+			low++
+		}
+	}
+	ratio := float64(low) / draws
+	if ratio < 0.48 || ratio > 0.52 {
+		t.Fatalf("low-half frequency %.4f, want ~0.5 (biased sampling?)", ratio)
+	}
+	// Small bounds stay exhaustively covered and balanced.
+	counts := make([]int, 3)
+	for i := 0; i < 30000; i++ {
+		counts[r.Intn(3)]++
+	}
+	for v, c := range counts {
+		if c < 9000 || c > 11000 {
+			t.Fatalf("Intn(3) value %d drawn %d times of 30000, want ~10000", v, c)
+		}
+	}
+}
+
 func TestIntnPanicsOnNonPositive(t *testing.T) {
 	defer func() {
 		if recover() == nil {

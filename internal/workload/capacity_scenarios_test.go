@@ -1,0 +1,74 @@
+package workload
+
+import "testing"
+
+func TestUnknownScenarioIsRejected(t *testing.T) {
+	// A typo'd month must error out instead of silently running January.
+	for _, name := range []ScenarioName{"jann", "january", "jul", "jan-", "jan-typo", "pwa-g5k-outage", ""} {
+		if _, err := Scenario(name, 0.01, 1); err == nil {
+			t.Errorf("scenario %q accepted", name)
+		}
+	}
+}
+
+func TestCapacityScenarioVariants(t *testing.T) {
+	for _, name := range CapacityScenarioNames() {
+		tr, err := Scenario(name, 0.02, 42)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if tr.Name != string(name) {
+			t.Fatalf("trace name %q, want %q", tr.Name, name)
+		}
+		if tr.Len() == 0 {
+			t.Fatalf("%s: empty trace", name)
+		}
+	}
+	// The suffixes work for every month, not just January.
+	if _, err := Scenario("apr-outage", 0.01, 42); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBurstyVariantTightensArrivals(t *testing.T) {
+	p := defaultProfile("site", 1000, MonthSeconds, 128)
+	b := BurstyVariant(p)
+	if b.BurstFraction <= p.BurstFraction {
+		t.Fatalf("bursty fraction %g not above default %g", b.BurstFraction, p.BurstFraction)
+	}
+	if b.BurstSize != 2*p.BurstSize {
+		t.Fatalf("bursty size %d, want %d", b.BurstSize, 2*p.BurstSize)
+	}
+	// Variant traces differ from the plain month (same seed, different
+	// arrival knobs) but keep the same job count.
+	plain, err := Scenario("jan", 0.02, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bursty, err := Scenario("jan-outage", 0.02, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Len() != bursty.Len() {
+		t.Fatalf("job counts diverge: %d vs %d", plain.Len(), bursty.Len())
+	}
+	same := true
+	for i := range plain.Jobs {
+		if plain.Jobs[i].Submit != bursty.Jobs[i].Submit {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("bursty variant produced identical arrivals")
+	}
+}
+
+func TestMonthFromName(t *testing.T) {
+	if m, ok := monthFromName("apr"); !ok || m != April {
+		t.Fatalf("apr = %v/%v", m, ok)
+	}
+	if _, ok := monthFromName("nope"); ok {
+		t.Fatal("unknown month resolved")
+	}
+}

@@ -137,6 +137,17 @@ func (t *Trace) Span() (first, last int64, err error) {
 	return t.Jobs[0].Submit, t.Jobs[len(t.Jobs)-1].Submit, nil
 }
 
+// LastSubmit returns the submission instant of the last job, or 0 for an
+// empty trace. It is the span the scenario-variant default capacity windows
+// are sized against (an empty trace is rejected by the core configuration
+// check before any window matters).
+func (t *Trace) LastSubmit() int64 {
+	if len(t.Jobs) == 0 {
+		return 0
+	}
+	return t.Jobs[len(t.Jobs)-1].Submit
+}
+
 // MaxProcs returns the largest processor request in the trace (0 for an
 // empty trace).
 func (t *Trace) MaxProcs() int {

@@ -1,6 +1,9 @@
 package workload
 
-import "fmt"
+import (
+	"fmt"
+	"strings"
+)
 
 // The paper evaluates seven scenarios: the first six months of 2008 on three
 // Grid'5000 sites (Bordeaux, Lyon, Toulouse), plus a six-month scenario
@@ -87,6 +90,37 @@ func ScenarioNames() []ScenarioName {
 	return []ScenarioName{"jan", "feb", "mar", "apr", "may", "jun", PWAG5K}
 }
 
+// Capacity-dynamics variants: every monthly scenario also exists in a
+// "<month>-maint" and a "<month>-outage" form, whose traces are generated
+// with a burstier arrival profile so that reduced capacity meets peak load
+// (the platform layer pairs the names with the corresponding capacity
+// windows).
+const (
+	maintSuffix  = "-maint"
+	outageSuffix = "-outage"
+)
+
+// CapacityScenarioNames lists the canonical capacity-dynamics scenarios
+// (the January workload under an announced maintenance window and under an
+// unannounced outage). Every other month accepts the same suffixes.
+func CapacityScenarioNames() []ScenarioName {
+	return []ScenarioName{"jan" + maintSuffix, "jan" + outageSuffix}
+}
+
+// splitScenarioVariant separates a scenario name into its base workload name
+// and its capacity-variant suffix ("" when the name has none).
+func splitScenarioVariant(name ScenarioName) (base ScenarioName, variant string) {
+	s := string(name)
+	switch {
+	case strings.HasSuffix(s, maintSuffix):
+		return ScenarioName(strings.TrimSuffix(s, maintSuffix)), maintSuffix
+	case strings.HasSuffix(s, outageSuffix):
+		return ScenarioName(strings.TrimSuffix(s, outageSuffix)), outageSuffix
+	default:
+		return name, ""
+	}
+}
+
 // scaleDuration shortens the submission window proportionally to the job
 // count fraction so that reduced traces keep the full-scale offered load
 // (jobs per core-second): cutting only the job count would leave the
@@ -111,6 +145,14 @@ func scaleDuration(full int64, fraction float64, floor int64) int64 {
 // the submission window together, preserving the offered load; seeds are
 // derived from the month so each scenario is independent yet reproducible.
 func MonthScenario(m Month, fraction float64, seed uint64) ([]*Trace, error) {
+	return monthScenario(m, fraction, seed, false)
+}
+
+// monthScenario generates the per-site traces of one monthly scenario; when
+// bursty is set the behavioural knobs are tightened so submissions pile up
+// in storms, the arrival pattern the capacity-dynamics scenarios use so
+// degraded capacity meets peak load.
+func monthScenario(m Month, fraction float64, seed uint64, bursty bool) ([]*Trace, error) {
 	counts, ok := table1[m]
 	if !ok {
 		return nil, fmt.Errorf("workload: unknown month %v", m)
@@ -131,6 +173,9 @@ func MonthScenario(m Month, fraction float64, seed uint64) ([]*Trace, error) {
 		p := defaultProfile(s.name, scaleCount(s.count, fraction), duration, s.cores)
 		p.MeanRuntime = s.mean
 		p.MaxRuntime = 12 * 3600
+		if bursty {
+			p = BurstyVariant(p)
+		}
 		t, err := GenerateSite(p, seed^uint64(m)<<8^uint64(i+1)*0x9e37)
 		if err != nil {
 			return nil, err
@@ -138,6 +183,16 @@ func MonthScenario(m Month, fraction float64, seed uint64) ([]*Trace, error) {
 		traces = append(traces, t)
 	}
 	return traces, nil
+}
+
+// BurstyVariant returns the profile with its arrival knobs tightened: most
+// jobs arrive inside submission storms twice the usual size. Deep queues
+// form at the peaks, which is exactly when a capacity window hurts most —
+// and when the reallocation mechanism has the most to win.
+func BurstyVariant(p SiteProfile) SiteProfile {
+	p.BurstFraction = 0.65
+	p.BurstSize = 2 * p.BurstSize
+	return p
 }
 
 // PWAScenario generates the three traces of the six-month pwa-g5k scenario:
@@ -196,16 +251,18 @@ func GenerateSDSCLikeProfile(jobs int) SiteProfile {
 // Scenario generates the merged grid-level trace for the named scenario
 // (jobs from every site interleaved by submission time, as the paper routes
 // all submissions through the meta-scheduler). Fraction scales the number
-// of jobs.
+// of jobs. Besides the paper's seven names, every month also accepts the
+// "-maint" and "-outage" capacity-variant suffixes, which select the bursty
+// arrival profile.
 func Scenario(name ScenarioName, fraction float64, seed uint64) (*Trace, error) {
+	base, variant := splitScenarioVariant(name)
 	var traces []*Trace
 	var err error
-	switch name {
-	case "jan", "feb", "mar", "apr", "may", "jun":
-		traces, err = MonthScenario(monthFromName(name), fraction, seed)
-	case PWAG5K:
+	if base == PWAG5K && variant == "" {
 		traces, err = PWAScenario(fraction, seed)
-	default:
+	} else if m, ok := monthFromName(base); ok {
+		traces, err = monthScenario(m, fraction, seed, variant != "")
+	} else {
 		return nil, fmt.Errorf("workload: unknown scenario %q", name)
 	}
 	if err != nil {
@@ -215,13 +272,16 @@ func Scenario(name ScenarioName, fraction float64, seed uint64) (*Trace, error) 
 	return merged, nil
 }
 
-func monthFromName(name ScenarioName) Month {
+// monthFromName resolves a month scenario name ("jan".."jun"), reporting
+// whether the name is known. A typo'd name must surface as an error instead
+// of silently running the January workload.
+func monthFromName(name ScenarioName) (Month, bool) {
 	for _, m := range Months() {
 		if m.String() == string(name) {
-			return m
+			return m, true
 		}
 	}
-	return January
+	return January, false
 }
 
 func scaleCount(count int, fraction float64) int {
