@@ -480,6 +480,145 @@ func BenchmarkReallocCancelMonthSweep(b *testing.B) {
 	}
 }
 
+// BenchmarkBatchDeepQueueReplan measures a full re-plan of a 10000-job
+// queue — the deep-queue regime where the re-plan's allocation behaviour
+// and per-job slot-search cost dominate everything else the scheduler does.
+func BenchmarkBatchDeepQueueReplan(b *testing.B) {
+	s := loadedScheduler(b, batch.CBF, 10000)
+	probe := workload.Job{ID: 999999, Submit: 0, Runtime: 600, Walltime: 1800, Procs: 8}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.InvalidatePlan()
+		if _, err := s.EstimateCompletion(probe, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// yearTrace builds a year-long workload: twelve copies of the April slice,
+// each shifted by one month, with job IDs remapped to stay unique.
+func yearTrace(b *testing.B, fraction float64) *workload.Trace {
+	b.Helper()
+	base, err := gridrealloc.GenerateScenario("apr", fraction, benchSeed)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const monthSeconds = int64(30 * 24 * 3600)
+	jobs := make([]workload.Job, 0, 12*len(base.Jobs))
+	id := 1
+	for m := 0; m < 12; m++ {
+		for _, j := range base.Jobs {
+			j.ID = id
+			j.Submit += int64(m) * monthSeconds
+			id++
+			jobs = append(jobs, j)
+		}
+	}
+	tr, err := workload.NewTrace("year", jobs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return tr
+}
+
+// BenchmarkReallocCancelYearSweep measures a year-long simulation under
+// Algorithm 2: ~8760 hourly reallocation events over twelve month-shaped
+// load waves, the sustained-sweep regime the month benchmark cannot reach.
+func BenchmarkReallocCancelYearSweep(b *testing.B) {
+	trace := yearTrace(b, 0.01)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := gridrealloc.RunScenario(gridrealloc.ScenarioConfig{
+			Scenario: "apr", Heterogeneity: "heterogeneous", Policy: "CBF",
+			Trace: trace, Algorithm: "realloc-cancel", Heuristic: "MinMin",
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkOutageHeavyRealloc measures the April slice with a long
+// unannounced outage taking out the first cluster while Algorithm 2 keeps
+// requeuing and re-placing the displaced jobs — the capacity-dynamics path
+// (reveal, displacement, head-of-queue requeue, plan invalidation) under
+// reallocation pressure.
+func BenchmarkOutageHeavyRealloc(b *testing.B) {
+	trace, err := gridrealloc.GenerateScenario("apr", 0.05, benchSeed)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := gridrealloc.RunScenario(gridrealloc.ScenarioConfig{
+			Scenario: "apr", Heterogeneity: "heterogeneous", Policy: "CBF",
+			Trace: trace, Algorithm: "realloc-cancel", Heuristic: "MinMin",
+			OutageStartSeconds:    36000,
+			OutageDurationSeconds: 400000,
+			OutageSeverity:        1.0,
+			OutagePolicy:          "requeue",
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkReallocationPassDeepQueueParallel measures one Algorithm 2 pass
+// over a six-cluster platform with a deep shared backlog, with the
+// per-cluster sweep fan-out forced off and on. On multi-core machines the
+// spread between the two sub-benchmarks is the fan-out's wall-clock win;
+// results are bit-identical either way (TestABDigestParallelSweep).
+func BenchmarkReallocationPassDeepQueueParallel(b *testing.B) {
+	build := func() []*server.Server {
+		servers := make([]*server.Server, 0, 6)
+		id := 100000
+		for c := 0; c < 6; c++ {
+			srv, err := server.New(platform.ClusterSpec{Name: fmt.Sprintf("c%d", c), Cores: 64, Speed: 1 + float64(c)*0.1}, batch.CBF)
+			if err != nil {
+				b.Fatal(err)
+			}
+			blocker := workload.Job{ID: id, Submit: 0, Runtime: 50000, Walltime: 50000, Procs: 64}
+			id++
+			if err := srv.Submit(blocker, 0, 0); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := srv.Scheduler().Advance(0); err != nil {
+				b.Fatal(err)
+			}
+			for i := 0; i < 300; i++ {
+				j := workload.Job{ID: c*1000 + i + 1, Submit: int64(i), Runtime: 300, Walltime: 900, Procs: 1 + i%16}
+				if err := srv.Submit(j, 0, 0); err != nil {
+					b.Fatal(err)
+				}
+			}
+			servers = append(servers, srv)
+		}
+		return servers
+	}
+	for _, workers := range []int{1, runtime.GOMAXPROCS(0)} {
+		workers := workers
+		b.Run(fmt.Sprintf("workers_%d", workers), func(b *testing.B) {
+			core.SetSweepParallelism(workers)
+			core.SetSweepParallelThreshold(1)
+			defer func() {
+				core.SetSweepParallelism(0)
+				core.SetSweepParallelThreshold(0)
+			}()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				servers := build()
+				agent, err := core.NewAgent(servers, core.MCTMapping(), core.ReallocConfig{Algorithm: core.WithCancellation, Heuristic: core.MinMin()})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+				if _, err := agent.Reallocate(10); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkBatchEstimateCompletionFromScratch measures the same ECT query
 // with the incremental machinery defeated: every query pays a from-scratch
 // rebuild of the run profile and a full re-plan of the waiting queue, which
@@ -514,19 +653,40 @@ func BenchmarkBatchEstimateCompletionFromScratch(b *testing.B) {
 //
 // and commit the refreshed file alongside any change to the scheduler so
 // regressions are visible in review.
-// measureBatchBaseline reruns the five committed hot-path measurements and
+
+// hotPath is one committed hot-path measurement: time and allocation count
+// per operation. Allocations are tracked alongside time because the profile
+// engine's whole design goal is an allocation-free steady state — a change
+// that keeps ns/op but reintroduces per-replan allocations is a regression
+// the smoke must catch.
+type hotPath struct {
+	NsPerOp     float64
+	AllocsPerOp float64
+}
+
+// measure runs one benchmark closure with allocation tracking and returns
+// both metrics.
+func measure(fn func(b *testing.B)) hotPath {
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		fn(b)
+	})
+	if r.N == 0 {
+		return hotPath{}
+	}
+	return hotPath{
+		NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+		AllocsPerOp: float64(r.AllocsPerOp()),
+	}
+}
+
+// measureBatchBaseline reruns the committed hot-path measurements and
 // returns them keyed exactly as in BENCH_batch.json. It is shared by the
 // baseline writer and the CI bench smoke.
-func measureBatchBaseline(t *testing.T) map[string]float64 {
+func measureBatchBaseline(t *testing.T) map[string]hotPath {
 	t.Helper()
-	nsPerOp := func(r testing.BenchmarkResult) float64 {
-		if r.N == 0 {
-			return 0
-		}
-		return float64(r.T.Nanoseconds()) / float64(r.N)
-	}
 	probe := workload.Job{ID: 999999, Submit: 0, Runtime: 600, Walltime: 1800, Procs: 8}
-	cached := nsPerOp(testing.Benchmark(func(b *testing.B) {
+	cached := measure(func(b *testing.B) {
 		s := loadedScheduler(b, batch.CBF, 1000)
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
@@ -534,8 +694,8 @@ func measureBatchBaseline(t *testing.T) map[string]float64 {
 				b.Fatal(err)
 			}
 		}
-	}))
-	scratch := nsPerOp(testing.Benchmark(func(b *testing.B) {
+	})
+	scratch := measure(func(b *testing.B) {
 		s := loadedScheduler(b, batch.CBF, 1000)
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
@@ -545,8 +705,20 @@ func measureBatchBaseline(t *testing.T) map[string]float64 {
 				b.Fatal(err)
 			}
 		}
-	}))
-	submitCancel := nsPerOp(testing.Benchmark(func(b *testing.B) {
+	})
+	// The re-plan path: every op forces a full re-plan of the 1000-job
+	// queue, the operation the double-buffered profiles make allocation-free.
+	replan := measure(func(b *testing.B) {
+		s := loadedScheduler(b, batch.CBF, 1000)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			s.InvalidatePlan()
+			if _, err := s.EstimateCompletion(probe, 0); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	submitCancel := measure(func(b *testing.B) {
 		s := loadedScheduler(b, batch.CBF, 1000)
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
@@ -558,8 +730,8 @@ func measureBatchBaseline(t *testing.T) map[string]float64 {
 				b.Fatal(err)
 			}
 		}
-	}))
-	massCancel := nsPerOp(testing.Benchmark(func(b *testing.B) {
+	})
+	massCancel := measure(func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			b.StopTimer()
 			s := loadedScheduler(b, batch.CBF, 1000)
@@ -573,12 +745,12 @@ func measureBatchBaseline(t *testing.T) map[string]float64 {
 				b.Fatal(err)
 			}
 		}
-	}))
+	})
 	trace, err := gridrealloc.GenerateScenario("apr", 0.05, benchSeed)
 	if err != nil {
 		t.Fatal(err)
 	}
-	monthSweep := nsPerOp(testing.Benchmark(func(b *testing.B) {
+	monthSweep := measure(func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			if _, err := gridrealloc.RunScenario(gridrealloc.ScenarioConfig{
 				Scenario: "apr", Heterogeneity: "heterogeneous", Policy: "CBF",
@@ -587,10 +759,11 @@ func measureBatchBaseline(t *testing.T) map[string]float64 {
 				b.Fatal(err)
 			}
 		}
-	}))
-	return map[string]float64{
+	})
+	return map[string]hotPath{
 		"estimate_completion_cbf_depth_1000":              cached,
 		"estimate_completion_from_scratch_cbf_depth_1000": scratch,
+		"replan_cbf_depth_1000":                           replan,
 		"submit_cancel_cbf_depth_1000":                    submitCancel,
 		"mass_cancel_cbf_depth_1000":                      massCancel,
 		"realloc_cancel_month_sweep_apr_5pct":             monthSweep,
@@ -602,14 +775,21 @@ func TestWriteBenchBatchBaseline(t *testing.T) {
 		t.Skip("set WRITE_BENCH_BASELINE=1 to rewrite BENCH_batch.json")
 	}
 	measured := measureBatchBaseline(t)
-	cached := measured["estimate_completion_cbf_depth_1000"]
-	scratch := measured["estimate_completion_from_scratch_cbf_depth_1000"]
+	ns := make(map[string]float64, len(measured))
+	allocs := make(map[string]float64, len(measured))
+	for name, m := range measured {
+		ns[name] = m.NsPerOp
+		allocs[name] = m.AllocsPerOp
+	}
+	cached := ns["estimate_completion_cbf_depth_1000"]
+	scratch := ns["estimate_completion_from_scratch_cbf_depth_1000"]
 	payload := map[string]any{
-		"go":        runtime.Version(),
-		"goos":      runtime.GOOS,
-		"goarch":    runtime.GOARCH,
-		"benchtime": "default (testing.Benchmark)",
-		"ns_per_op": measured,
+		"go":            runtime.Version(),
+		"goos":          runtime.GOOS,
+		"goarch":        runtime.GOARCH,
+		"benchtime":     "default (testing.Benchmark)",
+		"ns_per_op":     ns,
+		"allocs_per_op": allocs,
 		"derived": map[string]float64{
 			"estimate_speedup_vs_from_scratch": scratch / cached,
 		},
@@ -621,8 +801,9 @@ func TestWriteBenchBatchBaseline(t *testing.T) {
 	if err := os.WriteFile("BENCH_batch.json", append(data, '\n'), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	t.Logf("wrote BENCH_batch.json: cached=%.0fns scratch=%.0fns (%.1fx), mass_cancel=%.0fns, sweep=%.0fns",
-		cached, scratch, scratch/cached, measured["mass_cancel_cbf_depth_1000"], measured["realloc_cancel_month_sweep_apr_5pct"])
+	t.Logf("wrote BENCH_batch.json: cached=%.0fns scratch=%.0fns (%.1fx), replan=%.0fns/%.0fallocs, mass_cancel=%.0fns, sweep=%.0fns/%.0fallocs",
+		cached, scratch, scratch/cached, ns["replan_cbf_depth_1000"], allocs["replan_cbf_depth_1000"],
+		ns["mass_cancel_cbf_depth_1000"], ns["realloc_cancel_month_sweep_apr_5pct"], allocs["realloc_cancel_month_sweep_apr_5pct"])
 }
 
 // benchSmokeTolerance is how many times slower than the committed baseline a
@@ -633,10 +814,20 @@ func TestWriteBenchBatchBaseline(t *testing.T) {
 // percentage drift.
 const benchSmokeTolerance = 8.0
 
+// benchSmokeAllocTolerance is the allocs/op analogue. Allocation counts are
+// far more stable than timings (they do not depend on machine speed), but a
+// generous factor plus a small absolute slack still leaves room for Go
+// runtime differences; the target is the order-of-magnitude regression of a
+// reintroduced clone-per-replan, not single-allocation drift.
+const (
+	benchSmokeAllocTolerance = 4.0
+	benchSmokeAllocSlack     = 16.0
+)
+
 // TestBenchSmokeAgainstBaseline reruns the committed hot-path measurements
-// and fails when any of them regressed past the generous CI tolerance. It is
-// opt-in (BENCH_SMOKE=1) because timing assertions do not belong in the
-// default test run.
+// and fails when any of them regressed past the generous CI tolerances,
+// in ns/op or in allocs/op. It is opt-in (BENCH_SMOKE=1) because timing
+// assertions do not belong in the default test run.
 func TestBenchSmokeAgainstBaseline(t *testing.T) {
 	if os.Getenv("BENCH_SMOKE") == "" {
 		t.Skip("set BENCH_SMOKE=1 to compare hot paths against BENCH_batch.json")
@@ -646,7 +837,8 @@ func TestBenchSmokeAgainstBaseline(t *testing.T) {
 		t.Fatalf("reading committed baseline: %v", err)
 	}
 	var baseline struct {
-		NsPerOp map[string]float64 `json:"ns_per_op"`
+		NsPerOp     map[string]float64 `json:"ns_per_op"`
+		AllocsPerOp map[string]float64 `json:"allocs_per_op"`
 	}
 	if err := json.Unmarshal(data, &baseline); err != nil {
 		t.Fatalf("parsing BENCH_batch.json: %v", err)
@@ -658,9 +850,16 @@ func TestBenchSmokeAgainstBaseline(t *testing.T) {
 			t.Errorf("baseline entry %q is no longer measured; rewrite BENCH_batch.json", name)
 			continue
 		}
-		t.Logf("%-48s %12.0f ns/op (baseline %12.0f, %.2fx)", name, got, want, got/want)
-		if got > want*benchSmokeTolerance {
-			t.Errorf("%s regressed: %.0f ns/op vs baseline %.0f (tolerance %.0fx)", name, got, want, benchSmokeTolerance)
+		t.Logf("%-48s %12.0f ns/op (baseline %12.0f, %.2fx)  %8.0f allocs/op (baseline %8.0f)",
+			name, got.NsPerOp, want, got.NsPerOp/want, got.AllocsPerOp, baseline.AllocsPerOp[name])
+		if got.NsPerOp > want*benchSmokeTolerance {
+			t.Errorf("%s regressed: %.0f ns/op vs baseline %.0f (tolerance %.0fx)", name, got.NsPerOp, want, benchSmokeTolerance)
+		}
+		if wantAllocs, ok := baseline.AllocsPerOp[name]; ok {
+			if got.AllocsPerOp > wantAllocs*benchSmokeAllocTolerance+benchSmokeAllocSlack {
+				t.Errorf("%s allocation regression: %.0f allocs/op vs baseline %.0f (tolerance %.0fx + %.0f)",
+					name, got.AllocsPerOp, wantAllocs, benchSmokeAllocTolerance, benchSmokeAllocSlack)
+			}
 		}
 	}
 }

@@ -57,4 +57,22 @@
 //	WRITE_BENCH_BASELINE=1 go test -run TestWriteBenchBatchBaseline .
 //
 // whenever scheduler internals change.
+//
+// Two invariants of the profile engine matter to future scale-out work.
+// First, buffer reuse: the scheduler re-plans into double-buffered plan
+// profiles and pools its queue/allocation records, so the steady-state event
+// loop and re-plan path allocate nothing — but a published plan profile is
+// frozen the moment an estimate snapshot references it, and every mutation
+// after that point copies or swaps buffers. Code holding an
+// EstimateSnapshot may therefore assume its answers never change; code
+// adding scheduler mutations must go through the publish paths rather than
+// touching the published profile. Second, the deterministic merge: a
+// reallocation sweep may fan per-cluster snapshotting and estimation over a
+// bounded worker pool (core.SetSweepParallelism), and correctness relies on
+// each worker touching exactly one cluster's scheduler and writing only
+// per-cluster result slots, so the merged outcome is bit-identical to the
+// sequential sweep regardless of scheduling order (verified across the
+// 72-configuration digest grid by TestABDigestParallelSweep and under the
+// race detector in CI). Sharding work across clusters must preserve that
+// ownership discipline.
 package gridrealloc

@@ -29,6 +29,13 @@ type profile struct {
 	times []int64
 	free  []int
 	cores int
+	// firstFree is a conservative skip hint: every segment before index
+	// firstFree has zero free cores, so no slot search can start there. A
+	// saturated cluster's profile grows a long all-zero prefix that every
+	// CBF placement and every completion estimate would otherwise rescan.
+	// Reservations preserve the invariant (they only remove cores); releases
+	// and reshaping operations reset the hint to 0, which is always valid.
+	firstFree int
 }
 
 // newProfile returns a profile with all cores free from `start` onwards.
@@ -36,13 +43,46 @@ func newProfile(start int64, cores int) *profile {
 	return &profile{times: []int64{start}, free: []int{cores}, cores: cores}
 }
 
+// copyFrom makes p an independent copy of src, reusing p's backing arrays
+// when they are large enough. This is the single place profile storage is
+// allocated for copies: growth allocates both slices with exact capacity, so
+// clone and every scratch-buffer reuse path share the same allocation
+// discipline.
+func (p *profile) copyFrom(src *profile) {
+	n := len(src.times)
+	if cap(p.times) < n {
+		p.times = make([]int64, n)
+		p.free = make([]int, n)
+	}
+	p.times = p.times[:n]
+	p.free = p.free[:n]
+	copy(p.times, src.times)
+	copy(p.free, src.free)
+	p.cores = src.cores
+	p.firstFree = src.firstFree
+}
+
 // clone returns an independent copy of the profile.
 func (p *profile) clone() *profile {
-	return &profile{
-		times: append([]int64(nil), p.times...),
-		free:  append([]int(nil), p.free...),
-		cores: p.cores,
+	c := &profile{}
+	c.copyFrom(p)
+	return c
+}
+
+// grow reserves capacity for at least extra additional breakpoints, so a
+// planning loop that is about to insert a known number of them pays one
+// allocation instead of successive append doublings.
+func (p *profile) grow(extra int) {
+	need := len(p.times) + extra
+	if cap(p.times) >= need {
+		return
 	}
+	nt := make([]int64, len(p.times), need)
+	nf := make([]int, len(p.free), need)
+	copy(nt, p.times)
+	copy(nf, p.free)
+	p.times = nt
+	p.free = nf
 }
 
 // segmentIndex returns the index of the segment containing time t, assuming
@@ -57,7 +97,29 @@ func (p *profile) segmentIndex(t int64) int {
 // ensureBreak inserts a breakpoint at time t (if not already present) and
 // returns its index. t must be >= p.times[0].
 func (p *profile) ensureBreak(t int64) int {
-	idx := p.segmentIndex(t)
+	return p.ensureBreakFrom(0, t)
+}
+
+// segmentIndexFrom is segmentIndex resuming its binary search at hint, for
+// callers that already located an earlier segment. A hint that is exactly
+// the containing segment — the usual case when a reservation follows a slot
+// search — costs one comparison; an out-of-range or too-late hint falls
+// back to a full search.
+func (p *profile) segmentIndexFrom(hint int, t int64) int {
+	if hint < 0 || hint >= len(p.times) || p.times[hint] > t {
+		hint = 0
+	} else if hint+1 == len(p.times) || p.times[hint+1] > t {
+		return hint
+	}
+	return hint + sort.Search(len(p.times)-hint, func(i int) bool { return p.times[hint+i] > t }) - 1
+}
+
+// ensureBreakFrom is ensureBreak resuming its segment search at hint, for
+// callers that already located an earlier segment (a reservation inserts its
+// end breakpoint at or after its start's segment, and a planning loop knows
+// the segment the slot search returned).
+func (p *profile) ensureBreakFrom(hint int, t int64) int {
+	idx := p.segmentIndexFrom(hint, t)
 	if p.times[idx] == t {
 		return idx
 	}
@@ -78,23 +140,167 @@ func (p *profile) freeAt(t int64) int {
 
 // reserve subtracts procs cores in [start, end). It returns an error if the
 // reservation would make any segment negative, which indicates a scheduling
-// bug rather than a recoverable condition.
+// bug rather than a recoverable condition. Availability is validated before
+// any count is decremented, so a failed reserve leaves the step function
+// unchanged (at worst with redundant breakpoints) — which is what lets the
+// scheduler mutate a live profile in place instead of cloning defensively.
 func (p *profile) reserve(start, end int64, procs int) error {
+	_, err := p.reserveAt(start, end, procs)
+	return err
+}
+
+// reserveAt is reserve, returning additionally the index of the segment that
+// begins at start. Planning loops with monotone lower bounds (FCFS) use the
+// index as a resume cursor for the next findSlotFrom, so a full queue
+// re-plan scans each profile segment once instead of once per job.
+func (p *profile) reserveAt(start, end int64, procs int) (int, error) {
+	return p.reserveAtHint(start, end, procs, 0)
+}
+
+// reserveAtHint is reserveAt with a segment hint for start — typically the
+// index findSlotFrom just returned — saving the two full binary searches of
+// the plain breakpoint insertion.
+func (p *profile) reserveAtHint(start, end int64, procs, hint int) (int, error) {
 	if end <= start {
-		return fmt.Errorf("batch: reserve with end %d <= start %d", end, start)
+		return 0, fmt.Errorf("batch: reserve with end %d <= start %d", end, start)
 	}
 	if start < p.times[0] {
-		return fmt.Errorf("batch: reserve starting at %d before profile origin %d", start, p.times[0])
+		return 0, fmt.Errorf("batch: reserve starting at %d before profile origin %d", start, p.times[0])
 	}
-	si := p.ensureBreak(start)
-	ei := p.ensureBreak(end)
+	si, ei := p.ensureBreakPair(hint, start, end)
 	for i := si; i < ei; i++ {
 		if p.free[i] < procs {
-			return fmt.Errorf("batch: reservation of %d cores in [%d,%d) exceeds availability %d at t=%d",
+			return si, fmt.Errorf("batch: reservation of %d cores in [%d,%d) exceeds availability %d at t=%d",
 				procs, start, end, p.free[i], p.times[i])
 		}
+	}
+	for i := si; i < ei; i++ {
 		p.free[i] -= procs
 	}
+	// Advance the skip hint over any prefix this reservation zeroed out.
+	// (Breakpoint insertion cannot invalidate the hint: splitting a zero
+	// segment only produces zero segments.)
+	for p.firstFree < len(p.free)-1 && p.free[p.firstFree] == 0 {
+		p.firstFree++
+	}
+	return si, nil
+}
+
+// ensureBreakPair inserts breakpoints at start and end (end > start) in a
+// single pass and returns their indexes. When both breakpoints are new, the
+// slice tail beyond end moves once by two slots instead of once per
+// insertion — and the pair shares one segment search, resumed at hint.
+func (p *profile) ensureBreakPair(hint int, start, end int64) (int, int) {
+	is := p.segmentIndexFrom(hint, start)
+	ie := p.segmentIndexFrom(is, end)
+	sNew := p.times[is] != start
+	eNew := p.times[ie] != end
+	if !sNew && !eNew {
+		return is, ie
+	}
+	n := len(p.times)
+	shift := 0
+	if sNew {
+		shift++
+	}
+	if eNew {
+		shift++
+	}
+	for i := 0; i < shift; i++ {
+		p.times = append(p.times, 0)
+		p.free = append(p.free, 0)
+	}
+	switch {
+	case sNew && eNew:
+		endFree := p.free[ie]
+		copy(p.times[ie+3:n+2], p.times[ie+1:n])
+		copy(p.free[ie+3:n+2], p.free[ie+1:n])
+		copy(p.times[is+2:ie+2], p.times[is+1:ie+1])
+		copy(p.free[is+2:ie+2], p.free[is+1:ie+1])
+		p.times[is+1] = start
+		p.free[is+1] = p.free[is]
+		p.times[ie+2] = end
+		p.free[ie+2] = endFree
+		return is + 1, ie + 2
+	case sNew:
+		copy(p.times[is+2:n+1], p.times[is+1:n])
+		copy(p.free[is+2:n+1], p.free[is+1:n])
+		p.times[is+1] = start
+		p.free[is+1] = p.free[is]
+		return is + 1, ie + 1
+	default: // eNew only
+		copy(p.times[ie+2:n+1], p.times[ie+1:n])
+		copy(p.free[ie+2:n+1], p.free[ie+1:n])
+		p.times[ie+1] = end
+		p.free[ie+1] = p.free[ie]
+		return is, ie + 1
+	}
+}
+
+// span is one [start, end) x procs reservation of a batched reserveAll.
+type span struct {
+	start, end int64
+	procs      int
+}
+
+// reserveAll applies a batch of reservations in a single sweep: the spans'
+// boundaries are sorted once (k log k) and merged with the existing
+// breakpoints in one pass (n + k), instead of paying one O(n) breakpoint
+// insertion per span. The result is the same step function k individual
+// reserves would produce, emitted in canonical (merged) form. From-scratch
+// profile builds — the capacity baseline and the invalidation-recovery
+// rebuild of the running-jobs profile — are its callers.
+func (p *profile) reserveAll(spans []span) error {
+	if len(spans) == 0 {
+		return nil
+	}
+	type boundary struct {
+		t     int64
+		delta int
+	}
+	bounds := make([]boundary, 0, 2*len(spans))
+	for _, s := range spans {
+		if s.end <= s.start {
+			return fmt.Errorf("batch: reserve with end %d <= start %d", s.end, s.start)
+		}
+		if s.start < p.times[0] {
+			return fmt.Errorf("batch: reserve starting at %d before profile origin %d", s.start, p.times[0])
+		}
+		bounds = append(bounds, boundary{s.start, s.procs}, boundary{s.end, -s.procs})
+	}
+	sort.Slice(bounds, func(i, j int) bool { return bounds[i].t < bounds[j].t })
+	outT := make([]int64, 0, len(p.times)+len(bounds))
+	outF := make([]int, 0, len(p.times)+len(bounds))
+	base := p.free[0]
+	reserved := 0
+	i, bi := 0, 0
+	for i < len(p.times) || bi < len(bounds) {
+		var t int64
+		if bi >= len(bounds) || (i < len(p.times) && p.times[i] <= bounds[bi].t) {
+			t = p.times[i]
+		} else {
+			t = bounds[bi].t
+		}
+		if i < len(p.times) && p.times[i] == t {
+			base = p.free[i]
+			i++
+		}
+		for bi < len(bounds) && bounds[bi].t == t {
+			reserved += bounds[bi].delta
+			bi++
+		}
+		f := base - reserved
+		if f < 0 {
+			return fmt.Errorf("batch: batched reservation exceeds availability at t=%d (%d over)", t, -f)
+		}
+		if n := len(outF); n == 0 || outF[n-1] != f {
+			outT = append(outT, t)
+			outF = append(outF, f)
+		}
+	}
+	p.times = outT
+	p.free = outF
+	p.firstFree = 0
 	return nil
 }
 
@@ -110,8 +316,7 @@ func (p *profile) release(start, end int64, procs int) error {
 	if start < p.times[0] {
 		return fmt.Errorf("batch: release starting at %d before profile origin %d", start, p.times[0])
 	}
-	si := p.ensureBreak(start)
-	ei := p.ensureBreak(end)
+	si, ei := p.ensureBreakPair(0, start, end)
 	for i := si; i < ei; i++ {
 		if p.free[i]+procs > p.cores {
 			return fmt.Errorf("batch: release of %d cores in [%d,%d) exceeds cluster size %d at t=%d",
@@ -119,8 +324,25 @@ func (p *profile) release(start, end int64, procs int) error {
 		}
 		p.free[i] += procs
 	}
-	p.normalize()
+	// Freed cores may re-open the prefix; 0 is the always-valid hint.
+	p.firstFree = 0
+	// Reserves and releases on a canonical profile can only create
+	// equal-adjacent segments at the released window's two boundaries, so a
+	// local merge there keeps the profile canonical without normalize's
+	// full scan per early finish.
+	p.mergeAt(ei)
+	p.mergeAt(si)
 	return nil
+}
+
+// mergeAt removes breakpoint i when its segment continues the previous one
+// with the same free count.
+func (p *profile) mergeAt(i int) {
+	if i <= 0 || i >= len(p.times) || p.free[i] != p.free[i-1] {
+		return
+	}
+	p.times = append(p.times[:i], p.times[i+1:]...)
+	p.free = append(p.free[:i], p.free[i+1:]...)
 }
 
 // trimTo drops every breakpoint before t, making t the new origin. The free
@@ -140,8 +362,11 @@ func (p *profile) trimTo(t int64) {
 
 // normalize merges adjacent segments with equal free counts, keeping the
 // step function in canonical form so profiles can be compared and stay small
-// under repeated release/trim cycles.
+// under repeated release/trim cycles. Its callers add cores or shift
+// segments, either of which can move the first free segment left, so the
+// skip hint resets to the always-valid 0.
 func (p *profile) normalize() {
+	p.firstFree = 0
 	out := 0
 	for i := 1; i < len(p.times); i++ {
 		if p.free[i] == p.free[out] {
@@ -176,48 +401,77 @@ func (p *profile) equal(o *profile) bool {
 // are continuously free for `duration` seconds, or noSlot when procs exceeds
 // the cluster size. duration must be positive.
 func (p *profile) findSlot(earliest, duration int64, procs int) int64 {
+	start, _ := p.findSlotFrom(0, earliest, duration, procs)
+	return start
+}
+
+// findSlotFrom is findSlot with a resume cursor: the search starts at
+// segment hint instead of binary-searching from the beginning, and the index
+// of the segment containing the returned start is handed back so a monotone
+// caller (FCFS planning, whose lower bounds never decrease) can resume the
+// next search there. A hint that is out of range or past earliest falls back
+// to 0, so a stale cursor degrades to the plain search rather than
+// misbehaving.
+func (p *profile) findSlotFrom(hint int, earliest, duration int64, procs int) (int64, int) {
 	if procs > p.cores || procs <= 0 || duration <= 0 {
-		return noSlot
+		return noSlot, 0
 	}
 	if earliest < p.times[0] {
 		earliest = p.times[0]
 	}
+	// No slot can begin inside the all-zero prefix tracked by the skip
+	// hint; jumping the search past it spares every placement and estimate
+	// on a saturated cluster a scan over segments that cannot host anything.
+	if ff := p.firstFree; ff > 0 && ff < len(p.times) && p.times[ff] > earliest {
+		earliest = p.times[ff]
+		if hint < ff {
+			hint = ff
+		}
+	}
+	if hint < 0 || hint >= len(p.times) || p.times[hint] > earliest {
+		hint = 0
+	}
 	start := earliest
-	idx := p.segmentIndex(start)
+	// The segment containing start, found within times[hint:] — the cursor
+	// caller has already established times[hint] <= start. Local slice
+	// headers let the compiler drop bounds checks in the scan loops.
+	times, free := p.times, p.free
+	n := len(times)
+	idx := hint + sort.Search(n-hint, func(i int) bool { return times[hint+i] > start }) - 1
 	for {
 		// Advance start until the current segment has enough cores.
-		for idx < len(p.times) && p.free[idx] < procs {
+		for idx < n && free[idx] < procs {
 			idx++
-			if idx == len(p.times) {
+			if idx == n {
 				// The final segment always has the idle cluster... not
 				// necessarily: running jobs bounded by walltime eventually
 				// end, so the last segment has at least procs free unless a
 				// reservation extends to infinity, which never happens.
-				return noSlot
+				return noSlot, 0
 			}
-			start = p.times[idx]
+			start = times[idx]
 		}
-		if idx >= len(p.times) {
-			return noSlot
+		if idx >= n {
+			return noSlot, 0
 		}
 		// Check that availability holds until start+duration.
 		end := start + duration
 		ok := true
-		for j := idx; j < len(p.times); j++ {
-			segStart := p.times[j]
+		for j := idx; j < n; j++ {
+			segStart := times[j]
 			if segStart >= end {
 				break
 			}
-			if p.free[j] < procs {
+			if free[j] < procs {
 				// Not enough here; restart the search from this breakpoint.
-				start = p.times[j]
+				start = segStart
 				idx = j
 				ok = false
 				break
 			}
 		}
 		if ok {
-			return start
+			return start, idx
 		}
 	}
 }

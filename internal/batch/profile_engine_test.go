@@ -1,0 +1,271 @@
+package batch
+
+// Tests for the allocation-light profile engine added with the concurrent
+// sweep work: batched reservation merges, the paired breakpoint insertion,
+// the resumable slot-search cursor, the zero-prefix skip hint and the
+// buffer-reuse primitives. Each new fast path is checked against the plain
+// sequential operations it replaces — they must describe the same step
+// function on every input.
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// randomSpans draws k random valid reservations against a profile of the
+// given cores, sized so that over-subscription stays impossible.
+func randomSpans(rng *rand.Rand, k, cores int) []span {
+	spans := make([]span, 0, k)
+	perSpan := cores / k
+	if perSpan < 1 {
+		perSpan = 1
+		k = cores
+	}
+	for i := 0; i < k; i++ {
+		start := rng.Int63n(500)
+		spans = append(spans, span{
+			start: start,
+			end:   start + 1 + rng.Int63n(400),
+			procs: 1 + rng.Intn(perSpan),
+		})
+	}
+	return spans
+}
+
+func TestReserveAllMatchesSequentialReserves(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		cores := 8 + rng.Intn(56)
+		spans := randomSpans(rng, 1+rng.Intn(8), cores)
+		batched := newProfile(0, cores)
+		sequential := newProfile(0, cores)
+		if err := batched.reserveAll(spans); err != nil {
+			t.Fatalf("trial %d: reserveAll: %v", trial, err)
+		}
+		for _, sp := range spans {
+			if err := sequential.reserve(sp.start, sp.end, sp.procs); err != nil {
+				t.Fatalf("trial %d: reserve: %v", trial, err)
+			}
+		}
+		if !batched.equal(sequential) {
+			t.Fatalf("trial %d: batched %v/%v != sequential %v/%v",
+				trial, batched.times, batched.free, sequential.times, sequential.free)
+		}
+	}
+}
+
+func TestReserveAllRejectsOverSubscription(t *testing.T) {
+	p := newProfile(0, 4)
+	err := p.reserveAll([]span{{0, 100, 3}, {50, 150, 3}})
+	if err == nil {
+		t.Fatal("overlapping over-subscription accepted")
+	}
+	if err := newProfile(0, 4).reserveAll([]span{{10, 10, 1}}); err == nil {
+		t.Fatal("empty span accepted")
+	}
+	if err := newProfile(100, 4).reserveAll([]span{{50, 150, 1}}); err == nil {
+		t.Fatal("span before the origin accepted")
+	}
+}
+
+// randomBusyProfile builds a profile with a handful of random reservations.
+func randomBusyProfile(rng *rand.Rand) *profile {
+	cores := 8 + rng.Intn(24)
+	p := newProfile(0, cores)
+	for i := 0; i < 6; i++ {
+		start := rng.Int63n(800)
+		end := start + 1 + rng.Int63n(300)
+		procs := 1 + rng.Intn(cores/6)
+		if err := p.reserve(start, end, procs); err != nil {
+			// Random stacking can overflow; skip that reservation.
+			continue
+		}
+	}
+	return p
+}
+
+func TestEnsureBreakPairMatchesTwoInsertions(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 300; trial++ {
+		paired := randomBusyProfile(rng)
+		plain := paired.clone()
+		start := rng.Int63n(1200)
+		end := start + 1 + rng.Int63n(400)
+		hint := rng.Intn(len(paired.times) + 1)
+		si, ei := paired.ensureBreakPair(hint, start, end)
+		wantSi := plain.ensureBreak(start)
+		wantEi := plain.ensureBreak(end)
+		if !paired.equal(plain) {
+			t.Fatalf("trial %d: pair insert diverged for [%d,%d): %v/%v vs %v/%v",
+				trial, start, end, paired.times, paired.free, plain.times, plain.free)
+		}
+		if paired.times[si] != start || paired.times[ei] != end {
+			t.Fatalf("trial %d: pair indexes wrong: times[%d]=%d (want %d), times[%d]=%d (want %d)",
+				trial, si, paired.times[si], start, ei, paired.times[ei], end)
+		}
+		if si != wantSi || ei != wantEi {
+			t.Fatalf("trial %d: pair indexes (%d,%d) != sequential (%d,%d)", trial, si, ei, wantSi, wantEi)
+		}
+	}
+}
+
+func TestFindSlotFromMatchesPlainSearch(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 300; trial++ {
+		p := randomBusyProfile(rng)
+		procs := 1 + rng.Intn(p.cores)
+		duration := 1 + rng.Int63n(500)
+		earliest := rng.Int63n(1000)
+		want := p.findSlot(earliest, duration, procs)
+		for _, hint := range []int{0, rng.Intn(len(p.times) + 2), len(p.times) - 1} {
+			got, idx := p.findSlotFrom(hint, earliest, duration, procs)
+			if got != want {
+				t.Fatalf("trial %d: findSlotFrom(hint=%d) = %d, want %d", trial, hint, got, want)
+			}
+			if got != noSlot && p.times[idx] > got {
+				t.Fatalf("trial %d: returned segment %d starts after the slot %d", trial, idx, got)
+			}
+		}
+	}
+}
+
+// TestFindSlotCursorMonotoneReplan mirrors the FCFS planning loop: strictly
+// monotone lower bounds with the cursor resumed from each reservation must
+// find exactly the slots a from-scratch search finds.
+func TestFindSlotCursorMonotoneReplan(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 100; trial++ {
+		cursorProf := randomBusyProfile(rng)
+		plainProf := cursorProf.clone()
+		lower := int64(0)
+		cursor := 0
+		for job := 0; job < 20; job++ {
+			procs := 1 + rng.Intn(cursorProf.cores)
+			duration := 1 + rng.Int63n(200)
+			want := plainProf.findSlot(lower, duration, procs)
+			got, seg := cursorProf.findSlotFrom(cursor, lower, duration, procs)
+			if got != want {
+				t.Fatalf("trial %d job %d: cursor search %d != plain %d", trial, job, got, want)
+			}
+			if want == noSlot {
+				break
+			}
+			var err1, err2 error
+			cursor, err1 = cursorProf.reserveAtHint(want, want+duration, procs, seg)
+			_, err2 = plainProf.reserveAt(want, want+duration, procs)
+			if err1 != nil || err2 != nil {
+				t.Fatalf("trial %d job %d: reserve failed: %v / %v", trial, job, err1, err2)
+			}
+			if !cursorProf.equal(plainProf) {
+				t.Fatalf("trial %d job %d: profiles diverged", trial, job)
+			}
+			lower = want // FCFS: the next job cannot start before this one
+		}
+	}
+}
+
+// TestFirstFreeSkipHintStaysSound exercises the zero-prefix skip hint under
+// interleaved reserves and releases: after every mutation, slot searches on
+// the profile must match searches on a clone with the hint cleared.
+func TestFirstFreeSkipHintStaysSound(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	for trial := 0; trial < 60; trial++ {
+		p := newProfile(0, 16)
+		type res struct {
+			start, end int64
+			procs      int
+		}
+		var live []res
+		for step := 0; step < 40; step++ {
+			if rng.Intn(3) > 0 || len(live) == 0 {
+				start := rng.Int63n(300)
+				end := start + 1 + rng.Int63n(200)
+				procs := 1 + rng.Intn(4)
+				if err := p.reserve(start, end, procs); err == nil {
+					live = append(live, res{start, end, procs})
+				}
+			} else {
+				i := rng.Intn(len(live))
+				r := live[i]
+				// Release the tail of an existing reservation, as an early
+				// finish would.
+				mid := r.start + (r.end-r.start)/2
+				if mid < r.end {
+					if err := p.release(mid, r.end, r.procs); err != nil {
+						t.Fatalf("trial %d step %d: release: %v", trial, step, err)
+					}
+					live = append(live[:i], live[i+1:]...)
+				}
+			}
+			if p.firstFree > 0 {
+				for i := 0; i < p.firstFree; i++ {
+					if p.free[i] != 0 {
+						t.Fatalf("trial %d step %d: firstFree=%d but free[%d]=%d", trial, step, p.firstFree, i, p.free[i])
+					}
+				}
+			}
+			noHint := p.clone()
+			noHint.firstFree = 0
+			procs := 1 + rng.Intn(8)
+			duration := 1 + rng.Int63n(100)
+			earliest := rng.Int63n(400)
+			if got, want := p.findSlot(earliest, duration, procs), noHint.findSlot(earliest, duration, procs); got != want {
+				t.Fatalf("trial %d step %d: hinted search %d != plain %d", trial, step, got, want)
+			}
+		}
+	}
+}
+
+func TestCopyFromAndGrowPreserveFunction(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	src := randomBusyProfile(rng)
+	dst := &profile{}
+	dst.copyFrom(src)
+	if !dst.equal(src) {
+		t.Fatal("copyFrom changed the step function")
+	}
+	// Reuse with a smaller source must shrink, not leak stale segments.
+	small := newProfile(5, 4)
+	dst.copyFrom(small)
+	if !dst.equal(small) || len(dst.times) != 1 {
+		t.Fatalf("copyFrom reuse kept stale segments: %v/%v", dst.times, dst.free)
+	}
+	grown := src.clone()
+	grown.grow(64)
+	if !grown.equal(src) {
+		t.Fatal("grow changed the step function")
+	}
+	if cap(grown.times) < len(src.times)+64 {
+		t.Fatalf("grow reserved cap %d, want >= %d", cap(grown.times), len(src.times)+64)
+	}
+	before := cap(grown.times)
+	for i := 0; i < 30; i++ {
+		grown.ensureBreak(int64(2000 + i))
+	}
+	if cap(grown.times) != before {
+		t.Fatal("insertions within the grown capacity still reallocated")
+	}
+}
+
+// TestReleaseLocalMergeKeepsCanonicalBoundaries checks that the localized
+// boundary merge that replaced normalize() in release leaves no
+// equal-adjacent segments behind.
+func TestReleaseLocalMergeKeepsCanonicalBoundaries(t *testing.T) {
+	p := newProfile(0, 8)
+	if err := p.reserve(10, 30, 4); err != nil {
+		t.Fatal(err)
+	}
+	// Releasing the whole window must merge both boundaries back into the
+	// idle profile.
+	if err := p.release(10, 30, 4); err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(p.free); i++ {
+		if p.free[i] == p.free[i-1] {
+			t.Fatalf("equal-adjacent segments survived release: %v/%v", p.times, p.free)
+		}
+	}
+	if p.freeAt(20) != 8 {
+		t.Fatal("release did not restore the cores")
+	}
+}

@@ -115,32 +115,20 @@ type allocation struct {
 
 // queueEntry is a job waiting in the batch queue.
 type queueEntry struct {
-	job          workload.Job
-	enqueued     int64
-	seq          int64
+	job      workload.Job
+	enqueued int64
+	seq      int64
+	// wall is the job's walltime rescaled to this cluster's speed, computed
+	// once at enqueue time: every re-plan of the queue needs it, and the
+	// floating-point rescale is measurable when re-plans are frequent.
+	wall         int64
 	plannedStart int64
 	plannedEnd   int64
 	migrated     int
 }
 
-// startQueue is a min-heap of waiting jobs ordered by planned start. It is
-// rebuilt wholesale on every plan flush (the flush already visits every
-// waiting job), so it needs no incremental maintenance beyond popping
-// started jobs.
-type startQueue []*queueEntry
-
-func (q startQueue) Len() int           { return len(q) }
-func (q startQueue) Less(i, j int) bool { return q[i].plannedStart < q[j].plannedStart }
-func (q startQueue) Swap(i, j int)      { q[i], q[j] = q[j], q[i] }
-func (q *startQueue) Push(x any)        { *q = append(*q, x.(*queueEntry)) }
-func (q *startQueue) Pop() any {
-	old := *q
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	*q = old[:n-1]
-	return e
-}
+// noNextStart is the nextStart sentinel meaning "no waiting job".
+const noNextStart = int64(math.MaxInt64)
 
 // finishQueue is a min-heap of running jobs ordered by completion time.
 // Entries are pushed when a job starts and popped when it finishes; unlike
@@ -257,7 +245,11 @@ type Scheduler struct {
 	nextOutage   int
 	outagePolicy OutagePolicy
 
-	startHeap  startQueue
+	// nextStart is the earliest planned start among waiting jobs (or the
+	// noNextStart sentinel), valid whenever the plan is clean. Every plan
+	// flush visits the whole queue anyway, so a scalar minimum replaces the
+	// start-ordered heap the scheduler used to rebuild on each flush.
+	nextStart  int64
 	finishHeap finishQueue
 
 	// runProf is the availability profile of the running jobs only, bounded
@@ -271,10 +263,15 @@ type Scheduler struct {
 
 	// planProf is the availability profile including running jobs and all
 	// planned waiting reservations; planDirty defers its reconstruction until
-	// the next observation. Once published, planProf is never mutated in
-	// place (rebuilds swap in a fresh profile), so estimate snapshots may
-	// share it by reference.
+	// the next observation. Estimate snapshots share planProf by reference:
+	// planShared records that a snapshot was handed out, after which the
+	// profile is treated as immutable (rebuilds and appends swap in a fresh
+	// one). While unshared, rebuilds recycle the previous buffer (planSpare)
+	// and appends reserve in place, so steady-state re-planning allocates
+	// nothing.
 	planProf    *profile
+	planSpare   *profile
+	planShared  bool
 	planDirty   bool
 	planVersion uint64
 	// maxPlannedStart is the latest planned start among waiting jobs, used
@@ -284,6 +281,16 @@ type Scheduler struct {
 	// debugCheck cross-checks the incremental run profile against a
 	// from-scratch build on every plan rebuild.
 	debugCheck bool
+
+	// notesBuf is the notification buffer reused by Advance; entryFree and
+	// allocFree pool dead queueEntry and allocation structs. Together they
+	// make the steady-state event loop allocation-free: a pooled struct is
+	// only handed out again once no index, heap or plan can still reach the
+	// old occupant (entries die under planDirty and every heap read re-plans
+	// first; allocations die when popped from the finish heap).
+	notesBuf  []Notification
+	entryFree []*queueEntry
+	allocFree []*allocation
 
 	// Request counters, reported by the server layer as system-load metrics.
 	submissions   int64
@@ -311,6 +318,7 @@ func NewScheduler(spec platform.ClusterSpec, policy Policy) (*Scheduler, error) 
 		runningByID: make(map[int]*allocation),
 		waitingByID: make(map[int]*queueEntry),
 		frontSeq:    -1,
+		nextStart:   noNextStart,
 		debugCheck:  os.Getenv(debugProfileEnv) != "",
 	}
 	for _, e := range spec.Capacity {
@@ -328,12 +336,13 @@ func NewScheduler(spec platform.ClusterSpec, policy Policy) (*Scheduler, error) 
 
 // capacityBaseProfile builds the zero-jobs availability profile from `from`
 // onwards: the nominal core count reduced by every announced maintenance
-// window and by every already revealed outage window. Unrevealed outages are
-// deliberately absent — the scheduler must not plan around a failure it
-// cannot know about yet.
+// window and by every already revealed outage window, batched into a single
+// merge pass. Unrevealed outages are deliberately absent — the scheduler
+// must not plan around a failure it cannot know about yet.
 func (s *Scheduler) capacityBaseProfile(from int64) *profile {
 	prof := newProfile(from, s.spec.Cores)
-	reserveWindow := func(w platform.CapacityEvent) {
+	spans := make([]span, 0, len(s.maintenance)+s.nextOutage)
+	window := func(w platform.CapacityEvent) {
 		if w.End <= from {
 			return
 		}
@@ -341,17 +350,18 @@ func (s *Scheduler) capacityBaseProfile(from int64) *profile {
 		if start < from {
 			start = from
 		}
-		if err := prof.reserve(start, w.End, s.spec.Cores-w.Cores); err != nil {
-			// Windows are validated non-overlapping and within the cluster
-			// size, so a failed reservation is a programming error.
-			panic(fmt.Sprintf("batch: capacity window [%d,%d) unreservable on %s: %v", w.Start, w.End, s.spec.Name, err))
-		}
+		spans = append(spans, span{start, w.End, s.spec.Cores - w.Cores})
 	}
 	for _, w := range s.maintenance {
-		reserveWindow(w)
+		window(w)
 	}
 	for _, w := range s.outages[:s.nextOutage] {
-		reserveWindow(w)
+		window(w)
+	}
+	if err := prof.reserveAll(spans); err != nil {
+		// Windows are validated non-overlapping and within the cluster
+		// size, so a failed reservation is a programming error.
+		panic(fmt.Sprintf("batch: capacity windows unreservable on %s: %v", s.spec.Name, err))
 	}
 	return prof
 }
@@ -491,10 +501,12 @@ func (s *Scheduler) Submit(j workload.Job, now int64, reallocations int) error {
 	sameNow := now == s.now
 	s.now = now
 	s.submissions++
-	e := &queueEntry{
+	e := s.newEntry()
+	*e = queueEntry{
 		job:      j,
 		enqueued: now,
 		seq:      s.seq,
+		wall:     s.scaledWalltime(j),
 		migrated: reallocations,
 	}
 	s.seq++
@@ -514,45 +526,80 @@ func (s *Scheduler) Submit(j workload.Job, now int64, reallocations int) error {
 // placeEntry plans one job onto prof: the earliest slot at or after the
 // policy's lower bound (FCFS forbids starting before prevStart, the latest
 // start planned so far), with the end-of-horizon fallback for the
-// cannot-happen case of no slot. It reserves the window and returns it.
+// cannot-happen case of no slot. It reserves the window and returns it,
+// together with a cursor (the index of the segment the job starts in) that
+// FCFS planning loops pass back as hint: FCFS lower bounds never decrease,
+// so resuming the slot search at the previous start's segment scans each
+// profile segment once per full re-plan instead of once per job. CBF
+// callers pass hint 0 (backfilling may place a job in any earlier hole).
 // This is the single planning rule shared by full re-plans, the append fast
 // path and the consistency checker, so the three can never drift apart.
-func (s *Scheduler) placeEntry(prof *profile, j workload.Job, prevStart int64) (start, end int64, err error) {
-	wall := s.scaledWalltime(j)
+func (s *Scheduler) placeEntry(prof *profile, e *queueEntry, prevStart int64, hint int) (start, end int64, cursor int, err error) {
 	lower := s.now
 	if s.policy == FCFS && prevStart > lower {
 		lower = prevStart
 	}
-	start = prof.findSlot(lower, wall, j.Procs)
+	var seg int
+	start, seg = prof.findSlotFrom(hint, lower, e.wall, e.job.Procs)
 	if start == noSlot {
 		// Cannot happen for admitted jobs (procs <= cores); guard anyway by
 		// pushing the job to the end of the known horizon.
 		start = prof.times[len(prof.times)-1]
+		seg = len(prof.times) - 1
 	}
-	return start, start + wall, prof.reserve(start, start+wall, j.Procs)
+	end = start + e.wall
+	cursor, err = prof.reserveAtHint(start, end, e.job.Procs, seg)
+	return start, end, cursor, err
+}
+
+// takePlanBuffer returns a profile buffer the caller may freely overwrite
+// and publish as the next planProf: the recycled spare when one is banked,
+// a fresh profile otherwise. The spare is never referenced outside the
+// scheduler, so reusing it cannot disturb a snapshot.
+func (s *Scheduler) takePlanBuffer() *profile {
+	if p := s.planSpare; p != nil {
+		s.planSpare = nil
+		return p
+	}
+	return &profile{}
 }
 
 // appendToPlan plans a newly appended entry against the current plan
-// profile without re-planning the rest of the queue. The profile is cloned
-// before the reservation (copy-on-write) so snapshots sharing the published
-// profile keep answering for the state they were taken at.
+// profile without re-planning the rest of the queue. While no snapshot
+// shares the published profile the reservation happens in place (reserve
+// validates before mutating, so a failure cannot publish a bad profile);
+// once a snapshot was handed out the profile is copied first, so snapshots
+// keep answering for the state they were taken at.
 func (s *Scheduler) appendToPlan(e *queueEntry) {
-	prof := s.planProf.clone()
-	start, end, err := s.placeEntry(prof, e.job, s.maxPlannedStart)
+	prof := s.planProf
+	if s.planShared {
+		cow := s.takePlanBuffer()
+		cow.copyFrom(prof)
+		prof = cow
+	}
+	start, end, _, err := s.placeEntry(prof, e, s.maxPlannedStart, 0)
 	if err != nil {
 		// Fall back to a full re-plan rather than publishing a bad profile.
+		if prof != s.planProf {
+			s.planSpare = prof
+		}
 		s.planDirty = true
 		return
 	}
 	e.plannedStart = start
 	e.plannedEnd = end
-	s.planProf = prof
+	if prof != s.planProf {
+		s.planProf = prof
+		s.planShared = false
+	}
 	if start > s.maxPlannedStart {
 		s.maxPlannedStart = start
 	}
+	if start < s.nextStart {
+		s.nextStart = start
+	}
 	s.planVersion++
 	s.planAppends++
-	heap.Push(&s.startHeap, e)
 }
 
 // Cancel removes a waiting job from the queue. It returns ErrJobRunning for
@@ -579,16 +626,33 @@ func (s *Scheduler) Cancel(jobID int, now int64) (workload.Job, int, error) {
 	i := sort.Search(len(s.waiting), func(i int) bool { return s.waiting[i].seq >= e.seq })
 	s.waiting = append(s.waiting[:i], s.waiting[i+1:]...)
 	s.planDirty = true
-	return e.job, e.migrated, nil
+	if len(s.waiting) == 0 {
+		// nextInternalEvent skips the re-plan for an empty queue, so the
+		// earliest-start scalar must be cleared here or the last cancelled
+		// job's planned start would surface as a phantom event.
+		s.nextStart = noNextStart
+	}
+	job, migrated := e.job, e.migrated
+	// The entry is fully unlinked from the waiting slice and index, and the
+	// dirty plan forces a re-plan before any planned-start state is read
+	// again, so the entry is safe to pool.
+	s.entryFree = append(s.entryFree, e)
+	return job, migrated, nil
 }
 
 // WaitingJobs returns a snapshot of the waiting queue in queue order,
 // including each job's current predicted start and completion.
 func (s *Scheduler) WaitingJobs() []WaitingJob {
+	return s.AppendWaitingJobs(make([]WaitingJob, 0, len(s.waiting)))
+}
+
+// AppendWaitingJobs appends the waiting queue (in queue order) to dst and
+// returns the extended slice, letting callers that poll every cluster each
+// sweep reuse one buffer instead of allocating a fresh slice per call.
+func (s *Scheduler) AppendWaitingJobs(dst []WaitingJob) []WaitingJob {
 	s.observePlan()
-	out := make([]WaitingJob, 0, len(s.waiting))
 	for i, e := range s.waiting {
-		out = append(out, WaitingJob{
+		dst = append(dst, WaitingJob{
 			Job:            e.job,
 			EnqueuedAt:     e.enqueued,
 			PlannedStart:   e.plannedStart,
@@ -599,7 +663,7 @@ func (s *Scheduler) WaitingJobs() []WaitingJob {
 			ClusterSpeedup: s.spec.Speed,
 		})
 	}
-	return out
+	return dst
 }
 
 // CurrentCompletion returns the predicted completion time of a job already
@@ -620,11 +684,26 @@ func (s *Scheduler) CurrentCompletion(jobID int) (int64, error) {
 // complete if I submitted it to you now" query without mutating any state.
 // It returns ErrTooWide if the job can never run here.
 func (s *Scheduler) EstimateCompletion(j workload.Job, now int64) (int64, error) {
+	if ect, ok := s.TryEstimateCompletion(j, now); ok {
+		return ect, nil
+	}
 	if now < s.now {
 		return 0, fmt.Errorf("%w: estimate at %d, now %d", ErrTimeTravel, now, s.now)
 	}
 	if !s.Fits(j) {
 		return 0, fmt.Errorf("%w: job %d needs %d cores, cluster %q has %d", ErrTooWide, j.ID, j.Procs, s.spec.Name, s.spec.Cores)
+	}
+	return 0, fmt.Errorf("%w: job %d on cluster %q", ErrTooWide, j.ID, s.spec.Name)
+}
+
+// TryEstimateCompletion is EstimateCompletion with a boolean instead of an
+// error: ok is false when the job can never run here or the timestamp is in
+// the past. The initial-mapping policy issues one such query per cluster
+// per submission and treats "cannot run here" as an ordinary outcome, so
+// this variant skips the error construction of the checked one.
+func (s *Scheduler) TryEstimateCompletion(j workload.Job, now int64) (int64, bool) {
+	if now < s.now || !s.Fits(j) {
+		return 0, false
 	}
 	s.observePlan()
 	s.ectQueries++
@@ -637,9 +716,9 @@ func (s *Scheduler) EstimateCompletion(j workload.Job, now int64) (int64, error)
 	wall := s.scaledWalltime(j)
 	start := s.planProf.findSlot(lower, wall, j.Procs)
 	if start == noSlot {
-		return 0, fmt.Errorf("%w: job %d on cluster %q", ErrTooWide, j.ID, j.Procs)
+		return 0, false
 	}
-	return start + wall, nil
+	return start + wall, true
 }
 
 // EstimateSnapshot is a detached, immutable view of the cluster's planned
@@ -656,26 +735,41 @@ type EstimateSnapshot struct {
 }
 
 // EstimateSnapshot returns a snapshot of the cluster's planned availability
-// at time now. The snapshot shares the plan profile by reference (rebuilds
-// swap in a fresh profile rather than mutating the published one), so taking
-// one is O(1).
+// at time now. The snapshot shares the plan profile by reference (mutations
+// swap in or copy to a fresh profile once a reference was handed out), so
+// taking one is O(1).
 func (s *Scheduler) EstimateSnapshot(now int64) (*EstimateSnapshot, error) {
+	sn := &EstimateSnapshot{}
+	if err := s.EstimateSnapshotInto(sn, now); err != nil {
+		return nil, err
+	}
+	return sn, nil
+}
+
+// EstimateSnapshotInto overwrites sn with a snapshot at time now, letting a
+// caller that re-snapshots every cluster once per sweep reuse its snapshot
+// storage instead of allocating one per call.
+func (s *Scheduler) EstimateSnapshotInto(sn *EstimateSnapshot, now int64) error {
 	if now < s.now {
-		return nil, fmt.Errorf("%w: snapshot at %d, now %d", ErrTimeTravel, now, s.now)
+		return fmt.Errorf("%w: snapshot at %d, now %d", ErrTimeTravel, now, s.now)
 	}
 	s.observePlan()
 	s.snapshots++
+	// The handed-out reference freezes the published profile: mutations now
+	// copy first (appendToPlan) or build into a fresh buffer (rebuildPlan).
+	s.planShared = true
 	lower := now
 	if s.policy == FCFS && s.maxPlannedStart > lower {
 		lower = s.maxPlannedStart
 	}
-	return &EstimateSnapshot{
+	*sn = EstimateSnapshot{
 		sched:   s,
 		prof:    s.planProf,
 		now:     now,
 		lower:   lower,
 		version: s.planVersion,
-	}, nil
+	}
+	return nil
 }
 
 // Cluster returns the name of the cluster the snapshot was taken from.
@@ -694,18 +788,49 @@ func (sn *EstimateSnapshot) Stale() bool {
 // EstimateCompletion answers the completion-time query against the snapshot.
 // It returns ErrTooWide if the job can never run on the cluster.
 func (sn *EstimateSnapshot) EstimateCompletion(j workload.Job) (int64, error) {
+	ect, ok := sn.TryEstimateCompletion(j)
+	if !ok {
+		s := sn.sched
+		if !s.Fits(j) {
+			return 0, fmt.Errorf("%w: job %d needs %d cores, cluster %q has %d", ErrTooWide, j.ID, j.Procs, s.spec.Name, s.spec.Cores)
+		}
+		return 0, fmt.Errorf("%w: job %d on cluster %q", ErrTooWide, j.ID, s.spec.Name)
+	}
+	return ect, nil
+}
+
+// TryEstimateCompletion is EstimateCompletion with a boolean instead of an
+// error: ok is false when the job can never run on the cluster. The
+// reallocation sweep issues O(candidates x clusters) estimate queries per
+// pass and treats "cannot run here" as an ordinary outcome, so the error
+// construction of the checked variant — an allocation plus fmt formatting
+// per too-wide pair — was pure overhead on the sweep hot path.
+func (sn *EstimateSnapshot) TryEstimateCompletion(j workload.Job) (int64, bool) {
+	return sn.TryEstimateCompletionScaled(j.Procs, sn.sched.scaledWalltime(j))
+}
+
+// ScaledWalltime returns the job's walltime rescaled to this cluster's
+// speed — the reservation length every estimate for it here will use. A
+// sweep that refreshes a cluster's estimates once per move caches it
+// instead of repeating the floating-point rescale.
+func (sn *EstimateSnapshot) ScaledWalltime(j workload.Job) int64 {
+	return sn.sched.scaledWalltime(j)
+}
+
+// TryEstimateCompletionScaled is TryEstimateCompletion for a caller that
+// already holds the job's scaled walltime on this cluster.
+func (sn *EstimateSnapshot) TryEstimateCompletionScaled(procs int, wall int64) (int64, bool) {
 	s := sn.sched
-	if !s.Fits(j) {
-		return 0, fmt.Errorf("%w: job %d needs %d cores, cluster %q has %d", ErrTooWide, j.ID, j.Procs, s.spec.Name, s.spec.Cores)
+	if procs > s.spec.Cores {
+		return 0, false
 	}
 	s.ectQueries++
 	s.snapshotHits++
-	wall := s.scaledWalltime(j)
-	start := sn.prof.findSlot(sn.lower, wall, j.Procs)
+	start := sn.prof.findSlot(sn.lower, wall, procs)
 	if start == noSlot {
-		return 0, fmt.Errorf("%w: job %d on cluster %q", ErrTooWide, j.ID, j.Procs)
+		return 0, false
 	}
-	return start + wall, nil
+	return start + wall, true
 }
 
 // internalEvent identifies the kind of the next scheduler-internal event.
@@ -720,12 +845,14 @@ const (
 // Advance moves the cluster's clock to `now`, starting planned jobs,
 // completing running jobs and revealing capacity outages whose time has
 // come, in chronological order. It returns the notifications generated, in
-// order.
+// order. The returned slice is reused by the next Advance call on the same
+// scheduler; callers that need the notifications beyond that must copy
+// them.
 func (s *Scheduler) Advance(now int64) ([]Notification, error) {
 	if now < s.now {
 		return nil, fmt.Errorf("%w: advance to %d, now %d", ErrTimeTravel, now, s.now)
 	}
-	var notes []Notification
+	notes := s.notesBuf[:0]
 	for {
 		t, kind, ok := s.nextInternalEvent()
 		if !ok || t > now {
@@ -733,15 +860,41 @@ func (s *Scheduler) Advance(now int64) ([]Notification, error) {
 		}
 		switch kind {
 		case evFinish:
-			notes = append(notes, s.finishDueAt(t)...)
+			notes = s.finishDueAt(t, notes)
 		case evCapacity:
-			notes = append(notes, s.revealNextOutage()...)
+			notes = s.revealNextOutage(notes)
 		case evStart:
-			notes = append(notes, s.startDueAt(t)...)
+			notes = s.startDueAt(t, notes)
 		}
 	}
 	s.now = now
+	s.notesBuf = notes
+	if len(notes) == 0 {
+		return nil, nil
+	}
 	return notes, nil
+}
+
+// newEntry returns a queueEntry from the pool, or a fresh one.
+func (s *Scheduler) newEntry() *queueEntry {
+	if n := len(s.entryFree); n > 0 {
+		e := s.entryFree[n-1]
+		s.entryFree[n-1] = nil
+		s.entryFree = s.entryFree[:n-1]
+		return e
+	}
+	return &queueEntry{}
+}
+
+// newAllocation returns an allocation from the pool, or a fresh one.
+func (s *Scheduler) newAllocation() *allocation {
+	if n := len(s.allocFree); n > 0 {
+		a := s.allocFree[n-1]
+		s.allocFree[n-1] = nil
+		s.allocFree = s.allocFree[:n-1]
+		return a
+	}
+	return &allocation{}
 }
 
 // NextEventTime returns the earliest instant at which this cluster will
@@ -759,7 +912,12 @@ func (s *Scheduler) NextEventTime() (int64, bool) {
 // start), then outage reveals (so a job is not started into a window that
 // just lost its cores), then starts.
 func (s *Scheduler) nextInternalEvent() (int64, internalEvent, bool) {
-	s.ensurePlan()
+	// The plan is consulted only for the earliest waiting start; with an
+	// empty queue there is none, and the re-plan (refreshing the estimate
+	// profile) stays deferred to the next observation.
+	if len(s.waiting) > 0 {
+		s.ensurePlan()
+	}
 	bestT := int64(0)
 	kind := evStart
 	found := false
@@ -771,8 +929,8 @@ func (s *Scheduler) nextInternalEvent() (int64, internalEvent, bool) {
 			bestT, kind, found = t, evCapacity, true
 		}
 	}
-	if len(s.startHeap) > 0 {
-		if t := s.startHeap[0].plannedStart; !found || t < bestT {
+	if s.nextStart != noNextStart {
+		if t := s.nextStart; !found || t < bestT {
 			bestT, kind, found = t, evStart, true
 		}
 	}
@@ -785,7 +943,7 @@ func (s *Scheduler) nextInternalEvent() (int64, internalEvent, bool) {
 // reserved in the incremental run profile for the remainder of the window,
 // and the waiting-queue plan is invalidated so every planned start is
 // recomputed under the new ceiling.
-func (s *Scheduler) revealNextOutage() []Notification {
+func (s *Scheduler) revealNextOutage(notes []Notification) []Notification {
 	w := s.outages[s.nextOutage]
 	s.nextOutage++
 	if w.Start > s.now {
@@ -794,9 +952,9 @@ func (s *Scheduler) revealNextOutage() []Notification {
 	// An outage entirely in the past (the caller's clock jumped over the
 	// window without observing it) changes nothing from now on.
 	if w.End <= s.now {
-		return nil
+		return notes
 	}
-	notes := s.displaceRunning(w)
+	notes = s.displaceRunning(w, notes)
 	if s.runProfValid {
 		s.runProf.trimTo(s.now)
 		if err := s.runProf.reserve(s.now, w.End, s.spec.Cores-w.Cores); err != nil {
@@ -811,13 +969,13 @@ func (s *Scheduler) revealNextOutage() []Notification {
 // outage window's capacity, most recently started jobs first (seniority is
 // protected, as on real clusters where a crash takes out the nodes assigned
 // last). Displaced jobs are killed or requeued per the outage policy.
-func (s *Scheduler) displaceRunning(w platform.CapacityEvent) []Notification {
+func (s *Scheduler) displaceRunning(w platform.CapacityEvent, notes []Notification) []Notification {
 	used := 0
 	for _, a := range s.running {
 		used += a.job.Procs
 	}
 	if used <= w.Cores {
-		return nil
+		return notes
 	}
 	victims := append([]*allocation(nil), s.running...)
 	sort.Slice(victims, func(i, j int) bool {
@@ -827,7 +985,6 @@ func (s *Scheduler) displaceRunning(w platform.CapacityEvent) []Notification {
 		return victims[i].job.ID > victims[j].job.ID
 	})
 	displaced := make(map[int]bool)
-	var notes []Notification
 	for _, a := range victims {
 		if used <= w.Cores {
 			break
@@ -837,10 +994,12 @@ func (s *Scheduler) displaceRunning(w platform.CapacityEvent) []Notification {
 		delete(s.runningByID, a.job.ID)
 		s.releaseReservation(a, s.now)
 		if s.outagePolicy == RequeueDisplaced {
-			e := &queueEntry{
+			e := s.newEntry()
+			*e = queueEntry{
 				job:      a.job,
 				enqueued: s.now,
 				seq:      s.frontSeq,
+				wall:     s.scaledWalltime(a.job),
 				migrated: a.migrated,
 			}
 			s.frontSeq--
@@ -855,6 +1014,8 @@ func (s *Scheduler) displaceRunning(w platform.CapacityEvent) []Notification {
 	for _, a := range s.running {
 		if !displaced[a.job.ID] {
 			kept = append(kept, a)
+		} else {
+			s.allocFree = append(s.allocFree, a)
 		}
 	}
 	s.running = kept
@@ -870,63 +1031,75 @@ func (s *Scheduler) displaceRunning(w platform.CapacityEvent) []Notification {
 // the unused tail of each walltime reservation back into the incremental run
 // profile. The freed cores may advance waiting jobs, so the plan is marked
 // dirty.
-func (s *Scheduler) finishDueAt(t int64) []Notification {
-	var notes []Notification
+func (s *Scheduler) finishDueAt(t int64, notes []Notification) []Notification {
+	n0 := len(notes)
 	for len(s.finishHeap) > 0 && s.finishHeap[0].end == t {
 		heap.Pop(&s.finishHeap)
 	}
+	released := false
 	kept := s.running[:0]
 	for _, a := range s.running {
 		if a.end == t {
 			notes = append(notes, Notification{Kind: Finished, JobID: a.job.ID, Time: t, Killed: a.killed})
 			delete(s.runningByID, a.job.ID)
-			s.releaseReservation(a, t)
+			if s.releaseReservation(a, t) {
+				released = true
+			}
+			s.allocFree = append(s.allocFree, a)
 			continue
 		}
 		kept = append(kept, a)
 	}
 	s.running = kept
-	if len(notes) > 0 {
+	if len(notes) > n0 {
 		s.now = t
-		s.planDirty = true
+		// A job that ran out its full walltime returns no cores the plan did
+		// not already account for, so the published plan — whose remaining
+		// starts are all at or after t — stays valid; only an early finish
+		// (a released reservation tail) can advance waiting jobs.
+		if released {
+			s.planDirty = true
+		}
 	}
 	return notes
 }
 
 // releaseReservation returns the unused tail [t, wallEnd) of a finished
-// job's reservation to the run profile. A failure invalidates the
-// incremental profile so the next plan rebuild reconstructs it from scratch.
-func (s *Scheduler) releaseReservation(a *allocation, t int64) {
+// job's reservation to the run profile, reporting whether the profile
+// actually changed. A failure invalidates the incremental profile so the
+// next plan rebuild reconstructs it from scratch (and reports true: the
+// published plan can no longer be trusted).
+func (s *Scheduler) releaseReservation(a *allocation, t int64) bool {
 	if !s.runProfValid {
-		return
+		return true
 	}
 	from := t
 	if origin := s.runProf.times[0]; from < origin {
 		from = origin
 	}
 	if a.wallEnd <= from {
-		return
+		return false
 	}
 	if err := s.runProf.release(from, a.wallEnd, a.job.Procs); err != nil {
 		s.InvalidateRunProfile()
 	}
+	return true
 }
 
 // startDueAt starts every waiting job whose planned start is exactly t,
 // reserving its walltime window in the incremental run profile. The plan
 // profile stays valid: a started job occupies exactly the window it was
 // planned to.
-func (s *Scheduler) startDueAt(t int64) []Notification {
-	for len(s.startHeap) > 0 && s.startHeap[0].plannedStart == t {
-		heap.Pop(&s.startHeap)
-	}
-	var notes []Notification
+func (s *Scheduler) startDueAt(t int64, notes []Notification) []Notification {
+	n0 := len(notes)
+	next := noNextStart
 	kept := s.waiting[:0]
 	for _, e := range s.waiting {
 		if e.plannedStart == t {
 			run := s.scaledRuntime(e.job)
-			wall := s.scaledWalltime(e.job)
-			a := &allocation{
+			wall := e.wall
+			a := s.newAllocation()
+			*a = allocation{
 				job:      e.job,
 				start:    t,
 				end:      t + run,
@@ -944,12 +1117,17 @@ func (s *Scheduler) startDueAt(t int64) []Notification {
 				}
 			}
 			notes = append(notes, Notification{Kind: Started, JobID: e.job.ID, Time: t})
+			s.entryFree = append(s.entryFree, e)
 			continue
+		}
+		if e.plannedStart < next {
+			next = e.plannedStart
 		}
 		kept = append(kept, e)
 	}
 	s.waiting = kept
-	if len(notes) > 0 {
+	s.nextStart = next
+	if len(notes) > n0 {
 		s.now = t
 	}
 	return notes
@@ -997,12 +1175,16 @@ func (s *Scheduler) observePlan() {
 // of the invalidation path.
 func (s *Scheduler) scratchRunProfile() *profile {
 	prof := s.capacityBaseProfile(s.now)
+	spans := make([]span, 0, len(s.running))
 	for _, a := range s.running {
 		if a.wallEnd > s.now {
-			if err := prof.reserve(s.now, a.wallEnd, a.job.Procs); err != nil {
-				panic(fmt.Sprintf("batch: inconsistent running set on %s: %v", s.spec.Name, err))
-			}
+			spans = append(spans, span{s.now, a.wallEnd, a.job.Procs})
 		}
+	}
+	// Batched: one sorted merge over the profile instead of one O(profile)
+	// breakpoint insertion per running job.
+	if err := prof.reserveAll(spans); err != nil {
+		panic(fmt.Sprintf("batch: inconsistent running set on %s: %v", s.spec.Name, err))
 	}
 	return prof
 }
@@ -1039,10 +1221,14 @@ func (s *Scheduler) CheckProfileConsistency() error {
 	// Re-plan every waiting job onto the fresh profile and compare against
 	// the published plan.
 	prevStart := s.now
+	cursor := 0
 	for _, e := range s.waiting {
-		start, end, err := s.placeEntry(fresh, e.job, prevStart)
+		start, end, cur, err := s.placeEntry(fresh, e, prevStart, cursor)
 		if err != nil {
 			return fmt.Errorf("batch: re-plan reservation failed on %s: %w", s.spec.Name, err)
+		}
+		if s.policy == FCFS {
+			cursor = cur
 		}
 		if start != e.plannedStart || end != e.plannedEnd {
 			return fmt.Errorf("batch: plan diverged on %s for job %d: published [%d,%d), re-plan [%d,%d)",
@@ -1068,7 +1254,10 @@ func (s *Scheduler) CheckProfileConsistency() error {
 // rebuildPlan recomputes the planned start and completion of every waiting
 // job, according to the local policy, on top of the incrementally maintained
 // running-jobs profile. The waiting slice is kept in submission (seq) order
-// by construction, so planning needs no sort.
+// by construction, so planning needs no sort. The plan is built into a
+// double-buffered scratch profile — the previous published profile, unless
+// a snapshot still references it — so steady-state re-planning allocates
+// nothing.
 func (s *Scheduler) rebuildPlan() {
 	s.planRebuilds++
 	s.ensureRunProfile()
@@ -1078,13 +1267,19 @@ func (s *Scheduler) rebuildPlan() {
 				s.spec.Name, s.now, s.runProf.times, s.runProf.free, fresh.times, fresh.free))
 		}
 	}
-	prof := s.runProf.clone()
+	prof := s.takePlanBuffer()
+	prof.copyFrom(s.runProf)
+	// Planning k jobs inserts at most 2k breakpoints; growing once up front
+	// replaces the log-many append doublings mid-plan.
+	prof.grow(2 * len(s.waiting))
 	// Waiting jobs are planned in queue order (submission order on this
 	// cluster). FCFS additionally forbids starting before the previous
-	// queued job.
+	// queued job, which also makes the slot-search cursor monotone.
 	prevStart := s.now
+	next := noNextStart
+	cursor := 0
 	for _, e := range s.waiting {
-		start, end, err := s.placeEntry(prof, e.job, prevStart)
+		start, end, cur, err := s.placeEntry(prof, e, prevStart, cursor)
 		if err != nil {
 			panic(fmt.Sprintf("batch: plan reservation failed on %s: %v", s.spec.Name, err))
 		}
@@ -1093,18 +1288,27 @@ func (s *Scheduler) rebuildPlan() {
 		if start > prevStart {
 			prevStart = start
 		}
+		if start < next {
+			next = start
+		}
+		if s.policy == FCFS {
+			cursor = cur
+		}
 	}
 	// Keep the combined running+planned profile for cheap completion-time
 	// estimates; prevStart is the latest planned start (or now when the
 	// queue is empty), which is exactly the FCFS lower bound for a
-	// hypothetical extra job.
+	// hypothetical extra job. Planning visited every waiting job, so the
+	// earliest planned start falls out of the same loop.
+	old := s.planProf
 	s.planProf = prof
+	if !s.planShared && old != nil {
+		s.planSpare = old
+	}
+	s.planShared = false
 	s.maxPlannedStart = prevStart
+	s.nextStart = next
 	s.planVersion++
-	// The start heap is rebuilt wholesale: planning already visited every
-	// waiting job, so heap.Init costs no extra asymptotic work.
-	s.startHeap = append(s.startHeap[:0], s.waiting...)
-	heap.Init(&s.startHeap)
 }
 
 // Snapshot describes the instantaneous state of the cluster, used by the
@@ -1128,7 +1332,12 @@ type SnapshotJob struct {
 // Snapshot returns the current running and planned-waiting state.
 func (s *Scheduler) Snapshot() Snapshot {
 	s.observePlan()
-	snap := Snapshot{ClusterName: s.spec.Name, Time: s.now}
+	snap := Snapshot{
+		ClusterName: s.spec.Name,
+		Time:        s.now,
+		Running:     make([]SnapshotJob, 0, len(s.running)),
+		Waiting:     make([]SnapshotJob, 0, len(s.waiting)),
+	}
 	for _, a := range s.running {
 		snap.Running = append(snap.Running, SnapshotJob{JobID: a.job.ID, Procs: a.job.Procs, Start: a.start, End: a.wallEnd})
 	}

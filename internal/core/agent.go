@@ -105,6 +105,23 @@ type Agent struct {
 	totalReallocations int64
 	reallocationEvents int64
 	skippedRaces       int64
+
+	// Scratch buffers reused across reallocation passes, so a sweep's
+	// bookkeeping (candidate gathering, the ECT matrix, the estimate slice)
+	// allocates only when the platform outgrows every previous pass.
+	scratchWaiting       [][]batch.WaitingJob
+	scratchCands         []Candidate
+	scratchOrigins       []int
+	scratchSortedCands   []Candidate
+	scratchSortedOrigins []int
+	scratchOrder         []int
+	scratchEsts          []Estimate
+	scratchSnaps         []batch.EstimateSnapshot
+	scratchECTs          []int64
+	scratchRows          [][]int64
+	scratchWalls         []int64
+	scratchWallRows      [][]int64
+	scratchErrs          []error
 }
 
 // NewAgent builds an agent over the given servers. Mapping defaults to MCT
@@ -193,12 +210,33 @@ func (a *Agent) Reallocate(now int64) (int, error) {
 	}
 }
 
-// gatherCandidates snapshots the waiting queues of every cluster.
+// gatherCandidates snapshots the waiting queues of every cluster. Listing a
+// queue forces that cluster's deferred re-plan, so the per-cluster listings
+// are fanned over the sweep worker pool when the platform is loaded enough
+// to pay for it; the per-cluster slices are then merged in platform order,
+// keeping the result identical to the sequential gather.
 func (a *Agent) gatherCandidates() ([]Candidate, []int) {
-	var cands []Candidate
-	var origins []int
+	if cap(a.scratchWaiting) < len(a.servers) {
+		a.scratchWaiting = make([][]batch.WaitingJob, len(a.servers))
+	}
+	perCluster := a.scratchWaiting[:len(a.servers)]
+	total := 0
+	for _, s := range a.servers {
+		total += s.Scheduler().WaitingCount()
+	}
+	forEachCluster(len(a.servers), total, func(idx int) {
+		perCluster[idx] = a.servers[idx].Scheduler().AppendWaitingJobs(perCluster[idx][:0])
+	})
+	cands := a.scratchCands[:0]
+	if cap(cands) < total {
+		cands = make([]Candidate, 0, total)
+	}
+	origins := a.scratchOrigins[:0]
+	if cap(origins) < total {
+		origins = make([]int, 0, total)
+	}
 	for idx, s := range a.servers {
-		for _, w := range s.WaitingJobs() {
+		for _, w := range perCluster[idx] {
 			cands = append(cands, Candidate{
 				Job:           w.Job,
 				OriginCluster: s.Name(),
@@ -209,20 +247,28 @@ func (a *Agent) gatherCandidates() ([]Candidate, []int) {
 		}
 	}
 	// Deterministic processing order regardless of server iteration:
-	// submission time then job ID.
-	order := make([]int, len(cands))
-	for i := range order {
-		order[i] = i
+	// submission time then job ID. The sort permutes both slices through an
+	// index order so candidates and origins stay aligned.
+	order := a.scratchOrder[:0]
+	for i := range cands {
+		order = append(order, i)
 	}
 	sort.SliceStable(order, func(x, y int) bool {
 		return submitsBefore(cands[order[x]].Job, cands[order[y]].Job)
 	})
-	sortedCands := make([]Candidate, len(cands))
-	sortedOrigins := make([]int, len(cands))
+	a.scratchOrder = order
+	if cap(a.scratchSortedCands) < len(cands) {
+		a.scratchSortedCands = make([]Candidate, len(cands))
+		a.scratchSortedOrigins = make([]int, len(cands))
+	}
+	sortedCands := a.scratchSortedCands[:len(cands)]
+	sortedOrigins := a.scratchSortedOrigins[:len(cands)]
 	for i, o := range order {
 		sortedCands[i] = cands[o]
 		sortedOrigins[i] = origins[o]
 	}
+	a.scratchCands = cands
+	a.scratchOrigins = origins
 	return sortedCands, sortedOrigins
 }
 
@@ -236,32 +282,67 @@ func (a *Agent) gatherCandidates() ([]Candidate, []int) {
 type sweep struct {
 	a     *Agent
 	now   int64
-	snaps []*batch.EstimateSnapshot
-	ects  [][]int64 // [candidate][cluster]; NoEstimate when unavailable
+	snaps []batch.EstimateSnapshot // one per cluster, refreshed in place
+	ects  [][]int64                // [candidate][cluster]; NoEstimate when unavailable
+	// walls caches each candidate's scaled walltime per cluster (0 = not
+	// yet computed): a column refresh after a move re-estimates every
+	// remaining candidate, and the reservation length does not change.
+	walls [][]int64
 }
 
 // newSweep snapshots every cluster and fills the ECT matrix for the given
-// candidates.
+// candidates. The matrix backing is one flat allocation (reused across
+// passes), and the per-cluster work — one snapshot plus that cluster's
+// matrix column — is fanned over the bounded worker pool on sweeps large
+// enough to pay for it. Each worker touches exactly one cluster's scheduler
+// and writes only its own column and error slot, so the merged result is
+// bit-identical to the sequential sweep regardless of scheduling order;
+// errors are surfaced in platform order for the same reason.
 func (a *Agent) newSweep(now int64, cands []Candidate) (*sweep, error) {
+	n, m := len(cands), len(a.servers)
+	if cap(a.scratchSnaps) < m {
+		a.scratchSnaps = make([]batch.EstimateSnapshot, m)
+		a.scratchErrs = make([]error, m)
+	}
+	if cap(a.scratchECTs) < n*m {
+		a.scratchECTs = make([]int64, n*m)
+		a.scratchWalls = make([]int64, n*m)
+	}
+	if cap(a.scratchRows) < n {
+		a.scratchRows = make([][]int64, n)
+		a.scratchWallRows = make([][]int64, n)
+	}
 	sw := &sweep{
 		a:     a,
 		now:   now,
-		snaps: make([]*batch.EstimateSnapshot, len(a.servers)),
-		ects:  make([][]int64, len(cands)),
+		snaps: a.scratchSnaps[:m],
+		ects:  a.scratchRows[:n],
+		walls: a.scratchWallRows[:n],
 	}
-	for idx, s := range a.servers {
-		snap, err := s.EstimateSnapshot(now)
+	flat := a.scratchECTs[:n*m]
+	flatW := a.scratchWalls[:n*m]
+	for i := range flatW {
+		flatW[i] = 0
+	}
+	for i := range sw.ects {
+		sw.ects[i] = flat[i*m : (i+1)*m : (i+1)*m]
+		sw.walls[i] = flatW[i*m : (i+1)*m : (i+1)*m]
+	}
+	errs := a.scratchErrs[:m]
+	forEachCluster(m, n*m, func(idx int) {
+		if err := a.servers[idx].EstimateSnapshotInto(&sw.snaps[idx], now); err != nil {
+			errs[idx] = err
+			return
+		}
+		errs[idx] = nil
+		for i := range cands {
+			sw.ects[i][idx] = sw.query(i, idx, cands[i].Job)
+		}
+	})
+	for idx, err := range errs {
 		if err != nil {
-			return nil, fmt.Errorf("core: snapshotting %s: %w", s.Name(), err)
+			return nil, fmt.Errorf("core: snapshotting %s: %w", a.servers[idx].Name(), err)
 		}
-		sw.snaps[idx] = snap
-	}
-	for i := range cands {
-		row := make([]int64, len(a.servers))
-		for idx := range a.servers {
-			row[idx] = sw.query(idx, cands[i].Job)
-		}
-		sw.ects[i] = row
 	}
 	return sw, nil
 }
@@ -271,16 +352,19 @@ func (a *Agent) newSweep(now int64, cands []Candidate) (*sweep, error) {
 // plan changed under it — which only happens when a capacity event fires at
 // the sweep instant, as the sweep itself refreshes the clusters it mutates —
 // is re-taken first, so estimates never reflect capacity the cluster lost.
-func (sw *sweep) query(idx int, j workload.Job) int64 {
+func (sw *sweep) query(i, idx int, j workload.Job) int64 {
 	if sw.snaps[idx].Stale() {
-		snap, err := sw.a.servers[idx].EstimateSnapshot(sw.now)
-		if err != nil {
+		if err := sw.a.servers[idx].EstimateSnapshotInto(&sw.snaps[idx], sw.now); err != nil {
 			return NoEstimate
 		}
-		sw.snaps[idx] = snap
 	}
-	ect, err := sw.snaps[idx].EstimateCompletion(j)
-	if err != nil {
+	wall := sw.walls[i][idx]
+	if wall == 0 {
+		wall = sw.snaps[idx].ScaledWalltime(j)
+		sw.walls[i][idx] = wall
+	}
+	ect, ok := sw.snaps[idx].TryEstimateCompletionScaled(j.Procs, wall)
+	if !ok {
 		return NoEstimate
 	}
 	return ect
@@ -289,21 +373,20 @@ func (sw *sweep) query(idx int, j workload.Job) int64 {
 // refreshCluster re-snapshots one cluster (whose queue just changed) and
 // recomputes its matrix column for the remaining candidates.
 func (sw *sweep) refreshCluster(idx int, cands []Candidate) error {
-	snap, err := sw.a.servers[idx].EstimateSnapshot(sw.now)
-	if err != nil {
+	if err := sw.a.servers[idx].EstimateSnapshotInto(&sw.snaps[idx], sw.now); err != nil {
 		return fmt.Errorf("core: snapshotting %s: %w", sw.a.servers[idx].Name(), err)
 	}
-	sw.snaps[idx] = snap
 	for i := range cands {
-		sw.ects[i][idx] = sw.query(idx, cands[i].Job)
+		sw.ects[i][idx] = sw.query(i, idx, cands[i].Job)
 	}
 	return nil
 }
 
-// remove drops the candidate's matrix row, mirroring the caller's removal
-// from the candidate slice.
+// remove drops the candidate's matrix and wall-cache rows, mirroring the
+// caller's removal from the candidate slice.
 func (sw *sweep) remove(i int) {
 	sw.ects = append(sw.ects[:i], sw.ects[i+1:]...)
+	sw.walls = append(sw.walls[:i], sw.walls[i+1:]...)
 }
 
 // estimate builds the Estimate for one candidate from its matrix row. When
@@ -347,7 +430,10 @@ func (a *Agent) reallocateWithoutCancellation(now int64) (int, error) {
 	if err != nil {
 		return 0, err
 	}
-	ests := make([]Estimate, len(cands))
+	if cap(a.scratchEsts) < len(cands) {
+		a.scratchEsts = make([]Estimate, len(cands))
+	}
+	ests := a.scratchEsts[:len(cands)]
 	for i := range cands {
 		ests[i] = sw.estimate(i, origins[i], cands[i].OriginECT, false)
 	}
@@ -470,7 +556,10 @@ func (a *Agent) reallocateWithCancellation(now int64) (int, error) {
 		return 0, err
 	}
 	moves := 0
-	ests := make([]Estimate, len(cands))
+	if cap(a.scratchEsts) < len(cands) {
+		a.scratchEsts = make([]Estimate, len(cands))
+	}
+	ests := a.scratchEsts[:len(cands)]
 	for len(cands) > 0 {
 		// The origin cluster answers hypothetically because the job is no
 		// longer queued there.

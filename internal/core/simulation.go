@@ -200,30 +200,36 @@ func Run(cfg Config) (*Result, error) {
 	}
 
 	d := &driver{
-		engine:    sim.NewEngine(),
-		agent:     agent,
-		servers:   servers,
-		result:    result,
-		wakes:     make([]*sim.Event, len(servers)),
-		wakeNames: make([]string, len(servers)),
-		total:     len(trace.Jobs),
+		engine:      sim.NewEngine(),
+		agent:       agent,
+		servers:     servers,
+		result:      result,
+		wakes:       make([]*sim.Event, len(servers)),
+		wakePending: make([]bool, len(servers)),
+		wakeNames:   make([]string, len(servers)),
+		total:       len(trace.Jobs),
 	}
 	for i, srv := range servers {
 		d.wakeNames[i] = "wake-" + srv.Name()
 	}
 
-	for _, job := range trace.Jobs {
-		result.Jobs[job.ID] = &JobRecord{
+	// One block allocation for every record; the map holds pointers into it.
+	records := make([]JobRecord, len(trace.Jobs))
+	for i, job := range trace.Jobs {
+		records[i] = JobRecord{
 			JobID:  job.ID,
 			Submit: job.Submit,
 			Start:  -1, Completion: -1,
 			Procs: job.Procs,
 		}
+		result.Jobs[job.ID] = &records[i]
 	}
-	// Schedule the submissions. Traces are sorted by (Submit, ID), so each
-	// submission event schedules the next one when it fires, keeping the
-	// engine's queue small no matter how long the trace is. A hand-built
-	// unsorted trace falls back to scheduling every submission upfront.
+	// Schedule the submissions. Traces are sorted by (Submit, ID), so one
+	// persistent event walks the trace: when it fires it reschedules itself
+	// to the next job's submit time before handling the current one, keeping
+	// the engine's queue small and the whole chain allocation-free no matter
+	// how long the trace is. A hand-built unsorted trace falls back to
+	// scheduling every submission upfront.
 	sorted := true
 	for i := 1; i < len(trace.Jobs); i++ {
 		if trace.Jobs[i].Submit < trace.Jobs[i-1].Submit {
@@ -233,17 +239,20 @@ func Run(cfg Config) (*Result, error) {
 	}
 	if sorted {
 		jobs := trace.Jobs
-		var scheduleSubmit func(i int)
-		scheduleSubmit = func(i int) {
-			job := jobs[i]
-			d.engine.MustSchedule(sim.Time(job.Submit), sim.PrioritySubmission, "submit", func(now sim.Time) {
-				if i+1 < len(jobs) {
-					scheduleSubmit(i + 1)
+		next := 0
+		var submitEv *sim.Event
+		submitEv = d.engine.MustSchedule(sim.Time(jobs[0].Submit), sim.PrioritySubmission, "submit", func(now sim.Time) {
+			job := jobs[next]
+			next++
+			if next < len(jobs) {
+				// Rescheduling before handling preserves the engine-sequence
+				// order the schedule-ahead pattern produced.
+				if err := d.engine.Reschedule(submitEv, sim.Time(jobs[next].Submit)); err != nil {
+					d.errs = append(d.errs, err)
 				}
-				d.handleSubmission(job, int64(now))
-			})
-		}
-		scheduleSubmit(0)
+			}
+			d.handleSubmission(job, int64(now))
+		})
 	} else {
 		for _, job := range trace.Jobs {
 			job := job
@@ -283,6 +292,7 @@ func Run(cfg Config) (*Result, error) {
 		return nil, err
 	}
 
+	result.ServerLoads = make([]server.RequestLoad, 0, len(servers))
 	for _, srv := range servers {
 		result.ServerLoads = append(result.ServerLoads, srv.Load())
 	}
@@ -295,15 +305,23 @@ func Run(cfg Config) (*Result, error) {
 // driver glues the event engine, the agent and the cluster servers together
 // and records per-job outcomes.
 type driver struct {
-	engine    *sim.Engine
-	agent     *Agent
-	servers   []*server.Server
-	result    *Result
-	wakes     []*sim.Event
-	wakeNames []string
-	total     int
-	completed int
-	errs      []error
+	engine  *sim.Engine
+	agent   *Agent
+	servers []*server.Server
+	result  *Result
+	// wakes holds one persistent wake-up event per cluster, rescheduled in
+	// place as the cluster's next internal event moves; wakePending tracks
+	// whether the event is currently queued (it is cleared when the event
+	// fires or is cancelled), so the hot refresh path allocates nothing.
+	wakes       []*sim.Event
+	wakePending []bool
+	wakeNames   []string
+	// waitingScratch is reused by updateReallocationCounts after every
+	// reallocation pass.
+	waitingScratch []batch.WaitingJob
+	total          int
+	completed      int
+	errs           []error
 }
 
 // advanceAll brings every cluster to the current time and records the
@@ -356,36 +374,41 @@ func (d *driver) record(cluster string, notes []batch.Notification) {
 
 // refreshWakes re-schedules the per-cluster wake-up events according to each
 // cluster's next internal event. A wake that is already pending at the right
-// instant is kept rather than cancelled and re-inserted: the handler is
-// idempotent (it advances every cluster to the current time), so only the
-// fire time matters, and keeping the event avoids flooding the engine's
-// queue with cancelled tombstones on every submission and notification.
+// instant is kept rather than moved: the handler is idempotent (it advances
+// every cluster to the current time), so only the fire time matters. Each
+// cluster owns one persistent event that is rescheduled in place —
+// semantically identical to cancel-and-reinsert (the engine hands it a fresh
+// tie-breaking sequence number) but without allocating an event and handler
+// closure per refresh or flooding the engine's queue with tombstones.
 func (d *driver) refreshWakes(now int64) {
 	for i, srv := range d.servers {
 		next, ok := srv.Scheduler().NextEventTime()
 		if !ok {
-			if d.wakes[i] != nil {
+			if d.wakePending[i] {
 				d.wakes[i].Cancel()
-				d.wakes[i] = nil
+				d.wakePending[i] = false
 			}
 			continue
 		}
 		if next < now {
 			next = now
 		}
-		if w := d.wakes[i]; w != nil && !w.Cancelled() && w.Time == sim.Time(next) {
+		if d.wakePending[i] && d.wakes[i].Time == sim.Time(next) {
 			continue
 		}
-		if d.wakes[i] != nil {
-			d.wakes[i].Cancel()
+		if d.wakes[i] == nil {
+			i := i
+			d.wakes[i] = d.engine.MustSchedule(sim.Time(next), sim.PriorityFinish, d.wakeNames[i], func(t sim.Time) {
+				// A fired event must not be mistaken for a pending one by the
+				// keep-if-same-time test above.
+				d.wakePending[i] = false
+				d.handleWake(int64(t))
+			})
+		} else if err := d.engine.Reschedule(d.wakes[i], sim.Time(next)); err != nil {
+			d.errs = append(d.errs, err)
+			continue
 		}
-		i := i
-		d.wakes[i] = d.engine.MustSchedule(sim.Time(next), sim.PriorityFinish, d.wakeNames[i], func(t sim.Time) {
-			// A fired event must not be mistaken for a pending one by the
-			// keep-if-same-time test above.
-			d.wakes[i] = nil
-			d.handleWake(int64(t))
-		})
+		d.wakePending[i] = true
 	}
 }
 
@@ -428,7 +451,8 @@ func (d *driver) handleReallocation(now sim.Time) {
 // times each job moved before starting.
 func (d *driver) updateReallocationCounts() {
 	for _, srv := range d.servers {
-		for _, w := range srv.WaitingJobs() {
+		d.waitingScratch = srv.Scheduler().AppendWaitingJobs(d.waitingScratch[:0])
+		for _, w := range d.waitingScratch {
 			if rec, ok := d.result.Jobs[w.Job.ID]; ok {
 				rec.Reallocations = w.Reallocations
 				rec.Cluster = w.ClusterName

@@ -125,6 +125,12 @@ func (c ClusterSpec) ScaleDuration(d int64) int64 {
 	if d <= 0 {
 		return 0
 	}
+	if c.Speed == 1 {
+		// The reference speed needs no floating-point rescale; this is the
+		// common case (every homogeneous cluster, and the reference cluster
+		// of heterogeneous platforms) on a path hit once per estimate query.
+		return d
+	}
 	scaled := int64(float64(d) / c.Speed)
 	if float64(scaled)*c.Speed < float64(d) {
 		scaled++

@@ -65,13 +65,11 @@ func (s *Server) Cancel(jobID int, now int64) (workload.Job, int, error) {
 
 // EstimateCompletion returns the estimated completion time of a hypothetical
 // submission of the job at time now. ok is false when the job can never run
-// on this cluster.
+// on this cluster. The error-free scheduler variant backs it: the mapping
+// policy issues one of these per cluster per submission and a "cannot run
+// here" must not cost an error allocation.
 func (s *Server) EstimateCompletion(j workload.Job, now int64) (ect int64, ok bool) {
-	v, err := s.sched.EstimateCompletion(j, now)
-	if err != nil {
-		return 0, false
-	}
-	return v, true
+	return s.sched.TryEstimateCompletion(j, now)
 }
 
 // EstimateSnapshot returns a detached snapshot of the cluster's planned
@@ -80,6 +78,12 @@ func (s *Server) EstimateCompletion(j workload.Job, now int64) (ect int64, ok bo
 // instead of issuing one EstimateCompletion request per (job, cluster) pair.
 func (s *Server) EstimateSnapshot(now int64) (*batch.EstimateSnapshot, error) {
 	return s.sched.EstimateSnapshot(now)
+}
+
+// EstimateSnapshotInto refreshes a caller-owned snapshot in place,
+// avoiding the allocation of EstimateSnapshot on the sweep hot path.
+func (s *Server) EstimateSnapshotInto(sn *batch.EstimateSnapshot, now int64) error {
+	return s.sched.EstimateSnapshotInto(sn, now)
 }
 
 // CurrentCompletion returns the current predicted completion time of a job

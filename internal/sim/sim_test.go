@@ -295,3 +295,57 @@ func TestPropertyCancellationNeverExecutes(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestRescheduleEquivalentToCancelPlusSchedule verifies the in-place
+// reschedule against the pattern it replaces: the event fires at its new
+// time, and ties at the same (time, priority) order the rescheduled event
+// after events inserted earlier — exactly as a cancel plus fresh Schedule
+// would, because rescheduling assigns a fresh insertion sequence number.
+func TestRescheduleEquivalentToCancelPlusSchedule(t *testing.T) {
+	e := NewEngine()
+	var order []string
+	ev := e.MustSchedule(5, PriorityFinish, "moved", func(Time) { order = append(order, "moved") })
+	e.MustSchedule(10, PriorityFinish, "anchor", func(Time) { order = append(order, "anchor") })
+	if err := e.Reschedule(ev, 10); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	// The anchor was inserted before the reschedule, so it keeps the older
+	// sequence number and runs first at the shared instant.
+	if len(order) != 2 || order[0] != "anchor" || order[1] != "moved" {
+		t.Fatalf("order = %v, want [anchor moved]", order)
+	}
+}
+
+func TestRescheduleFiredAndCancelledEvents(t *testing.T) {
+	e := NewEngine()
+	fired := 0
+	ev := e.MustSchedule(1, PriorityFinish, "wake", func(Time) { fired++ })
+	if err := e.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	// Rescheduling an event that already fired re-inserts it.
+	if err := e.Reschedule(ev, 7); err != nil {
+		t.Fatal(err)
+	}
+	// Rescheduling a cancelled event revives it.
+	ev.Cancel()
+	if err := e.Reschedule(ev, 9); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	if fired != 2 {
+		t.Fatalf("event fired %d times, want 2 (initial + revived reschedule)", fired)
+	}
+	if e.Now() != 9 {
+		t.Fatalf("clock at %d, want 9", e.Now())
+	}
+	// The past is still rejected.
+	if err := e.Reschedule(ev, 3); err == nil {
+		t.Fatal("reschedule into the past accepted")
+	}
+}

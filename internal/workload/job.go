@@ -190,6 +190,18 @@ func (t *Trace) Scale(fraction float64) *Trace {
 // scheduled anywhere; the experiment harness clamps them, mimicking what a
 // production middleware does when it refuses oversized requests.
 func (t *Trace) Clamp(maxProcs int) *Trace {
+	// Most traces fit their platform; returning the trace unchanged then
+	// avoids copying every job on every simulation run.
+	clamped := false
+	for _, j := range t.Jobs {
+		if j.Procs > maxProcs {
+			clamped = true
+			break
+		}
+	}
+	if !clamped {
+		return t
+	}
 	out := &Trace{Name: t.Name, Jobs: make([]Job, 0, len(t.Jobs))}
 	for _, j := range t.Jobs {
 		if j.Procs > maxProcs {
