@@ -75,4 +75,28 @@
 // 72-configuration digest grid by TestABDigestParallelSweep and under the
 // race detector in CI). Sharding work across clusters must preserve that
 // ownership discipline.
+//
+// # Randomized scenario harness
+//
+// Beyond the paper's fixed campaign, internal/harness draws arbitrary
+// scenarios from the whole configuration space — random traces (raw jobs
+// and random SiteProfiles), random platforms of 1–16 clusters with mixed
+// sizes and speeds, multi-window capacity timelines mixing maintenance and
+// outages, every (policy, algorithm, heuristic, outage policy) combination,
+// random mapping policies, reallocation periods and sweep parallelism — and
+// checks an invariant oracle over each: digest determinism across repeated
+// runs and across sweep worker counts, incremental-profile consistency
+// against a from-scratch rebuild, reservations bounded by the capacity
+// ceiling, requeue seniority ordering, job conservation (every submitted
+// job finishes exactly once), SWF round-trips, and zero-capacity inertness.
+// The oracle is exposed three ways: the FuzzScenario and FuzzReadSWF native
+// fuzz targets (with committed seed corpora), the cmd/gridfuzz CLI
+// (gridfuzz -n 500 -seed 42 -parallel 8), and per-run verification through
+// core.Config.VerifyInvariants. A failing scenario is always a single
+// uint64 seed; reproduce it with
+//
+//	gridfuzz -replay <seed>
+//
+// Every future sharding/batching/async refactor is expected to pass a
+// gridfuzz campaign in addition to the fixed-grid digests.
 package gridrealloc

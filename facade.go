@@ -42,7 +42,9 @@ type ScenarioConfig struct {
 	// Scenario names the workload ("jan".."jun", "pwa-g5k"); it selects the
 	// platform the paper pairs with it. Ignored when Platform is non-nil.
 	Scenario string
-	// Heterogeneity is "homogeneous" (default) or "heterogeneous".
+	// Heterogeneity is "homogeneous" (default) or "heterogeneous"; any
+	// other string is rejected by RunScenario. Ignored when Platform is
+	// non-nil.
 	Heterogeneity string
 	// Policy is the local batch policy, "FCFS" (default) or "CBF".
 	Policy string
@@ -107,15 +109,15 @@ func GenerateScenario(scenario string, fraction float64, seed uint64) (*Trace, e
 
 // DefaultPlatform returns the platform the paper pairs with the named
 // scenario, in the requested variant ("homogeneous" or "heterogeneous").
+// Unrecognised variant strings fall back to homogeneous here to keep the
+// signature error-free; RunScenario validates the same string strictly and
+// rejects typos.
 func DefaultPlatform(scenario, heterogeneity string) Platform {
-	return platform.ForScenario(scenario, parseHet(heterogeneity))
-}
-
-func parseHet(s string) platform.Heterogeneity {
-	if s == "heterogeneous" {
-		return platform.Heterogeneous
+	het, err := platform.ParseHeterogeneity(heterogeneity)
+	if err != nil {
+		het = platform.Homogeneous
 	}
-	return platform.Homogeneous
+	return platform.ForScenario(scenario, het)
 }
 
 // RunScenario runs one simulation according to cfg and returns its result.
@@ -154,7 +156,17 @@ func RunScenario(cfg ScenarioConfig) (*Result, error) {
 		// chose.
 		return nil, fmt.Errorf("gridrealloc: ScenarioConfig with a custom Trace needs a Scenario or a Platform to pick the clusters")
 	default:
-		plat = DefaultPlatform(cfg.Scenario, cfg.Heterogeneity)
+		// With a custom Trace the scenario name is only consulted for the
+		// platform pairing, which would otherwise accept any typo and hand
+		// back Grid'5000; validate it on every path.
+		if !workload.KnownScenario(workload.ScenarioName(cfg.Scenario)) {
+			return nil, fmt.Errorf("gridrealloc: unknown scenario %q", cfg.Scenario)
+		}
+		het, err := platform.ParseHeterogeneity(cfg.Heterogeneity)
+		if err != nil {
+			return nil, fmt.Errorf("gridrealloc: %w", err)
+		}
+		plat = platform.ForScenario(cfg.Scenario, het)
 	}
 	plat, err := applyCapacityConfig(plat, cfg, trace)
 	if err != nil {

@@ -1,0 +1,138 @@
+package gridrealloc_test
+
+import (
+	"strings"
+	"testing"
+
+	gridrealloc "gridrealloc"
+)
+
+// tinyTrace builds a two-job custom trace for the error-path tests.
+func tinyTrace(t *testing.T) *gridrealloc.Trace {
+	t.Helper()
+	tr := &gridrealloc.Trace{Name: "tiny", Jobs: []gridrealloc.Job{
+		{ID: 1, Submit: 0, Runtime: 60, Walltime: 120, Procs: 2},
+		{ID: 2, Submit: 30, Runtime: 30, Walltime: 60, Procs: 1},
+	}}
+	return tr
+}
+
+func TestRunScenarioRejectsUnknownHeterogeneity(t *testing.T) {
+	for _, het := range []string{"hetero", "Heterogeneous", "mixed", "homo"} {
+		_, err := gridrealloc.RunScenario(gridrealloc.ScenarioConfig{
+			Scenario:      "jan",
+			Heterogeneity: het,
+			TraceFraction: 0.002,
+		})
+		if err == nil || !strings.Contains(err.Error(), "heterogeneity") {
+			t.Fatalf("heterogeneity %q: err = %v, want heterogeneity error", het, err)
+		}
+	}
+	// The two valid spellings and the empty default still run.
+	for _, het := range []string{"", "homogeneous", "heterogeneous"} {
+		if _, err := gridrealloc.RunScenario(gridrealloc.ScenarioConfig{
+			Scenario:      "jan",
+			Heterogeneity: het,
+			TraceFraction: 0.002,
+		}); err != nil {
+			t.Fatalf("heterogeneity %q rejected: %v", het, err)
+		}
+	}
+}
+
+// A custom Trace paired with a Scenario is a supported combination — the
+// scenario only selects the platform — but the name must still be a real
+// scenario: before this was validated, any typo silently simulated
+// Grid'5000.
+func TestRunScenarioCustomTraceScenarioNames(t *testing.T) {
+	res, err := gridrealloc.RunScenario(gridrealloc.ScenarioConfig{
+		Scenario: "jan",
+		Trace:    tinyTrace(t),
+	})
+	if err != nil {
+		t.Fatalf("custom trace + known scenario: %v", err)
+	}
+	if res.Scenario != "tiny" {
+		t.Fatalf("result scenario = %q, want the custom trace name", res.Scenario)
+	}
+	if res.PlatformName != "grid5000-homogeneous" {
+		t.Fatalf("platform = %q, want the scenario's default platform", res.PlatformName)
+	}
+
+	for _, name := range []string{"jann", "jan-typo", "pwa", "pwa-g5k-maint"} {
+		_, err := gridrealloc.RunScenario(gridrealloc.ScenarioConfig{
+			Scenario: name,
+			Trace:    tinyTrace(t),
+		})
+		if err == nil || !strings.Contains(err.Error(), "unknown scenario") {
+			t.Fatalf("scenario %q with custom trace: err = %v, want unknown-scenario error", name, err)
+		}
+	}
+
+	// An explicit Platform overrides the scenario pairing entirely.
+	plat := gridrealloc.Platform{Name: "p", Clusters: []gridrealloc.ClusterSpec{{Name: "c", Cores: 8, Speed: 1}}}
+	res, err = gridrealloc.RunScenario(gridrealloc.ScenarioConfig{
+		Trace:    tinyTrace(t),
+		Platform: &plat,
+	})
+	if err != nil {
+		t.Fatalf("custom trace + platform: %v", err)
+	}
+	if res.PlatformName != "p" {
+		t.Fatalf("platform = %q, want the explicit one", res.PlatformName)
+	}
+}
+
+func TestRunScenarioOutageFieldRanges(t *testing.T) {
+	base := gridrealloc.ScenarioConfig{Scenario: "jan", TraceFraction: 0.002}
+
+	// A negative start with an explicit window is outside the timeline.
+	cfg := base
+	cfg.OutageStartSeconds = -100
+	cfg.OutageDurationSeconds = 600
+	if _, err := gridrealloc.RunScenario(cfg); err == nil || !strings.Contains(err.Error(), "negative time") {
+		t.Fatalf("negative start: err = %v, want negative-time error", err)
+	}
+
+	// Outage knobs without a duration (and without a -maint/-outage
+	// scenario) place no window; that must be an error, not a silently
+	// static run.
+	cfg = base
+	cfg.OutageSeverity = 0.5
+	if _, err := gridrealloc.RunScenario(cfg); err == nil || !strings.Contains(err.Error(), "places no window") {
+		t.Fatalf("severity without duration: err = %v, want places-no-window error", err)
+	}
+	cfg = base
+	cfg.OutageDurationSeconds = -600
+	if _, err := gridrealloc.RunScenario(cfg); err == nil || !strings.Contains(err.Error(), "places no window") {
+		t.Fatalf("negative duration: err = %v, want places-no-window error", err)
+	}
+
+	// A window on a cluster the platform does not have.
+	cfg = base
+	cfg.OutageCluster = "nancy"
+	cfg.OutageDurationSeconds = 600
+	if _, err := gridrealloc.RunScenario(cfg); err == nil || !strings.Contains(err.Error(), "nancy") {
+		t.Fatalf("unknown cluster: err = %v, want it named", err)
+	}
+
+	// Severity outside (0,1] is documented to mean a full outage, not an
+	// error; pin that decision.
+	cfg = base
+	cfg.OutageDurationSeconds = 600
+	cfg.OutageSeverity = 7.5
+	res, err := gridrealloc.RunScenario(cfg)
+	if err != nil {
+		t.Fatalf("severity 7.5 rejected: %v", err)
+	}
+	if res == nil {
+		t.Fatal("no result")
+	}
+
+	// An unknown outage policy string is rejected.
+	cfg = base
+	cfg.OutagePolicy = "murder"
+	if _, err := gridrealloc.RunScenario(cfg); err == nil || !strings.Contains(err.Error(), "outage policy") {
+		t.Fatalf("unknown outage policy: err = %v, want outage-policy error", err)
+	}
+}

@@ -76,6 +76,19 @@ type ReallocConfig struct {
 	// for Algorithm 1 to move a job; non-positive values default to
 	// DefaultMinGain. Algorithm 2 ignores it.
 	MinGain int64
+	// SweepWorkers bounds the worker pool this run's reallocation sweeps fan
+	// per-cluster work over; 0 uses the process-wide default
+	// (SetSweepParallelism). 1 forces the sequential path. Parallel and
+	// sequential sweeps are bit-identical, so this is a performance knob and
+	// the lever determinism checks flip; a per-run value lets concurrent
+	// simulations (the fuzz harness) use different settings without racing
+	// on the process-wide ones.
+	SweepWorkers int
+	// SweepThreshold is the minimum number of (candidate, cluster) pairs a
+	// sweep must hold before it fans out; 0 uses the process-wide default
+	// (SetSweepParallelThreshold). Tests and the fuzz harness set 1 to force
+	// the parallel path onto small fixtures.
+	SweepThreshold int
 }
 
 // normalized returns the config with defaults applied.
@@ -224,7 +237,7 @@ func (a *Agent) gatherCandidates() ([]Candidate, []int) {
 	for _, s := range a.servers {
 		total += s.Scheduler().WaitingCount()
 	}
-	forEachCluster(len(a.servers), total, func(idx int) {
+	a.forEachCluster(len(a.servers), total, func(idx int) {
 		perCluster[idx] = a.servers[idx].Scheduler().AppendWaitingJobs(perCluster[idx][:0])
 	})
 	cands := a.scratchCands[:0]
@@ -329,7 +342,7 @@ func (a *Agent) newSweep(now int64, cands []Candidate) (*sweep, error) {
 		sw.walls[i] = flatW[i*m : (i+1)*m : (i+1)*m]
 	}
 	errs := a.scratchErrs[:m]
-	forEachCluster(m, n*m, func(idx int) {
+	a.forEachCluster(m, n*m, func(idx int) {
 		if err := a.servers[idx].EstimateSnapshotInto(&sw.snaps[idx], now); err != nil {
 			errs[idx] = err
 			return

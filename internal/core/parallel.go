@@ -50,17 +50,33 @@ func SetSweepParallelThreshold(pairs int) {
 	sweepMinWork = pairs
 }
 
-// forEachCluster runs fn(idx) for every idx in [0, n), fanning the calls
-// over the worker pool when the estimated work (in candidate x cluster
-// pairs) clears the threshold. fn must touch only per-idx state: each
-// cluster's scheduler is owned by exactly one worker for the duration of
-// the call, and results land in per-idx slots.
-func forEachCluster(n, work int, fn func(idx int)) {
-	workers := sweepWorkers
+// forEachCluster runs fn(idx) for every idx in [0, n) with the per-agent
+// parallelism settings (falling back to the process-wide defaults), fanning
+// the calls over the worker pool when the estimated work (in candidate x
+// cluster pairs) clears the threshold. fn must touch only per-idx state:
+// each cluster's scheduler is owned by exactly one worker for the duration
+// of the call, and results land in per-idx slots.
+func (a *Agent) forEachCluster(n, work int, fn func(idx int)) {
+	workers, minWork := a.realloc.SweepWorkers, a.realloc.SweepThreshold
+	if workers <= 0 {
+		workers = sweepWorkers
+	}
+	if minWork <= 0 {
+		minWork = sweepMinWork
+	}
+	forEachClusterWith(workers, minWork, n, work, fn)
+}
+
+// forEachClusterWith is forEachCluster with explicit parallelism settings;
+// taking them as parameters (instead of reading the package globals inside)
+// lets concurrent simulation runs — the fuzz harness fans whole scenarios
+// over a worker pool — use different sweep parallelism without racing on
+// shared state.
+func forEachClusterWith(workers, minWork, n, work int, fn func(idx int)) {
 	if workers > n {
 		workers = n
 	}
-	if workers < 2 || work < sweepMinWork {
+	if workers < 2 || work < minWork {
 		for i := 0; i < n; i++ {
 			fn(i)
 		}

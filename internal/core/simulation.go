@@ -37,6 +37,15 @@ type Config struct {
 	// cluster: when true (the harness default) their processor request is
 	// clamped to the largest cluster, otherwise the run fails.
 	ClampOversized bool
+	// VerifyInvariants runs every cluster's batch.CheckInvariants — core
+	// over-subscription under the capacity ceiling, FCFS/seniority queue
+	// ordering, and the incremental-vs-from-scratch profile cross-check —
+	// after every reallocation pass, at every capacity-window boundary
+	// (start and end), and at the end of the run. The checks are
+	// behaviour-neutral (forcing the lazy plan early is bit-identical to the
+	// deferred rebuild) but expensive, so only validation harnesses enable
+	// them.
+	VerifyInvariants bool
 }
 
 // Validate checks the configuration.
@@ -208,6 +217,7 @@ func Run(cfg Config) (*Result, error) {
 		wakePending: make([]bool, len(servers)),
 		wakeNames:   make([]string, len(servers)),
 		total:       len(trace.Jobs),
+		verify:      cfg.VerifyInvariants,
 	}
 	for i, srv := range servers {
 		d.wakeNames[i] = "wake-" + srv.Name()
@@ -271,7 +281,23 @@ func Run(cfg Config) (*Result, error) {
 		for _, ev := range spec.Capacity {
 			d.engine.MustSchedule(sim.Time(ev.Start), sim.PriorityFinish, "capacity-"+spec.Name, func(t sim.Time) {
 				d.handleWake(int64(t))
+				// A capacity boundary is where displacement, requeue seniority
+				// and the reserved-cores bookkeeping can go wrong; verify
+				// right after the reveal is processed.
+				d.verifyInvariants()
 			})
+			if cfg.VerifyInvariants {
+				// Capacity restoration (profile re-expansion, release of the
+				// reserved outage cores) is just as fallible as the reveal;
+				// check it too. The extra wake only exists on verified runs —
+				// the wake handler is idempotent and observation timing never
+				// changes outcomes, which the harness proves empirically by
+				// comparing verified against unverified digests.
+				d.engine.MustSchedule(sim.Time(ev.End), sim.PriorityFinish, "capacity-end-"+spec.Name, func(t sim.Time) {
+					d.handleWake(int64(t))
+					d.verifyInvariants()
+				})
+			}
 		}
 	}
 
@@ -290,6 +316,13 @@ func Run(cfg Config) (*Result, error) {
 	// wake events cover the tail), advance it to the end.
 	if err := d.drain(); err != nil {
 		return nil, err
+	}
+	if cfg.VerifyInvariants {
+		for _, srv := range servers {
+			if err := srv.Scheduler().CheckInvariants(); err != nil {
+				return nil, fmt.Errorf("core: invariant violation on %s at end of %q: %w", srv.Name(), trace.Name, err)
+			}
+		}
 	}
 
 	result.ServerLoads = make([]server.RequestLoad, 0, len(servers))
@@ -321,7 +354,24 @@ type driver struct {
 	waitingScratch []batch.WaitingJob
 	total          int
 	completed      int
-	errs           []error
+	// verify runs the per-cluster invariant checks at reallocation passes
+	// and capacity events (Config.VerifyInvariants).
+	verify bool
+	errs   []error
+}
+
+// verifyInvariants checks every cluster's scheduler invariants when the run
+// was configured to verify them; violations are collected like any other
+// driver error and surfaced by drain.
+func (d *driver) verifyInvariants() {
+	if !d.verify {
+		return
+	}
+	for _, srv := range d.servers {
+		if err := srv.Scheduler().CheckInvariants(); err != nil {
+			d.errs = append(d.errs, fmt.Errorf("core: invariant violation on %s: %w", srv.Name(), err))
+		}
+	}
 }
 
 // advanceAll brings every cluster to the current time and records the
@@ -439,6 +489,7 @@ func (d *driver) handleReallocation(now sim.Time) {
 		d.errs = append(d.errs, err)
 	}
 	d.updateReallocationCounts()
+	d.verifyInvariants()
 	d.refreshWakes(t)
 	// Keep reallocating while jobs remain in the system.
 	if d.completed < d.total {

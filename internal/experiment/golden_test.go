@@ -1,0 +1,91 @@
+package experiment
+
+import (
+	"testing"
+
+	"gridrealloc/internal/batch"
+	"gridrealloc/internal/core"
+	"gridrealloc/internal/golden"
+	"gridrealloc/internal/metrics"
+	"gridrealloc/internal/platform"
+	"gridrealloc/internal/workload"
+)
+
+// goldenCampaign hand-builds a small campaign with fixed comparison values,
+// so the golden files pin the rendering — column layout, rounding, missing
+// cells, the AVG column, heuristic "-C" postfixes — without depending on
+// simulation results.
+func goldenCampaign() *Campaign {
+	cfg := CampaignConfig{
+		Scenarios:       []workload.ScenarioName{"jan", "apr"},
+		Heterogeneities: []platform.Heterogeneity{platform.Homogeneous},
+		Policies:        []batch.Policy{batch.FCFS, batch.CBF},
+		Algorithms:      []core.Algorithm{core.WithoutCancellation, core.WithCancellation},
+		Heuristics:      []core.Heuristic{core.MCT(), core.MinMin()},
+	}.withDefaults()
+	// withDefaults fills the sweep lists we left empty on purpose; restore
+	// the restricted ones so the table stays small.
+	cfg.Scenarios = []workload.ScenarioName{"jan", "apr"}
+	cfg.Heterogeneities = []platform.Heterogeneity{platform.Homogeneous}
+	cfg.Policies = []batch.Policy{batch.FCFS, batch.CBF}
+	cfg.Algorithms = []core.Algorithm{core.WithoutCancellation, core.WithCancellation}
+	cfg.Heuristics = []core.Heuristic{core.MCT(), core.MinMin()}
+
+	camp := &Campaign{Config: cfg, Comparisons: make(map[Key]metrics.Comparison)}
+	add := func(sc, alg, heur string, impacted float64, moves int64, earlier, resp float64) {
+		camp.Comparisons[Key{Scenario: sc, Het: "homogeneous", Policy: "FCFS", Algorithm: alg, Heuristic: heur}] = metrics.Comparison{
+			ImpactedPercent: impacted, Reallocations: moves, EarlierPercent: earlier, RelativeResponseTime: resp,
+		}
+	}
+	add("jan", "realloc", "Mct", 12.345, 42, 61.5, 0.934)
+	add("jan", "realloc", "MinMin", 10.2, 37, 55.25, 0.967)
+	add("apr", "realloc", "Mct", 30.0, 128, 48.125, 0.851)
+	// apr/realloc/MinMin intentionally missing: the table must render "-".
+	add("jan", "realloc-cancel", "Mct", 44.44, 301, 52.0, 1.049)
+	add("apr", "realloc-cancel", "Mct", 18.75, 99, 67.8, 0.992)
+	add("jan", "realloc-cancel", "MinMin", 9.999, 12, 50.0, 1.0)
+	add("apr", "realloc-cancel", "MinMin", 21.5, 57, 49.5, 0.875)
+	// CBF rows are left entirely missing so the policy grouping with "-"
+	// cells is pinned too.
+	return camp
+}
+
+func TestGoldenTableFormat(t *testing.T) {
+	camp := goldenCampaign()
+	t2, err := camp.BuildTable(2) // impacted %, Algorithm 1, homogeneous, AVG column
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden.Compare(t, "table2_format.golden", t2.Format())
+
+	t4, err := camp.BuildTable(4) // reallocation counts, no AVG column
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden.Compare(t, "table4_format.golden", t4.Format())
+
+	t10, err := camp.BuildTable(10) // with-cancellation, "-C" heuristic labels
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden.Compare(t, "table10_format.golden", t10.Format())
+}
+
+func TestGoldenTableCSV(t *testing.T) {
+	camp := goldenCampaign()
+	t2, err := camp.BuildTable(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden.Compare(t, "table2_csv.golden", t2.CSV())
+	t4, err := camp.BuildTable(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden.Compare(t, "table4_csv.golden", t4.CSV())
+}
+
+func TestGoldenComparisonSection(t *testing.T) {
+	camp := goldenCampaign()
+	golden.Compare(t, "section43_comparison.golden", FormatComparison(camp.CompareAlgorithms()))
+}

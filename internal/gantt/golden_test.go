@@ -1,0 +1,46 @@
+package gantt
+
+import (
+	"testing"
+
+	"gridrealloc/internal/golden"
+)
+
+// figureCharts is a miniature of the paper's Figure 1 situation: two
+// clusters, one loaded with running and planned work, the other nearly
+// idle — the shape a reallocation improves. Running bars use '#', planned
+// ones '~'; the golden pins fills, label placement, packing, clipping and
+// the time axis.
+func figureCharts() []Chart {
+	loaded := Chart{
+		Title: "cluster A (6 cores)",
+		Cores: 6,
+		Bars: []Bar{
+			{Label: "J1", Start: 0, End: 40, Procs: 3},
+			{Label: "J2", Start: 10, End: 60, Procs: 2},
+			{Label: "J3", Start: 40, End: 90, Procs: 4, Waiting: true},
+			{Label: "J4", Start: 60, End: 120, Procs: 2, Waiting: true}, // clipped at the window edge
+		},
+	}
+	idle := Chart{
+		Title: "cluster B (4 cores)",
+		Cores: 4,
+		Bars: []Bar{
+			{Label: "K1", Start: 20, End: 35, Procs: 1},
+		},
+	}
+	return []Chart{loaded, idle}
+}
+
+func TestGoldenRender(t *testing.T) {
+	charts := figureCharts()
+	golden.Compare(t, "render_loaded.golden", charts[0].Render(0, 100, 2))
+	golden.Compare(t, "render_idle.golden", charts[1].Render(0, 100, 2))
+	// Same chart at a coarser resolution: column rounding must stay stable.
+	golden.Compare(t, "render_coarse.golden", charts[0].Render(0, 100, 10))
+}
+
+func TestGoldenSideBySide(t *testing.T) {
+	charts := figureCharts()
+	golden.Compare(t, "side_by_side.golden", SideBySide(0, 100, 2, charts...))
+}

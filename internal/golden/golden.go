@@ -1,0 +1,41 @@
+// Package golden compares test output against committed golden files under
+// the calling package's testdata directory, shared by every package with
+// rendering to pin. Each importing test binary gains an -update flag:
+//
+//	go test ./internal/experiment -run TestGolden -update
+//
+// rewrites the files with the current output; without it, any difference
+// fails the test with both versions printed.
+package golden
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden files with the current output")
+
+// Compare asserts got against testdata/<name>, rewriting the file when the
+// test binary runs with -update.
+func Compare(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update to create it): %v", err)
+	}
+	if got != string(want) {
+		t.Fatalf("output differs from %s (re-run with -update if the change is intended):\n--- got ---\n%s\n--- want ---\n%s", path, got, want)
+	}
+}

@@ -1,0 +1,26 @@
+package harness
+
+import "testing"
+
+// FuzzScenario is the native fuzz entry point of the randomized harness:
+// every mutated seed becomes a complete scenario (trace, platform, capacity
+// timelines, configuration) that must pass the whole oracle. The seed
+// corpus pins one representative of each interesting region — baseline and
+// both reallocation algorithms, FCFS and CBF, kill and requeue, windowless
+// and multi-window platforms; the fuzzer mutates from there.
+//
+//	go test -fuzz=FuzzScenario -fuzztime=60s ./internal/harness
+//
+// A failing input is a seed; reproduce it outside the fuzzer with
+// `gridfuzz -replay <seed>`.
+func FuzzScenario(f *testing.F) {
+	for _, seed := range []uint64{0, 1, 5, 17, 42, 71, 72, 113, 1001, 1 << 40} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, seed uint64) {
+		s := Generate(seed)
+		if err := Check(s); err != nil {
+			t.Fatalf("%s\noracle: %v", s, err)
+		}
+	})
+}

@@ -239,6 +239,21 @@ func (h Heterogeneity) String() string {
 	return "homogeneous"
 }
 
+// ParseHeterogeneity resolves a platform variant from its string form. The
+// empty string defaults to homogeneous (the paper's base case); anything
+// else that is not one of the two variant names is an error — a typo such
+// as "hetero" must not silently simulate the wrong platform.
+func ParseHeterogeneity(s string) (Heterogeneity, error) {
+	switch s {
+	case "", "homogeneous":
+		return Homogeneous, nil
+	case "heterogeneous":
+		return Heterogeneous, nil
+	default:
+		return Homogeneous, fmt.Errorf("platform: unknown heterogeneity %q (want \"homogeneous\" or \"heterogeneous\")", s)
+	}
+}
+
 // Grid5000 returns the first platform of the paper: the Bordeaux (640
 // cores), Lyon (270 cores) and Toulouse (434 cores) clusters of Grid'5000.
 // In the heterogeneous variant Lyon is 20% and Toulouse 40% faster than

@@ -168,3 +168,20 @@ func TestHeterogeneityString(t *testing.T) {
 		t.Fatal("Heterogeneity.String broken")
 	}
 }
+
+func TestParseHeterogeneity(t *testing.T) {
+	if h, err := ParseHeterogeneity(""); err != nil || h != Homogeneous {
+		t.Fatalf("empty string: %v, %v", h, err)
+	}
+	if h, err := ParseHeterogeneity("homogeneous"); err != nil || h != Homogeneous {
+		t.Fatalf("homogeneous: %v, %v", h, err)
+	}
+	if h, err := ParseHeterogeneity("heterogeneous"); err != nil || h != Heterogeneous {
+		t.Fatalf("heterogeneous: %v, %v", h, err)
+	}
+	for _, s := range []string{"hetero", "HOMOGENEOUS", "both", " homogeneous"} {
+		if _, err := ParseHeterogeneity(s); err == nil {
+			t.Fatalf("%q accepted", s)
+		}
+	}
+}

@@ -107,6 +107,19 @@ func CapacityScenarioNames() []ScenarioName {
 	return []ScenarioName{"jan" + maintSuffix, "jan" + outageSuffix}
 }
 
+// KnownScenario reports whether the name denotes a workload the generator
+// can produce: one of the seven paper scenarios, or a month with a
+// "-maint"/"-outage" capacity-variant suffix. The façade uses it to reject
+// typo'd scenario names even on paths that never generate the trace (a
+// custom Trace paired with a Scenario that only selects the platform).
+func KnownScenario(name ScenarioName) bool {
+	base, variant := splitScenarioVariant(name)
+	if _, ok := monthFromName(base); ok {
+		return true
+	}
+	return base == PWAG5K && variant == ""
+}
+
 // splitScenarioVariant separates a scenario name into its base workload name
 // and its capacity-variant suffix ("" when the name has none).
 func splitScenarioVariant(name ScenarioName) (base ScenarioName, variant string) {

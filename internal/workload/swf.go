@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"math"
 	"strconv"
 	"strings"
 )
@@ -33,28 +34,45 @@ const swfFields = 18
 
 // ReadSWF parses an SWF stream into a trace named name. Malformed lines
 // produce an error mentioning the line number. Header comments (";" lines)
-// are ignored.
+// are ignored. Lines may be arbitrarily long: the reader accumulates each
+// line in full instead of capping it at a scanner buffer size, so an
+// oversized comment or record either parses or fails with a real parse
+// error naming its line, never with a bare bufio.ErrTooLong.
 func ReadSWF(r io.Reader, name string) (*Trace, error) {
-	scanner := bufio.NewScanner(r)
-	scanner.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	br := bufio.NewReaderSize(r, 64*1024)
 	var jobs []Job
 	lineNo := 0
-	for scanner.Scan() {
+	for {
+		line, readErr := readFullLine(br)
+		if readErr != nil && readErr != io.EOF {
+			return nil, fmt.Errorf("workload: swf %q line %d: %w", name, lineNo+1, readErr)
+		}
+		if readErr == io.EOF && line == "" {
+			break // stream ended on a newline; no final fragment
+		}
 		lineNo++
-		line := strings.TrimSpace(scanner.Text())
-		if line == "" || strings.HasPrefix(line, ";") {
-			continue
+		trimmed := strings.TrimSpace(line)
+		if trimmed != "" && !strings.HasPrefix(trimmed, ";") {
+			job, err := parseSWFLine(trimmed)
+			if err != nil {
+				return nil, fmt.Errorf("workload: swf %q line %d: %w", name, lineNo, err)
+			}
+			jobs = append(jobs, job)
 		}
-		job, err := parseSWFLine(line)
-		if err != nil {
-			return nil, fmt.Errorf("workload: swf %q line %d: %w", name, lineNo, err)
+		if readErr == io.EOF {
+			break
 		}
-		jobs = append(jobs, job)
-	}
-	if err := scanner.Err(); err != nil {
-		return nil, fmt.Errorf("workload: swf %q: %w", name, err)
 	}
 	return repairAndBuild(name, jobs)
+}
+
+// readFullLine reads one line of any length (without the trailing newline);
+// ReadString grows past the reader's buffer as needed, unlike a Scanner
+// token. It returns io.EOF together with the final line when the stream
+// ends without a newline.
+func readFullLine(br *bufio.Reader) (string, error) {
+	line, err := br.ReadString('\n')
+	return strings.TrimSuffix(line, "\n"), err
 }
 
 func parseSWFLine(line string) (Job, error) {
@@ -69,6 +87,15 @@ func parseSWFLine(line string) (Job, error) {
 		v, err := strconv.ParseFloat(fields[i], 64)
 		if err != nil {
 			return 0, fmt.Errorf("field %d %q: %w", i, fields[i], err)
+		}
+		// Conversion of an out-of-range float to int64 is
+		// implementation-defined (amd64 and arm64 disagree), so NaN,
+		// infinities and values outside int64 must be rejected here or the
+		// same file would parse differently per CPU architecture. 2^63
+		// floats are exact, so the bounds test is itself exact.
+		const bound = float64(1 << 63)
+		if math.IsNaN(v) || v < -bound || v >= bound {
+			return 0, fmt.Errorf("field %d %q: value out of range", i, fields[i])
 		}
 		return int64(v), nil
 	}
@@ -95,6 +122,12 @@ func parseSWFLine(line string) (Job, error) {
 	walltime, err := get(8)
 	if err != nil {
 		return Job{}, err
+	}
+	// -1 is the SWF "unknown" sentinel and is repaired downstream (runtime
+	// fallback); any other negative request is a corrupt record, not a
+	// cleanable one, and must fail loudly rather than be silently patched.
+	if walltime < -1 {
+		return Job{}, fmt.Errorf("field 8: negative requested time %d (only -1 marks an unknown value)", walltime)
 	}
 	user, err := get(11)
 	if err != nil {

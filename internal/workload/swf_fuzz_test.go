@@ -1,0 +1,136 @@
+package workload
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// TestReadSWFMalformedInputs pins the reader's error behaviour over the
+// classes of corruption real archive fragments exhibit. Every rejection must
+// name the offending line so a multi-gigabyte log can be fixed without
+// bisecting it by hand.
+func TestReadSWFMalformedInputs(t *testing.T) {
+	valid := "1 0 0 10 1 -1 -1 1 20 -1 1 1 -1 -1 -1 -1 -1 -1"
+	cases := []struct {
+		name     string
+		input    string
+		wantLine int // 0 = must parse without error
+	}{
+		{"too few fields", "1 0 0 10\n", 1},
+		{"single field", "42\n", 1},
+		{"non-numeric id", "x 0 0 10 1 -1 -1 1 20 -1 1 1 -1 -1 -1 -1 -1 -1\n", 1},
+		{"non-numeric submit", "1 zero 0 10 1 -1 -1 1 20 -1 1 1 -1 -1 -1 -1 -1 -1\n", 1},
+		{"non-numeric runtime", "1 0 0 ten 1 -1 -1 1 20 -1 1 1 -1 -1 -1 -1 -1 -1\n", 1},
+		{"non-numeric procs", "1 0 0 10 1 -1 -1 ?? 20 -1 1 1 -1 -1 -1 -1 -1 -1\n", 1},
+		{"non-numeric walltime", "1 0 0 10 1 -1 -1 1 NaN. -1 1 1 -1 -1 -1 -1 -1 -1\n", 1},
+		{"negative walltime", "1 0 0 10 1 -1 -1 1 -300 -1 1 1 -1 -1 -1 -1 -1 -1\n", 1},
+		{"error on second line", valid + "\n2 0 0\n", 2},
+		{"error after comment and blank", "; header\n\n" + valid + "\n3 bad 0 10 1 -1 -1 1 20 -1 1 1 -1 -1 -1 -1 -1 -1\n", 4},
+		{"error on unterminated last line", valid + "\n4 0 0 10 1 -1 -1 1 -99 -1 1 1 -1 -1 -1 -1 -1 -1", 2},
+		{"unknown walltime sentinel accepted", "1 0 0 10 1 -1 -1 1 -1 -1 1 1 -1 -1 -1 -1 -1 -1\n", 0},
+		{"infinite walltime rejected", "1 0 0 10 1 -1 -1 1 +Inf -1 1 1 -1 -1 -1 -1 -1 -1\n", 1},
+		{"NaN submit rejected", "1 NaN 0 10 1 -1 -1 1 20 -1 1 1 -1 -1 -1 -1 -1 -1\n", 1},
+		{"submit beyond int64 rejected", "1 1e300 0 10 1 -1 -1 1 20 -1 1 1 -1 -1 -1 -1 -1 -1\n", 1},
+		{"runtime at -2^63 boundary accepted", "1 0 0 -9223372036854775808 1 -1 -1 1 20 -1 1 1 -1 -1 -1 -1 -1 -1\n", 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ReadSWF(strings.NewReader(tc.input), tc.name)
+			if tc.wantLine == 0 {
+				if err != nil {
+					t.Fatalf("want clean parse, got %v", err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatal("malformed input accepted")
+			}
+			want := fmt.Sprintf("line %d", tc.wantLine)
+			if !strings.Contains(err.Error(), want) {
+				t.Fatalf("error %q does not mention %q", err, want)
+			}
+		})
+	}
+}
+
+// TestReadSWFHugeLines exercises the paths the old 1 MiB bufio.Scanner cap
+// used to break: comment and record lines far larger than any internal
+// buffer must parse (or fail) on their own merits.
+func TestReadSWFHugeLines(t *testing.T) {
+	hugeComment := "; " + strings.Repeat("x", 4<<20)
+	record := "1 0 0 10 1 -1 -1 1 20 -1 1 1 -1 -1 -1 -1 -1 -1"
+	paddedRecord := record + strings.Repeat(" ", 2<<20) + "-1"
+	input := hugeComment + "\n" + paddedRecord + "\n"
+	tr, err := ReadSWF(strings.NewReader(input), "huge")
+	if err != nil {
+		t.Fatalf("huge lines rejected: %v", err)
+	}
+	if tr.Len() != 1 || tr.Jobs[0].Walltime != 20 {
+		t.Fatalf("huge-line trace parsed as %+v", tr.Jobs)
+	}
+
+	// A huge malformed record must still report its line number.
+	bad := hugeComment + "\n" + "1 bad" + strings.Repeat(" -1", 1<<20) + "\n"
+	if _, err := ReadSWF(strings.NewReader(bad), "hugebad"); err == nil || !strings.Contains(err.Error(), "line 2") {
+		t.Fatalf("huge malformed line: err = %v, want mention of line 2", err)
+	}
+}
+
+// TestReadSWFCountsBlankLines pins that blank and comment lines advance the
+// reported line number, so editors and the archive's own headers agree with
+// the reader about where the corruption sits.
+func TestReadSWFCountsBlankLines(t *testing.T) {
+	input := "\n\n; c\n1 0 0\n"
+	_, err := ReadSWF(strings.NewReader(input), "blank")
+	if err == nil || !strings.Contains(err.Error(), "line 4") {
+		t.Fatalf("err = %v, want mention of line 4", err)
+	}
+}
+
+// FuzzReadSWF feeds arbitrary bytes through the SWF reader: it must never
+// panic, and anything it accepts must be a valid trace that survives a
+// write/read round trip with the same job count and per-job fields.
+func FuzzReadSWF(f *testing.F) {
+	f.Add([]byte(sampleSWF))
+	f.Add([]byte("; comment only\n"))
+	f.Add([]byte(""))
+	f.Add([]byte("1 0 0 10 1 -1 -1 1 -1 -1 1 1 -1 -1 -1 -1 -1 -1"))
+	f.Add([]byte("7 -10 0 -1 0 -1 -1 0 0 -1 0 5 -1 -1 -1 -1 -1 -1\n"))
+	f.Add([]byte("1 0 0 10\n"))
+	f.Add([]byte("1 0 0 10 1 -1 -1 1 -300 -1 1 1 -1 -1 -1 -1 -1 -1\n"))
+	f.Add([]byte("1 1e3 0 2.5 1 -1 -1 4 9e2 -1 1 1 -1 -1 -1 -1 -1 -1\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, err := ReadSWF(bytes.NewReader(data), "fuzz")
+		if err != nil {
+			if tr != nil {
+				t.Fatalf("non-nil trace alongside error %v", err)
+			}
+			return
+		}
+		for _, j := range tr.Jobs {
+			if verr := j.Validate(); verr != nil {
+				t.Fatalf("accepted invalid job %+v: %v", j, verr)
+			}
+		}
+		var buf bytes.Buffer
+		if werr := WriteSWF(&buf, tr); werr != nil {
+			t.Fatalf("writing accepted trace: %v", werr)
+		}
+		back, rerr := ReadSWF(&buf, "fuzz")
+		if rerr != nil {
+			t.Fatalf("re-reading written trace: %v", rerr)
+		}
+		if back.Len() != tr.Len() {
+			t.Fatalf("round trip changed job count: %d -> %d", tr.Len(), back.Len())
+		}
+		for i := range tr.Jobs {
+			a, b := tr.Jobs[i], back.Jobs[i]
+			if a.ID != b.ID || a.Submit != b.Submit || a.Runtime != b.Runtime ||
+				a.Walltime != b.Walltime || a.Procs != b.Procs || a.User != b.User {
+				t.Fatalf("job %d changed in round trip:\n  first  %+v\n  second %+v", a.ID, a, b)
+			}
+		}
+	})
+}
