@@ -65,20 +65,23 @@ func digestResult(h interface{ Write(p []byte) (int, error) }, cfg gridrealloc.S
 	}
 }
 
-// TestABDigest runs the grid and logs the digest. It fails only when a
-// simulation errors; digest comparison is done by the human (or CI job)
-// diffing the logged value across two builds.
+// TestABDigest runs the grid through the campaign runner (pooled simulators,
+// one worker per CPU) and logs the digest, folded in configuration order so
+// the value is independent of completion order and worker count. It fails
+// only when a simulation errors; digest comparison is done by the human (or
+// CI job) diffing the logged value across two builds.
 func TestABDigest(t *testing.T) {
 	if testing.Short() {
 		t.Skip("A/B digest replays 72 simulations")
 	}
-	h := sha256.New()
-	for _, cfg := range abConfigs() {
-		res, err := gridrealloc.RunScenario(cfg)
-		if err != nil {
-			t.Fatalf("%s/%s/%s/%s/%s: %v", cfg.Scenario, cfg.Heterogeneity, cfg.Policy, cfg.Algorithm, cfg.Heuristic, err)
-		}
-		digestResult(h, cfg, res)
+	cfgs := abConfigs()
+	results, err := gridrealloc.RunScenarios(cfgs, 0)
+	if err != nil {
+		t.Fatal(err)
 	}
-	t.Logf("A/B digest over %d configurations: %s", len(abConfigs()), hex.EncodeToString(h.Sum(nil)))
+	h := sha256.New()
+	for i, cfg := range cfgs {
+		digestResult(h, cfg, results[i])
+	}
+	t.Logf("A/B digest over %d configurations: %s", len(cfgs), hex.EncodeToString(h.Sum(nil)))
 }

@@ -27,10 +27,10 @@ import (
 	"runtime"
 	"sort"
 	"strconv"
-	"sync"
-	"sync/atomic"
 
+	"gridrealloc/internal/core"
 	"gridrealloc/internal/harness"
+	"gridrealloc/internal/runner"
 )
 
 func main() {
@@ -104,52 +104,48 @@ func run(args []string, out io.Writer) error {
 	}
 
 	var (
-		next                                     atomic.Int64
-		mu                                       sync.Mutex
 		failures                                 []failure
 		combos                                   = make(map[string]int)
 		multiWin, hetero, withWindows, totalJobs int
-		wg                                       sync.WaitGroup
 	)
 	workers := *parallel
 	if workers > *n {
 		workers = *n
 	}
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func() {
-			defer wg.Done()
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= *n {
-					return
-				}
-				s := scenarioSeed(*seed, i)
-				spec := harness.Generate(s)
-				err := harness.Check(spec)
-				mu.Lock()
-				combos[spec.Combo.String()]++
-				if spec.CapacityWindows >= 2 {
-					multiWin++
-				}
-				if spec.CapacityWindows >= 1 {
-					withWindows++
-				}
-				if spec.Heterogeneous {
-					hetero++
-				}
-				totalJobs += spec.Trace.Len()
-				if err != nil {
-					failures = append(failures, failure{index: i, seed: s, spec: spec.String(), err: err})
-					fmt.Fprintf(out, "FAIL #%d %s\n  %v\n", i, spec, err)
-				} else if *verbose {
-					fmt.Fprintf(out, "ok   #%d %s\n", i, spec)
-				}
-				mu.Unlock()
-			}
-		}()
+	// The campaign fans out over the shared grid runner: each worker owns a
+	// pooled simulator that every oracle run of every scenario it checks
+	// reuses, and outcomes stream into the aggregation as they complete.
+	type outcome struct {
+		seed uint64
+		spec *harness.Spec
+		err  error
 	}
-	wg.Wait()
+	runner.Stream(*n, runner.Options{Workers: workers},
+		func(i int, sim *core.Simulator) (outcome, error) {
+			s := scenarioSeed(*seed, i)
+			spec := harness.Generate(s)
+			return outcome{seed: s, spec: spec, err: harness.CheckOn(sim, spec)}, nil
+		},
+		func(i int, o outcome, _ error) {
+			spec := o.spec
+			combos[spec.Combo.String()]++
+			if spec.CapacityWindows >= 2 {
+				multiWin++
+			}
+			if spec.CapacityWindows >= 1 {
+				withWindows++
+			}
+			if spec.Heterogeneous {
+				hetero++
+			}
+			totalJobs += spec.Trace.Len()
+			if o.err != nil {
+				failures = append(failures, failure{index: i, seed: o.seed, spec: spec.String(), err: o.err})
+				fmt.Fprintf(out, "FAIL #%d %s\n  %v\n", i, spec, o.err)
+			} else if *verbose {
+				fmt.Fprintf(out, "ok   #%d %s\n", i, spec)
+			}
+		})
 
 	grid := harness.Combos()
 	missing := make([]string, 0)

@@ -1,11 +1,19 @@
-// Command gridsim runs a single grid simulation: one workload scenario on
-// one platform variant, with a chosen local batch policy and reallocation
+// Command gridsim runs grid simulations: one workload scenario on one
+// platform variant, with a chosen local batch policy and reallocation
 // configuration, and prints the user- and system-centric metrics (plus the
 // comparison against the no-reallocation baseline when requested).
+//
+// -scenario also accepts a comma-separated list; such a multi-scenario
+// campaign fans out over the pooled campaign runner (-parallel workers, each
+// reusing one simulator across its runs), streams per-scenario progress to
+// stderr as runs finish, and prints the summaries in list order.
 //
 // Examples:
 //
 //	gridsim -scenario apr -fraction 0.05 -platform heterogeneous -batch CBF \
+//	        -algorithm realloc-cancel -heuristic MinMin -compare
+//
+//	gridsim -scenario jan,feb,mar,apr -fraction 0.05 -parallel 4 \
 //	        -algorithm realloc-cancel -heuristic MinMin -compare
 //
 //	gridsim -swf trace.swf -batch FCFS -algorithm realloc -heuristic Mct
@@ -18,9 +26,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	gridrealloc "gridrealloc"
 	"gridrealloc/internal/metrics"
+	"gridrealloc/internal/runner"
 	"gridrealloc/internal/workload"
 )
 
@@ -34,7 +44,8 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("gridsim", flag.ContinueOnError)
 	var (
-		scenario  = fs.String("scenario", "jan", "workload scenario: jan..jun, pwa-g5k, or a capacity variant such as jan-maint/jan-outage")
+		scenario  = fs.String("scenario", "jan", "workload scenario (jan..jun, pwa-g5k, capacity variants such as jan-maint/jan-outage), or a comma-separated list for a multi-scenario campaign")
+		parallel  = fs.Int("parallel", 0, "worker pool size for multi-scenario campaigns (0 = one per CPU)")
 		fraction  = fs.Float64("fraction", 0.05, "fraction of the paper's trace size to generate")
 		seed      = fs.Uint64("seed", 42, "random seed for the synthetic trace")
 		swfPath   = fs.String("swf", "", "replay this SWF trace instead of generating one")
@@ -57,6 +68,37 @@ func run(args []string) error {
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	scenarios := splitScenarios(*scenario)
+	if len(scenarios) == 1 {
+		// Normalise a single-element list ("jan," or " jan ") so the
+		// single-scenario path accepts the same syntax the campaign does.
+		*scenario = scenarios[0]
+	}
+	if len(scenarios) > 1 {
+		if *swfPath != "" {
+			return fmt.Errorf("-swf replays one trace; it cannot be combined with a multi-scenario list")
+		}
+		base := gridrealloc.ScenarioConfig{
+			Heterogeneity:        *variant,
+			Policy:               *batchPol,
+			TraceFraction:        *fraction,
+			Seed:                 *seed,
+			Algorithm:            *algorithm,
+			Heuristic:            *heuristic,
+			Mapping:              *mapping,
+			ReallocPeriodSeconds: *period,
+			MinGainSeconds:       *minGain,
+
+			OutageCluster:         *outageCluster,
+			OutageStartSeconds:    *outageStart,
+			OutageDurationSeconds: *outageDuration,
+			OutageSeverity:        *outageSeverity,
+			OutageAnnounced:       *outageAnnounced,
+			OutagePolicy:          *outagePolicy,
+		}
+		return runCampaign(scenarios, base, *parallel, *compare)
 	}
 
 	var trace *gridrealloc.Trace
@@ -135,6 +177,77 @@ func run(args []string) error {
 		for _, rec := range result.SortedRecords() {
 			fmt.Printf("  job %-6d cluster=%-10s submit=%-8d start=%-8d completion=%-8d realloc=%d\n",
 				rec.JobID, rec.Cluster, rec.Submit, rec.Start, rec.Completion, rec.Reallocations)
+		}
+	}
+	return nil
+}
+
+// splitScenarios parses the -scenario value as a comma-separated list,
+// dropping empty elements.
+func splitScenarios(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}
+
+// runCampaign executes the multi-scenario mode: one configuration per listed
+// scenario (plus its no-reallocation baseline when compare is set), fanned
+// over the pooled campaign runner. Progress streams to stderr in completion
+// order; the summaries print to stdout in list order once all runs finished.
+func runCampaign(scenarios []string, base gridrealloc.ScenarioConfig, parallel int, compare bool) error {
+	perScenario := 1
+	if compare {
+		perScenario = 2
+	}
+	cfgs := make([]gridrealloc.ScenarioConfig, 0, perScenario*len(scenarios))
+	for _, sc := range scenarios {
+		cfg := base
+		cfg.Scenario = sc
+		cfgs = append(cfgs, cfg)
+		if compare {
+			baseline := cfg
+			baseline.Algorithm = "none"
+			cfgs = append(cfgs, baseline)
+		}
+	}
+
+	results := make([]*gridrealloc.Result, len(cfgs))
+	var firstErr runner.FirstError
+	gridrealloc.RunScenariosStream(cfgs, parallel, func(i int, res *gridrealloc.Result, err error) {
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "failed %s: %v\n", cfgs[i].Scenario, err)
+			firstErr.Observe(i, err)
+			return
+		}
+		results[i] = res
+		kind := "run"
+		if cfgs[i].Algorithm == "none" && compare {
+			kind = "baseline"
+		}
+		fmt.Fprintf(os.Stderr, "done %s (%s: %d jobs, makespan %d s)\n", cfgs[i].Scenario, kind, len(res.Jobs), res.Makespan)
+	})
+	if err := firstErr.Err(); err != nil {
+		return fmt.Errorf("scenario %s: %w", cfgs[firstErr.Index()].Scenario, err)
+	}
+
+	for si, sc := range scenarios {
+		res := results[si*perScenario]
+		printSummary(sc, gridrealloc.Summarize(res))
+		if res.OutageKills > 0 || res.OutageRequeues > 0 {
+			fmt.Printf("  outage displacements: %d killed, %d requeued\n", res.OutageKills, res.OutageRequeues)
+		}
+		if compare {
+			baseline := results[si*perScenario+1]
+			cmp, err := gridrealloc.Compare(baseline, res)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("  vs baseline: impacted %.2f%%, reallocations %d, earlier %.2f%%, relative response %.3f\n",
+				cmp.ImpactedPercent, cmp.Reallocations, cmp.EarlierPercent, cmp.RelativeResponseTime)
 		}
 	}
 	return nil

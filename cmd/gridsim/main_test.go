@@ -40,6 +40,37 @@ func TestRunFromSWF(t *testing.T) {
 	}
 }
 
+// TestRunMultiScenarioCampaign exercises the comma-separated campaign mode:
+// several scenarios fanned over the pooled runner, with baselines and
+// comparisons.
+func TestRunMultiScenarioCampaign(t *testing.T) {
+	err := run([]string{
+		"-scenario", "jan, feb", "-fraction", "0.003", "-seed", "5",
+		"-platform", "homogeneous", "-batch", "FCFS",
+		"-algorithm", "realloc-cancel", "-heuristic", "Mct",
+		"-parallel", "2", "-compare",
+	})
+	if err != nil {
+		t.Fatalf("gridsim campaign failed: %v", err)
+	}
+	// Without -compare the campaign prints plain summaries.
+	if err := run([]string{"-scenario", "jan,feb", "-fraction", "0.003", "-algorithm", "none"}); err != nil {
+		t.Fatalf("gridsim campaign without compare failed: %v", err)
+	}
+}
+
+// TestRunMultiScenarioRejectsBadInput covers the campaign-mode error paths:
+// -swf cannot pair with a scenario list, and a bad scenario in the list
+// surfaces as the lowest-index failure.
+func TestRunMultiScenarioRejectsBadInput(t *testing.T) {
+	if err := run([]string{"-scenario", "jan,feb", "-swf", "whatever.swf"}); err == nil {
+		t.Fatal("-swf with a scenario list accepted")
+	}
+	if err := run([]string{"-scenario", "jan,definitely-not-a-month", "-fraction", "0.003"}); err == nil {
+		t.Fatal("unknown scenario in the list accepted")
+	}
+}
+
 func TestRunRejectsBadFlags(t *testing.T) {
 	if err := run([]string{"-scenario", "jan", "-fraction", "0.002", "-batch", "EASYGOING"}); err == nil {
 		t.Fatal("unknown batch policy accepted")

@@ -76,6 +76,42 @@
 // race detector in CI). Sharding work across clusters must preserve that
 // ownership discipline.
 //
+// # Campaign engine
+//
+// Campaigns — grids of many configurations, severity sweeps, fuzz batches —
+// run through internal/runner: a bounded worker pool in which every worker
+// owns one pooled simulator, reused across all scenarios the worker
+// executes, with results streaming to the caller as they complete. The
+// façade exposes it as Simulator (one pooled context), RunScenarios (an
+// index-ordered batch) and RunScenariosStream (streaming); cmd/experiments,
+// cmd/gridsim's multi-scenario mode, cmd/gridfuzz and the A/B digest tests
+// all route through it.
+//
+// The reuse contract: every layer of one simulation run — sim.Engine,
+// batch.Scheduler, server.Server, the core agent and driver — has a Reset
+// path that returns it to its freshly-constructed state while keeping its
+// buffers (profiles, heaps, pools, indexes, scratch matrices), and a reset
+// component is observationally identical to a fresh one. What survives a
+// reset is capacity only, never content: no job, reservation, revealed
+// outage, sequence number or counter crosses runs (caller configuration
+// such as the outage policy and step limits is reapplied per run by the
+// driver). Reuse is proven digest-identical to fresh construction over the
+// 72-configuration grid (TestSimulatorReuseDigest72Grid), over random
+// harness scenarios (TestSimulatorReuseDigestHarnessSeeds), and on every
+// fuzz scenario — harness.CheckOn compares a fresh reference run against
+// pooled reruns as part of the oracle.
+//
+// Inside one run, reallocation sweeps skip work that provably cannot change
+// the outcome: a pass with no waiting job anywhere is skipped outright
+// (still counted in ReallocationEvents), a cluster whose scheduler state
+// version did not move since the previous pass is not re-listed (the cached
+// queue view is exact — the version increments on every submission,
+// cancellation, start, early finish, reveal or invalidation), and snapshot
+// completion estimates are memoised per job shape while the published plan
+// is unchanged, reusable whenever the cached start lies at or after the
+// query's lower bound. All three are behaviour-neutral by construction and
+// covered by the digest grids and the fuzz oracle.
+//
 // # Randomized scenario harness
 //
 // Beyond the paper's fixed campaign, internal/harness draws arbitrary

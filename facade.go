@@ -7,6 +7,7 @@ import (
 	"gridrealloc/internal/core"
 	"gridrealloc/internal/metrics"
 	"gridrealloc/internal/platform"
+	"gridrealloc/internal/runner"
 	"gridrealloc/internal/workload"
 )
 
@@ -120,10 +121,74 @@ func DefaultPlatform(scenario, heterogeneity string) Platform {
 	return platform.ForScenario(scenario, het)
 }
 
+// Simulator is a pooled simulation context for running many scenarios back
+// to back: schedulers, availability profiles, event queues and sweep
+// matrices are reset and reused between RunScenario calls instead of rebuilt,
+// and a run on a reused Simulator is bit-identical to a run on a fresh one.
+// A Simulator is not safe for concurrent use; create one per goroutine (or
+// use RunScenarios, which owns one per worker).
+type Simulator struct {
+	inner *core.Simulator
+}
+
+// NewSimulator returns an empty pooled simulation context.
+func NewSimulator() *Simulator { return &Simulator{inner: core.NewSimulator()} }
+
+// RunScenario runs one simulation according to cfg on the pooled context and
+// returns its result.
+func (s *Simulator) RunScenario(cfg ScenarioConfig) (*Result, error) {
+	runCfg, err := buildRunConfig(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return s.inner.Run(runCfg)
+}
+
 // RunScenario runs one simulation according to cfg and returns its result.
+// Callers running many scenarios should prefer a Simulator (or RunScenarios)
+// so successive runs reuse the pooled simulation state.
 func RunScenario(cfg ScenarioConfig) (*Result, error) {
+	return NewSimulator().RunScenario(cfg)
+}
+
+// RunScenarios runs a batch of scenario configurations over the campaign
+// runner: a bounded pool of workers (0 = one per CPU), each owning one
+// pooled Simulator reused across all its runs. Results are returned in
+// cfgs order. Every scenario executes even after a failure; the returned
+// error is the one with the lowest index, independent of worker count.
+// Results are bit-identical to running each configuration alone.
+func RunScenarios(cfgs []ScenarioConfig, workers int) ([]*Result, error) {
+	return runner.Run(len(cfgs), runner.Options{Workers: workers}, scenarioTask(cfgs))
+}
+
+// RunScenariosStream is RunScenarios delivering each result to emit as it
+// completes (in completion order, serialised) instead of collecting them:
+// the form long campaigns use to report progress while later scenarios are
+// still running. Indexes refer to cfgs; err is per-scenario.
+func RunScenariosStream(cfgs []ScenarioConfig, workers int, emit func(i int, res *Result, err error)) {
+	runner.Stream(len(cfgs), runner.Options{Workers: workers}, scenarioTask(cfgs), emit)
+}
+
+// scenarioTask adapts a configuration batch to one runner task: resolve the
+// i-th façade config and run it on the worker's pooled simulator. Both batch
+// entry points share it so they can never drift apart.
+func scenarioTask(cfgs []ScenarioConfig) func(i int, sim *core.Simulator) (*Result, error) {
+	return func(i int, sim *core.Simulator) (*Result, error) {
+		runCfg, err := buildRunConfig(cfgs[i])
+		if err != nil {
+			return nil, err
+		}
+		return sim.Run(runCfg)
+	}
+}
+
+// buildRunConfig resolves a façade ScenarioConfig (plain strings and values)
+// into the typed core configuration one run needs. Each call builds a fresh
+// mapping-policy instance, so configurations can be resolved repeatedly
+// without leaking mapping state between runs.
+func buildRunConfig(cfg ScenarioConfig) (core.Config, error) {
 	if cfg.Scenario == "" && cfg.Trace == nil && cfg.Platform == nil {
-		return nil, fmt.Errorf("gridrealloc: ScenarioConfig needs at least a Scenario, a Trace or a Platform")
+		return core.Config{}, fmt.Errorf("gridrealloc: ScenarioConfig needs at least a Scenario, a Trace or a Platform")
 	}
 	seed := cfg.Seed
 	if seed == 0 {
@@ -142,7 +207,7 @@ func RunScenario(cfg ScenarioConfig) (*Result, error) {
 		var err error
 		trace, err = GenerateScenario(scenario, fraction, seed)
 		if err != nil {
-			return nil, err
+			return core.Config{}, err
 		}
 	}
 
@@ -154,27 +219,27 @@ func RunScenario(cfg ScenarioConfig) (*Result, error) {
 		// A custom trace alone does not determine the platform; silently
 		// defaulting to Grid'5000 would simulate hardware the caller never
 		// chose.
-		return nil, fmt.Errorf("gridrealloc: ScenarioConfig with a custom Trace needs a Scenario or a Platform to pick the clusters")
+		return core.Config{}, fmt.Errorf("gridrealloc: ScenarioConfig with a custom Trace needs a Scenario or a Platform to pick the clusters")
 	default:
 		// With a custom Trace the scenario name is only consulted for the
 		// platform pairing, which would otherwise accept any typo and hand
 		// back Grid'5000; validate it on every path.
 		if !workload.KnownScenario(workload.ScenarioName(cfg.Scenario)) {
-			return nil, fmt.Errorf("gridrealloc: unknown scenario %q", cfg.Scenario)
+			return core.Config{}, fmt.Errorf("gridrealloc: unknown scenario %q", cfg.Scenario)
 		}
 		het, err := platform.ParseHeterogeneity(cfg.Heterogeneity)
 		if err != nil {
-			return nil, fmt.Errorf("gridrealloc: %w", err)
+			return core.Config{}, fmt.Errorf("gridrealloc: %w", err)
 		}
 		plat = platform.ForScenario(cfg.Scenario, het)
 	}
 	plat, err := applyCapacityConfig(plat, cfg, trace)
 	if err != nil {
-		return nil, err
+		return core.Config{}, err
 	}
 	outagePolicy, err := batch.ParseOutagePolicy(cfg.OutagePolicy)
 	if err != nil {
-		return nil, err
+		return core.Config{}, err
 	}
 
 	policy := batch.FCFS
@@ -182,13 +247,13 @@ func RunScenario(cfg ScenarioConfig) (*Result, error) {
 		var err error
 		policy, err = batch.ParsePolicy(cfg.Policy)
 		if err != nil {
-			return nil, err
+			return core.Config{}, err
 		}
 	}
 
 	algorithm, err := core.ParseAlgorithm(cfg.Algorithm)
 	if err != nil {
-		return nil, err
+		return core.Config{}, err
 	}
 	var heuristic core.Heuristic
 	if algorithm != core.NoReallocation {
@@ -198,15 +263,15 @@ func RunScenario(cfg ScenarioConfig) (*Result, error) {
 		}
 		heuristic, err = core.HeuristicByName(name)
 		if err != nil {
-			return nil, err
+			return core.Config{}, err
 		}
 	}
 	mapping, err := core.MappingByName(cfg.Mapping, seed)
 	if err != nil {
-		return nil, err
+		return core.Config{}, err
 	}
 
-	return core.Run(core.Config{
+	return core.Config{
 		Platform: plat,
 		Policy:   policy,
 		Trace:    trace,
@@ -219,7 +284,7 @@ func RunScenario(cfg ScenarioConfig) (*Result, error) {
 		},
 		OutagePolicy:   outagePolicy,
 		ClampOversized: true,
-	})
+	}, nil
 }
 
 // applyCapacityConfig resolves the façade's capacity knobs through the

@@ -263,15 +263,16 @@ type Scheduler struct {
 
 	// planProf is the availability profile including running jobs and all
 	// planned waiting reservations; planDirty defers its reconstruction until
-	// the next observation. Estimate snapshots share planProf by reference:
-	// planShared records that a snapshot was handed out, after which the
+	// the next observation. Estimate snapshots share planProf by reference
+	// and hold a reference count on it (profile.refs): while referenced, the
 	// profile is treated as immutable (rebuilds and appends swap in a fresh
-	// one). While unshared, rebuilds recycle the previous buffer (planSpare)
-	// and appends reserve in place, so steady-state re-planning allocates
-	// nothing.
+	// buffer). Superseded buffers return to planSpares when their last
+	// snapshot releases them — EstimateSnapshotInto releases the snapshot's
+	// previous profile on refresh — so steady-state re-planning allocates
+	// nothing even though every reallocation sweep pins one profile per
+	// cluster between passes.
 	planProf    *profile
-	planSpare   *profile
-	planShared  bool
+	planSpares  []*profile
 	planDirty   bool
 	planVersion uint64
 	// maxPlannedStart is the latest planned start among waiting jobs, used
@@ -291,6 +292,34 @@ type Scheduler struct {
 	notesBuf  []Notification
 	entryFree []*queueEntry
 	allocFree []*allocation
+	// spanScratch is reused by the capacity-baseline builds.
+	spanScratch []span
+
+	// stateVersion increments on every mutation that can change what the
+	// middleware observes about this cluster between two reallocation sweeps:
+	// submissions, cancellations, job starts, early finishes (which release
+	// reservation tails), outage reveals and explicit invalidations. The
+	// meta-scheduler's dirty-cluster tracking compares versions to skip
+	// re-gathering queues that provably did not change; plain time advances
+	// do not bump it.
+	stateVersion uint64
+
+	// ectCache memoises snapshot completion-time estimates per job shape
+	// (procs, scaled walltime) while the published plan is unchanged. A cached
+	// start remains the true earliest start as long as the profile is
+	// identical and the cached start is at or after the query's lower bound:
+	// the snapshot lower bound is monotone within one plan version (time only
+	// moves forward and the FCFS bound is fixed per plan), so entries are
+	// reusable across reallocation sweeps on clusters nothing touched — the
+	// dirty-cluster sweep optimisation — and across same-shape candidates
+	// within one sweep. ectCacheLower tracks the largest lower bound served
+	// from the cache; a query below it (only possible through out-of-order
+	// direct snapshot use, never from the simulation driver) bypasses the
+	// cache instead of trusting entries computed for a later bound.
+	ectCache        map[ectKey]int64
+	ectCacheVersion uint64
+	ectCacheLower   int64
+	ectCacheHits    int64
 
 	// Request counters, reported by the server layer as system-load metrics.
 	submissions   int64
@@ -334,6 +363,77 @@ func NewScheduler(spec platform.ClusterSpec, policy Policy) (*Scheduler, error) 
 	return s, nil
 }
 
+// Reset returns the scheduler to the state NewScheduler(spec, policy) would
+// produce — clock at zero, empty queue and running set, capacity timeline
+// re-derived from the spec, all request counters cleared — while retaining
+// every reusable buffer: the profile backings, the waiting/running slices and
+// their indexes, the finish heap, the entry/allocation pools and the
+// notification buffer. A reset scheduler is observationally identical to a
+// fresh one (every query and event sequence is bit-for-bit the same), so a
+// campaign worker can run thousands of scenarios on one scheduler without
+// re-allocating its internals; the harness reuse tests prove the equivalence
+// over the 72-configuration grid and random scenarios.
+//
+// What deliberately survives a Reset, beyond buffer capacity: the outage
+// policy and debug cross-check settings (both caller configuration, like a
+// fresh scheduler's defaults after SetOutagePolicy/SetDebugCrossCheck), and
+// the monotone plan version (snapshots taken before the Reset can never
+// falsely match the new plan). What must not survive — and does not — is any
+// job, reservation, revealed outage, sequence number or statistic.
+func (s *Scheduler) Reset(spec platform.ClusterSpec, policy Policy) error {
+	if err := spec.Validate(); err != nil {
+		return err
+	}
+	s.spec = spec
+	s.policy = policy
+	s.now = 0
+	for _, a := range s.running {
+		s.allocFree = append(s.allocFree, a)
+	}
+	s.running = s.running[:0]
+	clear(s.runningByID)
+	for _, e := range s.waiting {
+		s.entryFree = append(s.entryFree, e)
+	}
+	s.waiting = s.waiting[:0]
+	clear(s.waitingByID)
+	s.seq = 0
+	s.frontSeq = -1
+	s.maintenance = s.maintenance[:0]
+	s.outages = s.outages[:0]
+	for _, e := range spec.Capacity {
+		if e.Kind == platform.Maintenance {
+			s.maintenance = append(s.maintenance, e)
+		} else {
+			s.outages = append(s.outages, e)
+		}
+	}
+	s.nextOutage = 0
+	s.nextStart = noNextStart
+	s.finishHeap = s.finishHeap[:0]
+	s.capacityBaseProfileInto(s.runProf, 0)
+	s.runProfValid = true
+	if s.planProf.refs > 0 {
+		// A snapshot from the previous run still references the published
+		// profile; publish a fresh buffer instead of mutating under it (the
+		// old buffer is banked when that snapshot is refreshed or dropped).
+		prof := s.takePlanBuffer()
+		prof.copyFrom(s.runProf)
+		s.planProf = prof
+	} else {
+		s.planProf.copyFrom(s.runProf)
+	}
+	s.planDirty = false
+	s.planVersion++
+	s.maxPlannedStart = 0
+	s.stateVersion++
+	s.submissions, s.cancellations, s.ectQueries = 0, 0, 0
+	s.planRebuilds, s.planAppends, s.planReuses = 0, 0, 0
+	s.snapshots, s.snapshotHits, s.runProfRebuilds = 0, 0, 0
+	s.ectCacheHits = 0
+	return nil
+}
+
 // capacityBaseProfile builds the zero-jobs availability profile from `from`
 // onwards: the nominal core count reduced by every announced maintenance
 // window and by every already revealed outage window, batched into a single
@@ -341,7 +441,16 @@ func NewScheduler(spec platform.ClusterSpec, policy Policy) (*Scheduler, error) 
 // must not plan around a failure it cannot know about yet.
 func (s *Scheduler) capacityBaseProfile(from int64) *profile {
 	prof := newProfile(from, s.spec.Cores)
-	spans := make([]span, 0, len(s.maintenance)+s.nextOutage)
+	s.capacityBaseProfileInto(prof, from)
+	return prof
+}
+
+// capacityBaseProfileInto is capacityBaseProfile building into a
+// caller-owned profile, so the Reset reuse path re-derives the capacity
+// baseline without allocating a fresh profile per scenario.
+func (s *Scheduler) capacityBaseProfileInto(prof *profile, from int64) {
+	prof.reset(from, s.spec.Cores)
+	spans := s.spanScratch[:0]
 	window := func(w platform.CapacityEvent) {
 		if w.End <= from {
 			return
@@ -358,12 +467,12 @@ func (s *Scheduler) capacityBaseProfile(from int64) *profile {
 	for _, w := range s.outages[:s.nextOutage] {
 		window(w)
 	}
+	s.spanScratch = spans
 	if err := prof.reserveAll(spans); err != nil {
 		// Windows are validated non-overlapping and within the cluster
 		// size, so a failed reservation is a programming error.
 		panic(fmt.Sprintf("batch: capacity windows unreservable on %s: %v", s.spec.Name, err))
 	}
-	return prof
 }
 
 // Spec returns the cluster description.
@@ -374,6 +483,15 @@ func (s *Scheduler) Policy() Policy { return s.policy }
 
 // Now returns the scheduler's current virtual time.
 func (s *Scheduler) Now() int64 { return s.now }
+
+// StateVersion returns a counter that increments on every mutation that can
+// change what the middleware observes about this cluster: submissions,
+// cancellations, job starts, early finishes, outage reveals and explicit
+// invalidations. Time advances that process no such event leave it
+// untouched. The meta-scheduler's reallocation sweep records it per cluster
+// and skips re-gathering queues whose version did not move — the snapshot it
+// took last pass is provably still exact.
+func (s *Scheduler) StateVersion() uint64 { return s.stateVersion }
 
 // SetDebugCrossCheck toggles the incremental-vs-from-scratch profile
 // cross-check on every plan rebuild (also enabled by the
@@ -415,6 +533,9 @@ type ProfileStats struct {
 	// profile (the invalidation path; 0 in healthy runs after the initial
 	// build).
 	RunProfileRebuilds int64
+	// ECTCacheHits counts snapshot estimate queries answered from the
+	// per-shape memo instead of a profile slot search (see ectCache).
+	ECTCacheHits int64
 }
 
 // ProfileStats returns the current profile bookkeeping counters.
@@ -426,6 +547,7 @@ func (s *Scheduler) ProfileStats() ProfileStats {
 		Snapshots:          s.snapshots,
 		SnapshotHits:       s.snapshotHits,
 		RunProfileRebuilds: s.runProfRebuilds,
+		ECTCacheHits:       s.ectCacheHits,
 	}
 }
 
@@ -501,6 +623,7 @@ func (s *Scheduler) Submit(j workload.Job, now int64, reallocations int) error {
 	sameNow := now == s.now
 	s.now = now
 	s.submissions++
+	s.stateVersion++
 	e := s.newEntry()
 	*e = queueEntry{
 		job:      j,
@@ -552,27 +675,56 @@ func (s *Scheduler) placeEntry(prof *profile, e *queueEntry, prevStart int64, hi
 	return start, end, cursor, err
 }
 
+// maxPlanSpares bounds the spare-buffer bank; two buffers cover the
+// steady-state rebuild/copy-on-write cycle and a couple more absorb bursts
+// of snapshot releases without hoarding memory on idle clusters.
+const maxPlanSpares = 4
+
 // takePlanBuffer returns a profile buffer the caller may freely overwrite
-// and publish as the next planProf: the recycled spare when one is banked,
-// a fresh profile otherwise. The spare is never referenced outside the
-// scheduler, so reusing it cannot disturb a snapshot.
+// and publish as the next planProf: a recycled spare when one is banked,
+// a fresh profile otherwise. Banked spares are never referenced outside the
+// scheduler (a buffer is only banked once its last snapshot released it), so
+// reusing one cannot disturb a snapshot.
 func (s *Scheduler) takePlanBuffer() *profile {
-	if p := s.planSpare; p != nil {
-		s.planSpare = nil
+	if n := len(s.planSpares); n > 0 {
+		p := s.planSpares[n-1]
+		s.planSpares[n-1] = nil
+		s.planSpares = s.planSpares[:n-1]
 		return p
 	}
 	return &profile{}
 }
 
+// bankPlanBuffer returns an unreferenced profile buffer to the spare bank.
+func (s *Scheduler) bankPlanBuffer(p *profile) {
+	if p == nil || len(s.planSpares) >= maxPlanSpares {
+		return
+	}
+	s.planSpares = append(s.planSpares, p)
+}
+
+// releaseSnapshotProfile drops one snapshot reference from p; the last
+// release of a superseded profile banks its buffer for reuse. The published
+// profile itself is never banked — it is still the scheduler's plan.
+func (s *Scheduler) releaseSnapshotProfile(p *profile) {
+	if p.refs > 0 {
+		p.refs--
+	}
+	if p.refs == 0 && p != s.planProf {
+		s.bankPlanBuffer(p)
+	}
+}
+
 // appendToPlan plans a newly appended entry against the current plan
 // profile without re-planning the rest of the queue. While no snapshot
-// shares the published profile the reservation happens in place (reserve
+// references the published profile the reservation happens in place (reserve
 // validates before mutating, so a failure cannot publish a bad profile);
 // once a snapshot was handed out the profile is copied first, so snapshots
-// keep answering for the state they were taken at.
+// keep answering for the state they were taken at — the superseded buffer
+// returns to the spare bank when its last snapshot releases it.
 func (s *Scheduler) appendToPlan(e *queueEntry) {
 	prof := s.planProf
-	if s.planShared {
+	if prof.refs > 0 {
 		cow := s.takePlanBuffer()
 		cow.copyFrom(prof)
 		prof = cow
@@ -581,7 +733,7 @@ func (s *Scheduler) appendToPlan(e *queueEntry) {
 	if err != nil {
 		// Fall back to a full re-plan rather than publishing a bad profile.
 		if prof != s.planProf {
-			s.planSpare = prof
+			s.bankPlanBuffer(prof)
 		}
 		s.planDirty = true
 		return
@@ -589,8 +741,9 @@ func (s *Scheduler) appendToPlan(e *queueEntry) {
 	e.plannedStart = start
 	e.plannedEnd = end
 	if prof != s.planProf {
+		// The old profile stays pinned by its snapshots and is banked on
+		// their release.
 		s.planProf = prof
-		s.planShared = false
 	}
 	if start > s.maxPlannedStart {
 		s.maxPlannedStart = start
@@ -620,6 +773,7 @@ func (s *Scheduler) Cancel(jobID int, now int64) (workload.Job, int, error) {
 		return workload.Job{}, 0, fmt.Errorf("%w: job %d on cluster %q", ErrUnknownJob, jobID, s.spec.Name)
 	}
 	s.cancellations++
+	s.stateVersion++
 	delete(s.waitingByID, jobID)
 	// The waiting slice is sorted by seq, so the entry's position is found by
 	// binary search rather than a linear scan.
@@ -748,16 +902,23 @@ func (s *Scheduler) EstimateSnapshot(now int64) (*EstimateSnapshot, error) {
 
 // EstimateSnapshotInto overwrites sn with a snapshot at time now, letting a
 // caller that re-snapshots every cluster once per sweep reuse its snapshot
-// storage instead of allocating one per call.
+// storage instead of allocating one per call. Refreshing releases the
+// snapshot's previous profile reference, so the sweep's per-cluster
+// snapshots recycle superseded plan buffers instead of leaking them to the
+// garbage collector.
 func (s *Scheduler) EstimateSnapshotInto(sn *EstimateSnapshot, now int64) error {
 	if now < s.now {
 		return fmt.Errorf("%w: snapshot at %d, now %d", ErrTimeTravel, now, s.now)
+	}
+	if sn.prof != nil && sn.sched != nil {
+		sn.sched.releaseSnapshotProfile(sn.prof)
+		sn.prof = nil
 	}
 	s.observePlan()
 	s.snapshots++
 	// The handed-out reference freezes the published profile: mutations now
 	// copy first (appendToPlan) or build into a fresh buffer (rebuildPlan).
-	s.planShared = true
+	s.planProf.refs++
 	lower := now
 	if s.policy == FCFS && s.maxPlannedStart > lower {
 		lower = s.maxPlannedStart
@@ -817,8 +978,29 @@ func (sn *EstimateSnapshot) ScaledWalltime(j workload.Job) int64 {
 	return sn.sched.scaledWalltime(j)
 }
 
+// ectKey identifies a job shape for the snapshot estimate cache: two jobs
+// with the same processor count and scaled walltime always receive the same
+// answer from the same profile and lower bound.
+type ectKey struct {
+	procs int
+	wall  int64
+}
+
+// cachedNoSlot marks a shape that has no feasible start anywhere in the
+// profile; infeasibility at one lower bound implies infeasibility at every
+// later one, so the entry is valid for the rest of the plan version.
+const cachedNoSlot int64 = math.MinInt64
+
 // TryEstimateCompletionScaled is TryEstimateCompletion for a caller that
 // already holds the job's scaled walltime on this cluster.
+//
+// Answers are memoised per job shape while the published plan is unchanged
+// (see ectCache): a cached start at or after the query's lower bound is still
+// the earliest feasible start, because feasibility of a start does not depend
+// on the bound and no earlier start in the narrower window could have been
+// skipped. The cache makes same-shape candidates within one sweep and the
+// whole column of a cluster no sweep touched O(1) instead of one slot search
+// each — the query path of the dirty-cluster sweep optimisation.
 func (sn *EstimateSnapshot) TryEstimateCompletionScaled(procs int, wall int64) (int64, bool) {
 	s := sn.sched
 	if procs > s.spec.Cores {
@@ -826,10 +1008,51 @@ func (sn *EstimateSnapshot) TryEstimateCompletionScaled(procs int, wall int64) (
 	}
 	s.ectQueries++
 	s.snapshotHits++
+	if sn.version != s.planVersion || s.planDirty {
+		// The snapshot answers for a superseded plan; the cache tracks the
+		// published one.
+		start := sn.prof.findSlot(sn.lower, wall, procs)
+		if start == noSlot {
+			return 0, false
+		}
+		return start + wall, true
+	}
+	if s.ectCacheVersion != s.planVersion || s.ectCache == nil {
+		if s.ectCache == nil {
+			s.ectCache = make(map[ectKey]int64, 64)
+		} else {
+			clear(s.ectCache)
+		}
+		s.ectCacheVersion = s.planVersion
+		s.ectCacheLower = sn.lower
+	}
+	if sn.lower < s.ectCacheLower {
+		// Out-of-order query below a bound the cache already served; answer
+		// directly rather than trusting entries computed for a later bound.
+		start := sn.prof.findSlot(sn.lower, wall, procs)
+		if start == noSlot {
+			return 0, false
+		}
+		return start + wall, true
+	}
+	s.ectCacheLower = sn.lower
+	k := ectKey{procs, wall}
+	if ect, ok := s.ectCache[k]; ok {
+		if ect == cachedNoSlot {
+			s.ectCacheHits++
+			return 0, false
+		}
+		if ect-wall >= sn.lower {
+			s.ectCacheHits++
+			return ect, true
+		}
+	}
 	start := sn.prof.findSlot(sn.lower, wall, procs)
 	if start == noSlot {
+		s.ectCache[k] = cachedNoSlot
 		return 0, false
 	}
+	s.ectCache[k] = start + wall
 	return start + wall, true
 }
 
@@ -955,6 +1178,7 @@ func (s *Scheduler) revealNextOutage(notes []Notification) []Notification {
 		return notes
 	}
 	notes = s.displaceRunning(w, notes)
+	s.stateVersion++
 	if s.runProfValid {
 		s.runProf.trimTo(s.now)
 		if err := s.runProf.reserve(s.now, w.End, s.spec.Cores-w.Cores); err != nil {
@@ -1056,9 +1280,12 @@ func (s *Scheduler) finishDueAt(t int64, notes []Notification) []Notification {
 		// A job that ran out its full walltime returns no cores the plan did
 		// not already account for, so the published plan — whose remaining
 		// starts are all at or after t — stays valid; only an early finish
-		// (a released reservation tail) can advance waiting jobs.
+		// (a released reservation tail) can advance waiting jobs. Exact
+		// finishes equally leave every middleware-visible answer unchanged,
+		// so the state version moves only with the released tail.
 		if released {
 			s.planDirty = true
+			s.stateVersion++
 		}
 	}
 	return notes
@@ -1129,6 +1356,9 @@ func (s *Scheduler) startDueAt(t int64, notes []Notification) []Notification {
 	s.nextStart = next
 	if len(notes) > n0 {
 		s.now = t
+		// Started jobs left the waiting queue, so cached queue views are
+		// stale even though the published plan itself is unchanged.
+		s.stateVersion++
 	}
 	return notes
 }
@@ -1140,12 +1370,16 @@ func (s *Scheduler) startDueAt(t int64, notes []Notification) []Notification {
 func (s *Scheduler) InvalidateRunProfile() {
 	s.runProfValid = false
 	s.planDirty = true
+	s.stateVersion++
 }
 
 // InvalidatePlan forces the next observation to re-plan the waiting queue
 // even though no state changed. Together with InvalidateRunProfile it lets
 // benchmarks compare the incremental scheduler against a from-scratch one.
-func (s *Scheduler) InvalidatePlan() { s.planDirty = true }
+func (s *Scheduler) InvalidatePlan() {
+	s.planDirty = true
+	s.stateVersion++
+}
 
 // ensurePlan re-plans the waiting queue if any mutation happened since the
 // last observation, reporting whether a rebuild ran.
@@ -1299,13 +1533,14 @@ func (s *Scheduler) rebuildPlan() {
 	// estimates; prevStart is the latest planned start (or now when the
 	// queue is empty), which is exactly the FCFS lower bound for a
 	// hypothetical extra job. Planning visited every waiting job, so the
-	// earliest planned start falls out of the same loop.
+	// earliest planned start falls out of the same loop. An unreferenced old
+	// profile is banked immediately; a referenced one is banked when its
+	// last snapshot releases it.
 	old := s.planProf
 	s.planProf = prof
-	if !s.planShared && old != nil {
-		s.planSpare = old
+	if old != nil && old.refs == 0 {
+		s.bankPlanBuffer(old)
 	}
-	s.planShared = false
 	s.maxPlannedStart = prevStart
 	s.nextStart = next
 	s.planVersion++

@@ -118,6 +118,19 @@ type Agent struct {
 	totalReallocations int64
 	reallocationEvents int64
 	skippedRaces       int64
+	skippedSweeps      int64
+
+	// Dirty-cluster tracking between reallocation passes: gatherVersion[i]
+	// is servers[i]'s batch.Scheduler StateVersion at the last gather, and
+	// gatherValid[i] marks the cached queue view in scratchWaiting[i] as
+	// exact. A cluster whose version did not move since the last pass had no
+	// submission, cancellation, start, early finish or capacity reveal, so
+	// its waiting queue and every planned window in it are bit-for-bit what
+	// the last gather copied — the sweep reuses the cached view instead of
+	// re-listing (and re-observing) the queue.
+	gatherVersion []uint64
+	gatherValid   []bool
+	sorter        candidateOrderSorter
 
 	// Scratch buffers reused across reallocation passes, so a sweep's
 	// bookkeeping (candidate gathering, the ECT matrix, the estimate slice)
@@ -140,23 +153,43 @@ type Agent struct {
 // NewAgent builds an agent over the given servers. Mapping defaults to MCT
 // when nil.
 func NewAgent(servers []*server.Server, mapping MappingPolicy, realloc ReallocConfig) (*Agent, error) {
+	a := &Agent{
+		byName:   make(map[string]int, len(servers)),
+		location: make(map[int]int),
+	}
+	if err := a.reset(servers, mapping, realloc); err != nil {
+		return nil, err
+	}
+	return a, nil
+}
+
+// reset re-points the agent at a server set and configuration, clearing all
+// per-run state (locations, counters, dirty-cluster tracking) while keeping
+// every scratch buffer, so the pooled simulator reuses one agent across
+// thousands of scenarios. A reset agent behaves exactly like a fresh one.
+func (a *Agent) reset(servers []*server.Server, mapping MappingPolicy, realloc ReallocConfig) error {
 	if len(servers) == 0 {
-		return nil, errors.New("core: agent needs at least one server")
+		return errors.New("core: agent needs at least one server")
 	}
 	if mapping == nil {
 		mapping = MCTMapping()
 	}
-	byName := make(map[string]int, len(servers))
+	a.servers = servers
+	clear(a.byName)
 	for i, s := range servers {
-		byName[s.Name()] = i
+		a.byName[s.Name()] = i
 	}
-	return &Agent{
-		servers:  servers,
-		byName:   byName,
-		mapping:  mapping,
-		realloc:  realloc.normalized(),
-		location: make(map[int]int),
-	}, nil
+	a.mapping = mapping
+	a.realloc = realloc.normalized()
+	clear(a.location)
+	a.totalReallocations = 0
+	a.reallocationEvents = 0
+	a.skippedRaces = 0
+	a.skippedSweeps = 0
+	for i := range a.gatherValid {
+		a.gatherValid[i] = false
+	}
+	return nil
 }
 
 // Servers returns the servers the agent manages, in platform order.
@@ -177,6 +210,12 @@ func (a *Agent) ReallocationEvents() int64 { return a.reallocationEvents }
 // the job started between the queue snapshot and the cancellation attempt.
 // Such a race skips the one candidate instead of aborting the whole sweep.
 func (a *Agent) SkippedRaces() int64 { return a.skippedRaces }
+
+// SkippedSweeps returns the number of reallocation passes skipped outright
+// because no cluster held a waiting job — a no-op sweep that would otherwise
+// still force every cluster's deferred re-plan. Skipped passes are counted in
+// ReallocationEvents like executed ones.
+func (a *Agent) SkippedSweeps() int64 { return a.skippedSweeps }
 
 // SubmitJob maps the job to a cluster using the mapping policy and submits
 // it there. It returns the name of the chosen cluster.
@@ -213,11 +252,24 @@ func (a *Agent) Reallocate(now int64) (int, error) {
 		return 0, nil
 	}
 	a.reallocationEvents++
+	total := 0
+	for _, s := range a.servers {
+		total += s.Scheduler().WaitingCount()
+	}
+	if total == 0 {
+		// No waiting jobs anywhere: both algorithms would gather an empty
+		// candidate set and return without touching any cluster. Skipping
+		// before the gather spares every cluster the queue listing that
+		// would force its deferred re-plan — behaviour-neutral, because the
+		// lazy plan flush is bit-identical whenever it runs.
+		a.skippedSweeps++
+		return 0, nil
+	}
 	switch a.realloc.Algorithm {
 	case WithoutCancellation:
-		return a.reallocateWithoutCancellation(now)
+		return a.reallocateWithoutCancellation(now, total)
 	case WithCancellation:
-		return a.reallocateWithCancellation(now)
+		return a.reallocateWithCancellation(now, total)
 	default:
 		return 0, fmt.Errorf("core: unsupported algorithm %v", a.realloc.Algorithm)
 	}
@@ -227,18 +279,33 @@ func (a *Agent) Reallocate(now int64) (int, error) {
 // queue forces that cluster's deferred re-plan, so the per-cluster listings
 // are fanned over the sweep worker pool when the platform is loaded enough
 // to pay for it; the per-cluster slices are then merged in platform order,
-// keeping the result identical to the sequential gather.
-func (a *Agent) gatherCandidates() ([]Candidate, []int) {
+// keeping the result identical to the sequential gather. Clusters whose
+// scheduler state version did not move since the last gather are not
+// re-listed at all: the cached view is provably bit-for-bit what a fresh
+// listing would return (no mutation means no membership change and no plan
+// change), which is the dirty-cluster half of the sweep-skipping
+// optimisation.
+//
+// total is the summed WaitingCount the caller (Reallocate) already computed
+// for the empty-sweep skip; sharing it keeps the skip decision and the
+// gather's sizing in agreement.
+func (a *Agent) gatherCandidates(total int) ([]Candidate, []int) {
 	if cap(a.scratchWaiting) < len(a.servers) {
 		a.scratchWaiting = make([][]batch.WaitingJob, len(a.servers))
+		a.gatherVersion = make([]uint64, len(a.servers))
+		a.gatherValid = make([]bool, len(a.servers))
 	}
 	perCluster := a.scratchWaiting[:len(a.servers)]
-	total := 0
-	for _, s := range a.servers {
-		total += s.Scheduler().WaitingCount()
-	}
+	versions := a.gatherVersion[:len(a.servers)]
+	valid := a.gatherValid[:len(a.servers)]
 	a.forEachCluster(len(a.servers), total, func(idx int) {
+		v := a.servers[idx].Scheduler().StateVersion()
+		if valid[idx] && versions[idx] == v {
+			return
+		}
 		perCluster[idx] = a.servers[idx].Scheduler().AppendWaitingJobs(perCluster[idx][:0])
+		versions[idx] = v
+		valid[idx] = true
 	})
 	cands := a.scratchCands[:0]
 	if cap(cands) < total {
@@ -261,14 +328,16 @@ func (a *Agent) gatherCandidates() ([]Candidate, []int) {
 	}
 	// Deterministic processing order regardless of server iteration:
 	// submission time then job ID. The sort permutes both slices through an
-	// index order so candidates and origins stay aligned.
+	// index order so candidates and origins stay aligned; the persistent
+	// sorter spares the closure and header allocations sort.SliceStable
+	// would pay on every pass.
 	order := a.scratchOrder[:0]
 	for i := range cands {
 		order = append(order, i)
 	}
-	sort.SliceStable(order, func(x, y int) bool {
-		return submitsBefore(cands[order[x]].Job, cands[order[y]].Job)
-	})
+	a.sorter.order, a.sorter.cands = order, cands
+	sort.Stable(&a.sorter)
+	a.sorter.cands = nil
 	a.scratchOrder = order
 	if cap(a.scratchSortedCands) < len(cands) {
 		a.scratchSortedCands = make([]Candidate, len(cands))
@@ -283,6 +352,22 @@ func (a *Agent) gatherCandidates() ([]Candidate, []int) {
 	a.scratchCands = cands
 	a.scratchOrigins = origins
 	return sortedCands, sortedOrigins
+}
+
+// candidateOrderSorter stable-sorts the gather's index permutation by
+// (submission time, job ID). It lives on the agent so the per-pass sort
+// allocates nothing.
+type candidateOrderSorter struct {
+	order []int
+	cands []Candidate
+}
+
+func (s *candidateOrderSorter) Len() int { return len(s.order) }
+func (s *candidateOrderSorter) Less(x, y int) bool {
+	return submitsBefore(s.cands[s.order[x]].Job, s.cands[s.order[y]].Job)
+}
+func (s *candidateOrderSorter) Swap(x, y int) {
+	s.order[x], s.order[y] = s.order[y], s.order[x]
 }
 
 // sweep is the per-pass estimation state: one availability snapshot per
@@ -314,7 +399,12 @@ type sweep struct {
 func (a *Agent) newSweep(now int64, cands []Candidate) (*sweep, error) {
 	n, m := len(cands), len(a.servers)
 	if cap(a.scratchSnaps) < m {
-		a.scratchSnaps = make([]batch.EstimateSnapshot, m)
+		// Carry the old snapshots into the grown slice: they still hold
+		// references on plan profiles, and the next EstimateSnapshotInto
+		// refresh releases those only if the snapshot structs survive.
+		snaps := make([]batch.EstimateSnapshot, m)
+		copy(snaps, a.scratchSnaps)
+		a.scratchSnaps = snaps
 		a.scratchErrs = make([]error, m)
 	}
 	if cap(a.scratchECTs) < n*m {
@@ -434,8 +524,8 @@ func (sw *sweep) estimate(i, origin int, originECT int64, hypothetical bool) Est
 }
 
 // reallocateWithoutCancellation implements Algorithm 1 of the paper.
-func (a *Agent) reallocateWithoutCancellation(now int64) (int, error) {
-	cands, origins := a.gatherCandidates()
+func (a *Agent) reallocateWithoutCancellation(now int64, totalWaiting int) (int, error) {
+	cands, origins := a.gatherCandidates(totalWaiting)
 	if len(cands) == 0 {
 		return 0, nil
 	}
@@ -535,8 +625,8 @@ func (a *Agent) moveJob(c Candidate, origin, destIdx int, now int64) error {
 // reallocateWithCancellation implements Algorithm 2 of the paper: cancel all
 // waiting jobs everywhere, then re-place them one at a time in heuristic
 // order on the cluster with the minimum estimated completion time.
-func (a *Agent) reallocateWithCancellation(now int64) (int, error) {
-	cands, origins := a.gatherCandidates()
+func (a *Agent) reallocateWithCancellation(now int64, totalWaiting int) (int, error) {
+	cands, origins := a.gatherCandidates(totalWaiting)
 	if len(cands) == 0 {
 		return 0, nil
 	}

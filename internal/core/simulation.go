@@ -172,8 +172,40 @@ func (r *Result) CompletedJobs() int {
 	return n
 }
 
-// Run executes one simulation and returns its result.
+// Run executes one simulation and returns its result. It is shorthand for
+// NewSimulator().Run(cfg); callers that run many scenarios back to back
+// should keep one Simulator per worker instead, so every run after the first
+// reuses the pooled schedulers, profiles and scratch state.
 func Run(cfg Config) (*Result, error) {
+	return NewSimulator().Run(cfg)
+}
+
+// Simulator is a reusable simulation context: the cluster servers (and their
+// batch schedulers with all pooled buffers), the event engine, the
+// meta-scheduling agent and the driver's scratch state survive from one Run
+// to the next, so a campaign worker executes thousands of scenarios without
+// reconstructing them each time. Every component is reset at the start of a
+// run and a reset component is observationally identical to a fresh one, so
+// Run on a reused Simulator is digest-identical to Run on a fresh one (the
+// reuse-equivalence tests prove this over the 72-configuration grid and
+// random harness scenarios). Only the Result escapes a run.
+//
+// A Simulator is not safe for concurrent use; create one per worker (the
+// internal/runner worker pool does exactly that).
+type Simulator struct {
+	engine  *sim.Engine
+	servers []*server.Server // every server ever built; runs use a prefix
+	agent   *Agent
+	d       driver
+}
+
+// NewSimulator returns an empty simulation context; pooled state accumulates
+// across Run calls.
+func NewSimulator() *Simulator { return &Simulator{} }
+
+// Run executes one simulation and returns its result, reusing the
+// simulator's pooled state.
+func (sm *Simulator) Run(cfg Config) (*Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -185,18 +217,41 @@ func Run(cfg Config) (*Result, error) {
 			trace.Name, trace.MaxProcs(), cfg.Platform.MaxCores())
 	}
 
-	servers := make([]*server.Server, 0, len(cfg.Platform.Clusters))
-	for _, spec := range cfg.Platform.Clusters {
-		srv, err := server.New(spec, cfg.Policy)
+	// Reset the pooled servers onto this run's clusters, growing the pool on
+	// first contact with a larger platform. A run uses the prefix
+	// servers[:len(clusters)]; surplus servers from a previous, wider
+	// platform stay banked for the next one that needs them.
+	n := len(cfg.Platform.Clusters)
+	for i, spec := range cfg.Platform.Clusters {
+		if i < len(sm.servers) {
+			if err := sm.servers[i].Reset(spec, cfg.Policy); err != nil {
+				return nil, err
+			}
+		} else {
+			srv, err := server.New(spec, cfg.Policy)
+			if err != nil {
+				return nil, err
+			}
+			sm.servers = append(sm.servers, srv)
+		}
+		sm.servers[i].Scheduler().SetOutagePolicy(cfg.OutagePolicy)
+	}
+	servers := sm.servers[:n:n]
+
+	if sm.agent == nil {
+		agent, err := NewAgent(servers, cfg.Mapping, cfg.Realloc)
 		if err != nil {
 			return nil, err
 		}
-		srv.Scheduler().SetOutagePolicy(cfg.OutagePolicy)
-		servers = append(servers, srv)
-	}
-	agent, err := NewAgent(servers, cfg.Mapping, cfg.Realloc)
-	if err != nil {
+		sm.agent = agent
+	} else if err := sm.agent.reset(servers, cfg.Mapping, cfg.Realloc); err != nil {
 		return nil, err
+	}
+	agent := sm.agent
+	if sm.engine == nil {
+		sm.engine = sim.NewEngine()
+	} else {
+		sm.engine.Reset()
 	}
 
 	result := &Result{
@@ -208,20 +263,8 @@ func Run(cfg Config) (*Result, error) {
 		Jobs:          make(map[int]*JobRecord, len(trace.Jobs)),
 	}
 
-	d := &driver{
-		engine:      sim.NewEngine(),
-		agent:       agent,
-		servers:     servers,
-		result:      result,
-		wakes:       make([]*sim.Event, len(servers)),
-		wakePending: make([]bool, len(servers)),
-		wakeNames:   make([]string, len(servers)),
-		total:       len(trace.Jobs),
-		verify:      cfg.VerifyInvariants,
-	}
-	for i, srv := range servers {
-		d.wakeNames[i] = "wake-" + srv.Name()
-	}
+	d := &sm.d
+	d.reset(sm.engine, agent, servers, result, len(trace.Jobs), cfg.VerifyInvariants)
 
 	// One block allocation for every record; the map holds pointers into it.
 	records := make([]JobRecord, len(trace.Jobs))
@@ -302,11 +345,14 @@ func Run(cfg Config) (*Result, error) {
 	}
 
 	// Schedule the periodic reallocation, starting one hour (one period)
-	// after the first submission, as in the paper's experiments.
+	// after the first submission, as in the paper's experiments. One
+	// persistent event is rescheduled from pass to pass (tie-break-identical
+	// to scheduling a fresh event each time), so a month of hourly passes
+	// enqueues one event and one handler closure instead of hundreds.
 	if cfg.Realloc.Algorithm != NoReallocation {
 		first := trace.Jobs[0].Submit
 		period := agent.Realloc().Period
-		d.engine.MustSchedule(sim.Time(first+period), sim.PriorityRealloc, "realloc", d.handleReallocation)
+		d.reallocEv = d.engine.MustSchedule(sim.Time(first+period), sim.PriorityRealloc, "realloc", d.handleReallocation)
 	}
 
 	if err := d.engine.RunAll(); err != nil {
@@ -336,7 +382,8 @@ func Run(cfg Config) (*Result, error) {
 }
 
 // driver glues the event engine, the agent and the cluster servers together
-// and records per-job outcomes.
+// and records per-job outcomes. It lives inside a Simulator and is reset
+// (keeping its slices) between runs.
 type driver struct {
 	engine  *sim.Engine
 	agent   *Agent
@@ -349,6 +396,9 @@ type driver struct {
 	wakes       []*sim.Event
 	wakePending []bool
 	wakeNames   []string
+	// reallocEv is the single periodic reallocation event, rescheduled from
+	// pass to pass.
+	reallocEv *sim.Event
 	// waitingScratch is reused by updateReallocationCounts after every
 	// reallocation pass.
 	waitingScratch []batch.WaitingJob
@@ -358,6 +408,35 @@ type driver struct {
 	// and capacity events (Config.VerifyInvariants).
 	verify bool
 	errs   []error
+}
+
+// reset prepares the driver for one run, reusing its per-cluster slices.
+func (d *driver) reset(engine *sim.Engine, agent *Agent, servers []*server.Server, result *Result, total int, verify bool) {
+	d.engine = engine
+	d.agent = agent
+	d.servers = servers
+	d.result = result
+	n := len(servers)
+	if cap(d.wakes) < n {
+		d.wakes = make([]*sim.Event, n)
+		d.wakePending = make([]bool, n)
+		d.wakeNames = make([]string, n)
+	}
+	d.wakes = d.wakes[:n]
+	d.wakePending = d.wakePending[:n]
+	d.wakeNames = d.wakeNames[:n]
+	for i, srv := range servers {
+		// The wake events of the previous run died with the engine reset;
+		// fresh closures are built lazily by refreshWakes.
+		d.wakes[i] = nil
+		d.wakePending[i] = false
+		d.wakeNames[i] = "wake-" + srv.Name()
+	}
+	d.reallocEv = nil
+	d.total = total
+	d.completed = 0
+	d.verify = verify
+	d.errs = d.errs[:0]
 }
 
 // verifyInvariants checks every cluster's scheduler invariants when the run
@@ -491,9 +570,13 @@ func (d *driver) handleReallocation(now sim.Time) {
 	d.updateReallocationCounts()
 	d.verifyInvariants()
 	d.refreshWakes(t)
-	// Keep reallocating while jobs remain in the system.
+	// Keep reallocating while jobs remain in the system, by rescheduling the
+	// one persistent reallocation event (identical in tie-breaking to
+	// scheduling a fresh event, without the per-pass allocations).
 	if d.completed < d.total {
-		d.engine.MustSchedule(now+sim.Time(d.agent.Realloc().Period), sim.PriorityRealloc, "realloc", d.handleReallocation)
+		if err := d.engine.Reschedule(d.reallocEv, now+sim.Time(d.agent.Realloc().Period)); err != nil {
+			d.errs = append(d.errs, err)
+		}
 	}
 }
 
@@ -502,6 +585,11 @@ func (d *driver) handleReallocation(now sim.Time) {
 // times each job moved before starting.
 func (d *driver) updateReallocationCounts() {
 	for _, srv := range d.servers {
+		if srv.Scheduler().WaitingCount() == 0 {
+			// Nothing to copy; skipping the listing also leaves the cluster's
+			// deferred re-plan deferred (the flush is behaviour-neutral).
+			continue
+		}
 		d.waitingScratch = srv.Scheduler().AppendWaitingJobs(d.waitingScratch[:0])
 		for _, w := range d.waitingScratch {
 			if rec, ok := d.result.Jobs[w.Job.ID]; ok {

@@ -5,12 +5,12 @@ import (
 	"io"
 	"runtime"
 	"sort"
-	"sync"
 
 	"gridrealloc/internal/batch"
 	"gridrealloc/internal/core"
 	"gridrealloc/internal/metrics"
 	"gridrealloc/internal/platform"
+	"gridrealloc/internal/runner"
 	"gridrealloc/internal/workload"
 )
 
@@ -146,48 +146,47 @@ func Run(cfg CampaignConfig) (*Campaign, error) {
 		}
 	}
 
-	var mu sync.Mutex
-	var firstErr error
-	sem := make(chan struct{}, cfg.Parallelism)
-	var wg sync.WaitGroup
-
-	for _, cl := range cells {
-		cl := cl
-		wg.Add(1)
-		sem <- struct{}{}
-		go func() {
-			defer wg.Done()
-			defer func() { <-sem }()
-			comparisons, baseline, n, err := runCell(cfg, traces[cl.scenario], cl.scenario, cl.het, cl.policy)
-			mu.Lock()
-			defer mu.Unlock()
+	// The cells fan out over the campaign runner: every worker owns one
+	// pooled simulator that all thirteen runs of each of its cells reuse,
+	// and finished cells stream into the campaign maps as they complete.
+	type cellOutcome struct {
+		comparisons map[Key]metrics.Comparison
+		baseline    metrics.Summary
+		experiments int
+	}
+	var firstErr runner.FirstError
+	runner.Stream(len(cells), runner.Options{Workers: cfg.Parallelism},
+		func(i int, sim *core.Simulator) (cellOutcome, error) {
+			cl := cells[i]
+			comparisons, baseline, n, err := runCell(sim, cfg, traces[cl.scenario], cl.scenario, cl.het, cl.policy)
+			return cellOutcome{comparisons, baseline, n}, err
+		},
+		func(i int, out cellOutcome, err error) {
 			if err != nil {
-				if firstErr == nil {
-					firstErr = err
-				}
+				firstErr.Observe(i, err)
 				return
 			}
-			for k, v := range comparisons {
+			cl := cells[i]
+			for k, v := range out.comparisons {
 				camp.Comparisons[k] = v
 			}
 			baseKey := Key{Scenario: string(cl.scenario), Het: cl.het.String(), Policy: cl.policy.String(), Algorithm: core.NoReallocation.String(), Heuristic: "none"}
-			camp.Baselines[baseKey] = baseline
-			camp.Experiments += n
+			camp.Baselines[baseKey] = out.baseline
+			camp.Experiments += out.experiments
 			if cfg.Progress != nil {
-				fmt.Fprintf(cfg.Progress, "done %s/%s/%s (%d experiments)\n", cl.scenario, cl.het, cl.policy, n)
+				fmt.Fprintf(cfg.Progress, "done %s/%s/%s (%d experiments)\n", cl.scenario, cl.het, cl.policy, out.experiments)
 			}
-		}()
-	}
-	wg.Wait()
-	if firstErr != nil {
-		return nil, firstErr
+		})
+	if err := firstErr.Err(); err != nil {
+		return nil, err
 	}
 	return camp, nil
 }
 
 // runCell runs the baseline plus every (algorithm, heuristic) variant for
-// one (scenario, heterogeneity, policy) triple.
-func runCell(cfg CampaignConfig, trace *workload.Trace, sc workload.ScenarioName,
+// one (scenario, heterogeneity, policy) triple, all on the worker's pooled
+// simulator.
+func runCell(sim *core.Simulator, cfg CampaignConfig, trace *workload.Trace, sc workload.ScenarioName,
 	het platform.Heterogeneity, policy batch.Policy) (map[Key]metrics.Comparison, metrics.Summary, int, error) {
 
 	plat := platform.ForScenario(string(sc), het)
@@ -208,7 +207,7 @@ func runCell(cfg CampaignConfig, trace *workload.Trace, sc workload.ScenarioName
 		OutagePolicy:   outagePolicy,
 		ClampOversized: true,
 	}
-	baseline, err := core.Run(baselineCfg)
+	baseline, err := sim.Run(baselineCfg)
 	if err != nil {
 		return nil, metrics.Summary{}, 0, fmt.Errorf("experiment: baseline %s/%s/%s: %w", sc, het, policy, err)
 	}
@@ -233,7 +232,7 @@ func runCell(cfg CampaignConfig, trace *workload.Trace, sc workload.ScenarioName
 				Period:    cfg.ReallocPeriod,
 				MinGain:   cfg.MinGain,
 			}
-			res, err := core.Run(runCfg)
+			res, err := sim.Run(runCfg)
 			if err != nil {
 				return nil, metrics.Summary{}, 0, fmt.Errorf("experiment: %s/%s/%s/%s/%s: %w", sc, het, policy, alg, h.Name(), err)
 			}

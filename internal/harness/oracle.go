@@ -62,11 +62,31 @@ func (s *Spec) config(sweepWorkers int, verify bool) (core.Config, error) {
 	}, nil
 }
 
+// OracleConfig assembles the core configuration one oracle run of the spec
+// uses: the generated trace and platform, the spec's discrete combo, a fresh
+// mapping-policy instance (stateful policies must not leak between runs),
+// the given sweep worker count and the invariant-verification switch. The
+// runner and reuse-equivalence tests use it to replay harness scenarios
+// outside the full oracle.
+func OracleConfig(s *Spec, sweepWorkers int, verify bool) (core.Config, error) {
+	return s.config(sweepWorkers, verify)
+}
+
 // Check runs the spec through the full simulator and verifies the oracle's
 // whole battery of invariants (see the package comment). It returns nil
 // when every property holds, and a descriptive error naming the first
 // violated property otherwise.
 func Check(s *Spec) error {
+	return CheckOn(core.NewSimulator(), s)
+}
+
+// CheckOn is Check running every oracle simulation on the given pooled
+// simulator, the form the campaign runner uses: one simulator per worker,
+// reused across all scenarios the worker checks. The reference run executes
+// on a fresh simulator while every follow-up run reuses sim, so the
+// determinism comparison doubles as a fresh-vs-reused equivalence check on
+// every scenario the fuzz campaign draws.
+func CheckOn(sim *core.Simulator, s *Spec) error {
 	if err := checkSWFRoundTrip(s.Trace); err != nil {
 		return fmt.Errorf("swf round-trip: %w", err)
 	}
@@ -75,7 +95,9 @@ func Check(s *Spec) error {
 	// every reallocation pass, at every capacity-window boundary, and at
 	// the end
 	// (incremental profile == from-scratch rebuild, reservations under the
-	// capacity ceiling, FCFS/seniority queue ordering).
+	// capacity ceiling, FCFS/seniority queue ordering). Deliberately run on
+	// a fresh simulator so the reused runs below are compared against an
+	// unpooled reference.
 	refCfg, err := s.config(1, true)
 	if err != nil {
 		return err
@@ -90,19 +112,21 @@ func Check(s *Spec) error {
 		return fmt.Errorf("job conservation: %w", err)
 	}
 
-	// Determinism: the same configuration must reproduce the digest
-	// bit-for-bit. Rebuilt rather than reused, so the stateful mapping
-	// policy starts from its seed again.
+	// Determinism and reuse equivalence: the same configuration must
+	// reproduce the digest bit-for-bit on the pooled simulator, whatever
+	// earlier scenarios left in its buffers. The config is rebuilt rather
+	// than reused, so the stateful mapping policy starts from its seed
+	// again.
 	againCfg, err := s.config(1, true)
 	if err != nil {
 		return err
 	}
-	again, err := core.Run(againCfg)
+	again, err := sim.Run(againCfg)
 	if err != nil {
-		return fmt.Errorf("repeated run: %w", err)
+		return fmt.Errorf("repeated run (pooled simulator): %w", err)
 	}
 	if d := Digest(again); d != refDigest {
-		return fmt.Errorf("determinism: two identical runs diverged: %s vs %s", refDigest, d)
+		return fmt.Errorf("determinism: fresh and pooled runs of one spec diverged: %s vs %s", refDigest, d)
 	}
 
 	// Verification is behaviour-neutral: the same sequential run with the
@@ -114,7 +138,7 @@ func Check(s *Spec) error {
 	if err != nil {
 		return err
 	}
-	plain, err := core.Run(plainCfg)
+	plain, err := sim.Run(plainCfg)
 	if err != nil {
 		return fmt.Errorf("unverified sequential run: %w", err)
 	}
@@ -129,7 +153,7 @@ func Check(s *Spec) error {
 	if err != nil {
 		return err
 	}
-	par, err := core.Run(parCfg)
+	par, err := sim.Run(parCfg)
 	if err != nil {
 		return fmt.Errorf("parallel run (%d workers): %w", s.SweepWorkers, err)
 	}
@@ -148,7 +172,7 @@ func Check(s *Spec) error {
 		if s.Combo.OutagePolicy == batch.RequeueDisplaced {
 			flipCfg.OutagePolicy = batch.KillDisplaced
 		}
-		flipped, err := core.Run(flipCfg)
+		flipped, err := sim.Run(flipCfg)
 		if err != nil {
 			return fmt.Errorf("flipped-outage-policy run: %w", err)
 		}

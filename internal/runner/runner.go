@@ -1,0 +1,142 @@
+// Package runner is the campaign execution engine: it runs large scenario
+// sets over a bounded worker pool at hardware speed. Each worker owns one
+// pooled core.Simulator that is reused across every task the worker picks up,
+// so a campaign of thousands of scenarios pays the simulator construction
+// cost (schedulers, profiles, heaps, pools, matrices) once per worker instead
+// of once per scenario; results stream to the caller as tasks complete.
+//
+// The runner replaces the bespoke fan-out loops that cmd/experiments,
+// cmd/gridsim and cmd/gridfuzz each used to roll: one scheduling discipline
+// (an atomic task cursor over a fixed index range), one worker-owns-simulator
+// reuse contract, and one deterministic error convention (the lowest-index
+// failure wins, independent of worker count or interleaving). Task indexes
+// fully determine task content for every caller, so a campaign's outcome is
+// bit-identical no matter how many workers execute it — only wall-clock time
+// changes.
+package runner
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"gridrealloc/internal/core"
+)
+
+// Options configures a campaign execution.
+type Options struct {
+	// Workers bounds the worker pool; 0 or negative means one worker per
+	// CPU (GOMAXPROCS). The pool never exceeds the task count.
+	Workers int
+}
+
+// workers resolves the effective pool size for n tasks.
+func (o Options) workers(n int) int {
+	w := o.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > n {
+		w = n
+	}
+	return w
+}
+
+// Stream runs fn(i, sim) for every task index i in [0, n) over the worker
+// pool and delivers every outcome to emit as it completes. Each worker owns
+// one pooled *core.Simulator, reused across all tasks it executes; fn must
+// route its simulation runs through that simulator to benefit (and must not
+// let it escape the call). emit is serialised — at most one invocation runs
+// at a time — but arrives in completion order, not index order; callers that
+// need index order collect into a slice by i (or use Run). A nil emit
+// discards outcomes.
+func Stream[T any](n int, opts Options, fn func(i int, sim *core.Simulator) (T, error), emit func(i int, v T, err error)) {
+	if n <= 0 {
+		return
+	}
+	workers := opts.workers(n)
+	if workers == 1 {
+		// In-line fast path: no goroutine, no lock, same observable order.
+		sim := core.NewSimulator()
+		for i := 0; i < n; i++ {
+			v, err := fn(i, sim)
+			if emit != nil {
+				emit(i, v, err)
+			}
+		}
+		return
+	}
+	var next atomic.Int64
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			sim := core.NewSimulator()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				v, err := fn(i, sim)
+				if emit != nil {
+					mu.Lock()
+					emit(i, v, err)
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// FirstError folds streamed task outcomes into the runner's deterministic
+// error convention: the lowest-index failure wins, independent of worker
+// count and completion order. Stream callers that aggregate results
+// themselves feed every outcome through Observe and read Err at the end,
+// so the convention lives in one place.
+type FirstError struct {
+	index int
+	err   error
+	set   bool
+}
+
+// Observe records the outcome of task i; non-errors are ignored.
+func (f *FirstError) Observe(i int, err error) {
+	if err == nil {
+		return
+	}
+	if !f.set || i < f.index {
+		f.index, f.err, f.set = i, err, true
+	}
+}
+
+// Index returns the index of the winning error, or -1 if none occurred.
+func (f *FirstError) Index() int {
+	if !f.set {
+		return -1
+	}
+	return f.index
+}
+
+// Err returns the lowest-index error observed, or nil.
+func (f *FirstError) Err() error { return f.err }
+
+// Run is Stream collecting the outcomes into an index-ordered slice. Every
+// task executes even after a failure (a campaign reports all results); the
+// returned error is the lowest-index task error, which makes the reported
+// failure deterministic regardless of worker count and interleaving.
+func Run[T any](n int, opts Options, fn func(i int, sim *core.Simulator) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	var first FirstError
+	Stream(n, opts, fn, func(i int, v T, err error) {
+		out[i] = v
+		first.Observe(i, err)
+	})
+	if err := first.Err(); err != nil {
+		return out, fmt.Errorf("runner: task %d: %w", first.Index(), err)
+	}
+	return out, nil
+}

@@ -33,6 +33,21 @@ func New(spec platform.ClusterSpec, policy batch.Policy) (*Server, error) {
 	return &Server{name: spec.Name, spec: spec, sched: sched}, nil
 }
 
+// Reset re-targets the server at a (possibly different) cluster spec and
+// policy, resetting the underlying batch scheduler to its initial state while
+// keeping its pooled buffers. A reset server is observationally identical to
+// a freshly constructed one; the campaign runner resets one pooled server per
+// cluster slot between scenarios instead of rebuilding the scheduler's
+// profiles, indexes and pools each time.
+func (s *Server) Reset(spec platform.ClusterSpec, policy batch.Policy) error {
+	if err := s.sched.Reset(spec, policy); err != nil {
+		return err
+	}
+	s.name = spec.Name
+	s.spec = spec
+	return nil
+}
+
 // Name returns the cluster name.
 func (s *Server) Name() string { return s.name }
 

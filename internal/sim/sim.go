@@ -94,6 +94,24 @@ func NewEngine() *Engine {
 // Now returns the current virtual time.
 func (e *Engine) Now() Time { return e.now }
 
+// Reset returns the engine to the state NewEngine produces — clock at zero,
+// empty queue, sequence and step counters cleared — while keeping the queue's
+// backing array, so a simulation driver that runs thousands of scenarios
+// re-enqueues events without growing a fresh heap each time. Events still
+// queued are detached (their index is invalidated) and never fire; a
+// step limit set through SetStepLimit is preserved, like any other caller
+// configuration.
+func (e *Engine) Reset() {
+	for i, ev := range e.queue {
+		ev.index = -1
+		e.queue[i] = nil
+	}
+	e.queue = e.queue[:0]
+	e.now = 0
+	e.seq = 0
+	e.stepped = 0
+}
+
 // Len returns the number of events currently queued, including cancelled
 // events that have not been popped yet.
 func (e *Engine) Len() int { return e.queue.Len() }
