@@ -860,8 +860,8 @@ func TestWriteBenchBatchBaseline(t *testing.T) {
 			// simulators and GOMAXPROCS workers, over the 72-grid. On this
 			// writer's machine; the smoke re-derives it at test time and
 			// enforces a floor scaled to the machine's GOMAXPROCS.
-			"campaign_grid72_parallel_speedup": ns["campaign_grid72_fresh_sequential"] / ns["campaign_grid72_pooled_parallel"],
-			"sim_tiny_reuse_speedup":           ns["sim_tiny_fresh"] / ns["sim_tiny_pooled"],
+			"campaign_grid72_parallel_speedup":          ns["campaign_grid72_fresh_sequential"] / ns["campaign_grid72_pooled_parallel"],
+			"sim_tiny_reuse_speedup":                    ns["sim_tiny_fresh"] / ns["sim_tiny_pooled"],
 			"campaign_grid72_allocs_saved_per_scenario": (allocs["campaign_grid72_fresh_sequential"] - allocs["campaign_grid72_pooled_parallel"]) / 72,
 		},
 	}

@@ -16,22 +16,28 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
+	"gridrealloc/internal/cli"
 	"gridrealloc/internal/core"
 	"gridrealloc/internal/experiment"
 	"gridrealloc/internal/workload"
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string) error {
+// run executes the campaign against the given writer; a failed write (full
+// disk, closed pipe) surfaces as an error so main exits non-zero instead of
+// reporting a campaign nobody saw. Progress keeps going to stderr.
+func run(args []string, stdout io.Writer) error {
+	w := cli.NewErrWriter(stdout)
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
 	var (
 		fraction  = fs.Float64("fraction", 0.02, "fraction of the paper's trace sizes (1.0 = full scale)")
@@ -88,7 +94,7 @@ func run(args []string) error {
 		if err != nil {
 			return err
 		}
-		fmt.Println(text)
+		fmt.Fprintln(w, text)
 	}
 
 	fmt.Fprintf(os.Stderr, "running campaign (fraction=%.3f, %d scenario(s))...\n", *fraction, len(cfg.Scenarios))
@@ -113,12 +119,12 @@ func run(args []string) error {
 		if err != nil {
 			return err
 		}
-		fmt.Println(table.Format())
+		fmt.Fprintln(w, table.Format())
 		csv.WriteString(table.CSV())
 	}
 
 	if *compare || *tableID == 0 {
-		fmt.Println(experiment.FormatComparison(camp.CompareAlgorithms()))
+		fmt.Fprintln(w, experiment.FormatComparison(camp.CompareAlgorithms()))
 	}
 
 	if *csvPath != "" {
@@ -129,9 +135,9 @@ func run(args []string) error {
 	}
 
 	// Closing note: remind how the heuristic names map to the paper.
-	fmt.Printf("heuristics: %s (\"-C\" marks the cancellation algorithm, Algorithm 2)\n",
+	fmt.Fprintf(w, "heuristics: %s (\"-C\" marks the cancellation algorithm, Algorithm 2)\n",
 		strings.Join(heuristicNames(), ", "))
-	return nil
+	return w.Err()
 }
 
 func heuristicNames() []string {

@@ -1,6 +1,8 @@
 package main
 
 import (
+	"bytes"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -10,15 +12,19 @@ import (
 func TestRunSingleTableReducedCampaign(t *testing.T) {
 	dir := t.TempDir()
 	csv := filepath.Join(dir, "out.csv")
+	var buf bytes.Buffer
 	err := run([]string{
 		"-fraction", "0.004",
 		"-scenarios", "jan,apr",
 		"-table", "8",
 		"-quiet",
 		"-csv", csv,
-	})
+	}, &buf)
 	if err != nil {
 		t.Fatalf("experiments run failed: %v", err)
+	}
+	if !strings.Contains(buf.String(), "heuristics:") {
+		t.Fatalf("closing heuristics note missing from output:\n%s", buf.String())
 	}
 	data, err := os.ReadFile(csv)
 	if err != nil {
@@ -40,14 +46,14 @@ func TestRunTable1Flag(t *testing.T) {
 		"-table", "2",
 		"-table1",
 		"-quiet",
-	})
+	}, io.Discard)
 	if err != nil {
 		t.Fatalf("experiments -table1 failed: %v", err)
 	}
 }
 
 func TestRunInvalidTable(t *testing.T) {
-	if err := run([]string{"-fraction", "0.002", "-scenarios", "jan", "-table", "42", "-quiet"}); err == nil {
+	if err := run([]string{"-fraction", "0.002", "-scenarios", "jan", "-table", "42", "-quiet"}, io.Discard); err == nil {
 		t.Fatal("invalid table number accepted")
 	}
 }

@@ -14,9 +14,11 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"gridrealloc/internal/batch"
+	"gridrealloc/internal/cli"
 	"gridrealloc/internal/core"
 	"gridrealloc/internal/gantt"
 	"gridrealloc/internal/platform"
@@ -25,29 +27,33 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "ganttdemo:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string) error {
+// run renders the figures to the given writer; a failed write (full disk,
+// closed pipe) surfaces as an error so main exits non-zero instead of
+// reporting success over a truncated chart.
+func run(args []string, stdout io.Writer) error {
+	w := cli.NewErrWriter(stdout)
 	fs := flag.NewFlagSet("ganttdemo", flag.ContinueOnError)
 	figure := fs.Int("figure", 0, "figure to reproduce: 1, 2, or 0 for both")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *figure == 0 || *figure == 1 {
-		if err := figure1(); err != nil {
+		if err := figure1(w); err != nil {
 			return err
 		}
 	}
 	if *figure == 0 || *figure == 2 {
-		if err := figure2(); err != nil {
+		if err := figure2(w); err != nil {
 			return err
 		}
 	}
-	return nil
+	return w.Err()
 }
 
 // chartOf renders the snapshot of a cluster (running jobs as '#', planned
@@ -83,8 +89,8 @@ func mustSubmit(s *server.Server, id int, submit, runtime, walltime int64, procs
 // a..g run or wait; f finishes before its walltime at time t, which lets the
 // local scheduler pull j forward, and at the reallocation event t1 the
 // meta-scheduler moves h and i to cluster 2 where they complete earlier.
-func figure1() error {
-	fmt.Println("=== Figure 1: example of reallocation between two clusters ===")
+func figure1(w io.Writer) error {
+	fmt.Fprintln(w, "=== Figure 1: example of reallocation between two clusters ===")
 	c1, err := server.New(platform.ClusterSpec{Name: "cluster-1", Cores: 4, Speed: 1}, batch.CBF)
 	if err != nil {
 		return err
@@ -136,8 +142,8 @@ func figure1() error {
 			return err
 		}
 	}
-	fmt.Println("\n-- before reallocation (t = 30; task f finished long before its walltime) --")
-	fmt.Println(gantt.SideBySide(0, 140, 2, chartOf("cluster-1", c1), chartOf("cluster-2", c2)))
+	fmt.Fprintln(w, "\n-- before reallocation (t = 30; task f finished long before its walltime) --")
+	fmt.Fprintln(w, gantt.SideBySide(0, 140, 2, chartOf("cluster-1", c1), chartOf("cluster-2", c2)))
 
 	// Reallocation event at t1 = 30 (Algorithm 1, MCT order).
 	agent, err := core.NewAgent(servers, core.MCTMapping(), core.ReallocConfig{
@@ -153,8 +159,8 @@ func figure1() error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("-- reallocation at t1 = 30 moved %d task(s) (h and i go to cluster 2) --\n\n", moves)
-	fmt.Println(gantt.SideBySide(0, 140, 2, chartOf("cluster-1", c1), chartOf("cluster-2", c2)))
+	fmt.Fprintf(w, "-- reallocation at t1 = 30 moved %d task(s) (h and i go to cluster 2) --\n\n", moves)
+	fmt.Fprintln(w, gantt.SideBySide(0, 140, 2, chartOf("cluster-1", c1), chartOf("cluster-2", c2)))
 	return nil
 }
 
@@ -162,8 +168,8 @@ func figure1() error {
 // on cluster 1 and back-filled; a task there finishes earlier than its
 // walltime, and because of the newly inserted task the large task behind it
 // is delayed while tasks on cluster 2 are advanced.
-func figure2() error {
-	fmt.Println("=== Figure 2: side effects of a reallocation ===")
+func figure2(w io.Writer) error {
+	fmt.Fprintln(w, "=== Figure 2: side effects of a reallocation ===")
 	c1, err := server.New(platform.ClusterSpec{Name: "cluster-1", Cores: 6, Speed: 1}, batch.CBF)
 	if err != nil {
 		return err
@@ -196,8 +202,8 @@ func figure2() error {
 			return err
 		}
 	}
-	fmt.Println("\n-- before the reallocation event (t = 0) --")
-	fmt.Println(gantt.SideBySide(0, 120, 2, chartOf("cluster-1", c1), chartOf("cluster-2", c2)))
+	fmt.Fprintln(w, "\n-- before the reallocation event (t = 0) --")
+	fmt.Fprintln(w, gantt.SideBySide(0, 120, 2, chartOf("cluster-1", c1), chartOf("cluster-2", c2)))
 
 	// Reallocation at t = 0: task e moves to cluster 1 where it back-fills
 	// next to a (cluster 1 still has 2 idle cores until 60 by the plan).
@@ -213,8 +219,8 @@ func figure2() error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("-- reallocation at t = 0 moved %d task(s) --\n\n", moves)
-	fmt.Println(gantt.SideBySide(0, 120, 2, chartOf("cluster-1", c1), chartOf("cluster-2", c2)))
+	fmt.Fprintf(w, "-- reallocation at t = 0 moved %d task(s) --\n\n", moves)
+	fmt.Fprintln(w, gantt.SideBySide(0, 120, 2, chartOf("cluster-1", c1), chartOf("cluster-2", c2)))
 
 	// Now task a finishes early (t = 20): the newly inserted task delays the
 	// large task b (it cannot start before the reallocated task's
@@ -225,7 +231,7 @@ func figure2() error {
 			return err
 		}
 	}
-	fmt.Println("-- after task a finishes early at t = 20: the large task on cluster 1 is delayed, cluster 2 advanced --")
-	fmt.Println(gantt.SideBySide(0, 120, 2, chartOf("cluster-1", c1), chartOf("cluster-2", c2)))
+	fmt.Fprintln(w, "-- after task a finishes early at t = 20: the large task on cluster 1 is delayed, cluster 2 advanced --")
+	fmt.Fprintln(w, gantt.SideBySide(0, 120, 2, chartOf("cluster-1", c1), chartOf("cluster-2", c2)))
 	return nil
 }

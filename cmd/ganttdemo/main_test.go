@@ -1,21 +1,57 @@
 package main
 
-import "testing"
+import (
+	"bytes"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+)
 
 func TestFigure1(t *testing.T) {
-	if err := run([]string{"-figure", "1"}); err != nil {
+	var buf bytes.Buffer
+	if err := run([]string{"-figure", "1"}, &buf); err != nil {
 		t.Fatalf("figure 1 reproduction failed: %v", err)
+	}
+	if !strings.Contains(buf.String(), "Figure 1") {
+		t.Fatalf("figure 1 output missing its title:\n%s", buf.String())
 	}
 }
 
 func TestFigure2(t *testing.T) {
-	if err := run([]string{"-figure", "2"}); err != nil {
+	var buf bytes.Buffer
+	if err := run([]string{"-figure", "2"}, &buf); err != nil {
 		t.Fatalf("figure 2 reproduction failed: %v", err)
+	}
+	if !strings.Contains(buf.String(), "Figure 2") {
+		t.Fatalf("figure 2 output missing its title:\n%s", buf.String())
 	}
 }
 
 func TestBothFigures(t *testing.T) {
-	if err := run(nil); err != nil {
+	var buf bytes.Buffer
+	if err := run(nil, &buf); err != nil {
 		t.Fatalf("default (both figures) failed: %v", err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "Figure 1") || !strings.Contains(out, "Figure 2") {
+		t.Fatalf("default run should render both figures:\n%s", out)
+	}
+}
+
+// failingWriter errors on every write, standing in for a full disk.
+type failingWriter struct{}
+
+func (failingWriter) Write(p []byte) (int, error) { return 0, errors.New("disk full") }
+
+var _ io.Writer = failingWriter{}
+
+func TestRunReportsWriteFailure(t *testing.T) {
+	err := run([]string{"-figure", "1"}, failingWriter{})
+	if err == nil {
+		t.Fatal("run succeeded despite every write failing")
+	}
+	if !strings.Contains(err.Error(), "disk full") {
+		t.Fatalf("error should carry the write failure, got: %v", err)
 	}
 }

@@ -28,6 +28,7 @@ import (
 	"sort"
 	"strconv"
 
+	"gridrealloc/internal/cli"
 	"gridrealloc/internal/core"
 	"gridrealloc/internal/harness"
 	"gridrealloc/internal/runner"
@@ -66,7 +67,11 @@ type failure struct {
 	err   error
 }
 
-func run(args []string, out io.Writer) error {
+// run executes the fuzz campaign against the given writer; a failed write
+// (full disk, closed pipe) surfaces as an error so main exits non-zero
+// instead of reporting a green run nobody saw.
+func run(args []string, stdout io.Writer) error {
+	out := cli.NewErrWriter(stdout)
 	fs := flag.NewFlagSet("gridfuzz", flag.ContinueOnError)
 	fs.SetOutput(out)
 	var (
@@ -94,7 +99,7 @@ func run(args []string, out io.Writer) error {
 			return fmt.Errorf("seed %d: %w", seed, err)
 		}
 		fmt.Fprintf(out, "seed %d: all oracle invariants hold\n", seed)
-		return nil
+		return out.Err()
 	}
 	if *n <= 0 {
 		return fmt.Errorf("-n must be positive, got %d", *n)
@@ -183,5 +188,5 @@ func run(args []string, out io.Writer) error {
 		}
 	}
 	fmt.Fprintln(out, "all oracle invariants hold")
-	return nil
+	return out.Err()
 }

@@ -1,0 +1,102 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"gridrealloc/internal/lint"
+)
+
+// moduleRoot walks up from the test's working directory to the go.mod.
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	root, err := findModuleRoot(wd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return root
+}
+
+func TestRunCleanPackage(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	code := run([]string{"-root", moduleRoot(t), "gridrealloc/internal/cli"}, &out, &errBuf)
+	if code != 0 {
+		t.Fatalf("gridlint on internal/cli exited %d\nstdout:\n%s\nstderr:\n%s", code, out.String(), errBuf.String())
+	}
+	if out.Len() != 0 {
+		t.Fatalf("clean package produced diagnostics:\n%s", out.String())
+	}
+}
+
+func TestRunWholeModule(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checking the whole module is slow; run without -short")
+	}
+	var out, errBuf bytes.Buffer
+	code := run([]string{"-root", moduleRoot(t), "./..."}, &out, &errBuf)
+	if code != 0 {
+		t.Fatalf("gridlint over the module exited %d\nstdout:\n%s\nstderr:\n%s", code, out.String(), errBuf.String())
+	}
+}
+
+func TestRunDirtyTree(t *testing.T) {
+	dir := t.TempDir()
+	writeFile := func(name, content string) {
+		t.Helper()
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	writeFile("go.mod", "module dirty\n\ngo 1.24\n")
+	writeFile("main.go", `package main
+
+import "time"
+
+func main() {
+	_ = time.Now()
+}
+`)
+	var out, errBuf bytes.Buffer
+	code := run([]string{"-root", dir, "./..."}, &out, &errBuf)
+	if code != 1 {
+		t.Fatalf("gridlint on a time.Now call exited %d, want 1\nstdout:\n%s\nstderr:\n%s", code, out.String(), errBuf.String())
+	}
+	if !strings.Contains(out.String(), "determinism") || !strings.Contains(out.String(), "time.Now") {
+		t.Fatalf("diagnostic line missing analyzer or message:\n%s", out.String())
+	}
+}
+
+func TestRunBadRoot(t *testing.T) {
+	var errBuf bytes.Buffer
+	if code := run([]string{"-root", t.TempDir()}, io.Discard, &errBuf); code != 2 {
+		t.Fatalf("gridlint without a go.mod exited %d, want 2 (stderr: %s)", code, errBuf.String())
+	}
+}
+
+func TestResolvePatterns(t *testing.T) {
+	root := moduleRoot(t)
+	loader := lint.NewLoader(root, "gridrealloc")
+	paths, err := resolvePatterns(loader, root, "gridrealloc", []string{"./internal/cli", "gridrealloc/internal/lint"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"gridrealloc/internal/cli", "gridrealloc/internal/lint"}
+	if len(paths) != len(want) || paths[0] != want[0] || paths[1] != want[1] {
+		t.Fatalf("resolvePatterns = %v, want %v", paths, want)
+	}
+	all, err := resolvePatterns(loader, root, "gridrealloc", []string{"./..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) < 10 {
+		t.Fatalf("./... resolved to only %d packages: %v", len(all), all)
+	}
+}

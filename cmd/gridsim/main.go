@@ -25,23 +25,29 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
 	gridrealloc "gridrealloc"
+	"gridrealloc/internal/cli"
 	"gridrealloc/internal/metrics"
 	"gridrealloc/internal/runner"
 	"gridrealloc/internal/workload"
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "gridsim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string) error {
+// run executes the tool against the given writer; a failed write (full
+// disk, closed pipe) surfaces as an error so main exits non-zero instead of
+// reporting success over truncated output.
+func run(args []string, stdout io.Writer) error {
+	out := cli.NewErrWriter(stdout)
 	fs := flag.NewFlagSet("gridsim", flag.ContinueOnError)
 	var (
 		scenario  = fs.String("scenario", "jan", "workload scenario (jan..jun, pwa-g5k, capacity variants such as jan-maint/jan-outage), or a comma-separated list for a multi-scenario campaign")
@@ -98,7 +104,10 @@ func run(args []string) error {
 			OutageAnnounced:       *outageAnnounced,
 			OutagePolicy:          *outagePolicy,
 		}
-		return runCampaign(scenarios, base, *parallel, *compare)
+		if err := runCampaign(out, scenarios, base, *parallel, *compare); err != nil {
+			return err
+		}
+		return out.Err()
 	}
 
 	var trace *gridrealloc.Trace
@@ -119,7 +128,7 @@ func run(args []string) error {
 			return err
 		}
 	}
-	fmt.Printf("trace %q: %d jobs\n", trace.Name, trace.Len())
+	fmt.Fprintf(out, "trace %q: %d jobs\n", trace.Name, trace.Len())
 
 	cfg := gridrealloc.ScenarioConfig{
 		Scenario:             *scenario,
@@ -144,9 +153,9 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
-	printSummary("run", gridrealloc.Summarize(result))
+	printSummary(out, "run", gridrealloc.Summarize(result))
 	if result.OutageKills > 0 || result.OutageRequeues > 0 {
-		fmt.Printf("  outage displacements: %d killed, %d requeued\n", result.OutageKills, result.OutageRequeues)
+		fmt.Fprintf(out, "  outage displacements: %d killed, %d requeued\n", result.OutageKills, result.OutageRequeues)
 	}
 
 	if *compare {
@@ -156,30 +165,30 @@ func run(args []string) error {
 		if err != nil {
 			return err
 		}
-		printSummary("baseline", gridrealloc.Summarize(baseline))
+		printSummary(out, "baseline", gridrealloc.Summarize(baseline))
 		cmp, err := gridrealloc.Compare(baseline, result)
 		if err != nil {
 			return err
 		}
-		fmt.Printf("\npaper metrics vs baseline:\n")
-		fmt.Printf("  jobs impacted:           %.2f%% (%d of %d)\n", cmp.ImpactedPercent, cmp.ImpactedJobs, cmp.TotalJobs)
-		fmt.Printf("  number of reallocations: %d\n", cmp.Reallocations)
-		fmt.Printf("  jobs finishing earlier:  %.2f%%\n", cmp.EarlierPercent)
-		fmt.Printf("  relative response time:  %.3f\n", cmp.RelativeResponseTime)
+		fmt.Fprintf(out, "\npaper metrics vs baseline:\n")
+		fmt.Fprintf(out, "  jobs impacted:           %.2f%% (%d of %d)\n", cmp.ImpactedPercent, cmp.ImpactedJobs, cmp.TotalJobs)
+		fmt.Fprintf(out, "  number of reallocations: %d\n", cmp.Reallocations)
+		fmt.Fprintf(out, "  jobs finishing earlier:  %.2f%%\n", cmp.EarlierPercent)
+		fmt.Fprintf(out, "  relative response time:  %.3f\n", cmp.RelativeResponseTime)
 		if *jobsOut {
-			fmt.Printf("\nimpacted jobs (delta < 0 means earlier with reallocation):\n")
+			fmt.Fprintf(out, "\nimpacted jobs (delta < 0 means earlier with reallocation):\n")
 			for _, d := range metrics.Deltas(baseline, result) {
-				fmt.Printf("  job %-6d %+8d s  (%d reallocations)\n", d.JobID, d.Delta, d.Reallocations)
+				fmt.Fprintf(out, "  job %-6d %+8d s  (%d reallocations)\n", d.JobID, d.Delta, d.Reallocations)
 			}
 		}
 	} else if *jobsOut {
-		fmt.Printf("\nper-job records:\n")
+		fmt.Fprintf(out, "\nper-job records:\n")
 		for _, rec := range result.SortedRecords() {
-			fmt.Printf("  job %-6d cluster=%-10s submit=%-8d start=%-8d completion=%-8d realloc=%d\n",
+			fmt.Fprintf(out, "  job %-6d cluster=%-10s submit=%-8d start=%-8d completion=%-8d realloc=%d\n",
 				rec.JobID, rec.Cluster, rec.Submit, rec.Start, rec.Completion, rec.Reallocations)
 		}
 	}
-	return nil
+	return out.Err()
 }
 
 // splitScenarios parses the -scenario value as a comma-separated list,
@@ -198,7 +207,7 @@ func splitScenarios(s string) []string {
 // scenario (plus its no-reallocation baseline when compare is set), fanned
 // over the pooled campaign runner. Progress streams to stderr in completion
 // order; the summaries print to stdout in list order once all runs finished.
-func runCampaign(scenarios []string, base gridrealloc.ScenarioConfig, parallel int, compare bool) error {
+func runCampaign(out io.Writer, scenarios []string, base gridrealloc.ScenarioConfig, parallel int, compare bool) error {
 	perScenario := 1
 	if compare {
 		perScenario = 2
@@ -236,9 +245,9 @@ func runCampaign(scenarios []string, base gridrealloc.ScenarioConfig, parallel i
 
 	for si, sc := range scenarios {
 		res := results[si*perScenario]
-		printSummary(sc, gridrealloc.Summarize(res))
+		printSummary(out, sc, gridrealloc.Summarize(res))
 		if res.OutageKills > 0 || res.OutageRequeues > 0 {
-			fmt.Printf("  outage displacements: %d killed, %d requeued\n", res.OutageKills, res.OutageRequeues)
+			fmt.Fprintf(out, "  outage displacements: %d killed, %d requeued\n", res.OutageKills, res.OutageRequeues)
 		}
 		if compare {
 			baseline := results[si*perScenario+1]
@@ -246,18 +255,18 @@ func runCampaign(scenarios []string, base gridrealloc.ScenarioConfig, parallel i
 			if err != nil {
 				return err
 			}
-			fmt.Printf("  vs baseline: impacted %.2f%%, reallocations %d, earlier %.2f%%, relative response %.3f\n",
+			fmt.Fprintf(out, "  vs baseline: impacted %.2f%%, reallocations %d, earlier %.2f%%, relative response %.3f\n",
 				cmp.ImpactedPercent, cmp.Reallocations, cmp.EarlierPercent, cmp.RelativeResponseTime)
 		}
 	}
 	return nil
 }
 
-func printSummary(label string, s gridrealloc.Summary) {
-	fmt.Printf("\n%s summary:\n", label)
-	fmt.Printf("  jobs completed:      %d / %d (%d killed at walltime)\n", s.Completed, s.Jobs, s.Killed)
-	fmt.Printf("  mean response time:  %.1f s (median %.1f s)\n", s.MeanResponseTime, s.MedianResponseTime)
-	fmt.Printf("  mean wait time:      %.1f s\n", s.MeanWaitTime)
-	fmt.Printf("  makespan:            %d s\n", s.Makespan)
-	fmt.Printf("  reallocations:       %d (over %d passes)\n", s.Reallocations, s.ReallocationEvents)
+func printSummary(out io.Writer, label string, s gridrealloc.Summary) {
+	fmt.Fprintf(out, "\n%s summary:\n", label)
+	fmt.Fprintf(out, "  jobs completed:      %d / %d (%d killed at walltime)\n", s.Completed, s.Jobs, s.Killed)
+	fmt.Fprintf(out, "  mean response time:  %.1f s (median %.1f s)\n", s.MeanResponseTime, s.MedianResponseTime)
+	fmt.Fprintf(out, "  mean wait time:      %.1f s\n", s.MeanWaitTime)
+	fmt.Fprintf(out, "  makespan:            %d s\n", s.Makespan)
+	fmt.Fprintf(out, "  reallocations:       %d (over %d passes)\n", s.Reallocations, s.ReallocationEvents)
 }

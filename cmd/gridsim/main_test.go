@@ -1,8 +1,12 @@
 package main
 
 import (
+	"bytes"
+	"errors"
+	"io"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"gridrealloc/internal/workload"
@@ -14,7 +18,7 @@ func TestRunGeneratedScenario(t *testing.T) {
 		"-platform", "homogeneous", "-batch", "FCFS",
 		"-algorithm", "realloc", "-heuristic", "MinMin",
 		"-compare", "-jobs",
-	})
+	}, io.Discard)
 	if err != nil {
 		t.Fatalf("gridsim run failed: %v", err)
 	}
@@ -35,7 +39,7 @@ func TestRunFromSWF(t *testing.T) {
 		t.Fatal(err)
 	}
 	f.Close()
-	if err := run([]string{"-swf", path, "-batch", "CBF", "-algorithm", "none"}); err != nil {
+	if err := run([]string{"-swf", path, "-batch", "CBF", "-algorithm", "none"}, io.Discard); err != nil {
 		t.Fatalf("gridsim SWF run failed: %v", err)
 	}
 }
@@ -49,12 +53,12 @@ func TestRunMultiScenarioCampaign(t *testing.T) {
 		"-platform", "homogeneous", "-batch", "FCFS",
 		"-algorithm", "realloc-cancel", "-heuristic", "Mct",
 		"-parallel", "2", "-compare",
-	})
+	}, io.Discard)
 	if err != nil {
 		t.Fatalf("gridsim campaign failed: %v", err)
 	}
 	// Without -compare the campaign prints plain summaries.
-	if err := run([]string{"-scenario", "jan,feb", "-fraction", "0.003", "-algorithm", "none"}); err != nil {
+	if err := run([]string{"-scenario", "jan,feb", "-fraction", "0.003", "-algorithm", "none"}, io.Discard); err != nil {
 		t.Fatalf("gridsim campaign without compare failed: %v", err)
 	}
 }
@@ -63,22 +67,66 @@ func TestRunMultiScenarioCampaign(t *testing.T) {
 // -swf cannot pair with a scenario list, and a bad scenario in the list
 // surfaces as the lowest-index failure.
 func TestRunMultiScenarioRejectsBadInput(t *testing.T) {
-	if err := run([]string{"-scenario", "jan,feb", "-swf", "whatever.swf"}); err == nil {
+	if err := run([]string{"-scenario", "jan,feb", "-swf", "whatever.swf"}, io.Discard); err == nil {
 		t.Fatal("-swf with a scenario list accepted")
 	}
-	if err := run([]string{"-scenario", "jan,definitely-not-a-month", "-fraction", "0.003"}); err == nil {
+	if err := run([]string{"-scenario", "jan,definitely-not-a-month", "-fraction", "0.003"}, io.Discard); err == nil {
 		t.Fatal("unknown scenario in the list accepted")
 	}
 }
 
 func TestRunRejectsBadFlags(t *testing.T) {
-	if err := run([]string{"-scenario", "jan", "-fraction", "0.002", "-batch", "EASYGOING"}); err == nil {
+	if err := run([]string{"-scenario", "jan", "-fraction", "0.002", "-batch", "EASYGOING"}, io.Discard); err == nil {
 		t.Fatal("unknown batch policy accepted")
 	}
-	if err := run([]string{"-scenario", "jan", "-fraction", "0.002", "-algorithm", "teleport"}); err == nil {
+	if err := run([]string{"-scenario", "jan", "-fraction", "0.002", "-algorithm", "teleport"}, io.Discard); err == nil {
 		t.Fatal("unknown algorithm accepted")
 	}
-	if err := run([]string{"-swf", "/does/not/exist.swf"}); err == nil {
+	if err := run([]string{"-swf", "/does/not/exist.swf"}, io.Discard); err == nil {
 		t.Fatal("missing SWF file accepted")
+	}
+}
+
+// TestRunPrintsSummary pins the shape of the human output: the trace line,
+// the summary block and the paper metrics must all reach the writer.
+func TestRunPrintsSummary(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{
+		"-scenario", "jan", "-fraction", "0.003", "-seed", "5",
+		"-platform", "homogeneous", "-batch", "FCFS",
+		"-algorithm", "realloc", "-heuristic", "MinMin", "-compare",
+	}, &buf)
+	if err != nil {
+		t.Fatalf("gridsim run failed: %v", err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"trace \"jan\":",
+		"run summary:",
+		"baseline summary:",
+		"paper metrics vs baseline:",
+		"number of reallocations:",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// failingWriter rejects every write, standing in for a full disk.
+type failingWriter struct{}
+
+func (failingWriter) Write(p []byte) (int, error) { return 0, errors.New("disk full") }
+
+// TestRunReportsWriteFailure is the exit-non-zero-on-any-failure-path
+// contract: when stdout writes fail, run must return an error rather than
+// pretend the report was delivered.
+func TestRunReportsWriteFailure(t *testing.T) {
+	err := run([]string{"-scenario", "jan", "-fraction", "0.003", "-algorithm", "none"}, failingWriter{})
+	if err == nil {
+		t.Fatal("run succeeded despite every stdout write failing")
+	}
+	if !strings.Contains(err.Error(), "disk full") {
+		t.Fatalf("error does not surface the write failure: %v", err)
 	}
 }

@@ -13,21 +13,27 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 
+	"gridrealloc/internal/cli"
 	"gridrealloc/internal/experiment"
 	"gridrealloc/internal/workload"
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "tracegen:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string) error {
+// run executes the tool against the given writer; a failed write (full
+// disk, closed pipe) surfaces as an error so main exits non-zero instead
+// of reporting success over truncated output.
+func run(args []string, stdout io.Writer) error {
+	w := cli.NewErrWriter(stdout)
 	fs := flag.NewFlagSet("tracegen", flag.ContinueOnError)
 	var (
 		table1   = fs.Bool("table1", false, "print the Table 1 reproduction (paper counts vs generated counts) and exit")
@@ -48,8 +54,8 @@ func run(args []string) error {
 		if err != nil {
 			return err
 		}
-		fmt.Print(text)
-		return nil
+		fmt.Fprint(w, text)
+		return w.Err()
 	}
 
 	name := workload.ScenarioName(*scenario)
@@ -63,9 +69,9 @@ func run(args []string) error {
 			if err := writeSWF(path, tr); err != nil {
 				return err
 			}
-			fmt.Printf("wrote %s (%d jobs)\n", path, tr.Len())
+			fmt.Fprintf(w, "wrote %s (%d jobs)\n", path, tr.Len())
 		}
-		return nil
+		return w.Err()
 	}
 
 	trace, err := workload.Scenario(name, *fraction, *seed)
@@ -73,15 +79,15 @@ func run(args []string) error {
 		return err
 	}
 	if *stats {
-		printStats(trace)
+		printStats(w, trace)
 	}
 	if *out != "" {
 		if err := writeSWF(*out, trace); err != nil {
 			return err
 		}
-		fmt.Printf("wrote %s (%d jobs)\n", *out, trace.Len())
+		fmt.Fprintf(w, "wrote %s (%d jobs)\n", *out, trace.Len())
 	}
-	return nil
+	return w.Err()
 }
 
 func siteTraces(name workload.ScenarioName, fraction float64, seed uint64) ([]*workload.Trace, error) {
@@ -101,20 +107,25 @@ func writeSWF(path string, tr *workload.Trace) error {
 	if err != nil {
 		return err
 	}
-	defer f.Close()
-	return workload.WriteSWF(f, tr)
+	if err := workload.WriteSWF(f, tr); err != nil {
+		f.Close()
+		return err
+	}
+	// Close flushes buffered writes; dropping its error could report a
+	// truncated trace file as written.
+	return f.Close()
 }
 
-func printStats(tr *workload.Trace) {
+func printStats(w io.Writer, tr *workload.Trace) {
 	s := workload.Stats(tr)
-	fmt.Printf("scenario %q\n", s.Name)
-	fmt.Printf("  jobs:                %d\n", s.Jobs)
+	fmt.Fprintf(w, "scenario %q\n", s.Name)
+	fmt.Fprintf(w, "  jobs:                %d\n", s.Jobs)
 	for _, sc := range workload.SiteCounts(tr) {
-		fmt.Printf("    %-12s %d\n", sc.Site, sc.Jobs)
+		fmt.Fprintf(w, "    %-12s %d\n", sc.Site, sc.Jobs)
 	}
-	fmt.Printf("  span:                %d s\n", s.SpanSeconds)
-	fmt.Printf("  mean processors:     %.1f (max %d)\n", s.MeanProcs, s.MaxProcs)
-	fmt.Printf("  mean runtime:        %.0f s\n", s.MeanRuntime)
-	fmt.Printf("  mean walltime:       %.0f s (over-estimation x%.2f)\n", s.MeanWalltime, s.MeanOverestimate)
-	fmt.Printf("  bad jobs (runtime > walltime): %d\n", s.BadJobs)
+	fmt.Fprintf(w, "  span:                %d s\n", s.SpanSeconds)
+	fmt.Fprintf(w, "  mean processors:     %.1f (max %d)\n", s.MeanProcs, s.MaxProcs)
+	fmt.Fprintf(w, "  mean runtime:        %.0f s\n", s.MeanRuntime)
+	fmt.Fprintf(w, "  mean walltime:       %.0f s (over-estimation x%.2f)\n", s.MeanWalltime, s.MeanOverestimate)
+	fmt.Fprintf(w, "  bad jobs (runtime > walltime): %d\n", s.BadJobs)
 }

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"io"
 	"os"
 	"path/filepath"
 	"testing"
@@ -9,7 +10,7 @@ import (
 )
 
 func TestRunTable1(t *testing.T) {
-	if err := run([]string{"-table1", "-fraction", "0.002"}); err != nil {
+	if err := run([]string{"-table1", "-fraction", "0.002"}, io.Discard); err != nil {
 		t.Fatalf("tracegen -table1 failed: %v", err)
 	}
 }
@@ -17,7 +18,7 @@ func TestRunTable1(t *testing.T) {
 func TestRunMergedTraceToFile(t *testing.T) {
 	dir := t.TempDir()
 	out := filepath.Join(dir, "jan.swf")
-	if err := run([]string{"-scenario", "jan", "-fraction", "0.003", "-out", out}); err != nil {
+	if err := run([]string{"-scenario", "jan", "-fraction", "0.003", "-out", out}, io.Discard); err != nil {
 		t.Fatalf("tracegen failed: %v", err)
 	}
 	f, err := os.Open(out)
@@ -36,7 +37,7 @@ func TestRunMergedTraceToFile(t *testing.T) {
 
 func TestRunPerSite(t *testing.T) {
 	dir := t.TempDir()
-	if err := run([]string{"-scenario", "pwa-g5k", "-fraction", "0.001", "-per-site", "-out-dir", dir}); err != nil {
+	if err := run([]string{"-scenario", "pwa-g5k", "-fraction", "0.001", "-per-site", "-out-dir", dir}, io.Discard); err != nil {
 		t.Fatalf("tracegen per-site failed: %v", err)
 	}
 	entries, err := os.ReadDir(dir)
@@ -49,10 +50,10 @@ func TestRunPerSite(t *testing.T) {
 }
 
 func TestRunUnknownScenario(t *testing.T) {
-	if err := run([]string{"-scenario", "december"}); err == nil {
+	if err := run([]string{"-scenario", "december"}, io.Discard); err == nil {
 		t.Fatal("unknown scenario accepted")
 	}
-	if err := run([]string{"-scenario", "december", "-per-site", "-out-dir", t.TempDir()}); err == nil {
+	if err := run([]string{"-scenario", "december", "-per-site", "-out-dir", t.TempDir()}, io.Discard); err == nil {
 		t.Fatal("unknown per-site scenario accepted")
 	}
 }

@@ -135,4 +135,51 @@
 //
 // Every future sharding/batching/async refactor is expected to pass a
 // gridfuzz campaign in addition to the fixed-grid digests.
+//
+// # Static invariants
+//
+// The runtime contracts above — Reset completeness, state-version
+// observability, pooled-buffer lifetimes, bit-for-bit determinism — are
+// enforced at the source level by internal/lint, a dependency-free suite of
+// four analyzers following the golang.org/x/tools go/analysis shape:
+//
+//   - resetcomplete: every field of a type marked //gridlint:resettable
+//     (batch.Scheduler, sim.Engine, server.Server, core.Agent, the core
+//     simulation driver) must be assigned in its Reset method or carry a
+//     //gridlint:keep-across-reset directive explaining why stale state is
+//     harmless. A new field that Reset forgets is a pooled-simulator
+//     cross-contamination bug the 72-grid digest may not catch.
+//
+//   - stateversion: methods of types carrying a stateVersion counter that
+//     write middleware-observable state (fields marked
+//     //gridlint:observable) must bump the counter on every path, or be
+//     annotated //gridlint:stateversion-bumped-by-caller. A missed bump
+//     silently disables the dirty-cluster sweep-skipping of the campaign
+//     engine.
+//
+//   - poollife: values returned by //gridlint:pooled functions (Advance
+//     notes, plan buffers) must not be retained in struct fields, package
+//     variables or escaping closures without a copy; intentional ownership
+//     transfers carry //gridlint:allow-retain with a justification.
+//
+//   - determinism: forbids time.Now/Since/Until and the global math/rand
+//     functions anywhere in the simulation, requires every map iteration to
+//     be annotated //gridlint:unordered-ok (asserting order-insensitivity),
+//     and rejects package-level values of //gridlint:stateful types such as
+//     MappingPolicy — the fuzz oracle's first real catch.
+//
+// Run the suite locally with
+//
+//	go run ./cmd/gridlint ./...
+//
+// which prints file:line:col diagnostics and exits non-zero when the tree
+// is dirty; CI runs it on every push. The analyzers are dependency-free by
+// design (a custom loader type-checks the module with go/types), so
+// `go vet -vettool=$(which gridlint) ./...` is not wired up today — the
+// vettool protocol needs golang.org/x/tools' unitchecker; because the
+// analyzers already follow the analysis.Analyzer shape, migrating is
+// mechanical if the module ever takes on that dependency. Fixture-based
+// tests (internal/lint/testdata) pin each rule with flagged and accepted
+// cases, and TestSuiteCleanOnRealTree keeps the real tree at zero
+// diagnostics.
 package gridrealloc

@@ -220,15 +220,17 @@ const debugProfileEnv = "GRIDREALLOC_DEBUG_PROFILE"
 // recomputed lazily — a burst of mutations (such as Algorithm 2 cancelling
 // every waiting job back-to-back) pays for a single re-plan at the next
 // observation instead of one per mutation.
+//
+//gridlint:resettable
 type Scheduler struct {
 	spec   platform.ClusterSpec
 	policy Policy
 	now    int64
 
-	running     []*allocation
-	runningByID map[int]*allocation
-	waiting     []*queueEntry // always sorted by seq (submission order)
-	waitingByID map[int]*queueEntry
+	running     []*allocation       //gridlint:observable
+	runningByID map[int]*allocation //gridlint:observable
+	waiting     []*queueEntry       //gridlint:observable always sorted by seq (submission order)
+	waitingByID map[int]*queueEntry //gridlint:observable
 	seq         int64
 	// frontSeq hands out decreasing sequence numbers for jobs requeued at
 	// the head of the queue after an outage, keeping the waiting slice
@@ -242,8 +244,8 @@ type Scheduler struct {
 	// when virtual time reaches their start.
 	maintenance  []platform.CapacityEvent
 	outages      []platform.CapacityEvent
-	nextOutage   int
-	outagePolicy OutagePolicy
+	nextOutage   int          //gridlint:observable reveals change the capacity the middleware sees
+	outagePolicy OutagePolicy //gridlint:keep-across-reset caller configuration, like SetOutagePolicy
 
 	// nextStart is the earliest planned start among waiting jobs (or the
 	// noNextStart sentinel), valid whenever the plan is clean. Every plan
@@ -272,7 +274,7 @@ type Scheduler struct {
 	// nothing even though every reallocation sweep pins one profile per
 	// cluster between passes.
 	planProf    *profile
-	planSpares  []*profile
+	planSpares  []*profile //gridlint:keep-across-reset pooled spare buffers, pure capacity
 	planDirty   bool
 	planVersion uint64
 	// maxPlannedStart is the latest planned start among waiting jobs, used
@@ -281,7 +283,7 @@ type Scheduler struct {
 
 	// debugCheck cross-checks the incremental run profile against a
 	// from-scratch build on every plan rebuild.
-	debugCheck bool
+	debugCheck bool //gridlint:keep-across-reset caller configuration, like SetDebugCrossCheck
 
 	// notesBuf is the notification buffer reused by Advance; entryFree and
 	// allocFree pool dead queueEntry and allocation structs. Together they
@@ -289,11 +291,11 @@ type Scheduler struct {
 	// only handed out again once no index, heap or plan can still reach the
 	// old occupant (entries die under planDirty and every heap read re-plans
 	// first; allocations die when popped from the finish heap).
-	notesBuf  []Notification
+	notesBuf  []Notification //gridlint:keep-across-reset truncated by Advance before every use
 	entryFree []*queueEntry
 	allocFree []*allocation
 	// spanScratch is reused by the capacity-baseline builds.
-	spanScratch []span
+	spanScratch []span //gridlint:keep-across-reset scratch, overwritten before every use
 
 	// stateVersion increments on every mutation that can change what the
 	// middleware observes about this cluster between two reallocation sweeps:
@@ -419,7 +421,7 @@ func (s *Scheduler) Reset(spec platform.ClusterSpec, policy Policy) error {
 		// old buffer is banked when that snapshot is refreshed or dropped).
 		prof := s.takePlanBuffer()
 		prof.copyFrom(s.runProf)
-		s.planProf = prof
+		s.planProf = prof //gridlint:allow-retain publishing the buffer is the transfer the pool exists for
 	} else {
 		s.planProf.copyFrom(s.runProf)
 	}
@@ -427,6 +429,14 @@ func (s *Scheduler) Reset(spec platform.ClusterSpec, policy Policy) error {
 	s.planVersion++
 	s.maxPlannedStart = 0
 	s.stateVersion++
+	// Drop the memoised completion-time estimates outright. Stale entries
+	// were already unreachable — they are keyed to the previous plan version,
+	// which the bump above retires — but an explicit clear keeps the reset
+	// self-contained instead of leaning on the cache's monotone-version
+	// argument, and returns the memory of a large run to steady state.
+	clear(s.ectCache)
+	s.ectCacheVersion = 0
+	s.ectCacheLower = 0
 	s.submissions, s.cancellations, s.ectQueries = 0, 0, 0
 	s.planRebuilds, s.planAppends, s.planReuses = 0, 0, 0
 	s.snapshots, s.snapshotHits, s.runProfRebuilds = 0, 0, 0
@@ -685,6 +695,8 @@ const maxPlanSpares = 4
 // a fresh profile otherwise. Banked spares are never referenced outside the
 // scheduler (a buffer is only banked once its last snapshot released it), so
 // reusing one cannot disturb a snapshot.
+//
+//gridlint:pooled
 func (s *Scheduler) takePlanBuffer() *profile {
 	if n := len(s.planSpares); n > 0 {
 		p := s.planSpares[n-1]
@@ -743,7 +755,7 @@ func (s *Scheduler) appendToPlan(e *queueEntry) {
 	if prof != s.planProf {
 		// The old profile stays pinned by its snapshots and is banked on
 		// their release.
-		s.planProf = prof
+		s.planProf = prof //gridlint:allow-retain publishing the buffer is the transfer the pool exists for
 	}
 	if start > s.maxPlannedStart {
 		s.maxPlannedStart = start
@@ -1071,6 +1083,8 @@ const (
 // order. The returned slice is reused by the next Advance call on the same
 // scheduler; callers that need the notifications beyond that must copy
 // them.
+//
+//gridlint:pooled
 func (s *Scheduler) Advance(now int64) ([]Notification, error) {
 	if now < s.now {
 		return nil, fmt.Errorf("%w: advance to %d, now %d", ErrTimeTravel, now, s.now)
@@ -1193,6 +1207,12 @@ func (s *Scheduler) revealNextOutage(notes []Notification) []Notification {
 // outage window's capacity, most recently started jobs first (seniority is
 // protected, as on real clusters where a crash takes out the nodes assigned
 // last). Displaced jobs are killed or requeued per the outage policy.
+//
+// Only revealNextOutage calls this, and it bumps stateVersion for the whole
+// reveal (capacity change included), so the displacement writes ride on the
+// caller's bump.
+//
+//gridlint:stateversion-bumped-by-caller
 func (s *Scheduler) displaceRunning(w platform.CapacityEvent, notes []Notification) []Notification {
 	used := 0
 	for _, a := range s.running {
@@ -1537,7 +1557,7 @@ func (s *Scheduler) rebuildPlan() {
 	// profile is banked immediately; a referenced one is banked when its
 	// last snapshot releases it.
 	old := s.planProf
-	s.planProf = prof
+	s.planProf = prof //gridlint:allow-retain publishing the buffer is the transfer the pool exists for
 	if old != nil && old.refs == 0 {
 		s.bankPlanBuffer(old)
 	}

@@ -1,0 +1,60 @@
+package cli
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+)
+
+// failAfter fails every write after the first n bytes have been accepted.
+type failAfter struct {
+	n   int
+	got bytes.Buffer
+}
+
+var errDiskFull = errors.New("disk full")
+
+func (f *failAfter) Write(p []byte) (int, error) {
+	if f.got.Len()+len(p) > f.n {
+		return 0, errDiskFull
+	}
+	return f.got.Write(p)
+}
+
+func TestErrWriterPassesThrough(t *testing.T) {
+	var buf bytes.Buffer
+	ew := NewErrWriter(&buf)
+	fmt.Fprintf(ew, "hello %d\n", 42)
+	if ew.Err() != nil {
+		t.Fatalf("unexpected error: %v", ew.Err())
+	}
+	if got := buf.String(); got != "hello 42\n" {
+		t.Fatalf("wrote %q", got)
+	}
+}
+
+func TestErrWriterRemembersFirstError(t *testing.T) {
+	ew := NewErrWriter(&failAfter{n: 4})
+	if _, err := ew.Write([]byte("ok")); err != nil {
+		t.Fatalf("first write failed: %v", err)
+	}
+	if _, err := ew.Write([]byte("too long")); !errors.Is(err, errDiskFull) {
+		t.Fatalf("want disk full, got %v", err)
+	}
+	// Later writes are suppressed but still report the original failure.
+	if _, err := ew.Write([]byte("x")); !errors.Is(err, errDiskFull) {
+		t.Fatalf("suppressed write: want disk full, got %v", err)
+	}
+	if !errors.Is(ew.Err(), errDiskFull) {
+		t.Fatalf("Err() = %v, want disk full", ew.Err())
+	}
+}
+
+func TestNewErrWriterIdempotent(t *testing.T) {
+	var buf bytes.Buffer
+	ew := NewErrWriter(&buf)
+	if again := NewErrWriter(ew); again != ew {
+		t.Fatal("wrapping an ErrWriter must return the same writer")
+	}
+}

@@ -108,6 +108,8 @@ func (c ReallocConfig) normalized() ReallocConfig {
 // Agent is the meta-scheduler of the paper's architecture: it maps every
 // incoming job to a cluster (MappingPolicy) and periodically reallocates
 // waiting jobs between clusters (ReallocConfig).
+//
+//gridlint:resettable
 type Agent struct {
 	servers  []*server.Server
 	byName   map[string]int // cluster name -> server index
@@ -128,26 +130,26 @@ type Agent struct {
 	// its waiting queue and every planned window in it are bit-for-bit what
 	// the last gather copied — the sweep reuses the cached view instead of
 	// re-listing (and re-observing) the queue.
-	gatherVersion []uint64
+	gatherVersion []uint64 //gridlint:keep-across-reset stale versions are inert while gatherValid is false
 	gatherValid   []bool
-	sorter        candidateOrderSorter
+	sorter        candidateOrderSorter //gridlint:keep-across-reset stateless sort scratch
 
 	// Scratch buffers reused across reallocation passes, so a sweep's
 	// bookkeeping (candidate gathering, the ECT matrix, the estimate slice)
 	// allocates only when the platform outgrows every previous pass.
-	scratchWaiting       [][]batch.WaitingJob
-	scratchCands         []Candidate
-	scratchOrigins       []int
-	scratchSortedCands   []Candidate
-	scratchSortedOrigins []int
-	scratchOrder         []int
-	scratchEsts          []Estimate
-	scratchSnaps         []batch.EstimateSnapshot
-	scratchECTs          []int64
-	scratchRows          [][]int64
-	scratchWalls         []int64
-	scratchWallRows      [][]int64
-	scratchErrs          []error
+	scratchWaiting       [][]batch.WaitingJob     //gridlint:keep-across-reset capacity only; contents gated by gatherValid
+	scratchCands         []Candidate              //gridlint:keep-across-reset capacity only, truncated before use
+	scratchOrigins       []int                    //gridlint:keep-across-reset capacity only, truncated before use
+	scratchSortedCands   []Candidate              //gridlint:keep-across-reset capacity only, truncated before use
+	scratchSortedOrigins []int                    //gridlint:keep-across-reset capacity only, truncated before use
+	scratchOrder         []int                    //gridlint:keep-across-reset capacity only, truncated before use
+	scratchEsts          []Estimate               //gridlint:keep-across-reset capacity only, truncated before use
+	scratchSnaps         []batch.EstimateSnapshot //gridlint:keep-across-reset capacity only, refreshed before use
+	scratchECTs          []int64                  //gridlint:keep-across-reset capacity only, truncated before use
+	scratchRows          [][]int64                //gridlint:keep-across-reset capacity only, truncated before use
+	scratchWalls         []int64                  //gridlint:keep-across-reset capacity only, truncated before use
+	scratchWallRows      [][]int64                //gridlint:keep-across-reset capacity only, truncated before use
+	scratchErrs          []error                  //gridlint:keep-across-reset capacity only, truncated before use
 }
 
 // NewAgent builds an agent over the given servers. Mapping defaults to MCT

@@ -70,6 +70,12 @@ func TestNewAgentValidation(t *testing.T) {
 	if rc.Period != DefaultReallocationPeriod || rc.MinGain != DefaultMinGain || rc.Heuristic == nil {
 		t.Fatalf("defaults not applied: %+v", rc)
 	}
+	if got := a.Servers(); len(got) != len(servers) || got[0] != servers[0] {
+		t.Fatalf("Servers() = %v, want the platform order passed in", got)
+	}
+	if a.SkippedSweeps() != 0 {
+		t.Fatalf("SkippedSweeps() = %d before any pass, want 0", a.SkippedSweeps())
+	}
 }
 
 func TestSubmitJobUsesMappingAndTracksLocation(t *testing.T) {

@@ -13,6 +13,13 @@ import (
 // paper's meta-scheduler uses MCT (minimum completion time); Random and
 // RoundRobin are provided as the degraded modes a middleware falls back to
 // when monitoring is unavailable, and the ablation benchmarks compare them.
+//
+// Implementations may carry per-run state (Random's generator, RoundRobin's
+// cursor), so a policy value must not be shared across runs: the fuzz
+// oracle's first catch was a reused stateful policy desynchronising replay.
+// The stateful marker makes a package-level policy a lint error.
+//
+//gridlint:stateful
 type MappingPolicy interface {
 	// Name identifies the policy in configuration and reports.
 	Name() string
@@ -57,6 +64,8 @@ func (mctMapping) ChooseCluster(j workload.Job, servers []*server.Server, now in
 
 // randomMapping submits each job to a uniformly random cluster among those
 // it fits on.
+//
+//gridlint:stateful
 type randomMapping struct {
 	rng *stats.RNG
 }
@@ -84,6 +93,8 @@ func (m *randomMapping) ChooseCluster(j workload.Job, servers []*server.Server, 
 
 // roundRobinMapping cycles through the clusters, skipping clusters the job
 // does not fit on.
+//
+//gridlint:stateful
 type roundRobinMapping struct {
 	next int
 }

@@ -116,10 +116,13 @@ func TestRoundRobinMappingCycles(t *testing.T) {
 }
 
 func TestMappingByName(t *testing.T) {
-	for _, name := range []string{"", "MCT", "Random", "RoundRobin"} {
+	for _, name := range []string{"MCT", "Random", "RoundRobin"} {
 		m, err := MappingByName(name, 1)
 		if err != nil || m == nil {
 			t.Fatalf("MappingByName(%q) failed: %v", name, err)
+		}
+		if m.Name() != name {
+			t.Fatalf("MappingByName(%q).Name() = %q", name, m.Name())
 		}
 	}
 	if m, _ := MappingByName("", 1); m.Name() != "MCT" {

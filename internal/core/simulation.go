@@ -139,6 +139,7 @@ type Result struct {
 // SortedRecords returns the job records ordered by job ID.
 func (r *Result) SortedRecords() []*JobRecord {
 	out := make([]*JobRecord, 0, len(r.Jobs))
+	//gridlint:unordered-ok records are collected then sorted by unique JobID
 	for _, rec := range r.Jobs {
 		out = append(out, rec)
 	}
@@ -149,6 +150,9 @@ func (r *Result) SortedRecords() []*JobRecord {
 // MeanResponseTime returns the average response time over completed jobs.
 func (r *Result) MeanResponseTime() float64 {
 	sum, n := 0.0, 0
+	// Response times are integer-valued seconds well below 2^53, so the
+	// float sum is exact in any accumulation order.
+	//gridlint:unordered-ok exact-sum fold is order-insensitive
 	for _, rec := range r.Jobs {
 		if rt := rec.ResponseTime(); rt >= 0 {
 			sum += float64(rt)
@@ -164,6 +168,7 @@ func (r *Result) MeanResponseTime() float64 {
 // CompletedJobs returns the number of jobs that completed.
 func (r *Result) CompletedJobs() int {
 	n := 0
+	//gridlint:unordered-ok counting is order-insensitive
 	for _, rec := range r.Jobs {
 		if rec.Completion >= 0 {
 			n++
@@ -384,6 +389,8 @@ func (sm *Simulator) Run(cfg Config) (*Result, error) {
 // driver glues the event engine, the agent and the cluster servers together
 // and records per-job outcomes. It lives inside a Simulator and is reset
 // (keeping its slices) between runs.
+//
+//gridlint:resettable
 type driver struct {
 	engine  *sim.Engine
 	agent   *Agent
@@ -401,7 +408,7 @@ type driver struct {
 	reallocEv *sim.Event
 	// waitingScratch is reused by updateReallocationCounts after every
 	// reallocation pass.
-	waitingScratch []batch.WaitingJob
+	waitingScratch []batch.WaitingJob //gridlint:keep-across-reset capacity only, truncated before use
 	total          int
 	completed      int
 	// verify runs the per-cluster invariant checks at reallocation passes

@@ -167,6 +167,7 @@ func Run(cfg CampaignConfig) (*Campaign, error) {
 				return
 			}
 			cl := cells[i]
+			//gridlint:unordered-ok map-to-map merge of disjoint keys
 			for k, v := range out.comparisons {
 				camp.Comparisons[k] = v
 			}
@@ -301,6 +302,7 @@ func (c *Campaign) Comparison(scenario workload.ScenarioName, het platform.Heter
 // SortedKeys returns the comparison keys in a deterministic order.
 func (c *Campaign) SortedKeys() []Key {
 	keys := make([]Key, 0, len(c.Comparisons))
+	//gridlint:unordered-ok keys are collected then sorted
 	for k := range c.Comparisons {
 		keys = append(keys, k)
 	}

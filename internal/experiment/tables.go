@@ -265,8 +265,12 @@ func (c *Campaign) CompareAlgorithms() []AlgorithmComparison {
 	type agg struct {
 		resp1, resp2, realloc1, realloc2 []float64
 	}
+	// Aggregate in sorted key order: the per-group float slices feed means
+	// whose rounding depends on accumulation order, and the emitted table
+	// must be bit-identical across runs.
 	byKey := make(map[aggKey]*agg)
-	for k, cmp := range c.Comparisons {
+	for _, k := range c.SortedKeys() {
+		cmp := c.Comparisons[k]
 		ak := aggKey{k.Het, k.Policy, k.Heuristic}
 		a := byKey[ak]
 		if a == nil {
@@ -283,6 +287,7 @@ func (c *Campaign) CompareAlgorithms() []AlgorithmComparison {
 		}
 	}
 	var out []AlgorithmComparison
+	//gridlint:unordered-ok rows are collected then sorted by their unique key
 	for ak, a := range byKey {
 		cmp := AlgorithmComparison{
 			Het:           ak.het,

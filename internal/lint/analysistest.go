@@ -1,0 +1,133 @@
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// wantRe extracts the expectation patterns from a fixture comment of the
+// form `// want "regex"` (multiple quoted patterns per comment allowed),
+// following the x/tools analysistest convention.
+var wantRe = regexp.MustCompile(`want\s+(.*)$`)
+
+var wantPatternRe = regexp.MustCompile(`"((?:[^"\\]|\\.)*)"|` + "`([^`]*)`")
+
+type expectation struct {
+	file    string
+	line    int
+	pattern *regexp.Regexp
+	matched bool
+}
+
+// RunFixture loads the GOPATH-style fixture tree rooted at root (packages
+// resolved as root/<import path>), runs the analyzers over the named
+// packages, and compares the diagnostics against the `// want "regex"`
+// comments in the fixture sources. Every diagnostic must match a want on
+// its exact (file, line), and every want must be matched by a diagnostic:
+// unexpected diagnostics and unmatched expectations both fail the test.
+func RunFixture(t *testing.T, root string, analyzers []*Analyzer, pkgs ...string) {
+	t.Helper()
+	loader := NewLoader(root, "")
+	prog, err := loader.Load(pkgs...)
+	if err != nil {
+		t.Fatalf("loading fixtures: %v", err)
+	}
+	var wants []*expectation
+	for _, pkg := range prog.Sorted() {
+		if !contains(pkgs, pkg.Path) {
+			continue
+		}
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+					m := wantRe.FindStringSubmatch(text)
+					if m == nil || !strings.HasPrefix(text, "want") {
+						continue
+					}
+					pos := prog.Fset.Position(c.Pos())
+					found := false
+					for _, pm := range wantPatternRe.FindAllStringSubmatch(m[1], -1) {
+						raw := pm[1]
+						if pm[2] != "" {
+							raw = pm[2]
+						}
+						raw = strings.ReplaceAll(raw, `\"`, `"`)
+						re, err := regexp.Compile(raw)
+						if err != nil {
+							t.Fatalf("%s:%d: bad want pattern %q: %v", pos.Filename, pos.Line, raw, err)
+						}
+						wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, pattern: re})
+						found = true
+					}
+					if !found {
+						t.Fatalf("%s:%d: want comment with no quoted pattern: %s", pos.Filename, pos.Line, text)
+					}
+				}
+			}
+		}
+	}
+	diags, err := RunAnalyzers(prog, analyzers)
+	if err != nil {
+		t.Fatalf("running analyzers: %v", err)
+	}
+	for _, d := range diags {
+		if !inPackages(prog, pkgs, d.Pos) {
+			continue
+		}
+		if w := matchWant(wants, d); w != nil {
+			w.matched = true
+		} else {
+			t.Errorf("unexpected diagnostic %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.pattern)
+		}
+	}
+}
+
+func contains(ss []string, s string) bool {
+	for _, v := range ss {
+		if v == s {
+			return true
+		}
+	}
+	return false
+}
+
+// inPackages reports whether the diagnostic position falls inside one of
+// the named fixture packages' directories.
+func inPackages(prog *Program, pkgs []string, pos token.Position) bool {
+	for _, path := range pkgs {
+		if pkg, ok := prog.Packages[path]; ok && strings.HasPrefix(pos.Filename, pkg.Dir+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+func matchWant(wants []*expectation, d Diagnostic) *expectation {
+	for _, w := range wants {
+		if w.matched || w.file != d.Pos.Filename || w.line != d.Pos.Line {
+			continue
+		}
+		if w.pattern.MatchString(d.Message) {
+			return w
+		}
+	}
+	return nil
+}
+
+// FormatDiagnostics renders diagnostics one per line for error messages.
+func FormatDiagnostics(diags []Diagnostic) string {
+	var b strings.Builder
+	for _, d := range diags {
+		fmt.Fprintf(&b, "  %s\n", d)
+	}
+	return b.String()
+}

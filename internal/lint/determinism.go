@@ -1,0 +1,155 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Determinism enforces the reproduction's bit-for-bit reproducibility
+// contract (same trace + seed => same digest) by rejecting the sources of
+// run-to-run variation the fuzz oracle has caught dynamically:
+//
+//   - wall-clock time: time.Now, time.Since — virtual time comes from the
+//     sim engine, never from the host;
+//   - the global math/rand source (rand.Intn, rand.Shuffle, ...): all
+//     randomness must flow from a seeded *rand.Rand so scenarios replay;
+//     constructing sources (rand.New, rand.NewSource, rand.NewPCG, ...) is
+//     allowed;
+//   - map iteration: ranging over a map feeds non-deterministic order into
+//     whatever the loop computes. Loops that are provably order-insensitive
+//     (collect-then-sort, commutative folds over exact values) are
+//     annotated //gridlint:unordered-ok; everything else must iterate a
+//     sorted key slice;
+//   - shared per-run state: a package-level variable whose type is marked
+//     //gridlint:stateful (mapping policies with internal cursors,
+//     configs holding them) would leak state between runs.
+var Determinism = &Analyzer{
+	Name: "determinism",
+	Doc: "forbid wall-clock time, global math/rand, un-annotated map range " +
+		"(//gridlint:unordered-ok), and package-level //gridlint:stateful values",
+	Run: runDeterminism,
+}
+
+// forbiddenTimeFuncs are wall-clock entry points; everything else in
+// package time (durations, formatting) is deterministic.
+var forbiddenTimeFuncs = map[string]bool{
+	"Now":   true,
+	"Since": true,
+	"Until": true,
+}
+
+// allowedGlobalRandFuncs construct sources/generators rather than drawing
+// from the package-level one.
+var allowedGlobalRandFuncs = map[string]bool{
+	"New":       true,
+	"NewSource": true,
+	"NewPCG":    true,
+	"NewZipf":   true,
+}
+
+func runDeterminism(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				checkForbiddenCall(pass, n)
+			case *ast.RangeStmt:
+				checkMapRange(pass, n)
+			}
+			return true
+		})
+		checkStatefulGlobals(pass, f)
+	}
+	return nil
+}
+
+func checkForbiddenCall(pass *Pass, call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	fn, ok := pass.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return
+	}
+	// Only package-level functions: rand.Intn on a *rand.Rand value is a
+	// method and has a receiver.
+	if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+		return
+	}
+	switch fn.Pkg().Path() {
+	case "time":
+		if forbiddenTimeFuncs[fn.Name()] {
+			pass.Reportf(call.Pos(),
+				"time.%s reads the wall clock; simulations must use virtual sim.Time only", fn.Name())
+		}
+	case "math/rand", "math/rand/v2":
+		if !allowedGlobalRandFuncs[fn.Name()] {
+			pass.Reportf(call.Pos(),
+				"%s.%s draws from the global random source; use a seeded *rand.Rand so runs replay", fn.Pkg().Name(), fn.Name())
+		}
+	}
+}
+
+func checkMapRange(pass *Pass, rng *ast.RangeStmt) {
+	tv, ok := pass.Info.Types[rng.X]
+	if !ok {
+		return
+	}
+	if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+		return
+	}
+	if pass.Prog.NodeHasDirective(rng, DirUnorderedOK) {
+		return
+	}
+	pass.Reportf(rng.Pos(),
+		"map iteration order is random; iterate a sorted key slice, or annotate the loop //gridlint:unordered-ok if its result is provably order-insensitive")
+}
+
+// checkStatefulGlobals flags package-level variables whose type (or pointee
+// type) is marked //gridlint:stateful.
+func checkStatefulGlobals(pass *Pass, f *ast.File) {
+	for _, decl := range f.Decls {
+		gd, ok := decl.(*ast.GenDecl)
+		if !ok || gd.Tok != token.VAR {
+			continue
+		}
+		for _, spec := range gd.Specs {
+			vs, ok := spec.(*ast.ValueSpec)
+			if !ok {
+				continue
+			}
+			for _, name := range vs.Names {
+				obj, ok := pass.Info.Defs[name].(*types.Var)
+				if !ok {
+					continue
+				}
+				if tn := statefulTypeName(pass, obj.Type()); tn != nil {
+					pass.Reportf(name.Pos(),
+						"package-level variable %s holds //gridlint:stateful type %s; per-run state must not be shared across runs",
+						name.Name, tn.Name())
+				}
+			}
+		}
+	}
+}
+
+// statefulTypeName returns the //gridlint:stateful named type behind t
+// (unwrapping one level of pointer/slice), or nil.
+func statefulTypeName(pass *Pass, t types.Type) *types.TypeName {
+	switch u := t.(type) {
+	case *types.Pointer:
+		t = u.Elem()
+	case *types.Slice:
+		t = u.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return nil
+	}
+	if pass.Prog.TypeHasDirective(named.Obj(), DirStateful) {
+		return named.Obj()
+	}
+	return nil
+}

@@ -1,0 +1,220 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// ResetComplete enforces the pooled-reuse contract: every field of a type
+// marked //gridlint:resettable must be re-initialised by the type's
+// Reset/reset method — directly, through a same-receiver helper it calls,
+// or in place by passing the field (or its address) to a call — or carry an
+// explicit //gridlint:keep-across-reset directive for fields that are pure
+// capacity (scratch buffers whose contents never survive into an
+// observation) or preserved configuration.
+var ResetComplete = &Analyzer{
+	Name: "resetcomplete",
+	Doc: "every field of a //gridlint:resettable type must be covered by its " +
+		"Reset/reset method or marked //gridlint:keep-across-reset",
+	Run: runResetComplete,
+}
+
+func runResetComplete(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				tn, ok := pass.Info.Defs[ts.Name].(*types.TypeName)
+				if !ok || !pass.Prog.TypeHasDirective(tn, DirResettable) {
+					continue
+				}
+				checkResettable(pass, tn, ts)
+			}
+		}
+	}
+	return nil
+}
+
+func checkResettable(pass *Pass, tn *types.TypeName, ts *ast.TypeSpec) {
+	st, ok := tn.Type().Underlying().(*types.Struct)
+	if !ok {
+		pass.Reportf(ts.Pos(), "type %s is marked //gridlint:resettable but is not a struct", tn.Name())
+		return
+	}
+	reset := findResetMethod(pass, tn)
+	if reset == nil {
+		pass.Reportf(ts.Pos(), "type %s is marked //gridlint:resettable but has no Reset or reset method", tn.Name())
+		return
+	}
+	covered := make(map[string]bool)
+	visited := make(map[*types.Func]bool)
+	collectResetCoverage(pass, tn, reset, covered, visited)
+	for i := 0; i < st.NumFields(); i++ {
+		field := st.Field(i)
+		if covered[field.Name()] {
+			continue
+		}
+		if pass.Prog.ObjectHasDirective(field, DirKeepAcrossRst) {
+			continue
+		}
+		pass.Reportf(field.Pos(),
+			"field %s.%s is not re-initialised by %s and is not marked //gridlint:keep-across-reset",
+			tn.Name(), field.Name(), reset.Name())
+	}
+}
+
+// findResetMethod returns the type's Reset or reset method (preferring the
+// exported spelling when both exist).
+func findResetMethod(pass *Pass, tn *types.TypeName) *types.Func {
+	for _, name := range []string{"Reset", "reset"} {
+		if fn := lookupMethod(tn, name); fn != nil {
+			if pass.Prog.DeclOf(fn) != nil {
+				return fn
+			}
+		}
+	}
+	return nil
+}
+
+func lookupMethod(tn *types.TypeName, name string) *types.Func {
+	named, ok := tn.Type().(*types.Named)
+	if !ok {
+		return nil
+	}
+	for i := 0; i < named.NumMethods(); i++ {
+		if m := named.Method(i); m.Name() == name {
+			return m
+		}
+	}
+	return nil
+}
+
+// collectResetCoverage records, in covered, every field of tn's struct that
+// fn re-initialises, following calls to other methods on the same receiver
+// (s.clearPlan() inside Reset extends coverage by whatever clearPlan
+// covers). A field counts as covered when the method:
+//
+//   - assigns it (s.f = v, s.f += v, s.f++), including under any
+//     conditional — resets are straight-line enough that reaching the
+//     assignment on some path is the signal we want;
+//   - clears it (clear(s.f));
+//   - assigns an element (s.f[i] = v) — in-place map/slice refill;
+//   - calls a method on it (s.f.Reset(...), s.f.copyFrom(...)) — delegated
+//     re-initialisation;
+//   - passes it, its address, or an element as a call argument
+//     (s.fillInto(s.buf), reinit(&s.cache)) — in-place re-initialisation
+//     through a helper.
+func collectResetCoverage(pass *Pass, tn *types.TypeName, fn *types.Func, covered map[string]bool, visited map[*types.Func]bool) {
+	if visited[fn] {
+		return
+	}
+	visited[fn] = true
+	decl := pass.Prog.DeclOf(fn)
+	if decl == nil || decl.Body == nil || decl.Recv == nil || len(decl.Recv.List) == 0 {
+		return
+	}
+	recvIdent := receiverName(decl)
+	if recvIdent == "" {
+		return
+	}
+	markField := func(expr ast.Expr) {
+		if name, ok := receiverField(pass, expr, recvIdent); ok {
+			covered[name] = true
+		}
+	}
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				markField(lhs)
+				// s.f[i] = v re-initialises f in place.
+				if idx, ok := lhs.(*ast.IndexExpr); ok {
+					markField(idx.X)
+				}
+			}
+		case *ast.IncDecStmt:
+			markField(n.X)
+		case *ast.CallExpr:
+			// clear(s.f), helper(s.f), helper(&s.f), helper(s.f[i:]).
+			for _, arg := range n.Args {
+				markCoverageArg(pass, arg, recvIdent, covered)
+			}
+			// s.f.Method(...) delegates f's re-initialisation; s.helper(...)
+			// extends coverage by the helper's own assignments.
+			if sel, ok := n.Fun.(*ast.SelectorExpr); ok {
+				if name, ok := receiverField(pass, sel.X, recvIdent); ok {
+					covered[name] = true
+				} else if id, ok := sel.X.(*ast.Ident); ok && id.Name == recvIdent {
+					if callee, ok := pass.Info.Uses[sel.Sel].(*types.Func); ok {
+						collectResetCoverage(pass, tn, callee, covered, visited)
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+// markCoverageArg marks the receiver field named inside a call argument as
+// covered: s.f, &s.f, s.f[i:], s.f[i].
+func markCoverageArg(pass *Pass, arg ast.Expr, recv string, covered map[string]bool) {
+	switch a := arg.(type) {
+	case *ast.UnaryExpr:
+		markCoverageArg(pass, a.X, recv, covered)
+	case *ast.SliceExpr:
+		markCoverageArg(pass, a.X, recv, covered)
+	case *ast.IndexExpr:
+		markCoverageArg(pass, a.X, recv, covered)
+	default:
+		if name, ok := receiverField(pass, arg, recv); ok {
+			covered[name] = true
+		}
+	}
+}
+
+// receiverName returns the name the method binds its receiver to, or ""
+// for anonymous receivers.
+func receiverName(decl *ast.FuncDecl) string {
+	if len(decl.Recv.List[0].Names) == 0 {
+		return ""
+	}
+	name := decl.Recv.List[0].Names[0].Name
+	if name == "_" {
+		return ""
+	}
+	return name
+}
+
+// receiverField reports whether expr is a selection of a field on the named
+// receiver (recv.field) and returns the field name.
+func receiverField(pass *Pass, expr ast.Expr, recv string) (string, bool) {
+	sel, ok := expr.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok || id.Name != recv {
+		return "", false
+	}
+	if sn, ok := pass.Info.Selections[sel]; ok && sn.Kind() == types.FieldVal {
+		return sel.Sel.Name, true
+	}
+	return "", false
+}
+
+// fieldOwner returns the named struct type a field selection resolves
+// against, unwrapping pointers.
+func fieldOwner(t types.Type) *types.Named {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, _ := t.(*types.Named)
+	return named
+}

@@ -1,0 +1,186 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// StateVersion enforces the dirty-cluster skip-sweep contract: on any type
+// that carries a stateVersion counter, a method that writes a field marked
+// //gridlint:observable (state the middleware can observe through queries
+// or snapshots) must also bump stateVersion on the same receiver — either
+// directly, or through another same-receiver method it calls. Methods that
+// are only ever invoked under a caller that bumps (displacement helpers
+// inside an outage reveal, for instance) declare that with
+// //gridlint:stateversion-bumped-by-caller.
+var StateVersion = &Analyzer{
+	Name: "stateversion",
+	Doc: "methods writing //gridlint:observable fields of a stateVersion-carrying " +
+		"type must bump stateVersion or be marked //gridlint:stateversion-bumped-by-caller",
+	Run: runStateVersion,
+}
+
+// stateVersionField is the counter field that makes a type subject to the
+// analyzer.
+const stateVersionField = "stateVersion"
+
+func runStateVersion(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || fd.Recv == nil || len(fd.Recv.List) == 0 {
+				continue
+			}
+			fn, ok := pass.Info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			recvType := receiverNamed(fn)
+			if recvType == nil || !hasStateVersion(recvType) {
+				continue
+			}
+			checkStateVersionMethod(pass, fd, fn)
+		}
+	}
+	return nil
+}
+
+// receiverNamed returns the named type a method is declared on, unwrapping
+// a pointer receiver.
+func receiverNamed(fn *types.Func) *types.Named {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return nil
+	}
+	return fieldOwner(sig.Recv().Type())
+}
+
+// hasStateVersion reports whether the struct behind the named type has a
+// stateVersion field.
+func hasStateVersion(named *types.Named) bool {
+	st, ok := named.Underlying().(*types.Struct)
+	if !ok {
+		return false
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		if st.Field(i).Name() == stateVersionField {
+			return true
+		}
+	}
+	return false
+}
+
+func checkStateVersionMethod(pass *Pass, fd *ast.FuncDecl, fn *types.Func) {
+	recv := receiverName(fd)
+	if recv == "" {
+		return
+	}
+	written := observableWrites(pass, fd, recv)
+	if len(written) == 0 {
+		return
+	}
+	if pass.Prog.FuncHasDirective(fn, DirBumpedByCaller) {
+		return
+	}
+	if bumpsStateVersion(pass, fn, make(map[*types.Func]bool)) {
+		return
+	}
+	for _, w := range written {
+		pass.Reportf(w.pos,
+			"method %s writes observable field %s but bumps %s on no path (add a bump or mark the method //gridlint:stateversion-bumped-by-caller)",
+			fn.Name(), w.field, stateVersionField)
+	}
+}
+
+// observableWrites lists the //gridlint:observable fields the method body
+// assigns (directly, by element, by clear(), or by taking their address or
+// passing them to append-style rebuilds via assignment).
+func observableWrites(pass *Pass, fd *ast.FuncDecl, recv string) []writeSite {
+	var sites []writeSite
+	seen := make(map[string]bool)
+	record := func(expr ast.Expr) {
+		name, ok := receiverField(pass, expr, recv)
+		if !ok || seen[name] {
+			return
+		}
+		sel := expr.(*ast.SelectorExpr)
+		obj := pass.Info.Selections[sel].Obj()
+		if obj == nil || !pass.Prog.ObjectHasDirective(obj, DirObservable) {
+			return
+		}
+		seen[name] = true
+		sites = append(sites, writeSite{field: name, pos: sel.Pos()})
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				record(lhs)
+				if idx, ok := lhs.(*ast.IndexExpr); ok {
+					record(idx.X)
+				}
+			}
+		case *ast.IncDecStmt:
+			record(n.X)
+		case *ast.CallExpr:
+			if id, ok := n.Fun.(*ast.Ident); ok && id.Name == "clear" && len(n.Args) == 1 {
+				record(n.Args[0])
+			}
+		}
+		return true
+	})
+	return sites
+}
+
+type writeSite struct {
+	field string
+	pos   token.Pos
+}
+
+// bumpsStateVersion reports whether the method assigns stateVersion on the
+// receiver, or calls another same-receiver method that does.
+func bumpsStateVersion(pass *Pass, fn *types.Func, visited map[*types.Func]bool) bool {
+	if visited[fn] {
+		return false
+	}
+	visited[fn] = true
+	decl := pass.Prog.DeclOf(fn)
+	if decl == nil || decl.Body == nil || decl.Recv == nil {
+		return false
+	}
+	recv := receiverName(decl)
+	if recv == "" {
+		return false
+	}
+	found := false
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				if name, ok := receiverField(pass, lhs, recv); ok && name == stateVersionField {
+					found = true
+				}
+			}
+		case *ast.IncDecStmt:
+			if name, ok := receiverField(pass, n.X, recv); ok && name == stateVersionField {
+				found = true
+			}
+		case *ast.CallExpr:
+			if sel, ok := n.Fun.(*ast.SelectorExpr); ok {
+				if id, ok := sel.X.(*ast.Ident); ok && id.Name == recv {
+					if callee, ok := pass.Info.Uses[sel.Sel].(*types.Func); ok {
+						if bumpsStateVersion(pass, callee, visited) {
+							found = true
+						}
+					}
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}

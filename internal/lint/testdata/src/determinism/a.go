@@ -1,0 +1,66 @@
+// Package determinism exercises the determinism analyzer: wall-clock
+// reads, global math/rand draws, bare map ranges and package-level
+// stateful values are flagged; seeded generators, annotated
+// order-insensitive loops and locally-scoped policies are accepted.
+package determinism
+
+import (
+	"math/rand"
+	"time"
+)
+
+// policy carries a per-run cursor; sharing one across runs breaks replay.
+//
+//gridlint:stateful
+type policy struct {
+	cursor int
+}
+
+var shared policy // want `package-level variable shared holds //gridlint:stateful type policy`
+
+// BadClock reads the wall clock: flagged.
+func BadClock() int64 {
+	return time.Now().Unix() // want `time\.Now reads the wall clock`
+}
+
+// BadRand draws from the global source: flagged.
+func BadRand() int {
+	return rand.Intn(10) // want `rand\.Intn draws from the global random source`
+}
+
+// GoodRand draws from a seeded generator: accepted.
+func GoodRand(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(10)
+}
+
+// BadMap folds map values in iteration order: flagged.
+func BadMap(m map[int]float64) float64 {
+	total := 0.0
+	for _, v := range m { // want `map iteration order is random`
+		total += v
+	}
+	return total
+}
+
+// GoodMap declares the fold order-insensitive: accepted.
+func GoodMap(m map[int]int) int {
+	total := 0
+	//gridlint:unordered-ok integer sum is exact in any order
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// GoodLocalPolicy scopes the stateful value to one run: accepted.
+func GoodLocalPolicy() int {
+	p := policy{}
+	p.cursor++
+	return p.cursor
+}
+
+// GoodDuration uses package time without the wall clock: accepted.
+func GoodDuration(d time.Duration) float64 {
+	return d.Seconds()
+}

@@ -1,0 +1,81 @@
+// Package poollife exercises the poollife analyzer: retaining a pooled
+// result in a field, a global or an escaping closure is flagged; copying
+// out of it, immediate consumption, annotated ownership transfers and
+// pooled-to-pooled returns are accepted.
+package poollife
+
+// provider hands out a buffer it overwrites on the next call.
+type provider struct {
+	buf []int
+}
+
+// Advance returns the provider's reused notification buffer; the result is
+// only valid until the next Advance call.
+//
+//gridlint:pooled
+func (p *provider) Advance() []int {
+	p.buf = p.buf[:0]
+	p.buf = append(p.buf, 1, 2, 3)
+	return p.buf
+}
+
+type holder struct {
+	kept []int
+}
+
+var global []int
+
+// BadField retains the pooled slice in a struct field: flagged.
+func (h *holder) BadField(p *provider) {
+	notes := p.Advance()
+	h.kept = notes // want `pooled result of Advance stored in field kept`
+}
+
+// BadGlobal retains it in a package-level variable: flagged.
+func BadGlobal(p *provider) {
+	global = p.Advance() // want `pooled result of Advance stored in package-level variable global`
+}
+
+// BadReturn extends the lifetime invisibly through a non-pooled return:
+// flagged.
+func BadReturn(p *provider) []int {
+	notes := p.Advance()
+	return notes // want `pooled result of Advance returned from BadReturn`
+}
+
+// BadClosure captures the pooled slice in a closure that escapes: flagged.
+func BadClosure(p *provider) func() int {
+	notes := p.Advance()
+	return func() int {
+		return len(notes) // want `pooled result of Advance captured by an escaping closure in BadClosure`
+	}
+}
+
+// GoodCopy copies the contents out before keeping them: accepted.
+func (h *holder) GoodCopy(p *provider) {
+	notes := p.Advance()
+	h.kept = append(h.kept[:0], notes...)
+}
+
+// GoodConsume reads the buffer within its lifetime: accepted.
+func GoodConsume(p *provider) int {
+	total := 0
+	for _, n := range p.Advance() {
+		total += n
+	}
+	return total
+}
+
+// GoodTransfer is a deliberate ownership hand-off, annotated: accepted.
+func (h *holder) GoodTransfer(p *provider) {
+	h.kept = p.Advance() //gridlint:allow-retain provider documents the transfer
+}
+
+// GoodPooledReturn propagates the bounded lifetime in its own contract:
+// accepted.
+//
+//gridlint:pooled
+func GoodPooledReturn(p *provider) []int {
+	notes := p.Advance()
+	return notes
+}

@@ -1,0 +1,66 @@
+// Package resetcomplete exercises the resetcomplete analyzer: flagged
+// fields missing from Reset, plus every accepted coverage form (direct
+// assignment, clear, helper method, delegated method call, in-place call
+// argument, keep-across-reset directive).
+package resetcomplete
+
+// Sched leaves cache out of Reset: flagged. scratch is capacity-only and
+// carries the directive: accepted.
+//
+//gridlint:resettable
+type Sched struct {
+	now     int64
+	queue   []int
+	cache   map[int]int // want `field Sched\.cache is not re-initialised by Reset`
+	scratch []int       //gridlint:keep-across-reset capacity-only buffer
+}
+
+func (s *Sched) Reset() {
+	s.now = 0
+	s.queue = s.queue[:0]
+}
+
+// Good covers every field through one of the accepted forms.
+//
+//gridlint:resettable
+type Good struct {
+	now    int64
+	items  map[int]int
+	helper []int
+	buf    []byte
+	sub    inner
+	slot   []int
+}
+
+func (g *Good) Reset() {
+	g.now = 0
+	clear(g.items)
+	g.clearHelper()
+	fill(g.buf)
+	g.sub.reset()
+	g.slot[0] = 0
+}
+
+func (g *Good) clearHelper() { g.helper = g.helper[:0] }
+
+func fill(b []byte) {
+	for i := range b {
+		b[i] = 0
+	}
+}
+
+type inner struct{ x int }
+
+func (i *inner) reset() { i.x = 0 }
+
+// NoReset is resettable but has no reset method at all: flagged.
+//
+//gridlint:resettable
+type NoReset struct { // want `type NoReset is marked //gridlint:resettable but has no Reset or reset method`
+	x int
+}
+
+// Plain has no directive; nothing is checked.
+type Plain struct {
+	leaky map[int]int
+}

@@ -1,0 +1,60 @@
+// Package stateversion exercises the stateversion analyzer: a missing bump
+// is flagged; direct bumps, bumps through a same-receiver helper, writes to
+// non-observable fields, and //gridlint:stateversion-bumped-by-caller
+// methods are accepted.
+package stateversion
+
+type sched struct {
+	waiting []int        //gridlint:observable
+	running map[int]bool //gridlint:observable
+	counter int64
+
+	stateVersion uint64
+}
+
+// Submit mutates the waiting queue and forgets the bump: flagged.
+func (s *sched) Submit(j int) {
+	s.waiting = append(s.waiting, j) // want `method Submit writes observable field waiting but bumps stateVersion on no path`
+}
+
+// Cancel bumps directly: accepted.
+func (s *sched) Cancel() {
+	s.waiting = s.waiting[:0]
+	s.stateVersion++
+}
+
+// Start bumps through a helper on the same receiver: accepted.
+func (s *sched) Start(j int) {
+	s.running[j] = true
+	s.bump()
+}
+
+func (s *sched) bump() { s.stateVersion++ }
+
+// displace is only ever invoked under Reveal, which owns the bump:
+// accepted via directive.
+//
+//gridlint:stateversion-bumped-by-caller
+func (s *sched) displace(j int) {
+	s.running[j] = false
+}
+
+// Reveal is the bumping caller of displace.
+func (s *sched) Reveal(j int) {
+	s.displace(j)
+	s.stateVersion++
+}
+
+// Count touches only non-observable state: accepted without a bump.
+func (s *sched) Count() {
+	s.counter++
+}
+
+// free has no stateVersion field, so its methods are never checked.
+type free struct {
+	waiting []int //gridlint:observable
+}
+
+func (f *free) Submit(j int) {
+	f.waiting = append(f.waiting, j)
+}

@@ -79,8 +79,19 @@ func Compare(baseline, with *core.Result) (Comparison, error) {
 		return cmp, fmt.Errorf("%w: baseline has %d jobs, reallocated run has %d", ErrMismatchedRuns, len(baseline.Jobs), len(with.Jobs))
 	}
 
+	// Iterate job IDs in sorted order: respWith/respWithout feed floating
+	// sums whose rounding depends on accumulation order, and metric values
+	// must be bit-identical across runs.
+	ids := make([]int, 0, len(baseline.Jobs))
+	//gridlint:unordered-ok keys are collected then sorted
+	for id := range baseline.Jobs {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+
 	var respWith, respWithout []float64
-	for id, base := range baseline.Jobs {
+	for _, id := range ids {
+		base := baseline.Jobs[id]
 		other, ok := with.Jobs[id]
 		if !ok {
 			return cmp, fmt.Errorf("%w: job %d missing from reallocated run", ErrMismatchedRuns, id)
@@ -143,6 +154,9 @@ func Summarize(r *core.Result) Summary {
 		ReallocationEvents: r.ReallocationEvents,
 	}
 	var resp, wait []float64
+	// Response and wait times are integer-valued (sim.Time seconds), so the
+	// float sums behind Mean are exact in any order, and Median sorts.
+	//gridlint:unordered-ok counting and exact-sum folds are order-insensitive
 	for _, rec := range r.Jobs {
 		if rec.Completion < 0 {
 			continue
@@ -217,6 +231,7 @@ type PerJobDelta struct {
 // Deltas lists the impacted jobs sorted by job ID.
 func Deltas(baseline, with *core.Result) []PerJobDelta {
 	var out []PerJobDelta
+	//gridlint:unordered-ok entries are collected then sorted by unique JobID
 	for id, base := range baseline.Jobs {
 		other, ok := with.Jobs[id]
 		if !ok || base.Completion < 0 || other.Completion < 0 || base.Completion == other.Completion {

@@ -153,8 +153,8 @@ func TestReducedCores(t *testing.T) {
 	}{
 		{640, 1.0, 0},
 		{640, 0.5, 320},
-		{640, 0, 0},      // non-positive defaults to full outage
-		{640, 2.5, 0},    // out of range defaults to full outage
+		{640, 0, 0},        // non-positive defaults to full outage
+		{640, 2.5, 0},      // out of range defaults to full outage
 		{640, 0.0001, 639}, // always a real reduction
 	} {
 		if got := ReducedCores(tc.nominal, tc.severity); got != tc.want {
@@ -184,5 +184,14 @@ func TestDefaultCapacitySchedule(t *testing.T) {
 	tiny := DefaultCapacitySchedule(Outage, spec, 0)
 	if len(tiny) != 1 || tiny[0].End <= tiny[0].Start {
 		t.Fatalf("tiny-span schedule = %+v", tiny)
+	}
+}
+
+func TestCapacityEventKindString(t *testing.T) {
+	if got := Maintenance.String(); got != "maintenance" {
+		t.Fatalf("Maintenance.String() = %q", got)
+	}
+	if got := Outage.String(); got != "outage" {
+		t.Fatalf("Outage.String() = %q", got)
 	}
 }

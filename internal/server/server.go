@@ -18,6 +18,8 @@ import (
 )
 
 // Server fronts one cluster's batch scheduler.
+//
+//gridlint:resettable
 type Server struct {
 	name  string
 	spec  platform.ClusterSpec

@@ -91,6 +91,23 @@ func TestEstimateCompletionOkFlag(t *testing.T) {
 	}
 }
 
+func TestEstimateSnapshotForwarding(t *testing.T) {
+	s := newServer(t, 4, 2.0, batch.FCFS)
+	sn, err := s.EstimateSnapshot(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The detached snapshot must agree with the live estimate.
+	live, ok := s.EstimateCompletion(job(1, 100, 600, 4), 0)
+	if !ok {
+		t.Fatal("live estimate failed on an empty cluster")
+	}
+	fromSnap, err := sn.EstimateCompletion(job(1, 100, 600, 4))
+	if err != nil || fromSnap != live {
+		t.Fatalf("snapshot ECT = %d,%v want %d", fromSnap, err, live)
+	}
+}
+
 func TestCurrentCompletionForwarding(t *testing.T) {
 	s := newServer(t, 4, 1.0, batch.FCFS)
 	if err := s.Submit(job(1, 100, 400, 4), 0, 0); err != nil {

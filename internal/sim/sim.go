@@ -72,12 +72,14 @@ func (e *Event) Cancelled() bool { return e != nil && e.cancelled }
 
 // Engine is the discrete-event simulation core. The zero value is not usable;
 // use NewEngine.
+//
+//gridlint:resettable
 type Engine struct {
 	now     Time
 	queue   eventQueue
 	seq     uint64
 	stepped uint64
-	limit   uint64
+	limit   uint64 //gridlint:keep-across-reset caller configuration, like SetStepLimit
 }
 
 // NewEngine returns an engine with the clock at zero and an empty event

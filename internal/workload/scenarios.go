@@ -71,6 +71,7 @@ const (
 // Bordeaux, Lyon and Toulouse (in that order) and the total.
 func Table1Counts() map[string][4]int {
 	out := make(map[string][4]int, len(table1))
+	//gridlint:unordered-ok map-to-map rebuild; per-key values are independent
 	for m, c := range table1 {
 		out[m.String()] = [4]int{c[0], c[1], c[2], c[0] + c[1] + c[2]}
 	}

@@ -86,6 +86,7 @@ func SiteCounts(t *Trace) []SiteCount {
 		byName[j.Site]++
 	}
 	names := make([]string, 0, len(byName))
+	//gridlint:unordered-ok names are collected then sorted
 	for n := range byName {
 		names = append(names, n)
 	}
