@@ -1,20 +1,33 @@
-// Command gridlint runs the gridrealloc invariant analyzers (resetcomplete,
-// stateversion, poollife, determinism — see internal/lint) over the module
-// and prints one line per diagnostic:
+// Command gridlint runs the gridrealloc invariant analyzers (directives,
+// resetcomplete, stateversion, poollife, determinism, sweepowner,
+// refbalance — see internal/lint) over the module and prints one line per
+// diagnostic:
 //
 //	path/to/file.go:line:col: analyzer: message
 //
 // Usage:
 //
-//	gridlint [-root dir] [packages]
+//	gridlint [-root dir] [-json] [packages]
+//	gridlint [-root dir] [-json] -suppressions [-baseline file] [packages]
 //
 // With no package arguments (or the pattern "./..."), every package of the
 // module is analyzed. Package arguments may be import paths
 // ("gridrealloc/internal/batch") or ./-relative directories
 // ("./internal/batch").
 //
-// Exit status: 0 when the tree is clean, 1 when diagnostics were reported,
-// 2 when the tree could not be loaded.
+// -json switches stdout to machine-readable output: an array of
+// {file, line, col, analyzer, message} objects (or, under -suppressions, a
+// directive -> count object).
+//
+// -suppressions counts the suite's suppression directives
+// (keep-across-reset, allow-retain, unordered-ok, ref-transferred) instead
+// of reporting diagnostics, prints the counts in LINT_SUPPRESSIONS format,
+// and fails when a count exceeds the committed baseline — the suppression
+// budget only ratchets down.
+//
+// Exit status: 0 when the tree is clean (or within the suppression budget),
+// 1 when diagnostics were reported (or the budget is exceeded), 2 when the
+// tree could not be loaded.
 //
 // The tool is a standalone driver rather than a `go vet -vettool`: the
 // vettool protocol requires golang.org/x/tools' unitchecker, which this
@@ -24,6 +37,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -44,6 +58,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("gridlint", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	rootFlag := fs.String("root", "", "module root directory (default: nearest parent with go.mod)")
+	jsonFlag := fs.Bool("json", false, "emit machine-readable JSON on stdout")
+	suppFlag := fs.Bool("suppressions", false, "count suppression directives against the committed baseline instead of reporting diagnostics")
+	baselineFlag := fs.String("baseline", "", "suppression baseline file (default: <root>/"+suppressionBaselineFile+")")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -65,17 +82,31 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "gridlint: %v\n", err)
 		return 2
 	}
+
+	if *suppFlag {
+		code := runSuppressions(prog, root, *baselineFlag, *jsonFlag, out, stderr)
+		if err := out.Err(); err != nil {
+			fmt.Fprintf(stderr, "gridlint: writing output: %v\n", err)
+			return 2
+		}
+		return code
+	}
+
 	diags, err := lint.RunAnalyzers(prog, lint.Analyzers())
 	if err != nil {
 		fmt.Fprintf(stderr, "gridlint: %v\n", err)
 		return 2
 	}
-	for _, d := range diags {
-		name := d.Pos.Filename
-		if rel, err := filepath.Rel(root, name); err == nil && !strings.HasPrefix(rel, "..") {
-			name = rel
+	if *jsonFlag {
+		if err := writeDiagnosticsJSON(out, root, diags); err != nil {
+			fmt.Fprintf(stderr, "gridlint: encoding diagnostics: %v\n", err)
+			return 2
 		}
-		fmt.Fprintf(out, "%s:%d:%d: %s: %s\n", name, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+	} else {
+		for _, d := range diags {
+			fmt.Fprintf(out, "%s:%d:%d: %s: %s\n",
+				relativeTo(root, d.Pos.Filename), d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+		}
 	}
 	if err := out.Err(); err != nil {
 		fmt.Fprintf(stderr, "gridlint: writing output: %v\n", err)
@@ -85,6 +116,43 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 	return 0
+}
+
+// relativeTo shortens a diagnostic filename to a root-relative path when the
+// file lives under the module root.
+func relativeTo(root, name string) string {
+	if rel, err := filepath.Rel(root, name); err == nil && !strings.HasPrefix(rel, "..") {
+		return rel
+	}
+	return name
+}
+
+// jsonDiagnostic is the -json wire shape of one diagnostic. The field set
+// mirrors the text format (and the CI problem matcher's capture groups).
+type jsonDiagnostic struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+// writeDiagnosticsJSON emits the diagnostics as a JSON array — always an
+// array, never null, so consumers can index a clean run's output.
+func writeDiagnosticsJSON(out io.Writer, root string, diags []lint.Diagnostic) error {
+	payload := make([]jsonDiagnostic, 0, len(diags))
+	for _, d := range diags {
+		payload = append(payload, jsonDiagnostic{
+			File:     relativeTo(root, d.Pos.Filename),
+			Line:     d.Pos.Line,
+			Col:      d.Pos.Column,
+			Analyzer: d.Analyzer,
+			Message:  d.Message,
+		})
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	return enc.Encode(payload)
 }
 
 // resolveModule locates the module root (the given directory, or the

@@ -1,0 +1,130 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"gridrealloc/internal/lint"
+)
+
+// suppressionBaselineFile is the committed budget file at the module root.
+// Each line is "<directive-word> <count>"; '#' comments and blank lines are
+// ignored. Regenerate with: gridlint -suppressions > LINT_SUPPRESSIONS
+// (only when a new suppression has been reviewed and accepted — the budget
+// is meant to ratchet down, not drift up).
+const suppressionBaselineFile = "LINT_SUPPRESSIONS"
+
+// runSuppressions implements gridlint -suppressions: print the current
+// per-directive suppression counts (in baseline file format, so stdout can
+// regenerate the file) and compare them against the committed budget.
+// Exit status: 0 within budget, 1 when a count exceeds its budget or the
+// baseline is missing, 2 on a malformed baseline.
+func runSuppressions(prog *lint.Program, root, baselinePath string, asJSON bool, out, stderr io.Writer) int {
+	counts := lint.CountSuppressions(prog)
+	words := make([]string, 0, len(counts))
+	//gridlint:unordered-ok words are sorted right below
+	for w := range counts {
+		words = append(words, w)
+	}
+	sort.Strings(words)
+
+	if asJSON {
+		// encoding/json emits map keys sorted, so the output is stable.
+		if err := json.NewEncoder(out).Encode(counts); err != nil {
+			fmt.Fprintf(stderr, "gridlint: encoding counts: %v\n", err)
+			return 2
+		}
+	} else {
+		for _, w := range words {
+			fmt.Fprintf(out, "%s %d\n", w, counts[w])
+		}
+	}
+
+	if baselinePath == "" {
+		baselinePath = filepath.Join(root, suppressionBaselineFile)
+	}
+	budget, err := readSuppressionBaseline(baselinePath)
+	if err != nil {
+		if os.IsNotExist(err) {
+			fmt.Fprintf(stderr,
+				"gridlint: no suppression baseline at %s; commit one with: gridlint -suppressions > %s\n",
+				baselinePath, suppressionBaselineFile)
+			return 1
+		}
+		fmt.Fprintf(stderr, "gridlint: %v\n", err)
+		return 2
+	}
+
+	exceeded := false
+	for _, w := range words {
+		have, budgeted := counts[w], budget[w]
+		switch {
+		case have > budgeted:
+			fmt.Fprintf(stderr,
+				"gridlint: //gridlint:%s suppressions grew to %d, over the budget of %d; remove one or ratchet %s up in review\n",
+				w, have, budgeted, suppressionBaselineFile)
+			exceeded = true
+		case have < budgeted:
+			fmt.Fprintf(stderr,
+				"gridlint: note: //gridlint:%s suppressions dropped to %d, under the budget of %d; ratchet %s down\n",
+				w, have, budgeted, suppressionBaselineFile)
+		}
+	}
+	for _, w := range sortedKeys(budget) {
+		if _, known := counts[w]; !known {
+			fmt.Fprintf(stderr,
+				"gridlint: %s budgets unknown directive %q; remove the stale line\n",
+				suppressionBaselineFile, w)
+			exceeded = true
+		}
+	}
+	if exceeded {
+		return 1
+	}
+	return 0
+}
+
+// readSuppressionBaseline parses a LINT_SUPPRESSIONS file into a
+// word -> budget map.
+func readSuppressionBaseline(path string) (map[string]int, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	budget := make(map[string]int)
+	for i, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("%s:%d: want \"<directive> <count>\", got %q", path, i+1, line)
+		}
+		n, err := strconv.Atoi(fields[1])
+		if err != nil || n < 0 {
+			return nil, fmt.Errorf("%s:%d: bad count %q", path, i+1, fields[1])
+		}
+		if _, dup := budget[fields[0]]; dup {
+			return nil, fmt.Errorf("%s:%d: duplicate entry for %q", path, i+1, fields[0])
+		}
+		budget[fields[0]] = n
+	}
+	return budget, nil
+}
+
+func sortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	//gridlint:unordered-ok keys are sorted before return
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

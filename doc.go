@@ -139,23 +139,39 @@
 // # Static invariants
 //
 // The runtime contracts above — Reset completeness, state-version
-// observability, pooled-buffer lifetimes, bit-for-bit determinism — are
-// enforced at the source level by internal/lint, a dependency-free suite of
-// four analyzers following the golang.org/x/tools go/analysis shape:
+// observability, pooled-buffer lifetimes, bit-for-bit determinism, sweep
+// ownership, snapshot reference balance — are enforced at the source level
+// by internal/lint, a dependency-free suite of seven analyzers following
+// the golang.org/x/tools go/analysis shape. The dataflow-capable members
+// share a lightweight per-function CFG (internal/lint/cfg.go) and a
+// program-wide static call graph (internal/lint/callgraph.go):
+//
+//   - directives: validates the //gridlint: control comments themselves —
+//     unknown (typo'd) directive words are rejected, and suppression
+//     directives (keep-across-reset, allow-retain, unordered-ok,
+//     ref-transferred) must carry a prose justification. A misspelled
+//     directive never fails; it silently disarms the check it was meant to
+//     configure, which is why this pass exists.
 //
 //   - resetcomplete: every field of a type marked //gridlint:resettable
 //     (batch.Scheduler, sim.Engine, server.Server, core.Agent, the core
 //     simulation driver) must be assigned in its Reset method or carry a
 //     //gridlint:keep-across-reset directive explaining why stale state is
-//     harmless. A new field that Reset forgets is a pooled-simulator
-//     cross-contamination bug the 72-grid digest may not catch.
+//     harmless. Coverage follows same-receiver helper methods and plain
+//     functions that receive the value as an argument, and walks embedded
+//     structs field by field under their promoted names. A new field that
+//     Reset forgets is a pooled-simulator cross-contamination bug the
+//     72-grid digest may not catch.
 //
 //   - stateversion: methods of types carrying a stateVersion counter that
 //     write middleware-observable state (fields marked
-//     //gridlint:observable) must bump the counter on every path, or be
-//     annotated //gridlint:stateversion-bumped-by-caller. A missed bump
-//     silently disables the dirty-cluster sweep-skipping of the campaign
-//     engine.
+//     //gridlint:observable) must bump the counter on every path — directly,
+//     through a same-receiver method, or through a plain helper function —
+//     or be annotated //gridlint:stateversion-bumped-by-caller. The
+//     directive is verified from the other side too: the call graph is
+//     walked and every static caller of a bumped-by-caller method must
+//     itself bump (or carry the directive). A missed bump silently disables
+//     the dirty-cluster sweep-skipping of the campaign engine.
 //
 //   - poollife: values returned by //gridlint:pooled functions (Advance
 //     notes, plan buffers) must not be retained in struct fields, package
@@ -168,18 +184,42 @@
 //     and rejects package-level values of //gridlint:stateful types such as
 //     MappingPolicy — the fuzz oracle's first real catch.
 //
+//   - sweepowner: inside worker callbacks passed to //gridlint:worker
+//     functions (core.Agent.forEachCluster, runner.Stream), slices marked
+//     //gridlint:cluster-indexed may only be indexed by the worker's owned
+//     cluster index (or a value derived from it by plain copy). Cross-slot
+//     reads, whole-slice iteration, and stray indexes reached through
+//     helpers or closures are flagged. This is the data-race gate for the
+//     sharding work: one worker owns one cluster slot.
+//
+//   - refbalance: path-sensitively pairs snapshot acquisition
+//     (//gridlint:ref-acquire — batch.Scheduler.EstimateSnapshot and
+//     EstimateSnapshotInto) with release (//gridlint:ref-release —
+//     EstimateSnapshot.Release) over each function's CFG: leaks on any
+//     path, definite double releases, overwrites and reacquires while a
+//     reference is held, and escapes (returns or stores) without a
+//     //gridlint:ref-transferred handoff annotation are flagged. Error
+//     paths are tracked through the acquire's error result, and deferred
+//     releases (including method values and closing literals) count on
+//     every exit path.
+//
 // Run the suite locally with
 //
 //	go run ./cmd/gridlint ./...
 //
 // which prints file:line:col diagnostics and exits non-zero when the tree
-// is dirty; CI runs it on every push. The analyzers are dependency-free by
-// design (a custom loader type-checks the module with go/types), so
-// `go vet -vettool=$(which gridlint) ./...` is not wired up today — the
-// vettool protocol needs golang.org/x/tools' unitchecker; because the
-// analyzers already follow the analysis.Analyzer shape, migrating is
-// mechanical if the module ever takes on that dependency. Fixture-based
-// tests (internal/lint/testdata) pin each rule with flagged and accepted
-// cases, and TestSuiteCleanOnRealTree keeps the real tree at zero
-// diagnostics.
+// is dirty; CI runs it on every push and surfaces the lines as PR
+// annotations through a problem matcher. gridlint -json emits the same
+// diagnostics as a JSON array for tooling, and gridlint -suppressions
+// counts the suppression directives in the tree against the committed
+// LINT_SUPPRESSIONS budget — CI fails when a count grows past its budget,
+// so the suppression total only ratchets down. The analyzers are
+// dependency-free by design (a custom loader type-checks the module with
+// go/types), so `go vet -vettool=$(which gridlint) ./...` is not wired up
+// today — the vettool protocol needs golang.org/x/tools' unitchecker;
+// because the analyzers already follow the analysis.Analyzer shape,
+// migrating is mechanical if the module ever takes on that dependency.
+// Fixture-based tests (internal/lint/testdata) pin each rule with flagged
+// and accepted cases, and TestSuiteCleanOnRealTree keeps the real tree at
+// zero diagnostics.
 package gridrealloc

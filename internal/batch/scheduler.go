@@ -904,6 +904,8 @@ type EstimateSnapshot struct {
 // at time now. The snapshot shares the plan profile by reference (mutations
 // swap in or copy to a fresh profile once a reference was handed out), so
 // taking one is O(1).
+//
+//gridlint:ref-acquire
 func (s *Scheduler) EstimateSnapshot(now int64) (*EstimateSnapshot, error) {
 	sn := &EstimateSnapshot{}
 	if err := s.EstimateSnapshotInto(sn, now); err != nil {
@@ -918,14 +920,13 @@ func (s *Scheduler) EstimateSnapshot(now int64) (*EstimateSnapshot, error) {
 // snapshot's previous profile reference, so the sweep's per-cluster
 // snapshots recycle superseded plan buffers instead of leaking them to the
 // garbage collector.
+//
+//gridlint:ref-acquire
 func (s *Scheduler) EstimateSnapshotInto(sn *EstimateSnapshot, now int64) error {
 	if now < s.now {
 		return fmt.Errorf("%w: snapshot at %d, now %d", ErrTimeTravel, now, s.now)
 	}
-	if sn.prof != nil && sn.sched != nil {
-		sn.sched.releaseSnapshotProfile(sn.prof)
-		sn.prof = nil
-	}
+	sn.Release()
 	s.observePlan()
 	s.snapshots++
 	// The handed-out reference freezes the published profile: mutations now
@@ -943,6 +944,23 @@ func (s *Scheduler) EstimateSnapshotInto(sn *EstimateSnapshot, now int64) error 
 		version: s.planVersion,
 	}
 	return nil
+}
+
+// Release drops the snapshot's reference on its plan profile, returning the
+// buffer to the scheduler's spare bank when it was the last reference on a
+// superseded profile. A released (or zero) snapshot must not answer further
+// estimate queries. Release is nil-safe and idempotent, so a caller that
+// owns a snapshot for a scope can `defer sn.Release()` unconditionally;
+// callers that instead refresh the snapshot in place every sweep
+// (EstimateSnapshotInto) get the same release as part of the refresh.
+//
+//gridlint:ref-release
+func (sn *EstimateSnapshot) Release() {
+	if sn == nil || sn.prof == nil || sn.sched == nil {
+		return
+	}
+	sn.sched.releaseSnapshotProfile(sn.prof)
+	sn.prof = nil
 }
 
 // Cluster returns the name of the cluster the snapshot was taken from.

@@ -111,6 +111,7 @@ func (c ReallocConfig) normalized() ReallocConfig {
 //
 //gridlint:resettable
 type Agent struct {
+	//gridlint:cluster-indexed
 	servers  []*server.Server
 	byName   map[string]int // cluster name -> server index
 	mapping  MappingPolicy
@@ -130,26 +131,31 @@ type Agent struct {
 	// its waiting queue and every planned window in it are bit-for-bit what
 	// the last gather copied — the sweep reuses the cached view instead of
 	// re-listing (and re-observing) the queue.
+	//gridlint:cluster-indexed
 	gatherVersion []uint64 //gridlint:keep-across-reset stale versions are inert while gatherValid is false
-	gatherValid   []bool
-	sorter        candidateOrderSorter //gridlint:keep-across-reset stateless sort scratch
+	//gridlint:cluster-indexed
+	gatherValid []bool
+	sorter      candidateOrderSorter //gridlint:keep-across-reset stateless sort scratch
 
 	// Scratch buffers reused across reallocation passes, so a sweep's
 	// bookkeeping (candidate gathering, the ECT matrix, the estimate slice)
 	// allocates only when the platform outgrows every previous pass.
-	scratchWaiting       [][]batch.WaitingJob     //gridlint:keep-across-reset capacity only; contents gated by gatherValid
-	scratchCands         []Candidate              //gridlint:keep-across-reset capacity only, truncated before use
-	scratchOrigins       []int                    //gridlint:keep-across-reset capacity only, truncated before use
-	scratchSortedCands   []Candidate              //gridlint:keep-across-reset capacity only, truncated before use
-	scratchSortedOrigins []int                    //gridlint:keep-across-reset capacity only, truncated before use
-	scratchOrder         []int                    //gridlint:keep-across-reset capacity only, truncated before use
-	scratchEsts          []Estimate               //gridlint:keep-across-reset capacity only, truncated before use
-	scratchSnaps         []batch.EstimateSnapshot //gridlint:keep-across-reset capacity only, refreshed before use
-	scratchECTs          []int64                  //gridlint:keep-across-reset capacity only, truncated before use
-	scratchRows          [][]int64                //gridlint:keep-across-reset capacity only, truncated before use
-	scratchWalls         []int64                  //gridlint:keep-across-reset capacity only, truncated before use
-	scratchWallRows      [][]int64                //gridlint:keep-across-reset capacity only, truncated before use
-	scratchErrs          []error                  //gridlint:keep-across-reset capacity only, truncated before use
+	//gridlint:cluster-indexed
+	scratchWaiting       [][]batch.WaitingJob //gridlint:keep-across-reset capacity only; contents gated by gatherValid
+	scratchCands         []Candidate          //gridlint:keep-across-reset capacity only, truncated before use
+	scratchOrigins       []int                //gridlint:keep-across-reset capacity only, truncated before use
+	scratchSortedCands   []Candidate          //gridlint:keep-across-reset capacity only, truncated before use
+	scratchSortedOrigins []int                //gridlint:keep-across-reset capacity only, truncated before use
+	scratchOrder         []int                //gridlint:keep-across-reset capacity only, truncated before use
+	scratchEsts          []Estimate           //gridlint:keep-across-reset capacity only, truncated before use
+	//gridlint:cluster-indexed
+	scratchSnaps    []batch.EstimateSnapshot //gridlint:keep-across-reset capacity only, refreshed before use
+	scratchECTs     []int64                  //gridlint:keep-across-reset capacity only, truncated before use
+	scratchRows     [][]int64                //gridlint:keep-across-reset capacity only, truncated before use
+	scratchWalls    []int64                  //gridlint:keep-across-reset capacity only, truncated before use
+	scratchWallRows [][]int64                //gridlint:keep-across-reset capacity only, truncated before use
+	//gridlint:cluster-indexed
+	scratchErrs []error //gridlint:keep-across-reset capacity only, truncated before use
 }
 
 // NewAgent builds an agent over the given servers. Mapping defaults to MCT
@@ -380,8 +386,9 @@ func (s *candidateOrderSorter) Swap(x, y int) {
 // clusters costs O(n*m) slot searches up front plus O(n) per move instead
 // of O(n*m) per move.
 type sweep struct {
-	a     *Agent
-	now   int64
+	a   *Agent
+	now int64
+	//gridlint:cluster-indexed
 	snaps []batch.EstimateSnapshot // one per cluster, refreshed in place
 	ects  [][]int64                // [candidate][cluster]; NoEstimate when unavailable
 	// walls caches each candidate's scaled walltime per cluster (0 = not

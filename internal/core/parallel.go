@@ -56,6 +56,8 @@ func SetSweepParallelThreshold(pairs int) {
 // cluster pairs) clears the threshold. fn must touch only per-idx state:
 // each cluster's scheduler is owned by exactly one worker for the duration
 // of the call, and results land in per-idx slots.
+//
+//gridlint:worker
 func (a *Agent) forEachCluster(n, work int, fn func(idx int)) {
 	workers, minWork := a.realloc.SweepWorkers, a.realloc.SweepThreshold
 	if workers <= 0 {
@@ -72,6 +74,8 @@ func (a *Agent) forEachCluster(n, work int, fn func(idx int)) {
 // lets concurrent simulation runs — the fuzz harness fans whole scenarios
 // over a worker pool — use different sweep parallelism without racing on
 // shared state.
+//
+//gridlint:worker
 func forEachClusterWith(workers, minWork, n, work int, fn func(idx int)) {
 	if workers > n {
 		workers = n

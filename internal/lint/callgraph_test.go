@@ -1,0 +1,138 @@
+package lint
+
+import (
+	"go/types"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// loadCallGraphFixture type-checks a small synthetic package and returns
+// its program and package.
+func loadCallGraphFixture(t *testing.T) (*Program, *Package) {
+	t.Helper()
+	root := t.TempDir()
+	dir := filepath.Join(root, "cgfix")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	src := `package cgfix
+
+type counter struct{ n int }
+
+func (c *counter) bump()    { c.n++ }
+func (c *counter) bumpTwo() { c.bump(); c.bump() }
+
+func ident[T any](x T) T { return x }
+
+func leaf() int { return ident(1) }
+
+func middle(c *counter) int {
+	c.bumpTwo()
+	return leaf()
+}
+
+func top(c *counter) int { return middle(c) }
+
+func island() {}
+`
+	if err := os.WriteFile(filepath.Join(dir, "a.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	loader := NewLoader(root, "")
+	prog, err := loader.Load("cgfix")
+	if err != nil {
+		t.Fatalf("loading fixture: %v", err)
+	}
+	return prog, prog.Packages["cgfix"]
+}
+
+// fnByName resolves a package-scope function, or a method via "type.name".
+func fnByName(t *testing.T, pkg *Package, name string) *types.Func {
+	t.Helper()
+	scope := pkg.Types.Scope()
+	if obj := scope.Lookup(name); obj != nil {
+		if fn, ok := obj.(*types.Func); ok {
+			return fn
+		}
+	}
+	for _, tn := range []string{"counter"} {
+		named, ok := scope.Lookup(tn).Type().(*types.Named)
+		if !ok {
+			continue
+		}
+		for i := 0; i < named.NumMethods(); i++ {
+			if m := named.Method(i); m.Name() == name {
+				return m
+			}
+		}
+	}
+	t.Fatalf("function %s not found in fixture", name)
+	return nil
+}
+
+func TestCallGraphEdges(t *testing.T) {
+	prog, pkg := loadCallGraphFixture(t)
+	g := prog.CallGraph()
+	if g2 := prog.CallGraph(); g2 != g {
+		t.Error("CallGraph() should cache and return the same graph")
+	}
+
+	middle := fnByName(t, pkg, "middle")
+	leaf := fnByName(t, pkg, "leaf")
+	bump := fnByName(t, pkg, "bump")
+
+	callees := make(map[string]bool)
+	for _, site := range g.CallsFrom(middle) {
+		if site.Caller != middle {
+			t.Errorf("CallsFrom(middle) returned a site whose caller is %v", site.Caller)
+		}
+		if site.Call == nil {
+			t.Error("call site without its CallExpr")
+		}
+		callees[site.Callee.Name()] = true
+	}
+	if !callees["bumpTwo"] || !callees["leaf"] {
+		t.Errorf("CallsFrom(middle) = %v, want bumpTwo and leaf", callees)
+	}
+
+	var bumpCallers []string
+	for _, site := range g.CallsTo(bump) {
+		bumpCallers = append(bumpCallers, site.Caller.Name())
+	}
+	if len(bumpCallers) != 2 || bumpCallers[0] != "bumpTwo" || bumpCallers[1] != "bumpTwo" {
+		t.Errorf("CallsTo(bump) callers = %v, want [bumpTwo bumpTwo]", bumpCallers)
+	}
+
+	// The generic callee must resolve to its origin function.
+	identCalled := false
+	for _, site := range g.CallsFrom(leaf) {
+		if site.Callee.Name() == "ident" {
+			identCalled = true
+		}
+	}
+	if !identCalled {
+		t.Error("generic call ident(1) not resolved to its origin in CallsFrom(leaf)")
+	}
+}
+
+func TestCallGraphReachable(t *testing.T) {
+	prog, pkg := loadCallGraphFixture(t)
+	g := prog.CallGraph()
+
+	top := fnByName(t, pkg, "top")
+	island := fnByName(t, pkg, "island")
+
+	reach := g.Reachable([]*types.Func{top})
+	for _, name := range []string{"top", "middle", "leaf", "bumpTwo", "bump", "ident"} {
+		if !reach[fnByName(t, pkg, name)] {
+			t.Errorf("%s should be reachable from top", name)
+		}
+	}
+	if reach[island] {
+		t.Error("island is not called by anything and must not be reachable from top")
+	}
+	if !g.Reachable([]*types.Func{island})[island] {
+		t.Error("a root is always reachable from itself")
+	}
+}

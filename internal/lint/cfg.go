@@ -1,0 +1,470 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// This file implements the lightweight per-function control-flow graph the
+// dataflow analyzers (refbalance today; anything path-sensitive tomorrow)
+// share. It is shaped after golang.org/x/tools/go/cfg — basic blocks of
+// statements connected by successor edges — but stays dependency-free like
+// the rest of the suite and only models what the analyzers consume:
+//
+//   - straight-line statements land in blocks in source order;
+//   - if/for/range/switch/type-switch/select fork the graph, with the two
+//     successors of a condition labelled so branch-sensitive analyses can
+//     refine facts on the true and false edges;
+//   - break/continue (with and without labels), return and goto terminate
+//     blocks and route control where Go says it goes (goto is resolved to
+//     its label when the label is in the function, and conservatively to
+//     the exit block otherwise);
+//   - defer statements are collected per function; they run at every exit,
+//     so analyses apply their effect when a path reaches the exit block,
+//     guarded by whether the defer statement was executed on that path
+//     (the defer itself appears as an ordinary statement in its block, and
+//     dataflow states track its registration).
+//
+// panics are not modelled: an analyzer that wants "panic ends the path"
+// treats calls to panic like return statements itself.
+
+// cfgBlock is one basic block: a run of statements with no internal control
+// transfer, plus the successor edges control may take afterwards.
+type cfgBlock struct {
+	// index is the block's position in funcCFG.blocks (diagnostic aid and
+	// stable iteration order for the fixed-point solvers).
+	index int
+	// stmts are the block's statements in source order. Conditions of
+	// enclosing if/for/switch statements are NOT repeated here; they live in
+	// cond.
+	stmts []ast.Stmt
+	// cond, when non-nil, is the boolean expression evaluated after the
+	// block's statements; succs[0] is then the true edge and succs[1] the
+	// false edge. When cond is nil every successor is unconditional.
+	cond ast.Expr
+	// succs are the blocks control may reach next. Empty for the exit block
+	// and for blocks ending in return.
+	succs []*cfgBlock
+}
+
+// funcCFG is the control-flow graph of one function body.
+type funcCFG struct {
+	blocks []*cfgBlock
+	entry  *cfgBlock
+	// exit is the single virtual exit block: every return statement and the
+	// natural end of the body flow into it. It holds no statements.
+	exit *cfgBlock
+	// returns maps each return statement to the block it terminates, so
+	// analyses can report at the return site that reached the exit.
+	returns map[*ast.ReturnStmt]*cfgBlock
+}
+
+// cfgBuilder carries the state of one graph construction.
+type cfgBuilder struct {
+	g   *funcCFG
+	cur *cfgBlock
+	// breakTargets / continueTargets stack the current loop/switch targets;
+	// labels maps label names to their targets for labelled branches.
+	breakTargets    []*cfgBlock
+	continueTargets []*cfgBlock
+	labelBreak      map[string]*cfgBlock
+	labelContinue   map[string]*cfgBlock
+	gotoTargets     map[string]*cfgBlock
+	// pendingGotos are goto statements seen before their label; resolved at
+	// the end, falling back to the exit block.
+	pendingGotos map[string][]*cfgBlock
+	// pendingLabel is the label of the labelled statement being built, so
+	// the loop/switch constructs can register their real break/continue
+	// targets under it.
+	pendingLabel string
+}
+
+// buildCFG constructs the control-flow graph of a function body.
+func buildCFG(body *ast.BlockStmt) *funcCFG {
+	g := &funcCFG{returns: make(map[*ast.ReturnStmt]*cfgBlock)}
+	b := &cfgBuilder{
+		g:             g,
+		labelBreak:    make(map[string]*cfgBlock),
+		labelContinue: make(map[string]*cfgBlock),
+		gotoTargets:   make(map[string]*cfgBlock),
+		pendingGotos:  make(map[string][]*cfgBlock),
+	}
+	g.entry = b.newBlock()
+	g.exit = &cfgBlock{}
+	b.cur = g.entry
+	b.stmtList(body.List)
+	// Natural fallthrough off the end of the body reaches the exit.
+	b.jump(g.exit)
+	// Unresolved gotos (labels the walk never saw — dead labels, or labels
+	// inside statements we linearised) conservatively reach the exit.
+	//gridlint:unordered-ok every pending goto gets the same edge; order is irrelevant
+	for _, blocks := range b.pendingGotos {
+		for _, from := range blocks {
+			from.succs = append(from.succs, g.exit)
+		}
+	}
+	g.exit.index = len(g.blocks)
+	g.blocks = append(g.blocks, g.exit)
+	return g
+}
+
+func (b *cfgBuilder) newBlock() *cfgBlock {
+	blk := &cfgBlock{index: len(b.g.blocks)}
+	b.g.blocks = append(b.g.blocks, blk)
+	return blk
+}
+
+// jump ends the current block with an unconditional edge to target and
+// leaves the builder without a current block (the next statement starts an
+// unreachable one unless a label re-enters).
+func (b *cfgBuilder) jump(target *cfgBlock) {
+	if b.cur != nil {
+		b.cur.succs = append(b.cur.succs, target)
+	}
+	b.cur = nil
+}
+
+// startBlock makes blk the current block, linking the previous one to it
+// when control can fall through.
+func (b *cfgBuilder) startBlock(blk *cfgBlock) {
+	if b.cur != nil {
+		b.cur.succs = append(b.cur.succs, blk)
+	}
+	b.cur = blk
+}
+
+// add appends a statement to the current block, starting a fresh block if
+// the previous one was terminated (code after return: unreachable but still
+// analyzed).
+func (b *cfgBuilder) add(s ast.Stmt) {
+	if b.cur == nil {
+		b.cur = b.newBlock()
+	}
+	b.cur.stmts = append(b.cur.stmts, s)
+}
+
+func (b *cfgBuilder) stmtList(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+func (b *cfgBuilder) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		b.stmtList(s.List)
+	case *ast.IfStmt:
+		b.ifStmt(s)
+	case *ast.ForStmt:
+		b.forStmt(s)
+	case *ast.RangeStmt:
+		b.rangeStmt(s)
+	case *ast.SwitchStmt:
+		b.switchStmt(s.Init, s.Tag, s.Body, nil)
+	case *ast.TypeSwitchStmt:
+		b.switchStmt(s.Init, nil, s.Body, s.Assign)
+	case *ast.SelectStmt:
+		b.selectStmt(s)
+	case *ast.ReturnStmt:
+		b.add(s)
+		if b.cur != nil {
+			b.g.returns[s] = b.cur
+		}
+		b.jump(b.g.exit)
+	case *ast.BranchStmt:
+		b.branchStmt(s)
+	case *ast.LabeledStmt:
+		b.labeledStmt(s)
+	default:
+		// Assignments, declarations, expression statements, defer, go,
+		// send, inc/dec, empty: straight-line.
+		b.add(s)
+	}
+}
+
+func (b *cfgBuilder) ifStmt(s *ast.IfStmt) {
+	if s.Init != nil {
+		b.add(s.Init)
+	}
+	if b.cur == nil {
+		b.cur = b.newBlock()
+	}
+	condBlock := b.cur
+	condBlock.cond = s.Cond
+	thenBlock := b.newBlock()
+	done := b.newBlock()
+	elseTarget := done
+	var elseBlock *cfgBlock
+	if s.Else != nil {
+		elseBlock = b.newBlock()
+		elseTarget = elseBlock
+	}
+	// succs[0] = true edge, succs[1] = false edge.
+	condBlock.succs = append(condBlock.succs, thenBlock, elseTarget)
+	b.cur = thenBlock
+	b.stmtList(s.Body.List)
+	b.jump(done)
+	if elseBlock != nil {
+		b.cur = elseBlock
+		b.stmt(s.Else)
+		b.jump(done)
+	}
+	b.cur = done
+}
+
+func (b *cfgBuilder) forStmt(s *ast.ForStmt) {
+	if s.Init != nil {
+		b.add(s.Init)
+	}
+	head := b.newBlock()
+	b.startBlock(head)
+	body := b.newBlock()
+	done := b.newBlock()
+	if s.Cond != nil {
+		head.cond = s.Cond
+		head.succs = append(head.succs, body, done)
+	} else {
+		// for {}: the only way out is break/return.
+		head.succs = append(head.succs, body)
+	}
+	post := head
+	if s.Post != nil {
+		post = b.newBlock()
+		post.stmts = append(post.stmts, s.Post)
+		post.succs = append(post.succs, head)
+	}
+	label := b.takeLabel(done, post)
+	defer b.dropLabel(label)
+	b.pushLoop(done, post)
+	b.cur = body
+	b.stmtList(s.Body.List)
+	b.jump(post)
+	b.popLoop()
+	b.cur = done
+}
+
+func (b *cfgBuilder) rangeStmt(s *ast.RangeStmt) {
+	// The range head is modelled as a block holding the range statement
+	// itself (so analyzers see the key/value assignment and the ranged
+	// expression), with a loop edge into the body and an exit edge.
+	head := b.newBlock()
+	b.startBlock(head)
+	head.stmts = append(head.stmts, s)
+	body := b.newBlock()
+	done := b.newBlock()
+	head.succs = append(head.succs, body, done)
+	label := b.takeLabel(done, head)
+	defer b.dropLabel(label)
+	b.pushLoop(done, head)
+	b.cur = body
+	b.stmtList(s.Body.List)
+	b.jump(head)
+	b.popLoop()
+	b.cur = done
+}
+
+// takeLabel claims the pending label (if any) for the construct being
+// built, registering its break and continue targets. dropLabel unregisters
+// them when the construct closes.
+func (b *cfgBuilder) takeLabel(brk, cont *cfgBlock) string {
+	label := b.pendingLabel
+	if label == "" {
+		return ""
+	}
+	b.pendingLabel = ""
+	b.labelBreak[label] = brk
+	if cont != nil {
+		b.labelContinue[label] = cont
+	}
+	return label
+}
+
+func (b *cfgBuilder) dropLabel(label string) {
+	if label == "" {
+		return
+	}
+	delete(b.labelBreak, label)
+	delete(b.labelContinue, label)
+}
+
+// switchStmt builds expression and type switches: every case body branches
+// from the head; fallthrough chains into the next case body.
+func (b *cfgBuilder) switchStmt(init ast.Stmt, tag ast.Expr, body *ast.BlockStmt, assign ast.Stmt) {
+	if init != nil {
+		b.add(init)
+	}
+	if tag != nil {
+		b.add(&ast.ExprStmt{X: tag})
+	}
+	if assign != nil {
+		b.add(assign)
+	}
+	if b.cur == nil {
+		b.cur = b.newBlock()
+	}
+	head := b.cur
+	done := b.newBlock()
+	label := b.takeLabel(done, nil)
+	defer b.dropLabel(label)
+	b.pushSwitch(done)
+	var caseBlocks []*cfgBlock
+	var clauses []*ast.CaseClause
+	hasDefault := false
+	for _, cs := range body.List {
+		cc, ok := cs.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		blk := b.newBlock()
+		head.succs = append(head.succs, blk)
+		caseBlocks = append(caseBlocks, blk)
+		clauses = append(clauses, cc)
+		if cc.List == nil {
+			hasDefault = true
+		}
+	}
+	if !hasDefault {
+		head.succs = append(head.succs, done)
+	}
+	for i, cc := range clauses {
+		b.cur = caseBlocks[i]
+		// Case guard expressions are evaluated in the head, but recording
+		// them in the case block keeps their identifiers visible to
+		// analyzers without affecting flow.
+		for _, e := range cc.List {
+			b.cur.stmts = append(b.cur.stmts, &ast.ExprStmt{X: e})
+		}
+		b.stmtListWithFallthrough(cc.Body, caseBlocks, i)
+		b.jump(done)
+	}
+	b.popSwitch()
+	b.cur = done
+}
+
+// stmtListWithFallthrough runs a case body, wiring a trailing fallthrough
+// into the next case block.
+func (b *cfgBuilder) stmtListWithFallthrough(list []ast.Stmt, caseBlocks []*cfgBlock, i int) {
+	for _, s := range list {
+		if br, ok := s.(*ast.BranchStmt); ok && br.Tok == token.FALLTHROUGH {
+			if i+1 < len(caseBlocks) {
+				b.jump(caseBlocks[i+1])
+			} else {
+				b.jump(b.g.exit)
+			}
+			return
+		}
+		b.stmt(s)
+	}
+}
+
+func (b *cfgBuilder) selectStmt(s *ast.SelectStmt) {
+	if b.cur == nil {
+		b.cur = b.newBlock()
+	}
+	head := b.cur
+	done := b.newBlock()
+	label := b.takeLabel(done, nil)
+	defer b.dropLabel(label)
+	b.pushSwitch(done)
+	for _, cs := range s.Body.List {
+		cc, ok := cs.(*ast.CommClause)
+		if !ok {
+			continue
+		}
+		blk := b.newBlock()
+		head.succs = append(head.succs, blk)
+		b.cur = blk
+		if cc.Comm != nil {
+			b.add(cc.Comm)
+		}
+		b.stmtList(cc.Body)
+		b.jump(done)
+	}
+	if len(head.succs) == 0 {
+		// select {} blocks forever; model as reaching the exit so analyses
+		// terminate.
+		head.succs = append(head.succs, b.g.exit)
+	}
+	b.popSwitch()
+	b.cur = done
+}
+
+func (b *cfgBuilder) branchStmt(s *ast.BranchStmt) {
+	b.add(s)
+	switch s.Tok {
+	case token.BREAK:
+		if s.Label != nil {
+			if t, ok := b.labelBreak[s.Label.Name]; ok {
+				b.jump(t)
+				return
+			}
+		} else if n := len(b.breakTargets); n > 0 {
+			b.jump(b.breakTargets[n-1])
+			return
+		}
+		b.jump(b.g.exit)
+	case token.CONTINUE:
+		if s.Label != nil {
+			if t, ok := b.labelContinue[s.Label.Name]; ok {
+				b.jump(t)
+				return
+			}
+		} else if n := len(b.continueTargets); n > 0 {
+			b.jump(b.continueTargets[n-1])
+			return
+		}
+		b.jump(b.g.exit)
+	case token.GOTO:
+		if s.Label != nil {
+			if t, ok := b.gotoTargets[s.Label.Name]; ok {
+				b.jump(t)
+				return
+			}
+			from := b.cur
+			b.cur = nil
+			if from != nil {
+				b.pendingGotos[s.Label.Name] = append(b.pendingGotos[s.Label.Name], from)
+			}
+			return
+		}
+		b.jump(b.g.exit)
+	case token.FALLTHROUGH:
+		// Handled by stmtListWithFallthrough; a stray one terminates.
+		b.jump(b.g.exit)
+	}
+}
+
+func (b *cfgBuilder) labeledStmt(s *ast.LabeledStmt) {
+	target := b.newBlock()
+	b.startBlock(target)
+	b.gotoTargets[s.Label.Name] = target
+	for _, from := range b.pendingGotos[s.Label.Name] {
+		from.succs = append(from.succs, target)
+	}
+	delete(b.pendingGotos, s.Label.Name)
+	// The loop/switch constructs claim the pending label and register their
+	// real break/continue targets under it (takeLabel); a label on any other
+	// statement only serves gotos.
+	b.pendingLabel = s.Label.Name
+	b.stmt(s.Stmt)
+	b.pendingLabel = ""
+}
+
+func (b *cfgBuilder) pushLoop(brk, cont *cfgBlock) {
+	b.breakTargets = append(b.breakTargets, brk)
+	b.continueTargets = append(b.continueTargets, cont)
+}
+
+func (b *cfgBuilder) popLoop() {
+	b.breakTargets = b.breakTargets[:len(b.breakTargets)-1]
+	b.continueTargets = b.continueTargets[:len(b.continueTargets)-1]
+}
+
+func (b *cfgBuilder) pushSwitch(brk *cfgBlock) {
+	b.breakTargets = append(b.breakTargets, brk)
+	// continue inside a switch still targets the enclosing loop; no push.
+}
+
+func (b *cfgBuilder) popSwitch() {
+	b.breakTargets = b.breakTargets[:len(b.breakTargets)-1]
+}

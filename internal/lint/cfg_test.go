@@ -1,0 +1,320 @@
+package lint
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+// buildTestCFG parses a single function body and constructs its CFG.
+func buildTestCFG(t *testing.T, body string) *funcCFG {
+	t.Helper()
+	src := "package p\n\nfunc f() {\n" + body + "\n}\n"
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "f.go", src, parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatalf("parsing test body: %v\n%s", err, src)
+	}
+	fd := file.Decls[0].(*ast.FuncDecl)
+	return buildCFG(fd.Body)
+}
+
+// checkCFGInvariants asserts the structural properties every CFG must hold:
+// block indexes match their position, the exit block is last and empty,
+// conditional blocks carry exactly two successors, and the exit is
+// reachable from the entry.
+func checkCFGInvariants(t *testing.T, g *funcCFG) {
+	t.Helper()
+	for i, blk := range g.blocks {
+		if blk.index != i {
+			t.Errorf("block %d carries index %d", i, blk.index)
+		}
+		if blk.cond != nil && len(blk.succs) != 2 {
+			t.Errorf("block %d has a condition but %d successors", i, len(blk.succs))
+		}
+	}
+	if g.blocks[len(g.blocks)-1] != g.exit {
+		t.Error("exit block is not the last block")
+	}
+	if len(g.exit.stmts) != 0 || len(g.exit.succs) != 0 {
+		t.Error("exit block must be empty with no successors")
+	}
+	seen := map[*cfgBlock]bool{g.entry: true}
+	work := []*cfgBlock{g.entry}
+	for len(work) > 0 {
+		blk := work[len(work)-1]
+		work = work[:len(work)-1]
+		for _, s := range blk.succs {
+			if !seen[s] {
+				seen[s] = true
+				work = append(work, s)
+			}
+		}
+	}
+	if !seen[g.exit] {
+		t.Error("exit block unreachable from entry")
+	}
+}
+
+func TestCFGStraightLine(t *testing.T) {
+	g := buildTestCFG(t, `
+	x := 1
+	x++
+	_ = x
+`)
+	checkCFGInvariants(t, g)
+	if len(g.entry.stmts) != 3 {
+		t.Errorf("straight-line body split across blocks: entry holds %d stmts", len(g.entry.stmts))
+	}
+	if len(g.entry.succs) != 1 || g.entry.succs[0] != g.exit {
+		t.Error("straight-line entry should flow directly to exit")
+	}
+}
+
+func TestCFGIfElseAndReturns(t *testing.T) {
+	g := buildTestCFG(t, `
+	x := 1
+	if x > 0 {
+		return
+	} else {
+		x = 2
+	}
+	_ = x
+`)
+	checkCFGInvariants(t, g)
+	if g.entry.cond == nil {
+		t.Fatal("entry should end in the if condition")
+	}
+	if len(g.returns) != 1 {
+		t.Fatalf("tracked %d return statements, want 1", len(g.returns))
+	}
+	for ret, blk := range g.returns {
+		if blk == nil || ret == nil {
+			t.Fatal("returns map holds nil entries")
+		}
+		if len(blk.succs) != 1 || blk.succs[0] != g.exit {
+			t.Error("return block should jump straight to exit")
+		}
+	}
+}
+
+func TestCFGSwitchWithFallthroughAndDefault(t *testing.T) {
+	g := buildTestCFG(t, `
+	x := 1
+	switch x {
+	case 1:
+		x = 10
+		fallthrough
+	case 2:
+		x = 20
+	default:
+		x = 30
+	}
+	_ = x
+`)
+	checkCFGInvariants(t, g)
+	// The case-1 body must reach the case-2 body through the fallthrough:
+	// some block assigning 10 has a successor whose statements assign 20.
+	assigns := func(blk *cfgBlock, lit string) bool {
+		for _, s := range blk.stmts {
+			as, ok := s.(*ast.AssignStmt)
+			if !ok || len(as.Rhs) != 1 {
+				continue
+			}
+			if bl, ok := as.Rhs[0].(*ast.BasicLit); ok && bl.Value == lit {
+				return true
+			}
+		}
+		return false
+	}
+	linked := false
+	for _, blk := range g.blocks {
+		if !assigns(blk, "10") {
+			continue
+		}
+		for _, s := range blk.succs {
+			if assigns(s, "20") {
+				linked = true
+			}
+		}
+	}
+	if !linked {
+		t.Error("fallthrough edge from case 1 to case 2 missing")
+	}
+}
+
+func TestCFGSwitchWithoutDefaultCanSkip(t *testing.T) {
+	g := buildTestCFG(t, `
+	x := 1
+	switch x {
+	case 1:
+		x = 10
+	}
+	_ = x
+`)
+	checkCFGInvariants(t, g)
+}
+
+func TestCFGTypeSwitch(t *testing.T) {
+	g := buildTestCFG(t, `
+	var v interface{}
+	switch v.(type) {
+	case int:
+		_ = v
+	case string:
+		return
+	}
+	_ = v
+`)
+	checkCFGInvariants(t, g)
+	if len(g.returns) != 1 {
+		t.Errorf("tracked %d returns in type switch, want 1", len(g.returns))
+	}
+}
+
+func TestCFGSelect(t *testing.T) {
+	g := buildTestCFG(t, `
+	a := make(chan int)
+	b := make(chan int)
+	select {
+	case <-a:
+		return
+	case v := <-b:
+		_ = v
+	default:
+	}
+`)
+	checkCFGInvariants(t, g)
+	if len(g.returns) != 1 {
+		t.Errorf("tracked %d returns in select, want 1", len(g.returns))
+	}
+}
+
+func TestCFGLoopBreakContinue(t *testing.T) {
+	g := buildTestCFG(t, `
+	for i := 0; i < 10; i++ {
+		if i == 3 {
+			continue
+		}
+		if i == 7 {
+			break
+		}
+	}
+`)
+	checkCFGInvariants(t, g)
+}
+
+func TestCFGLabeledBreakContinue(t *testing.T) {
+	g := buildTestCFG(t, `
+outer:
+	for i := 0; i < 10; i++ {
+		for j := 0; j < 10; j++ {
+			if j == 1 {
+				continue outer
+			}
+			if j == 2 {
+				break outer
+			}
+		}
+	}
+`)
+	checkCFGInvariants(t, g)
+}
+
+func TestCFGLabeledSwitchBreak(t *testing.T) {
+	g := buildTestCFG(t, `
+	x := 0
+sw:
+	switch x {
+	case 0:
+		if x == 0 {
+			break sw
+		}
+		x = 1
+	}
+	_ = x
+`)
+	checkCFGInvariants(t, g)
+}
+
+func TestCFGGotoBackwardAndForward(t *testing.T) {
+	g := buildTestCFG(t, `
+	i := 0
+loop:
+	i++
+	if i < 3 {
+		goto loop
+	}
+	if i == 3 {
+		goto done
+	}
+	i = 100
+done:
+	_ = i
+`)
+	checkCFGInvariants(t, g)
+}
+
+func TestCFGGotoUnseenLabelFallsBackToExit(t *testing.T) {
+	// The label sits inside a construct the linear walk does not register
+	// as a goto target; the edge must conservatively reach the exit rather
+	// than dangle.
+	g := buildTestCFG(t, `
+	i := 0
+	goto inside
+	for {
+	inside:
+		i++
+		break
+	}
+	_ = i
+`)
+	checkCFGInvariants(t, g)
+}
+
+func TestCFGRangeLoop(t *testing.T) {
+	g := buildTestCFG(t, `
+	xs := []int{1, 2, 3}
+	total := 0
+	for _, x := range xs {
+		total += x
+	}
+	_ = total
+`)
+	checkCFGInvariants(t, g)
+	// The range head must be able to skip the body (zero iterations).
+	var head *cfgBlock
+	for _, blk := range g.blocks {
+		for _, s := range blk.stmts {
+			if _, ok := s.(*ast.RangeStmt); ok {
+				head = blk
+			}
+		}
+	}
+	if head == nil {
+		t.Fatal("no block holds the RangeStmt head")
+	}
+	if len(head.succs) != 2 {
+		t.Fatalf("range head has %d successors, want 2 (body and skip)", len(head.succs))
+	}
+}
+
+func TestCFGUnreachableCodeStillGetsBlocks(t *testing.T) {
+	g := buildTestCFG(t, `
+	return
+	println("dead")
+`)
+	checkCFGInvariants(t, g)
+	found := false
+	for _, blk := range g.blocks {
+		for _, s := range blk.stmts {
+			if _, ok := s.(*ast.ExprStmt); ok {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Error("statement after return should still land in a (unreachable) block")
+	}
+}

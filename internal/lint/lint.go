@@ -112,7 +112,66 @@ const (
 	DirAllowRetain    = "allow-retain"
 	DirUnorderedOK    = "unordered-ok"
 	DirStateful       = "stateful"
+	DirWorker         = "worker"
+	DirClusterIndexed = "cluster-indexed"
+	DirRefAcquire     = "ref-acquire"
+	DirRefRelease     = "ref-release"
+	DirRefTransferred = "ref-transferred"
 )
+
+// KnownDirectives is the complete set of directive words the suite
+// recognises; the directives validation pass rejects anything else (a
+// typo'd directive would otherwise silently disable its check).
+var KnownDirectives = map[string]bool{
+	DirResettable:     true,
+	DirKeepAcrossRst:  true,
+	DirObservable:     true,
+	DirBumpedByCaller: true,
+	DirPooled:         true,
+	DirAllowRetain:    true,
+	DirUnorderedOK:    true,
+	DirStateful:       true,
+	DirWorker:         true,
+	DirClusterIndexed: true,
+	DirRefAcquire:     true,
+	DirRefRelease:     true,
+	DirRefTransferred: true,
+}
+
+// SuppressionDirectives are the directives that silence another analyzer's
+// diagnostic at a specific site; gridlint -suppressions counts them against
+// the committed LINT_SUPPRESSIONS budget so the total only ratchets down.
+var SuppressionDirectives = []string{
+	DirKeepAcrossRst,
+	DirAllowRetain,
+	DirUnorderedOK,
+	DirRefTransferred,
+}
+
+// CountSuppressions tallies, per directive word, how many suppression
+// directives appear in the loaded program's sources. Every word in
+// SuppressionDirectives is present in the result, zero-valued when unused,
+// so a regenerated baseline always lists the full budget vocabulary.
+func CountSuppressions(prog *Program) map[string]int {
+	counts := make(map[string]int, len(SuppressionDirectives))
+	suppress := make(map[string]bool, len(SuppressionDirectives))
+	for _, w := range SuppressionDirectives {
+		counts[w] = 0
+		suppress[w] = true
+	}
+	//gridlint:unordered-ok tallying into a map; consumers sort the words
+	for _, lines := range prog.directives {
+		//gridlint:unordered-ok tallying into a map; consumers sort the words
+		for _, entries := range lines {
+			for _, e := range entries {
+				if suppress[e.word] {
+					counts[e.word]++
+				}
+			}
+		}
+	}
+	return counts
+}
 
 // directiveIndex maps file -> line -> directives found on that line.
 // A directive comment is a // comment whose text starts with "gridlint:";
@@ -200,10 +259,13 @@ func nodeHasDirective(fset *token.FileSet, idx directiveIndex, node ast.Node, do
 // Analyzers returns the full suite in stable order.
 func Analyzers() []*Analyzer {
 	return []*Analyzer{
+		Directives,
 		ResetComplete,
 		StateVersion,
 		PoolLife,
 		Determinism,
+		SweepOwner,
+		RefBalance,
 	}
 }
 

@@ -2,6 +2,7 @@ package lint
 
 import (
 	"go/token"
+	"os"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -30,6 +31,68 @@ func TestPoolLifeFixture(t *testing.T) {
 
 func TestDeterminismFixture(t *testing.T) {
 	RunFixture(t, fixtureRoot(t), []*Analyzer{Determinism}, "determinism")
+}
+
+func TestSweepOwnerFixture(t *testing.T) {
+	RunFixture(t, fixtureRoot(t), []*Analyzer{SweepOwner}, "sweepowner")
+}
+
+func TestRefBalanceFixture(t *testing.T) {
+	RunFixture(t, fixtureRoot(t), []*Analyzer{RefBalance}, "refbalance")
+}
+
+// TestDirectivesFixture checks the directives validation pass directly:
+// its diagnostics anchor on the directive comments themselves, where the
+// `// want` convention cannot follow (a line holds one comment), so the
+// expected findings are asserted against lines located by content.
+func TestDirectivesFixture(t *testing.T) {
+	root := fixtureRoot(t)
+	loader := NewLoader(root, "")
+	prog, err := loader.Load("directives")
+	if err != nil {
+		t.Fatalf("loading fixture: %v", err)
+	}
+	diags, err := RunAnalyzers(prog, []*Analyzer{Directives})
+	if err != nil {
+		t.Fatalf("running analyzer: %v", err)
+	}
+	src, err := os.ReadFile(filepath.Join(root, "directives", "a.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lineWhere := func(match func(string) bool, desc string) int {
+		for i, l := range strings.Split(string(src), "\n") {
+			if match(l) {
+				return i + 1
+			}
+		}
+		t.Fatalf("fixture line %s not found", desc)
+		return 0
+	}
+	contains := func(substr string) func(string) bool {
+		return func(l string) bool { return strings.Contains(l, substr) }
+	}
+	want := []struct {
+		line    int
+		message string
+	}{
+		{lineWhere(contains("keep-accross-reset"), "with the typo'd directive"),
+			`unknown gridlint directive "keep-accross-reset"`},
+		// gofmt spaces the bare comment to "// gridlint:"; the analyzer
+		// trims that space, so both spellings are the same diagnostic.
+		{lineWhere(func(l string) bool { return strings.TrimSpace(l) == "// gridlint:" }, "with the bare directive"),
+			"comment with no directive word"},
+		{lineWhere(contains("var c []int"), "declaring var c"),
+			"//gridlint:allow-retain needs a justification"},
+	}
+	if len(diags) != len(want) {
+		t.Fatalf("got %d diagnostics, want %d:\n%s", len(diags), len(want), FormatDiagnostics(diags))
+	}
+	for i, w := range want {
+		if diags[i].Pos.Line != w.line || !strings.Contains(diags[i].Message, w.message) {
+			t.Errorf("diagnostic %d = %s; want line %d containing %q", i, diags[i], w.line, w.message)
+		}
+	}
 }
 
 // TestSuiteCleanOnRealTree runs the full analyzer suite over the actual

@@ -37,6 +37,7 @@ type Program struct {
 	directives directiveIndex
 	funcDecls  map[*types.Func]*ast.FuncDecl
 	typeDecls  map[*types.TypeName]*typeDecl
+	callgraph  *CallGraph
 }
 
 type typeDecl struct {
@@ -91,6 +92,20 @@ func (p *Program) NodeHasDirective(node ast.Node, dir string) bool {
 
 // DeclOf returns the loaded declaration of fn, or nil.
 func (p *Program) DeclOf(fn *types.Func) *ast.FuncDecl { return p.funcDecls[fn] }
+
+// InfoFor returns the type-checker Info of the package fn is declared in, or
+// nil for functions outside the loaded program. Interprocedural analyzers
+// need it to inspect a declaration from a package other than the one the
+// pass is running on — Info maps are per-package.
+func (p *Program) InfoFor(fn *types.Func) *types.Info {
+	if fn == nil || fn.Pkg() == nil {
+		return nil
+	}
+	if pkg := p.Packages[fn.Pkg().Path()]; pkg != nil {
+		return pkg.Info
+	}
+	return nil
+}
 
 // Loader loads and type-checks packages from source, with no toolchain
 // invocation and no dependency on export data: module packages are resolved

@@ -1,0 +1,788 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// RefBalance pairs snapshot acquisition with release along every control-flow
+// path. A function marked //gridlint:ref-acquire hands its caller a counted
+// reference into the scheduler's pooled plan profile (EstimateSnapshot and
+// friends); the reference must be released (//gridlint:ref-release), refreshed
+// through another acquire into the same variable, or explicitly handed off
+// with //gridlint:ref-transferred. The runtime symptom of getting this wrong
+// is quiet: a leaked reference pins a pooled buffer forever (the pool grows
+// monotonically under campaign reuse), and a double release frees a profile
+// another snapshot still reads. Neither trips an oracle until long after the
+// buggy call site.
+//
+// The analysis is intraprocedural and path-sensitive over the shared CFG
+// (cfg.go): each local that receives an acquired reference is tracked through
+// the function with a may-state {held, empty, deferred-release}, merged by
+// union at joins. The error result of an acquire is linked to the acquired
+// variable, so the error branch of `sn, err := acquire(); if err != nil`
+// correctly carries the pre-acquire state. Recognised release forms: a direct
+// call on the variable, the variable passed to a release function, a deferred
+// call, a deferred function literal that releases, and a bound method value
+// (rel := sn.Release; defer rel()).
+//
+// Ownership leaves the function three legitimate ways, each visible to the
+// analysis: a release/refresh on every path; returning the reference from a
+// function itself marked //gridlint:ref-acquire (the caller inherits the
+// obligation); or a store/return annotated //gridlint:ref-transferred with a
+// reason. Everything else is a leak or a double release and is reported.
+var RefBalance = &Analyzer{
+	Name: "refbalance",
+	Doc: "pair //gridlint:ref-acquire with //gridlint:ref-release on every " +
+		"path; flag leaked and double-released references",
+	Run: runRefBalance,
+}
+
+// refBits is the per-variable may-state of the dataflow.
+type refBits uint8
+
+const (
+	// refHeld: the variable may hold a live counted reference.
+	refHeld refBits = 1 << iota
+	// refEmpty: the variable may hold none (released, error path, or merged
+	// from a path that never acquired).
+	refEmpty
+	// refDeferred: a deferred release for this variable was registered on
+	// this path; the reference is released at function exit.
+	refDeferred
+)
+
+// refGuard links an error variable to the reference variable whose acquire
+// produced it, plus that variable's state before the acquire: on the branch
+// where the error is non-nil the acquire did not take effect.
+type refGuard struct {
+	target types.Object
+	pre    refBits
+}
+
+// refFlow is the dataflow fact at a program point: the tracked variables'
+// states plus the live error guards.
+type refFlow struct {
+	bits   map[types.Object]refBits
+	guards map[types.Object]refGuard
+}
+
+func newRefFlow() refFlow {
+	return refFlow{
+		bits:   make(map[types.Object]refBits),
+		guards: make(map[types.Object]refGuard),
+	}
+}
+
+func (f refFlow) clone() refFlow {
+	out := newRefFlow()
+	//gridlint:unordered-ok map copy; the destination is consulted by key only
+	for k, v := range f.bits {
+		out.bits[k] = v
+	}
+	//gridlint:unordered-ok map copy; the destination is consulted by key only
+	for k, v := range f.guards {
+		out.guards[k] = v
+	}
+	return out
+}
+
+// mergeRefFlow unions src into dst (dst is mutated) and reports whether dst
+// changed. A variable tracked on only one incoming path gains refEmpty: the
+// other path reaches this point without the reference.
+func mergeRefFlow(dst, src refFlow) bool {
+	changed := false
+	//gridlint:unordered-ok per-variable union; each key is independent
+	for obj, sb := range src.bits {
+		nb := sb
+		if db, ok := dst.bits[obj]; ok {
+			nb = db | sb
+		} else {
+			nb = sb | refEmpty
+		}
+		if dst.bits[obj] != nb {
+			dst.bits[obj] = nb
+			changed = true
+		}
+	}
+	//gridlint:unordered-ok per-variable union; each key is independent
+	for obj, db := range dst.bits {
+		if _, ok := src.bits[obj]; !ok {
+			nb := db | refEmpty
+			if nb != db {
+				dst.bits[obj] = nb
+				changed = true
+			}
+		}
+	}
+	// Guards survive a join only when both paths agree on them.
+	//gridlint:unordered-ok guard intersection; each key is independent
+	for obj, dg := range dst.guards {
+		if sg, ok := src.guards[obj]; !ok || sg != dg {
+			delete(dst.guards, obj)
+			changed = true
+		}
+	}
+	return changed
+}
+
+func runRefBalance(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			a := &refAnalysis{pass: pass, fd: fd}
+			if !a.hasAcquire() {
+				continue
+			}
+			a.run()
+		}
+	}
+	return nil
+}
+
+// refAnalysis is the per-function state of one refbalance run.
+type refAnalysis struct {
+	pass *Pass
+	fd   *ast.FuncDecl
+	g    *funcCFG
+	// selfAcquire: the function is itself marked //gridlint:ref-acquire, so
+	// returning a held reference hands the obligation to the caller.
+	selfAcquire bool
+	// thunks maps locals bound to a release method value
+	// (rel := sn.Release) to the receiver variable, so rel() releases it.
+	thunks map[types.Object]types.Object
+	// acquirePos is where each tracked variable acquired, for leak reports.
+	acquirePos map[types.Object]token.Pos
+	// reportedObj dedupes the per-variable reports (leak, escape,
+	// reacquire); reportedPos dedupes the per-site ones (double release,
+	// discarded result).
+	reportedObj map[types.Object]bool
+	reportedPos map[token.Pos]bool
+}
+
+// hasAcquire reports whether the body calls any //gridlint:ref-acquire
+// function — the only way a tracked reference is born, so its absence makes
+// the function trivially balanced.
+func (a *refAnalysis) hasAcquire() bool {
+	found := false
+	ast.Inspect(a.fd.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if fn := CalleeOf(a.pass.Info, call); fn != nil && a.pass.Prog.FuncHasDirective(fn, DirRefAcquire) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+func (a *refAnalysis) run() {
+	a.g = buildCFG(a.fd.Body)
+	a.thunks = make(map[types.Object]types.Object)
+	a.acquirePos = make(map[types.Object]token.Pos)
+	a.reportedObj = make(map[types.Object]bool)
+	a.reportedPos = make(map[token.Pos]bool)
+	if fn, ok := a.pass.Info.Defs[a.fd.Name].(*types.Func); ok {
+		a.selfAcquire = a.pass.Prog.FuncHasDirective(fn, DirRefAcquire)
+	}
+	a.collectThunks()
+
+	// Phase 1: fixed point over the CFG. Entry states only grow (union
+	// merge), so the iteration terminates.
+	in := make([]refFlow, len(a.g.blocks))
+	seen := make([]bool, len(a.g.blocks))
+	in[a.g.entry.index] = newRefFlow()
+	seen[a.g.entry.index] = true
+	work := []*cfgBlock{a.g.entry}
+	for len(work) > 0 {
+		blk := work[len(work)-1]
+		work = work[:len(work)-1]
+		out := a.transferBlock(blk, in[blk.index].clone(), false)
+		for i, succ := range blk.succs {
+			edge := out
+			if blk.cond != nil && len(blk.succs) == 2 {
+				edge = a.refineEdge(out, blk.cond, i == 0)
+			}
+			if !seen[succ.index] {
+				in[succ.index] = edge.clone()
+				seen[succ.index] = true
+				work = append(work, succ)
+			} else if mergeRefFlow(in[succ.index], edge) {
+				work = append(work, succ)
+			}
+		}
+	}
+
+	// Phase 2: one reporting walk per block with the converged entry states.
+	for _, blk := range a.g.blocks {
+		if !seen[blk.index] || blk == a.g.exit {
+			continue
+		}
+		st := a.transferBlock(blk, in[blk.index].clone(), true)
+		if a.fallsToExit(blk) {
+			a.checkLeaks(st)
+		}
+	}
+}
+
+// fallsToExit reports whether control reaches the exit block from blk without
+// a return statement: the natural end of the body, or a break routed there.
+// Returns do their own leak check in transferStmt.
+func (a *refAnalysis) fallsToExit(blk *cfgBlock) bool {
+	toExit := false
+	for _, s := range blk.succs {
+		if s == a.g.exit {
+			toExit = true
+		}
+	}
+	if !toExit {
+		return false
+	}
+	if n := len(blk.stmts); n > 0 {
+		switch blk.stmts[n-1].(type) {
+		case *ast.ReturnStmt, *ast.BranchStmt:
+			return false
+		}
+	}
+	return true
+}
+
+// collectThunks records method values binding a release method to a local:
+// rel := sn.Release. Calls and defers of rel then release sn.
+func (a *refAnalysis) collectThunks() {
+	ast.Inspect(a.fd.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+			return true
+		}
+		sel, ok := ast.Unparen(as.Rhs[0]).(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		fn, ok := a.pass.Info.Uses[sel.Sel].(*types.Func)
+		if !ok || !a.pass.Prog.FuncHasDirective(fn, DirRefRelease) {
+			return true
+		}
+		recv, ok := ast.Unparen(sel.X).(*ast.Ident)
+		if !ok {
+			return true
+		}
+		lhs, ok := ast.Unparen(as.Lhs[0]).(*ast.Ident)
+		if !ok {
+			return true
+		}
+		tgt := a.localVar(recv)
+		bound := a.localVar(lhs)
+		if tgt != nil && bound != nil {
+			a.thunks[bound] = tgt
+		}
+		return true
+	})
+}
+
+// transferBlock applies the block's statements to st and returns the
+// resulting state. With report set it also emits diagnostics (phase 2).
+func (a *refAnalysis) transferBlock(blk *cfgBlock, st refFlow, report bool) refFlow {
+	for _, s := range blk.stmts {
+		a.transferStmt(st, s, report)
+	}
+	return st
+}
+
+func (a *refAnalysis) transferStmt(st refFlow, stmt ast.Stmt, report bool) {
+	switch s := stmt.(type) {
+	case *ast.AssignStmt:
+		if a.assignStmt(st, s, report) {
+			return
+		}
+		a.processCalls(st, s, report)
+	case *ast.DeclStmt:
+		if a.declStmt(st, s, report) {
+			return
+		}
+		a.processCalls(st, s, report)
+	case *ast.DeferStmt:
+		a.deferStmt(st, s, report)
+	case *ast.ReturnStmt:
+		a.returnStmt(st, s, report)
+	case *ast.RangeStmt:
+		// Only the range head belongs to this block; the body statements are
+		// in their own blocks and must not be walked twice.
+		if s.X != nil {
+			a.processCalls(st, s.X, report)
+		}
+	default:
+		a.processCalls(st, s, report)
+	}
+}
+
+// assignStmt handles acquires bound by an assignment and tracked-variable
+// copies/stores. It returns true when the statement is fully handled.
+func (a *refAnalysis) assignStmt(st refFlow, s *ast.AssignStmt, report bool) bool {
+	if len(s.Rhs) == 1 {
+		if call, ok := ast.Unparen(s.Rhs[0]).(*ast.CallExpr); ok {
+			if fn := CalleeOf(a.pass.Info, call); fn != nil && a.pass.Prog.FuncHasDirective(fn, DirRefAcquire) {
+				lhs := make([]*ast.Ident, len(s.Lhs))
+				for i, e := range s.Lhs {
+					lhs[i], _ = ast.Unparen(e).(*ast.Ident)
+				}
+				a.acquire(st, lhs, fn, call, report)
+				return true
+			}
+		}
+	}
+	if len(s.Lhs) != 1 || len(s.Rhs) != 1 {
+		return false
+	}
+	// Copy of a tracked variable: the new variable takes over the tracking
+	// ("the last copy owns"); releasing through the old name is no longer
+	// observed, which under-reports but never false-positives.
+	if rhs, ok := ast.Unparen(s.Rhs[0]).(*ast.Ident); ok {
+		if src := a.localVar(rhs); src != nil {
+			if bits, tracked := st.bits[src]; tracked {
+				switch lhs := ast.Unparen(s.Lhs[0]).(type) {
+				case *ast.Ident:
+					if lhs.Name == "_" {
+						// Discarding a copy is a no-op; src keeps the ref.
+						return true
+					}
+					dst := a.localVar(lhs)
+					if dst == nil {
+						// Store to a package-level variable: the reference
+						// escapes the function; require an explicit handoff.
+						a.storeCheck(st, src, bits, s, report)
+						return true
+					}
+					delete(st.bits, src)
+					st.bits[dst] = bits
+					a.acquirePos[dst] = a.acquirePos[src]
+					return true
+				case *ast.SelectorExpr, *ast.IndexExpr:
+					a.storeCheck(st, src, bits, s, report)
+					return true
+				}
+				return false
+			}
+		}
+	}
+	// Overwrite of a tracked variable with anything else (nil, a fresh
+	// value): the old reference is dropped without a release.
+	if lhs, ok := ast.Unparen(s.Lhs[0]).(*ast.Ident); ok {
+		obj := a.localVar(lhs)
+		if obj == nil {
+			return false
+		}
+		bits, tracked := st.bits[obj]
+		if !tracked {
+			return false
+		}
+		if report && bits&refHeld != 0 && bits&refDeferred == 0 {
+			a.reportObj(obj, s.Pos(),
+				"%s overwritten while still holding an unreleased reference", obj.Name())
+		}
+		st.bits[obj] = refEmpty | (bits & refDeferred)
+		return false // still scan the RHS for calls
+	}
+	return false
+}
+
+// storeCheck handles a held reference written to a field, element or global:
+// legitimate only as an explicit, annotated ownership handoff.
+func (a *refAnalysis) storeCheck(st refFlow, src types.Object, bits refBits, s ast.Stmt, report bool) {
+	if report && bits&refHeld != 0 && !a.pass.Prog.NodeHasDirective(s, DirRefTransferred) {
+		a.reportObj(src, s.Pos(),
+			"reference held by %s stored outside the function without //gridlint:ref-transferred", src.Name())
+	}
+	st.bits[src] = refEmpty | (bits & refDeferred)
+}
+
+// declStmt handles `var sn, err = acquire(...)` declarations.
+func (a *refAnalysis) declStmt(st refFlow, s *ast.DeclStmt, report bool) bool {
+	gd, ok := s.Decl.(*ast.GenDecl)
+	if !ok || gd.Tok != token.VAR {
+		return false
+	}
+	handled := false
+	for _, spec := range gd.Specs {
+		vs, ok := spec.(*ast.ValueSpec)
+		if !ok || len(vs.Values) != 1 {
+			continue
+		}
+		call, ok := ast.Unparen(vs.Values[0]).(*ast.CallExpr)
+		if !ok {
+			continue
+		}
+		fn := CalleeOf(a.pass.Info, call)
+		if fn == nil || !a.pass.Prog.FuncHasDirective(fn, DirRefAcquire) {
+			continue
+		}
+		a.acquire(st, vs.Names, fn, call, report)
+		handled = true
+	}
+	return handled
+}
+
+// acquire applies one acquire call bound to the given left-hand identifiers
+// (nil entries for non-identifier or blank targets).
+func (a *refAnalysis) acquire(st refFlow, lhs []*ast.Ident, fn *types.Func, call *ast.CallExpr, report bool) {
+	sig := fn.Type().(*types.Signature)
+	res := sig.Results()
+	if res.Len() > 0 && !(res.Len() == 1 && isErrorType(res.At(0).Type())) {
+		// Result-mode acquire: the first result is the reference.
+		var obj types.Object
+		if len(lhs) > 0 && lhs[0] != nil {
+			obj = a.localVar(lhs[0])
+		}
+		if obj == nil {
+			if report {
+				a.reportPos(call.Pos(),
+					"result of %s is an acquired reference but is discarded (it can never be released)", fn.Name())
+			}
+			return
+		}
+		pre := st.bits[obj]
+		if report && pre&refHeld != 0 && pre&refDeferred == 0 {
+			a.reportObj(obj, call.Pos(),
+				"%s reacquired while still holding an unreleased reference", obj.Name())
+		}
+		st.bits[obj] = refHeld | (pre & refDeferred)
+		a.acquirePos[obj] = call.Pos()
+		if res.Len() >= 2 && isErrorType(res.At(res.Len()-1).Type()) &&
+			len(lhs) == res.Len() && lhs[len(lhs)-1] != nil {
+			if errObj := a.localVar(lhs[len(lhs)-1]); errObj != nil {
+				st.guards[errObj] = refGuard{target: obj, pre: pre}
+			}
+		}
+		return
+	}
+	// Into-mode acquire (error-only result): the target is the pointer
+	// argument. A pointer into a field or element is the provider's in-place
+	// refresh of long-lived state and is neutral here.
+	obj := a.intoTarget(call)
+	if obj == nil {
+		return
+	}
+	pre := st.bits[obj]
+	// A refresh of an already-held reference releases the old one inside the
+	// provider; either way the variable holds exactly one afterwards.
+	st.bits[obj] = refHeld | (pre & refDeferred)
+	if pre&refHeld == 0 {
+		a.acquirePos[obj] = call.Pos()
+	}
+	if len(lhs) > 0 && lhs[0] != nil {
+		if errObj := a.localVar(lhs[0]); errObj != nil {
+			st.guards[errObj] = refGuard{target: obj, pre: pre}
+		}
+	}
+}
+
+// intoTarget resolves the local variable an Into-style acquire fills: the
+// first argument that is &local or a pointer-typed local.
+func (a *refAnalysis) intoTarget(call *ast.CallExpr) types.Object {
+	for _, arg := range call.Args {
+		switch e := ast.Unparen(arg).(type) {
+		case *ast.UnaryExpr:
+			if e.Op != token.AND {
+				continue
+			}
+			if id, ok := ast.Unparen(e.X).(*ast.Ident); ok {
+				return a.localVar(id)
+			}
+			return nil
+		case *ast.Ident:
+			if obj := a.localVar(e); obj != nil {
+				if _, ok := obj.Type().Underlying().(*types.Pointer); ok {
+					return obj
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func (a *refAnalysis) deferStmt(st refFlow, s *ast.DeferStmt, report bool) {
+	call := s.Call
+	if lit, ok := ast.Unparen(call.Fun).(*ast.FuncLit); ok {
+		// A deferred literal releasing a captured variable counts as a
+		// deferred release of it.
+		ast.Inspect(lit.Body, func(n ast.Node) bool {
+			inner, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if obj := a.releaseTargetOf(inner); obj != nil {
+				st.bits[obj] |= refDeferred
+			}
+			return true
+		})
+		return
+	}
+	if obj := a.releaseTargetOf(call); obj != nil {
+		st.bits[obj] |= refDeferred
+		return
+	}
+	a.processCalls(st, call, report)
+}
+
+func (a *refAnalysis) returnStmt(st refFlow, s *ast.ReturnStmt, report bool) {
+	transferred := a.pass.Prog.NodeHasDirective(s, DirRefTransferred)
+	returned := make(map[types.Object]bool)
+	for _, res := range s.Results {
+		e := ast.Unparen(res)
+		if u, ok := e.(*ast.UnaryExpr); ok && u.Op == token.AND {
+			e = ast.Unparen(u.X)
+		}
+		if id, ok := e.(*ast.Ident); ok {
+			if obj := a.localVar(id); obj != nil {
+				returned[obj] = true
+			}
+			continue
+		}
+		// Returning an acquire call's result directly: fine from a function
+		// that is itself an acquire point (or an annotated handoff).
+		if call, ok := e.(*ast.CallExpr); ok {
+			if fn := CalleeOf(a.pass.Info, call); fn != nil && a.pass.Prog.FuncHasDirective(fn, DirRefAcquire) {
+				if report && !a.selfAcquire && !transferred {
+					a.reportPos(call.Pos(),
+						"reference acquired from %s returned from a function not marked //gridlint:ref-acquire (annotate the return //gridlint:ref-transferred if ownership moves)", fn.Name())
+				}
+				continue
+			}
+			a.processCalls(st, call, report)
+		}
+	}
+	if !report {
+		return
+	}
+	//gridlint:unordered-ok reports are deduped per variable and sorted by position later
+	for obj, bits := range st.bits {
+		if bits&refHeld == 0 || bits&refDeferred != 0 {
+			continue
+		}
+		if returned[obj] {
+			if a.selfAcquire || transferred {
+				continue
+			}
+			a.reportObj(obj, s.Pos(),
+				"%s returned while holding a reference; mark the function //gridlint:ref-acquire or annotate the return //gridlint:ref-transferred", obj.Name())
+			continue
+		}
+		a.reportObj(obj, a.leakPos(obj, s.Pos()),
+			"reference held by %s is not released on every path (missing release, defer, or //gridlint:ref-transferred)", obj.Name())
+	}
+}
+
+// checkLeaks runs the exit check for paths that fall off the end of the body
+// without a return statement.
+func (a *refAnalysis) checkLeaks(st refFlow) {
+	//gridlint:unordered-ok reports are deduped per variable and sorted by position later
+	for obj, bits := range st.bits {
+		if bits&refHeld == 0 || bits&refDeferred != 0 {
+			continue
+		}
+		a.reportObj(obj, a.leakPos(obj, a.fd.Body.Rbrace),
+			"reference held by %s is not released on every path (missing release, defer, or //gridlint:ref-transferred)", obj.Name())
+	}
+}
+
+// leakPos anchors a leak report at the acquire site when known (the stable,
+// reviewable location), falling back to the path's end.
+func (a *refAnalysis) leakPos(obj types.Object, fallback token.Pos) token.Pos {
+	if p, ok := a.acquirePos[obj]; ok {
+		return p
+	}
+	return fallback
+}
+
+// processCalls scans a statement or expression for release calls (direct,
+// through a bound method value) and for acquire calls whose result is used
+// in no tracked position. Function literals are skipped: a closure's body
+// runs when the closure does, not here.
+func (a *refAnalysis) processCalls(st refFlow, node ast.Node, report bool) {
+	ast.Inspect(node, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if obj := a.releaseTargetOf(call); obj != nil {
+			a.applyRelease(st, obj, call, report)
+			return true
+		}
+		if fn := CalleeOf(a.pass.Info, call); fn != nil && a.pass.Prog.FuncHasDirective(fn, DirRefAcquire) {
+			// Unbound acquire: an Into-style call mutates its pointer target;
+			// a result-mode call in expression position discards the ref.
+			sig := fn.Type().(*types.Signature)
+			res := sig.Results()
+			if res.Len() == 0 || (res.Len() == 1 && isErrorType(res.At(0).Type())) {
+				a.acquire(st, nil, fn, call, report)
+			} else if report {
+				a.reportPos(call.Pos(),
+					"result of %s is an acquired reference but is discarded (it can never be released)", fn.Name())
+			}
+		}
+		return true
+	})
+}
+
+// releaseTargetOf resolves a call to the tracked variable it releases:
+// sn.Release(), Release(sn), rel() for a bound method value, with &sn
+// accepted wherever sn is. Returns nil for calls that are not releases.
+func (a *refAnalysis) releaseTargetOf(call *ast.CallExpr) types.Object {
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if v := a.localVar(id); v != nil {
+			if tgt, ok := a.thunks[v]; ok {
+				return tgt
+			}
+		}
+	}
+	fn := CalleeOf(a.pass.Info, call)
+	if fn == nil || !a.pass.Prog.FuncHasDirective(fn, DirRefRelease) {
+		return nil
+	}
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		if obj := a.varOfExpr(sel.X); obj != nil {
+			return obj
+		}
+	}
+	for _, arg := range call.Args {
+		if obj := a.varOfExpr(arg); obj != nil {
+			return obj
+		}
+	}
+	return nil
+}
+
+// varOfExpr unwraps ident / &ident / (ident) to its local variable.
+func (a *refAnalysis) varOfExpr(e ast.Expr) types.Object {
+	e = ast.Unparen(e)
+	if u, ok := e.(*ast.UnaryExpr); ok && u.Op == token.AND {
+		e = ast.Unparen(u.X)
+	}
+	if id, ok := e.(*ast.Ident); ok {
+		return a.localVar(id)
+	}
+	return nil
+}
+
+func (a *refAnalysis) applyRelease(st refFlow, obj types.Object, call *ast.CallExpr, report bool) {
+	bits, tracked := st.bits[obj]
+	if !tracked {
+		// Releasing an untracked variable (a parameter, a field copy): the
+		// obligation belongs to whoever acquired it; not ours to check.
+		return
+	}
+	// Only a definite double release is flagged: releases are nil-safe and
+	// idempotent by contract, so releasing a maybe-empty reference (a loop
+	// that may run zero times, a merge of released and unreleased paths) is
+	// the documented way to end such scopes.
+	if report && bits&refHeld == 0 && bits&refEmpty != 0 {
+		a.reportPos(call.Pos(),
+			"%s is already released on every path reaching this release (double release)", obj.Name())
+	}
+	st.bits[obj] = refEmpty | (bits & refDeferred)
+}
+
+// refineEdge sharpens the state on the branch edges of `err != nil` /
+// `err == nil` conditions when err is a live acquire guard: on the error
+// branch the acquire did not happen and the target reverts to its
+// pre-acquire state.
+func (a *refAnalysis) refineEdge(st refFlow, cond ast.Expr, isTrue bool) refFlow {
+	bin, ok := ast.Unparen(cond).(*ast.BinaryExpr)
+	if !ok || (bin.Op != token.NEQ && bin.Op != token.EQL) {
+		return st
+	}
+	var id *ast.Ident
+	switch {
+	case isNilIdent(a.pass.Info, bin.Y):
+		id, _ = ast.Unparen(bin.X).(*ast.Ident)
+	case isNilIdent(a.pass.Info, bin.X):
+		id, _ = ast.Unparen(bin.Y).(*ast.Ident)
+	}
+	if id == nil {
+		return st
+	}
+	errObj := a.localVar(id)
+	if errObj == nil {
+		return st
+	}
+	g, ok := st.guards[errObj]
+	if !ok {
+		return st
+	}
+	errNonNil := (bin.Op == token.NEQ) == isTrue
+	if !errNonNil {
+		return st
+	}
+	out := st.clone()
+	pre := g.pre
+	if pre == 0 {
+		pre = refEmpty
+	}
+	out.bits[g.target] = pre
+	return out
+}
+
+// localVar resolves an identifier to its function-local variable, or nil for
+// blank, fields, package-level and universe objects.
+func (a *refAnalysis) localVar(id *ast.Ident) types.Object {
+	if id == nil || id.Name == "_" {
+		return nil
+	}
+	obj := a.pass.Info.Defs[id]
+	if obj == nil {
+		obj = a.pass.Info.Uses[id]
+	}
+	v, ok := obj.(*types.Var)
+	if !ok || v.IsField() {
+		return nil
+	}
+	if v.Parent() == nil || v.Parent() == a.pass.Pkg.Scope() || v.Parent() == types.Universe {
+		return nil
+	}
+	return v
+}
+
+func (a *refAnalysis) reportObj(obj types.Object, pos token.Pos, format string, args ...any) {
+	if a.reportedObj[obj] {
+		return
+	}
+	a.reportedObj[obj] = true
+	a.pass.Reportf(pos, format, args...)
+}
+
+func (a *refAnalysis) reportPos(pos token.Pos, format string, args ...any) {
+	if a.reportedPos[pos] {
+		return
+	}
+	a.reportedPos[pos] = true
+	a.pass.Reportf(pos, format, args...)
+}
+
+// isNilIdent reports whether e is the predeclared nil.
+func isNilIdent(info *types.Info, e ast.Expr) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	_, isNil := info.Uses[id].(*types.Nil)
+	return isNil
+}
+
+var errorTypeCached = types.Universe.Lookup("error").Type()
+
+func isErrorType(t types.Type) bool {
+	return types.Identical(t, errorTypeCached)
+}

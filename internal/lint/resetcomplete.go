@@ -3,15 +3,19 @@ package lint
 import (
 	"go/ast"
 	"go/types"
+	"strings"
 )
 
 // ResetComplete enforces the pooled-reuse contract: every field of a type
 // marked //gridlint:resettable must be re-initialised by the type's
 // Reset/reset method — directly, through a same-receiver helper it calls,
-// or in place by passing the field (or its address) to a call — or carry an
+// through a plain function that receives the value as an argument, or in
+// place by passing the field (or its address) to a call — or carry an
 // explicit //gridlint:keep-across-reset directive for fields that are pure
 // capacity (scratch buffers whose contents never survive into an
-// observation) or preserved configuration.
+// observation) or preserved configuration. Embedded structs are walked
+// field by field: an embedded struct is covered when it is reassigned
+// wholesale, or when every promoted field it contributes is covered.
 var ResetComplete = &Analyzer{
 	Name: "resetcomplete",
 	Doc: "every field of a //gridlint:resettable type must be covered by its " +
@@ -54,8 +58,8 @@ func checkResettable(pass *Pass, tn *types.TypeName, ts *ast.TypeSpec) {
 		return
 	}
 	covered := make(map[string]bool)
-	visited := make(map[*types.Func]bool)
-	collectResetCoverage(pass, tn, reset, covered, visited)
+	visited := make(map[coverageKey]bool)
+	collectResetCoverage(pass, reset, covered, visited)
 	for i := 0; i < st.NumFields(); i++ {
 		field := st.Field(i)
 		if covered[field.Name()] {
@@ -64,10 +68,55 @@ func checkResettable(pass *Pass, tn *types.TypeName, ts *ast.TypeSpec) {
 		if pass.Prog.ObjectHasDirective(field, DirKeepAcrossRst) {
 			continue
 		}
+		if field.Embedded() {
+			// An embedded struct promotes its fields into the receiver; the
+			// reset may cover them one by one under the promoted names
+			// (s.promoted = 0 resolves through Selections to "promoted").
+			missing := uncoveredPromoted(pass, field.Type(), covered, make(map[types.Type]bool))
+			if len(missing) == 0 {
+				continue
+			}
+			pass.Reportf(field.Pos(),
+				"embedded field %s.%s is not re-initialised by %s: promoted field(s) %s are uncovered and not marked //gridlint:keep-across-reset",
+				tn.Name(), field.Name(), reset.Name(), strings.Join(missing, ", "))
+			continue
+		}
 		pass.Reportf(field.Pos(),
 			"field %s.%s is not re-initialised by %s and is not marked //gridlint:keep-across-reset",
 			tn.Name(), field.Name(), reset.Name())
 	}
+}
+
+// uncoveredPromoted walks an embedded field's struct type and returns the
+// names of promoted fields that are neither covered under their promoted
+// name nor marked //gridlint:keep-across-reset, recursing through nested
+// embeddings. Non-struct embeddings contribute nothing (there is no field
+// set to check).
+func uncoveredPromoted(pass *Pass, t types.Type, covered map[string]bool, seen map[types.Type]bool) []string {
+	if seen[t] {
+		return nil
+	}
+	seen[t] = true
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	st, ok := t.Underlying().(*types.Struct)
+	if !ok {
+		return nil
+	}
+	var missing []string
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		if covered[f.Name()] || pass.Prog.ObjectHasDirective(f, DirKeepAcrossRst) {
+			continue
+		}
+		if f.Embedded() {
+			missing = append(missing, uncoveredPromoted(pass, f.Type(), covered, seen)...)
+			continue
+		}
+		missing = append(missing, f.Name())
+	}
+	return missing
 }
 
 // findResetMethod returns the type's Reset or reset method (preferring the
@@ -96,10 +145,21 @@ func lookupMethod(tn *types.TypeName, name string) *types.Func {
 	return nil
 }
 
-// collectResetCoverage records, in covered, every field of tn's struct that
-// fn re-initialises, following calls to other methods on the same receiver
-// (s.clearPlan() inside Reset extends coverage by whatever clearPlan
-// covers). A field counts as covered when the method:
+// coverageKey identifies one (function, receiver binding) traversal: a
+// method binds the receiver itself (argIdx -1), a plain helper binds it to
+// the parameter at argIdx. The same helper can legitimately be visited once
+// per binding position.
+type coverageKey struct {
+	fn     *types.Func
+	argIdx int
+}
+
+// collectResetCoverage records, in covered, every field of the receiver's
+// struct that fn re-initialises, following calls to other methods on the
+// same receiver (s.clearPlan() inside Reset extends coverage by whatever
+// clearPlan covers) and calls to plain functions that receive the receiver
+// as an argument (resetAgentScratch(s) counts what the helper assigns
+// through its parameter). A field counts as covered when the body:
 //
 //   - assigns it (s.f = v, s.f += v, s.f++), including under any
 //     conditional — resets are straight-line enough that reaching the
@@ -111,11 +171,12 @@ func lookupMethod(tn *types.TypeName, name string) *types.Func {
 //   - passes it, its address, or an element as a call argument
 //     (s.fillInto(s.buf), reinit(&s.cache)) — in-place re-initialisation
 //     through a helper.
-func collectResetCoverage(pass *Pass, tn *types.TypeName, fn *types.Func, covered map[string]bool, visited map[*types.Func]bool) {
-	if visited[fn] {
+func collectResetCoverage(pass *Pass, fn *types.Func, covered map[string]bool, visited map[coverageKey]bool) {
+	key := coverageKey{fn: fn, argIdx: -1}
+	if visited[key] {
 		return
 	}
-	visited[fn] = true
+	visited[key] = true
 	decl := pass.Prog.DeclOf(fn)
 	if decl == nil || decl.Body == nil || decl.Recv == nil || len(decl.Recv.List) == 0 {
 		return
@@ -124,8 +185,44 @@ func collectResetCoverage(pass *Pass, tn *types.TypeName, fn *types.Func, covere
 	if recvIdent == "" {
 		return
 	}
+	collectCoverageBody(pass, fn, decl, recvIdent, covered, visited)
+}
+
+// collectHelperCoverage extends coverage through a plain function that
+// receives the resettable value as its argIdx-th argument: the matching
+// parameter name plays the receiver role inside the helper's body.
+func collectHelperCoverage(pass *Pass, fn *types.Func, argIdx int, covered map[string]bool, visited map[coverageKey]bool) {
+	key := coverageKey{fn: fn, argIdx: argIdx}
+	if visited[key] {
+		return
+	}
+	visited[key] = true
+	decl := pass.Prog.DeclOf(fn)
+	if decl == nil || decl.Body == nil || decl.Recv != nil {
+		return
+	}
+	info := pass.Prog.InfoFor(fn)
+	if info == nil {
+		return
+	}
+	params := flattenParams(info, decl)
+	if argIdx >= len(params) || params[argIdx] == nil {
+		return
+	}
+	recvIdent := params[argIdx].Name()
+	if recvIdent == "" || recvIdent == "_" {
+		return
+	}
+	collectCoverageBody(pass, fn, decl, recvIdent, covered, visited)
+}
+
+func collectCoverageBody(pass *Pass, fn *types.Func, decl *ast.FuncDecl, recvIdent string, covered map[string]bool, visited map[coverageKey]bool) {
+	info := pass.Prog.InfoFor(fn)
+	if info == nil {
+		return
+	}
 	markField := func(expr ast.Expr) {
-		if name, ok := receiverField(pass, expr, recvIdent); ok {
+		if name, ok := receiverField(info, expr, recvIdent); ok {
 			covered[name] = true
 		}
 	}
@@ -144,16 +241,32 @@ func collectResetCoverage(pass *Pass, tn *types.TypeName, fn *types.Func, covere
 		case *ast.CallExpr:
 			// clear(s.f), helper(s.f), helper(&s.f), helper(s.f[i:]).
 			for _, arg := range n.Args {
-				markCoverageArg(pass, arg, recvIdent, covered)
+				markCoverageArg(info, arg, recvIdent, covered)
 			}
 			// s.f.Method(...) delegates f's re-initialisation; s.helper(...)
 			// extends coverage by the helper's own assignments.
 			if sel, ok := n.Fun.(*ast.SelectorExpr); ok {
-				if name, ok := receiverField(pass, sel.X, recvIdent); ok {
+				if name, ok := receiverField(info, sel.X, recvIdent); ok {
 					covered[name] = true
 				} else if id, ok := sel.X.(*ast.Ident); ok && id.Name == recvIdent {
-					if callee, ok := pass.Info.Uses[sel.Sel].(*types.Func); ok {
-						collectResetCoverage(pass, tn, callee, covered, visited)
+					if callee, ok := info.Uses[sel.Sel].(*types.Func); ok {
+						collectResetCoverage(pass, callee, covered, visited)
+					}
+				}
+			}
+			// reinitHelper(s) / reinitHelper(&local): a plain function that
+			// takes the whole receiver re-initialises whatever it assigns
+			// through the matching parameter.
+			if callee := CalleeOf(info, n); callee != nil {
+				if cd := pass.Prog.DeclOf(callee); cd != nil && cd.Recv == nil {
+					for i, arg := range n.Args {
+						a := ast.Unparen(arg)
+						if u, ok := a.(*ast.UnaryExpr); ok {
+							a = ast.Unparen(u.X)
+						}
+						if id, ok := a.(*ast.Ident); ok && id.Name == recvIdent {
+							collectHelperCoverage(pass, callee, i, covered, visited)
+						}
 					}
 				}
 			}
@@ -164,16 +277,16 @@ func collectResetCoverage(pass *Pass, tn *types.TypeName, fn *types.Func, covere
 
 // markCoverageArg marks the receiver field named inside a call argument as
 // covered: s.f, &s.f, s.f[i:], s.f[i].
-func markCoverageArg(pass *Pass, arg ast.Expr, recv string, covered map[string]bool) {
+func markCoverageArg(info *types.Info, arg ast.Expr, recv string, covered map[string]bool) {
 	switch a := arg.(type) {
 	case *ast.UnaryExpr:
-		markCoverageArg(pass, a.X, recv, covered)
+		markCoverageArg(info, a.X, recv, covered)
 	case *ast.SliceExpr:
-		markCoverageArg(pass, a.X, recv, covered)
+		markCoverageArg(info, a.X, recv, covered)
 	case *ast.IndexExpr:
-		markCoverageArg(pass, a.X, recv, covered)
+		markCoverageArg(info, a.X, recv, covered)
 	default:
-		if name, ok := receiverField(pass, arg, recv); ok {
+		if name, ok := receiverField(info, arg, recv); ok {
 			covered[name] = true
 		}
 	}
@@ -193,8 +306,10 @@ func receiverName(decl *ast.FuncDecl) string {
 }
 
 // receiverField reports whether expr is a selection of a field on the named
-// receiver (recv.field) and returns the field name.
-func receiverField(pass *Pass, expr ast.Expr, recv string) (string, bool) {
+// receiver (recv.field) and returns the field name. Promoted fields resolve
+// to the promoted name (s.inner yields "inner" even when it lives in an
+// embedded struct), which is how embedded coverage is matched.
+func receiverField(info *types.Info, expr ast.Expr, recv string) (string, bool) {
 	sel, ok := expr.(*ast.SelectorExpr)
 	if !ok {
 		return "", false
@@ -203,7 +318,7 @@ func receiverField(pass *Pass, expr ast.Expr, recv string) (string, bool) {
 	if !ok || id.Name != recv {
 		return "", false
 	}
-	if sn, ok := pass.Info.Selections[sel]; ok && sn.Kind() == types.FieldVal {
+	if sn, ok := info.Selections[sel]; ok && sn.Kind() == types.FieldVal {
 		return sel.Sel.Name, true
 	}
 	return "", false

@@ -10,10 +10,14 @@ import (
 // that carries a stateVersion counter, a method that writes a field marked
 // //gridlint:observable (state the middleware can observe through queries
 // or snapshots) must also bump stateVersion on the same receiver — either
-// directly, or through another same-receiver method it calls. Methods that
-// are only ever invoked under a caller that bumps (displacement helpers
-// inside an outage reveal, for instance) declare that with
-// //gridlint:stateversion-bumped-by-caller.
+// directly, through another same-receiver method it calls, or through a
+// plain function that receives the value as an argument. Methods that are
+// only ever invoked under a caller that bumps (displacement helpers inside
+// an outage reveal, for instance) declare that with
+// //gridlint:stateversion-bumped-by-caller — and the analyzer closes that
+// escape hatch by walking the call graph: every static caller of such a
+// method must itself bump (or carry the directive, pushing the obligation
+// further up).
 var StateVersion = &Analyzer{
 	Name: "stateversion",
 	Doc: "methods writing //gridlint:observable fields of a stateVersion-carrying " +
@@ -39,6 +43,9 @@ func runStateVersion(pass *Pass) error {
 			recvType := receiverNamed(fn)
 			if recvType == nil || !hasStateVersion(recvType) {
 				continue
+			}
+			if pass.Prog.FuncHasDirective(fn, DirBumpedByCaller) {
+				verifyBumpedByCaller(pass, fn)
 			}
 			checkStateVersionMethod(pass, fd, fn)
 		}
@@ -83,13 +90,38 @@ func checkStateVersionMethod(pass *Pass, fd *ast.FuncDecl, fn *types.Func) {
 	if pass.Prog.FuncHasDirective(fn, DirBumpedByCaller) {
 		return
 	}
-	if bumpsStateVersion(pass, fn, make(map[*types.Func]bool)) {
+	if bumpsStateVersion(pass.Prog, fn, make(map[*types.Func]bool)) {
 		return
 	}
 	for _, w := range written {
 		pass.Reportf(w.pos,
 			"method %s writes observable field %s but bumps %s on no path (add a bump or mark the method //gridlint:stateversion-bumped-by-caller)",
 			fn.Name(), w.field, stateVersionField)
+	}
+}
+
+// verifyBumpedByCaller checks the other side of the
+// //gridlint:stateversion-bumped-by-caller contract: the directive asserts
+// every caller owns the bump, so each static call site's enclosing function
+// must bump stateVersion itself or carry the directive (moving the
+// obligation one level further up). Call sites inside function literals are
+// attributed to the enclosing declared function by the call graph.
+func verifyBumpedByCaller(pass *Pass, fn *types.Func) {
+	g := pass.Prog.CallGraph()
+	for _, site := range g.CallsTo(fn) {
+		caller := site.Caller
+		if caller == nil || caller == fn {
+			continue
+		}
+		if pass.Prog.FuncHasDirective(caller, DirBumpedByCaller) {
+			continue
+		}
+		if bumpsStateVersion(pass.Prog, caller, make(map[*types.Func]bool)) {
+			continue
+		}
+		pass.Reportf(site.Call.Pos(),
+			"%s calls %s, which is marked //gridlint:stateversion-bumped-by-caller, but bumps %s on no path (the annotation moves the bump obligation to this caller)",
+			caller.Name(), fn.Name(), stateVersionField)
 	}
 }
 
@@ -100,7 +132,7 @@ func observableWrites(pass *Pass, fd *ast.FuncDecl, recv string) []writeSite {
 	var sites []writeSite
 	seen := make(map[string]bool)
 	record := func(expr ast.Expr) {
-		name, ok := receiverField(pass, expr, recv)
+		name, ok := receiverField(pass.Info, expr, recv)
 		if !ok || seen[name] {
 			return
 		}
@@ -139,18 +171,45 @@ type writeSite struct {
 }
 
 // bumpsStateVersion reports whether the method assigns stateVersion on the
-// receiver, or calls another same-receiver method that does.
-func bumpsStateVersion(pass *Pass, fn *types.Func, visited map[*types.Func]bool) bool {
-	if visited[fn] {
+// receiver — directly, through another same-receiver method it calls, or
+// through a plain helper function it passes the receiver to.
+func bumpsStateVersion(prog *Program, fn *types.Func, visited map[*types.Func]bool) bool {
+	return bumpsWithRecv(prog, fn, -1, visited)
+}
+
+// bumpsWithRecv is the traversal behind bumpsStateVersion. argIdx < 0 means
+// fn is a method and the receiver binding is its declared receiver; argIdx
+// >= 0 means fn is a plain function standing in for a method body, with the
+// receiver bound to its argIdx-th parameter. Type info is resolved per
+// declaration (not from the running pass), so the walk stays correct when
+// it crosses into a callee or caller from another package.
+func bumpsWithRecv(prog *Program, fn *types.Func, argIdx int, visited map[*types.Func]bool) bool {
+	if fn == nil || visited[fn] {
 		return false
 	}
 	visited[fn] = true
-	decl := pass.Prog.DeclOf(fn)
-	if decl == nil || decl.Body == nil || decl.Recv == nil {
+	decl := prog.DeclOf(fn)
+	info := prog.InfoFor(fn)
+	if decl == nil || decl.Body == nil || info == nil {
 		return false
 	}
-	recv := receiverName(decl)
-	if recv == "" {
+	var recv string
+	if argIdx < 0 {
+		if decl.Recv == nil || len(decl.Recv.List) == 0 {
+			return false
+		}
+		recv = receiverName(decl)
+	} else {
+		if decl.Recv != nil {
+			return false
+		}
+		params := flattenParams(info, decl)
+		if argIdx >= len(params) || params[argIdx] == nil {
+			return false
+		}
+		recv = params[argIdx].Name()
+	}
+	if recv == "" || recv == "_" {
 		return false
 	}
 	found := false
@@ -161,20 +220,37 @@ func bumpsStateVersion(pass *Pass, fn *types.Func, visited map[*types.Func]bool)
 		switch n := n.(type) {
 		case *ast.AssignStmt:
 			for _, lhs := range n.Lhs {
-				if name, ok := receiverField(pass, lhs, recv); ok && name == stateVersionField {
+				if name, ok := receiverField(info, lhs, recv); ok && name == stateVersionField {
 					found = true
 				}
 			}
 		case *ast.IncDecStmt:
-			if name, ok := receiverField(pass, n.X, recv); ok && name == stateVersionField {
+			if name, ok := receiverField(info, n.X, recv); ok && name == stateVersionField {
 				found = true
 			}
 		case *ast.CallExpr:
 			if sel, ok := n.Fun.(*ast.SelectorExpr); ok {
 				if id, ok := sel.X.(*ast.Ident); ok && id.Name == recv {
-					if callee, ok := pass.Info.Uses[sel.Sel].(*types.Func); ok {
-						if bumpsStateVersion(pass, callee, visited) {
+					if callee, ok := info.Uses[sel.Sel].(*types.Func); ok {
+						if bumpsWithRecv(prog, callee, -1, visited) {
 							found = true
+						}
+					}
+				}
+			}
+			// bumpHelper(s): a plain function receiving the receiver can
+			// carry the bump.
+			if callee := CalleeOf(info, n); callee != nil && !found {
+				if cd := prog.DeclOf(callee); cd != nil && cd.Recv == nil {
+					for i, arg := range n.Args {
+						a := ast.Unparen(arg)
+						if u, ok := a.(*ast.UnaryExpr); ok {
+							a = ast.Unparen(u.X)
+						}
+						if id, ok := a.(*ast.Ident); ok && id.Name == recv {
+							if bumpsWithRecv(prog, callee, i, visited) {
+								found = true
+							}
 						}
 					}
 				}

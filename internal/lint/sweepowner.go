@@ -1,0 +1,380 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// SweepOwner enforces the one-owner-per-cluster discipline the parallel
+// reallocation sweep (and every sharding layer built on it) relies on:
+// inside a worker callback — a function value passed to a function marked
+// //gridlint:worker, whose leading int parameter is the worker's owned
+// cluster index — any access to a slice marked //gridlint:cluster-indexed
+// must use exactly that owned index. Each cluster's batch scheduler is an
+// independent object and each worker may touch only its own cluster's
+// slots; an access through a constant, a different variable, or a whole-
+// slice iteration is a cross-owner data race waiting for the race detector
+// (or worse, a silent digest divergence) to find it dynamically.
+//
+// The check is interprocedural: when a worker callback passes its owned
+// index to a helper (sw.query(i, idx, job)), the analysis follows the call
+// and treats the receiving parameter as owned inside the helper; closures
+// defined inside the callback inherit the owned set of their environment.
+// Locals initialised from the owned index (j := idx) become owned too, and
+// locals aliasing a cluster-indexed slice (perCluster := a.scratchWaiting[:n])
+// carry the annotation along.
+var SweepOwner = &Analyzer{
+	Name: "sweepowner",
+	Doc: "inside //gridlint:worker callbacks, //gridlint:cluster-indexed slices " +
+		"may only be accessed through the worker's owned index",
+	Run: runSweepOwner,
+}
+
+func runSweepOwner(pass *Pass) error {
+	seen := make(map[string]bool)
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			// Aliases of cluster-indexed slices created in the enclosing
+			// function (perCluster := a.scratchWaiting[:n]) must be visible
+			// inside the worker literal, which captures them.
+			ctx := &ownerCtx{pass: pass, seen: seen}
+			enclosingAliases := make(map[types.Object]bool)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if as, ok := n.(*ast.AssignStmt); ok {
+					ctx.trackAssign(as, map[types.Object]bool{}, enclosingAliases)
+				}
+				return true
+			})
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				callee := CalleeOf(pass.Info, call)
+				if callee == nil || !pass.Prog.FuncHasDirective(callee, DirWorker) {
+					return true
+				}
+				checkWorkerCall(pass, call, seen, enclosingAliases)
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// checkWorkerCall analyzes every function-typed argument of a call to a
+// //gridlint:worker function whose signature carries a leading int
+// parameter: that parameter is the worker's owned index.
+func checkWorkerCall(pass *Pass, call *ast.CallExpr, seen map[string]bool, enclosingAliases map[types.Object]bool) {
+	for _, arg := range call.Args {
+		switch a := ast.Unparen(arg).(type) {
+		case *ast.FuncLit:
+			owned := ownedIndexParam(pass, a.Type)
+			if owned == nil {
+				continue
+			}
+			ctx := &ownerCtx{pass: pass, seen: seen}
+			ctx.checkBodyWith(a.Body, map[types.Object]bool{owned: true}, enclosingAliases, "worker callback")
+		case *ast.Ident, *ast.SelectorExpr:
+			// A named function used as the callback: analyze its declaration.
+			var id *ast.Ident
+			if ident, ok := a.(*ast.Ident); ok {
+				id = ident
+			} else {
+				id = a.(*ast.SelectorExpr).Sel
+			}
+			fn, ok := pass.Info.Uses[id].(*types.Func)
+			if !ok {
+				continue
+			}
+			decl := pass.Prog.DeclOf(fn)
+			if decl == nil || decl.Body == nil {
+				continue
+			}
+			owned := ownedIndexParamOfDecl(pass, decl)
+			if owned == nil {
+				continue
+			}
+			ctx := &ownerCtx{pass: pass, seen: seen}
+			ctx.checkBody(decl.Body, map[types.Object]bool{owned: true}, fn.Name())
+		}
+	}
+}
+
+// ownedIndexParam returns the object of the first int parameter of a
+// function literal's type — the owned cluster index — or nil when the
+// callback takes none.
+func ownedIndexParam(pass *Pass, ft *ast.FuncType) types.Object {
+	if ft.Params == nil {
+		return nil
+	}
+	for _, field := range ft.Params.List {
+		for _, name := range field.Names {
+			obj := pass.Info.Defs[name]
+			if obj != nil && isIntType(obj.Type()) {
+				return obj
+			}
+		}
+	}
+	return nil
+}
+
+func ownedIndexParamOfDecl(pass *Pass, decl *ast.FuncDecl) types.Object {
+	if decl.Type.Params == nil {
+		return nil
+	}
+	for _, field := range decl.Type.Params.List {
+		for _, name := range field.Names {
+			obj := pass.Info.Defs[name]
+			if obj != nil && isIntType(obj.Type()) {
+				return obj
+			}
+		}
+	}
+	return nil
+}
+
+func isIntType(t types.Type) bool {
+	basic, ok := t.Underlying().(*types.Basic)
+	return ok && basic.Info()&types.IsInteger != 0
+}
+
+// ownerCtx carries one sweepowner traversal: the pass, and the set of
+// (function, owned-parameter) contexts already analyzed so mutual helper
+// recursion terminates and shared helpers are not re-reported.
+type ownerCtx struct {
+	pass *Pass
+	seen map[string]bool
+}
+
+// checkBody walks one function body in worker context. owned is the set of
+// variables holding the worker's own cluster index; where names the context
+// for diagnostics.
+func (c *ownerCtx) checkBody(body ast.Node, owned map[types.Object]bool, where string) {
+	c.checkBodyWith(body, owned, nil, where)
+}
+
+// checkBodyWith is checkBody with aliases captured from an enclosing scope
+// (the worker literal sees the enclosing function's cluster-indexed
+// locals).
+func (c *ownerCtx) checkBodyWith(body ast.Node, owned map[types.Object]bool, captured map[types.Object]bool, where string) {
+	aliases := make(map[types.Object]bool, len(captured))
+	//gridlint:unordered-ok set-to-set copy
+	for obj := range captured {
+		aliases[obj] = true
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			c.trackAssign(n, owned, aliases)
+		case *ast.IndexExpr:
+			c.checkIndex(n, owned, aliases, where)
+		case *ast.RangeStmt:
+			if c.clusterIndexed(n.X, aliases) {
+				c.pass.Reportf(n.Pos(),
+					"%s iterates cluster-indexed %s; a worker owns exactly one cluster slot and may only access its own index",
+					where, describeExpr(n.X))
+			}
+		case *ast.CallExpr:
+			c.followCall(n, owned, where)
+		}
+		return true
+	})
+}
+
+// trackAssign propagates ownership (j := idx) and cluster-indexed aliasing
+// (perCluster := a.scratchWaiting[:n]) through simple assignments.
+func (c *ownerCtx) trackAssign(as *ast.AssignStmt, owned, aliases map[types.Object]bool) {
+	if len(as.Lhs) != len(as.Rhs) {
+		return
+	}
+	for i, lhs := range as.Lhs {
+		id, ok := lhs.(*ast.Ident)
+		if !ok {
+			continue
+		}
+		obj := c.pass.Info.Defs[id]
+		if obj == nil {
+			obj = c.pass.Info.Uses[id]
+		}
+		if obj == nil {
+			continue
+		}
+		rhs := ast.Unparen(as.Rhs[i])
+		if rid, ok := rhs.(*ast.Ident); ok {
+			if robj := c.pass.Info.Uses[rid]; robj != nil && owned[robj] {
+				owned[obj] = true
+				continue
+			}
+		}
+		if c.clusterIndexed(rhs, aliases) {
+			aliases[obj] = true
+		}
+	}
+}
+
+// checkIndex flags an index into a cluster-indexed slice whose index
+// expression is not the owned index.
+func (c *ownerCtx) checkIndex(idx *ast.IndexExpr, owned, aliases map[types.Object]bool, where string) {
+	if !c.clusterIndexed(idx.X, aliases) {
+		return
+	}
+	// Generic instantiations parse as IndexExpr too; only value indexing
+	// matters here.
+	if tv, ok := c.pass.Info.Types[idx.X]; !ok || tv.IsType() {
+		return
+	}
+	if id, ok := ast.Unparen(idx.Index).(*ast.Ident); ok {
+		if obj := c.pass.Info.Uses[id]; obj != nil && owned[obj] {
+			return
+		}
+	}
+	c.pass.Reportf(idx.Pos(),
+		"%s accesses cluster-indexed %s[%s] with an index that is not the worker's owned index; one worker owns one cluster slot",
+		where, describeExpr(idx.X), exprString(idx.Index))
+}
+
+// followCall descends into a statically resolved callee when the call
+// passes an owned index, treating the receiving parameters as owned inside
+// the callee.
+func (c *ownerCtx) followCall(call *ast.CallExpr, owned map[types.Object]bool, where string) {
+	callee := CalleeOf(c.pass.Info, call)
+	if callee == nil {
+		return
+	}
+	decl := c.pass.Prog.DeclOf(callee)
+	if decl == nil || decl.Body == nil {
+		return
+	}
+	var ownedParams []int
+	for i, arg := range call.Args {
+		id, ok := ast.Unparen(arg).(*ast.Ident)
+		if !ok {
+			continue
+		}
+		if obj := c.pass.Info.Uses[id]; obj != nil && owned[obj] {
+			ownedParams = append(ownedParams, i)
+		}
+	}
+	if len(ownedParams) == 0 {
+		return
+	}
+	key := calleeKey(callee, ownedParams)
+	if c.seen[key] {
+		return
+	}
+	c.seen[key] = true
+	info := c.pass.Prog.InfoFor(callee)
+	if info == nil {
+		return
+	}
+	calleeOwned := make(map[types.Object]bool)
+	params := flattenParams(info, decl)
+	for _, i := range ownedParams {
+		if i < len(params) && params[i] != nil {
+			calleeOwned[params[i]] = true
+		}
+	}
+	if len(calleeOwned) == 0 {
+		return
+	}
+	c.checkBody(decl.Body, calleeOwned, callee.Name())
+}
+
+// flattenParams returns the callee's parameter objects in declaration
+// order, nil-padded for unnamed parameters, so positional arguments map to
+// parameter objects. Variadic tails are returned as declared (an owned
+// index passed variadically is not tracked).
+func flattenParams(info *types.Info, decl *ast.FuncDecl) []types.Object {
+	var params []types.Object
+	if decl.Type.Params == nil {
+		return nil
+	}
+	for _, field := range decl.Type.Params.List {
+		if len(field.Names) == 0 {
+			params = append(params, nil)
+			continue
+		}
+		for _, name := range field.Names {
+			params = append(params, info.Defs[name])
+		}
+	}
+	return params
+}
+
+func calleeKey(fn *types.Func, ownedParams []int) string {
+	var b strings.Builder
+	b.WriteString(fn.FullName())
+	sort.Ints(ownedParams)
+	for _, i := range ownedParams {
+		fmt.Fprintf(&b, ":%d", i)
+	}
+	return b.String()
+}
+
+// clusterIndexed reports whether the expression denotes a slice annotated
+// //gridlint:cluster-indexed: a struct field selection, a package-level or
+// local variable carrying the directive, or a local aliasing one
+// (including through slicing).
+func (c *ownerCtx) clusterIndexed(expr ast.Expr, aliases map[types.Object]bool) bool {
+	switch e := ast.Unparen(expr).(type) {
+	case *ast.SelectorExpr:
+		if sel, ok := c.pass.Info.Selections[e]; ok && sel.Kind() == types.FieldVal {
+			return c.pass.Prog.ObjectHasDirective(sel.Obj(), DirClusterIndexed)
+		}
+		if obj, ok := c.pass.Info.Uses[e.Sel].(*types.Var); ok {
+			return c.pass.Prog.ObjectHasDirective(obj, DirClusterIndexed)
+		}
+	case *ast.Ident:
+		obj := c.pass.Info.Uses[e]
+		if obj == nil {
+			obj = c.pass.Info.Defs[e]
+		}
+		if obj == nil {
+			return false
+		}
+		if aliases[obj] {
+			return true
+		}
+		return c.pass.Prog.ObjectHasDirective(obj, DirClusterIndexed)
+	case *ast.SliceExpr:
+		return c.clusterIndexed(e.X, aliases)
+	}
+	return false
+}
+
+// describeExpr renders a compact name for a slice expression in
+// diagnostics.
+func describeExpr(expr ast.Expr) string {
+	switch e := ast.Unparen(expr).(type) {
+	case *ast.SelectorExpr:
+		return e.Sel.Name
+	case *ast.Ident:
+		return e.Name
+	case *ast.SliceExpr:
+		return describeExpr(e.X)
+	}
+	return "slice"
+}
+
+// exprString renders a short form of an index expression for diagnostics.
+func exprString(expr ast.Expr) string {
+	switch e := ast.Unparen(expr).(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.BasicLit:
+		return e.Value
+	case *ast.SelectorExpr:
+		return exprString(e.X) + "." + e.Sel.Name
+	case *ast.BinaryExpr:
+		return exprString(e.X) + e.Op.String() + exprString(e.Y)
+	}
+	return "..."
+}

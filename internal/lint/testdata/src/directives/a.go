@@ -1,0 +1,26 @@
+package directives
+
+// Fixture for the directives validation pass. The diagnostics land on the
+// comment lines themselves, where the `// want` convention cannot follow
+// (one line holds one comment), so TestDirectivesFixture asserts the
+// expected (line, message) pairs directly. Keep the markers below aligned
+// with that test when editing.
+
+//gridlint:resettable
+type tracked struct{ n int }
+
+func (t *tracked) Reset() { t.n = 0 }
+
+//gridlint:keep-accross-reset classic typo, silently disarms resetcomplete
+var a []int // the line above is MARKER 1: unknown directive
+
+// gridlint:
+var b []int // the line above is MARKER 2: no directive word
+
+var c []int //gridlint:allow-retain
+
+// The line above is MARKER 3: a suppression directive with no reason.
+
+var d []int //gridlint:unordered-ok justified: consumers sort before use
+
+var _ = []interface{}{a, b, c, d}

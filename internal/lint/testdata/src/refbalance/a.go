@@ -1,0 +1,230 @@
+package refbalance
+
+import "errors"
+
+type profile struct{ refs int }
+
+type snap struct {
+	pool *pool
+	p    *profile
+}
+
+type pool struct {
+	plan *profile
+	fail bool
+}
+
+var errFail = errors.New("fail")
+
+// Acquire hands out a counted reference to the pool's plan profile.
+//
+//gridlint:ref-acquire
+func (s *pool) Acquire() (*snap, error) {
+	if s.fail {
+		return nil, errFail
+	}
+	s.plan.refs++
+	return &snap{pool: s, p: s.plan}, nil
+}
+
+// AcquireInto refreshes sn in place, releasing its previous reference.
+//
+//gridlint:ref-acquire
+func (s *pool) AcquireInto(sn *snap, now int) error {
+	if s.fail {
+		return errFail
+	}
+	sn.Release()
+	s.plan.refs++
+	*sn = snap{pool: s, p: s.plan}
+	return nil
+}
+
+// Release drops the reference; nil-safe and idempotent.
+//
+//gridlint:ref-release
+func (sn *snap) Release() {
+	if sn == nil || sn.p == nil {
+		return
+	}
+	sn.p.refs--
+	sn.p = nil
+}
+
+func balanced(p *pool) {
+	sn, err := p.Acquire()
+	if err != nil {
+		return
+	}
+	sn.Release()
+}
+
+func deferred(p *pool) int {
+	sn, err := p.Acquire()
+	if err != nil {
+		return 0
+	}
+	defer sn.Release()
+	return sn.p.refs
+}
+
+func deferredLiteral(p *pool) {
+	sn, err := p.Acquire()
+	if err != nil {
+		return
+	}
+	defer func() { sn.Release() }()
+	_ = sn.p
+}
+
+func methodValue(p *pool) {
+	sn, err := p.Acquire()
+	if err != nil {
+		return
+	}
+	rel := sn.Release
+	defer rel()
+	_ = sn.p
+}
+
+func leak(p *pool) {
+	sn, err := p.Acquire() // want `reference held by sn is not released on every path`
+	if err != nil {
+		return
+	}
+	_ = sn.p
+}
+
+func conditionalLeak(p *pool, c bool) {
+	sn, err := p.Acquire() // want `reference held by sn is not released on every path`
+	if err != nil {
+		return
+	}
+	if c {
+		sn.Release()
+	}
+}
+
+func doubleRelease(p *pool) {
+	sn, err := p.Acquire()
+	if err != nil {
+		return
+	}
+	sn.Release()
+	sn.Release() // want `sn is already released on every path reaching this release`
+}
+
+func reacquireInLoop(p *pool, n int) {
+	for i := 0; i < n; i++ {
+		sn, err := p.Acquire() // want `sn reacquired while still holding an unreleased reference`
+		if err != nil {
+			return
+		}
+		_ = sn.p
+	}
+}
+
+func overwrite(p *pool) {
+	sn, err := p.Acquire()
+	if err != nil {
+		return
+	}
+	sn = nil // want `sn overwritten while still holding an unreleased reference`
+	_ = sn
+}
+
+func discard(p *pool) {
+	p.Acquire() // want `result of Acquire is an acquired reference but is discarded`
+}
+
+func escapeReturn(p *pool) *snap {
+	sn, err := p.Acquire()
+	if err != nil {
+		return nil
+	}
+	return sn // want `sn returned while holding a reference`
+}
+
+func escapeCall(p *pool) (*snap, error) {
+	return p.Acquire() // want `reference acquired from Acquire returned from a function not marked`
+}
+
+// wrapped is itself an acquire point: its caller inherits the obligation.
+//
+//gridlint:ref-acquire
+func wrapped(p *pool) (*snap, error) {
+	return p.Acquire()
+}
+
+//gridlint:ref-acquire
+func wrappedVar(p *pool) (*snap, error) {
+	sn, err := p.Acquire()
+	if err != nil {
+		return nil, err
+	}
+	return sn, nil
+}
+
+type holder struct{ sn *snap }
+
+func storeLeak(p *pool, h *holder) {
+	sn, err := p.Acquire()
+	if err != nil {
+		return
+	}
+	h.sn = sn // want `reference held by sn stored outside the function without`
+}
+
+func storeTransferred(p *pool, h *holder) {
+	sn, err := p.Acquire()
+	if err != nil {
+		return
+	}
+	h.sn = sn //gridlint:ref-transferred the holder owns and releases the snapshot
+}
+
+func intoBalanced(p *pool) {
+	var sn snap
+	if err := p.AcquireInto(&sn, 0); err != nil {
+		return
+	}
+	defer sn.Release()
+	_ = sn.p
+}
+
+func intoLeak(p *pool) {
+	var sn snap
+	if err := p.AcquireInto(&sn, 0); err != nil { // want `reference held by sn is not released on every path`
+		return
+	}
+	_ = sn.p
+}
+
+// refreshLoop re-acquires into the same variable every pass; the refresh
+// releases the previous reference inside the provider, and the final
+// reference is released after the loop. A failed refresh keeps the previous
+// iteration's reference, so the error path must release too. The after-loop
+// release is reached on the zero-iteration path as well, which is fine:
+// Release is nil-safe on an empty snapshot, and the analysis only flags
+// definite double releases.
+func refreshLoop(p *pool, n int) {
+	var sn snap
+	for i := 0; i < n; i++ {
+		if err := p.AcquireInto(&sn, i); err != nil {
+			sn.Release()
+			return
+		}
+		_ = sn.p
+	}
+	sn.Release()
+}
+
+// copyOwner hands the reference to a second variable; the last copy owns it.
+func copyOwner(p *pool) {
+	sn, err := p.Acquire()
+	if err != nil {
+		return
+	}
+	view := sn
+	view.Release()
+}

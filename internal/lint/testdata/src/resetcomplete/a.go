@@ -64,3 +64,73 @@ type NoReset struct { // want `type NoReset is marked //gridlint:resettable but 
 type Plain struct {
 	leaky map[int]int
 }
+
+type base struct {
+	gen  int
+	hist []int //gridlint:keep-across-reset capacity-only buffer
+}
+
+// WithEmbed embeds base; Reset covers the promoted field gen under its
+// promoted name (hist is directive-exempt), so the embedding is accepted.
+//
+//gridlint:resettable
+type WithEmbed struct {
+	base
+	top int
+}
+
+func (w *WithEmbed) Reset() {
+	w.top = 0
+	w.gen = 0
+}
+
+type base2 struct {
+	gen2 int
+	tick int
+}
+
+// BadEmbed resets one promoted field but forgets the other: the embedded
+// field itself is flagged, naming the uncovered promoted field.
+//
+//gridlint:resettable
+type BadEmbed struct {
+	base2 // want `embedded field BadEmbed\.base2 is not re-initialised by Reset: promoted field\(s\) tick are uncovered`
+	top   int
+}
+
+func (b *BadEmbed) Reset() {
+	b.top = 0
+	b.gen2 = 0
+}
+
+// WholeEmbed reassigns the embedded struct wholesale: accepted without
+// touching individual promoted fields.
+//
+//gridlint:resettable
+type WholeEmbed struct {
+	base2
+	top int
+}
+
+func (w *WholeEmbed) Reset() {
+	w.top = 0
+	w.base2 = base2{}
+}
+
+// ViaHelper resets through a plain function that receives the receiver as
+// an argument: the helper's assignments count as coverage.
+//
+//gridlint:resettable
+type ViaHelper struct {
+	x int
+	y []int
+}
+
+func (h *ViaHelper) Reset() {
+	resetViaHelper(h)
+}
+
+func resetViaHelper(h *ViaHelper) {
+	h.x = 0
+	h.y = h.y[:0]
+}

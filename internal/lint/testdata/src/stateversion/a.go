@@ -45,6 +45,37 @@ func (s *sched) Reveal(j int) {
 	s.stateVersion++
 }
 
+// BadReveal also calls displace but never bumps: the
+// bumped-by-caller directive moves the obligation here, and the call graph
+// walk flags the call site.
+func (s *sched) BadReveal(j int) {
+	s.displace(j) // want `BadReveal calls displace, which is marked //gridlint:stateversion-bumped-by-caller, but bumps stateVersion on no path`
+}
+
+// ChainReveal is itself marked bumped-by-caller, so calling displace
+// without bumping is accepted: the obligation moves up another level (and
+// ChainReveal's own callers are checked in turn).
+//
+//gridlint:stateversion-bumped-by-caller
+func (s *sched) ChainReveal(j int) {
+	s.displace(j)
+}
+
+// OuterReveal discharges ChainReveal's obligation with a direct bump.
+func (s *sched) OuterReveal(j int) {
+	s.ChainReveal(j)
+	s.stateVersion++
+}
+
+// StartViaHelper bumps through a plain function that receives the
+// receiver as an argument: accepted.
+func (s *sched) StartViaHelper(j int) {
+	s.running[j] = true
+	bumpHelper(s)
+}
+
+func bumpHelper(s *sched) { s.stateVersion++ }
+
 // Count touches only non-observable state: accepted without a bump.
 func (s *sched) Count() {
 	s.counter++

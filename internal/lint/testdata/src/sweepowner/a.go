@@ -1,0 +1,93 @@
+package sweepowner
+
+// forEach is the fixture's worker pool: fn(idx) owns cluster idx for the
+// duration of the call.
+//
+//gridlint:worker
+func forEach(n int, fn func(idx int)) {
+	for i := 0; i < n; i++ {
+		fn(i)
+	}
+}
+
+type agent struct {
+	//gridlint:cluster-indexed
+	slots []int
+	// plain is not cluster-indexed; workers may roam it freely.
+	plain []int
+}
+
+//gridlint:cluster-indexed
+var globalSlots []int
+
+func ownAccess(a *agent) {
+	forEach(len(a.slots), func(idx int) {
+		a.slots[idx]++ // the owned index: fine
+		j := idx
+		a.slots[j]++ // ownership propagates through copies
+		a.plain[0]++ // unannotated slice: not checked
+	})
+}
+
+func crossSlot(a *agent) {
+	forEach(len(a.slots), func(idx int) {
+		a.slots[0]++       // want `worker callback accesses cluster-indexed slots\[0\]`
+		a.slots[idx+1] = 0 // want `worker callback accesses cluster-indexed slots\[idx\+1\]`
+	})
+}
+
+func iterates(a *agent) {
+	forEach(len(a.slots), func(idx int) {
+		for i := range a.slots { // want `worker callback iterates cluster-indexed slots`
+			_ = i
+		}
+	})
+}
+
+func viaAlias(a *agent) {
+	view := a.slots[:2]
+	forEach(len(a.slots), func(idx int) {
+		view[idx]++ // aliases of cluster-indexed slices carry the annotation
+		view[1]++   // want `worker callback accesses cluster-indexed view\[1\]`
+	})
+}
+
+func viaHelper(a *agent) {
+	forEach(len(a.slots), func(idx int) {
+		touch(a, idx)
+		stray(a, idx)
+	})
+}
+
+// touch receives the owned index; accesses through it are fine.
+func touch(a *agent, idx int) {
+	a.slots[idx]++
+}
+
+// stray receives the owned index but wanders off it.
+func stray(a *agent, idx int) {
+	a.slots[idx-1]++ // want `stray accesses cluster-indexed slots\[idx-1\]`
+}
+
+func closures(a *agent) {
+	forEach(len(a.slots), func(idx int) {
+		inc := func() {
+			a.slots[idx]++ // closure capturing the owned index: fine
+		}
+		inc()
+		bad := func(k int) {
+			a.slots[k]++ // want `worker callback accesses cluster-indexed slots\[k\]`
+		}
+		bad(idx)
+	})
+}
+
+// step is a named callback: the analysis follows the declaration.
+func step(idx int) {
+	globalSlots[idx]++
+	globalSlots[2]++ // want `step accesses cluster-indexed globalSlots\[2\]`
+}
+
+func named() {
+	forEach(len(globalSlots), step)
+}

@@ -51,6 +51,8 @@ func (o Options) workers(n int) int {
 // at a time — but arrives in completion order, not index order; callers that
 // need index order collect into a slice by i (or use Run). A nil emit
 // discards outcomes.
+//
+//gridlint:worker
 func Stream[T any](n int, opts Options, fn func(i int, sim *core.Simulator) (T, error), emit func(i int, v T, err error)) {
 	if n <= 0 {
 		return

@@ -93,12 +93,16 @@ func (s *Server) EstimateCompletion(j workload.Job, now int64) (ect int64, ok bo
 // availability at time now. The meta-scheduler takes one snapshot per
 // cluster per reallocation sweep and reuses it across every candidate job
 // instead of issuing one EstimateCompletion request per (job, cluster) pair.
+//
+//gridlint:ref-acquire
 func (s *Server) EstimateSnapshot(now int64) (*batch.EstimateSnapshot, error) {
 	return s.sched.EstimateSnapshot(now)
 }
 
 // EstimateSnapshotInto refreshes a caller-owned snapshot in place,
 // avoiding the allocation of EstimateSnapshot on the sweep hot path.
+//
+//gridlint:ref-acquire
 func (s *Server) EstimateSnapshotInto(sn *batch.EstimateSnapshot, now int64) error {
 	return s.sched.EstimateSnapshotInto(sn, now)
 }
