@@ -14,10 +14,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"strings"
 
 	"gridrealloc/internal/cli"
@@ -27,16 +29,29 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
+	// SIGINT cancels the campaign context: cells already simulating finish,
+	// the partial progress is reported to stderr, and the process exits
+	// non-zero instead of discarding an hour of completed simulations
+	// silently.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if err := runCtx(ctx, os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
 	}
 }
 
-// run executes the campaign against the given writer; a failed write (full
-// disk, closed pipe) surfaces as an error so main exits non-zero instead of
-// reporting a campaign nobody saw. Progress keeps going to stderr.
+// run executes the campaign without cancellation (the test-suite entry
+// point).
 func run(args []string, stdout io.Writer) error {
+	return runCtx(context.Background(), args, stdout)
+}
+
+// runCtx executes the campaign against the given writer; a failed write
+// (full disk, closed pipe) surfaces as an error so main exits non-zero
+// instead of reporting a campaign nobody saw. Progress keeps going to
+// stderr.
+func runCtx(ctx context.Context, args []string, stdout io.Writer) error {
 	w := cli.NewErrWriter(stdout)
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
 	var (
@@ -98,8 +113,15 @@ func run(args []string, stdout io.Writer) error {
 	}
 
 	fmt.Fprintf(os.Stderr, "running campaign (fraction=%.3f, %d scenario(s))...\n", *fraction, len(cfg.Scenarios))
-	camp, err := experiment.Run(cfg)
+	camp, stats, err := experiment.RunCtx(ctx, cfg)
 	if err != nil {
+		// Surface what the interrupted (or failed) campaign did complete:
+		// the experiments of every finished cell are in camp, and the stats
+		// say how many cells never ran.
+		if camp != nil {
+			fmt.Fprintf(os.Stderr, "campaign aborted: %d experiments from %d of %d cells completed (%d cells skipped)\n",
+				camp.Experiments, stats.Completed, stats.Tasks, stats.Skipped)
+		}
 		return err
 	}
 	fmt.Fprintf(os.Stderr, "campaign done: %d experiments\n", camp.Experiments)

@@ -12,18 +12,29 @@
 // least 72 scenarios covers every combination at least once — and the run
 // fails if it somehow does not.
 //
+// -faults switches to the fault-injection oracle: a seeded fault plan
+// (panics, transient errors, slow tasks, poisoned simulators) is installed
+// into the campaign runner's workers and the harness asserts the campaign
+// degrades gracefully — non-faulted scenarios stay bit-identical to a
+// fault-free run, transient retries converge, quarantined simulators never
+// re-enter the pool, and no goroutines leak.
+//
 // Examples:
 //
 //	gridfuzz -n 500 -seed 42 -parallel 8
 //	gridfuzz -replay 6490219575032832022    # re-run one failing scenario
+//	gridfuzz -faults 50 -seed 42            # fault-injection campaign
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"math"
 	"os"
+	"os/signal"
 	"runtime"
 	"sort"
 	"strconv"
@@ -35,7 +46,12 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
+	// SIGINT cancels the campaign context: in-flight scenarios finish, the
+	// summary (and the lowest failing seed, if any scenario failed) still
+	// prints, and the process exits non-zero.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if err := runCtx(ctx, os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "gridfuzz:", err)
 		os.Exit(1)
 	}
@@ -67,10 +83,18 @@ type failure struct {
 	err   error
 }
 
-// run executes the fuzz campaign against the given writer; a failed write
-// (full disk, closed pipe) surfaces as an error so main exits non-zero
-// instead of reporting a green run nobody saw.
+// run executes the fuzz campaign without cancellation (the test-suite entry
+// point).
 func run(args []string, stdout io.Writer) error {
+	return runCtx(context.Background(), args, stdout)
+}
+
+// runCtx executes the fuzz campaign against the given writer; a failed
+// write (full disk, closed pipe) surfaces as an error so main exits
+// non-zero instead of reporting a green run nobody saw. Cancelling ctx
+// (SIGINT) stops the campaign after the in-flight scenarios finish; the
+// coverage summary and the lowest failing seed found so far still print.
+func runCtx(ctx context.Context, args []string, stdout io.Writer) error {
 	out := cli.NewErrWriter(stdout)
 	fs := flag.NewFlagSet("gridfuzz", flag.ContinueOnError)
 	fs.SetOutput(out)
@@ -79,6 +103,7 @@ func run(args []string, stdout io.Writer) error {
 		seed     = fs.Uint64("seed", 42, "base seed; scenario i derives its own seed from it")
 		parallel = fs.Int("parallel", runtime.NumCPU(), "worker pool size (each worker checks whole scenarios)")
 		replay   = fs.String("replay", "", "re-run the single scenario with this exact seed and exit")
+		faults   = fs.Int("faults", 0, "run the fault-injection oracle instead: inject this many seeded faults into a campaign of -n scenarios")
 		verbose  = fs.Bool("v", false, "print every scenario, not just failures and the summary")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -107,6 +132,9 @@ func run(args []string, stdout io.Writer) error {
 	if *parallel <= 0 {
 		*parallel = 1
 	}
+	if *faults > 0 {
+		return runFaults(out, *seed, *n, *faults, *parallel)
+	}
 
 	var (
 		failures                                 []failure
@@ -125,8 +153,8 @@ func run(args []string, stdout io.Writer) error {
 		spec *harness.Spec
 		err  error
 	}
-	runner.Stream(*n, runner.Options{Workers: workers},
-		func(i int, sim *core.Simulator) (outcome, error) {
+	stats, cerr := runner.StreamCtx(ctx, *n, runner.Options{Workers: workers},
+		func(_ context.Context, i int, sim *core.Simulator) (outcome, error) {
 			s := scenarioSeed(*seed, i)
 			spec := harness.Generate(s)
 			return outcome{seed: s, spec: spec, err: harness.CheckOn(sim, spec)}, nil
@@ -159,8 +187,9 @@ func run(args []string, stdout io.Writer) error {
 			missing = append(missing, c.String())
 		}
 	}
+	checked := int(stats.Completed + stats.Failed)
 	fmt.Fprintf(out, "checked %d scenarios (base seed %d, %d workers, %d jobs total)\n",
-		*n, *seed, workers, totalJobs)
+		checked, *seed, workers, totalJobs)
 	fmt.Fprintf(out, "coverage: %d/%d config combinations, %d heterogeneous platforms, %d with capacity windows (%d with >= 2)\n",
 		len(grid)-len(missing), len(grid), hetero, withWindows, multiWin)
 
@@ -169,6 +198,15 @@ func run(args []string, stdout io.Writer) error {
 		first := failures[0]
 		return fmt.Errorf("%d scenario(s) failed; first (minimal) failing seed: %d at index %d — reproduce with: gridfuzz -replay %d\n  %s\n  %v",
 			len(failures), first.seed, first.index, first.seed, first.spec, first.err)
+	}
+	if cerr != nil {
+		// A cancelled campaign cannot claim grid coverage; report what ran
+		// (the failure path above already printed the lowest failing seed).
+		if errors.Is(cerr, context.Canceled) {
+			return fmt.Errorf("interrupted after %d of %d scenarios (%d skipped); no oracle violations in the scenarios that ran",
+				checked, *n, stats.Skipped)
+		}
+		return cerr
 	}
 	if *n >= len(grid) && len(missing) > 0 {
 		return fmt.Errorf("%d scenarios should cover all %d config combinations but %d are missing (generator bug): %v",
@@ -188,5 +226,29 @@ func run(args []string, stdout io.Writer) error {
 		}
 	}
 	fmt.Fprintln(out, "all oracle invariants hold")
+	return out.Err()
+}
+
+// runFaults executes the fault-injection oracle mode (-faults): inject
+// `faults` seeded faults into a campaign of n scenarios and assert the
+// runner degrades gracefully (see harness.CheckFaultTolerance). The seed
+// reproduces the exact same fault plan, so a red run is replayed with the
+// same flags.
+func runFaults(out *cli.ErrWriter, seed uint64, n, faults, parallel int) error {
+	report, err := harness.CheckFaultTolerance(harness.FaultCampaignConfig{
+		Seed:      seed,
+		Scenarios: n,
+		Faulted:   faults,
+		Workers:   parallel,
+	})
+	if err != nil {
+		return fmt.Errorf("fault-injection campaign (seed %d, %d scenarios, %d faults): %w", seed, n, faults, err)
+	}
+	s := report.Stats
+	fmt.Fprintf(out, "fault campaign: %d scenarios, %d injected faults (seed %d): %d panics, %d transients, %d slow, %d poisoned resets\n",
+		report.Scenarios, report.Faulted, seed, report.Panics, report.Transients, report.Slows, report.Poisons)
+	fmt.Fprintf(out, "runner degraded gracefully: %d completed, %d failed, %d panics recovered, %d retries, %d timeouts, %d simulators quarantined\n",
+		s.Completed, s.Failed, s.RecoveredPanics, s.Retries, s.Timeouts, s.DiscardedSims)
+	fmt.Fprintln(out, "all fault-tolerance invariants hold")
 	return out.Err()
 }

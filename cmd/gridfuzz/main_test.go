@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 
@@ -69,6 +70,49 @@ func TestGridfuzzReplay(t *testing.T) {
 	buf.Reset()
 	if err := run([]string{"-replay", "not-a-seed"}, &buf); err == nil {
 		t.Fatal("non-numeric -replay accepted")
+	}
+}
+
+// TestGridfuzzFaultMode runs the fault-injection oracle through the CLI
+// path and pins its success output.
+func TestGridfuzzFaultMode(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fault campaign waits out slow-fault deadlines")
+	}
+	var buf bytes.Buffer
+	if err := run([]string{"-faults", "6", "-n", "24", "-seed", "42", "-parallel", "4"}, &buf); err != nil {
+		t.Fatalf("fault campaign failed: %v\n%s", err, buf.String())
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"fault campaign: 24 scenarios, 6 injected faults (seed 42)",
+		"runner degraded gracefully:",
+		"all fault-tolerance invariants hold",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestGridfuzzInterrupted is the SIGINT contract: a cancelled context stops
+// the campaign, the summary still prints, and the exit is non-zero.
+func TestGridfuzzInterrupted(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // the "SIGINT" lands before the campaign starts
+	var buf bytes.Buffer
+	err := runCtx(ctx, []string{"-n", "50", "-seed", "42", "-parallel", "2"}, &buf)
+	if err == nil {
+		t.Fatal("cancelled campaign reported success")
+	}
+	if !strings.Contains(err.Error(), "interrupted") {
+		t.Fatalf("cancellation error does not say interrupted: %v", err)
+	}
+	if !strings.Contains(buf.String(), "checked") {
+		t.Fatalf("cancelled campaign did not print its summary:\n%s", buf.String())
+	}
+	if strings.Contains(buf.String(), "all oracle invariants hold") {
+		t.Fatalf("cancelled campaign claimed a full green run:\n%s", buf.String())
 	}
 }
 

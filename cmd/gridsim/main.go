@@ -23,10 +23,13 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"strings"
 
 	gridrealloc "gridrealloc"
@@ -37,16 +40,28 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
+	// SIGINT cancels the context instead of killing the process: an
+	// interrupted multi-scenario campaign still prints the summaries of the
+	// scenarios it completed before exiting non-zero. A second SIGINT kills
+	// immediately (signal.NotifyContext unregisters on the first).
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if err := runCtx(ctx, os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "gridsim:", err)
 		os.Exit(1)
 	}
 }
 
-// run executes the tool against the given writer; a failed write (full
-// disk, closed pipe) surfaces as an error so main exits non-zero instead of
-// reporting success over truncated output.
+// run executes the tool without cancellation (the test-suite entry point).
 func run(args []string, stdout io.Writer) error {
+	return runCtx(context.Background(), args, stdout)
+}
+
+// runCtx executes the tool against the given writer; a failed write (full
+// disk, closed pipe) surfaces as an error so main exits non-zero instead of
+// reporting success over truncated output. Cancelling ctx interrupts a
+// multi-scenario campaign after the in-flight scenarios finish.
+func runCtx(ctx context.Context, args []string, stdout io.Writer) error {
 	out := cli.NewErrWriter(stdout)
 	fs := flag.NewFlagSet("gridsim", flag.ContinueOnError)
 	var (
@@ -104,7 +119,7 @@ func run(args []string, stdout io.Writer) error {
 			OutageAnnounced:       *outageAnnounced,
 			OutagePolicy:          *outagePolicy,
 		}
-		if err := runCampaign(out, scenarios, base, *parallel, *compare); err != nil {
+		if err := runCampaign(ctx, out, scenarios, base, *parallel, *compare); err != nil {
 			return err
 		}
 		return out.Err()
@@ -207,7 +222,9 @@ func splitScenarios(s string) []string {
 // scenario (plus its no-reallocation baseline when compare is set), fanned
 // over the pooled campaign runner. Progress streams to stderr in completion
 // order; the summaries print to stdout in list order once all runs finished.
-func runCampaign(out io.Writer, scenarios []string, base gridrealloc.ScenarioConfig, parallel int, compare bool) error {
+// When ctx is cancelled mid-campaign (SIGINT), the scenarios whose runs all
+// completed are still summarised before the cancellation error is returned.
+func runCampaign(ctx context.Context, out io.Writer, scenarios []string, base gridrealloc.ScenarioConfig, parallel int, compare bool) error {
 	perScenario := 1
 	if compare {
 		perScenario = 2
@@ -226,7 +243,7 @@ func runCampaign(out io.Writer, scenarios []string, base gridrealloc.ScenarioCon
 
 	results := make([]*gridrealloc.Result, len(cfgs))
 	var firstErr runner.FirstError
-	gridrealloc.RunScenariosStream(cfgs, parallel, func(i int, res *gridrealloc.Result, err error) {
+	stats, cerr := gridrealloc.RunScenariosStreamCtx(ctx, cfgs, parallel, func(i int, res *gridrealloc.Result, err error) {
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "failed %s: %v\n", cfgs[i].Scenario, err)
 			firstErr.Observe(i, err)
@@ -243,8 +260,17 @@ func runCampaign(out io.Writer, scenarios []string, base gridrealloc.ScenarioCon
 		return fmt.Errorf("scenario %s: %w", cfgs[firstErr.Index()].Scenario, err)
 	}
 
+	printed := 0
 	for si, sc := range scenarios {
 		res := results[si*perScenario]
+		if res == nil {
+			// Skipped (or still pending at cancellation): nothing to report.
+			continue
+		}
+		if compare && results[si*perScenario+1] == nil {
+			continue
+		}
+		printed++
 		printSummary(out, sc, gridrealloc.Summarize(res))
 		if res.OutageKills > 0 || res.OutageRequeues > 0 {
 			fmt.Fprintf(out, "  outage displacements: %d killed, %d requeued\n", res.OutageKills, res.OutageRequeues)
@@ -258,6 +284,13 @@ func runCampaign(out io.Writer, scenarios []string, base gridrealloc.ScenarioCon
 			fmt.Fprintf(out, "  vs baseline: impacted %.2f%%, reallocations %d, earlier %.2f%%, relative response %.3f\n",
 				cmp.ImpactedPercent, cmp.Reallocations, cmp.EarlierPercent, cmp.RelativeResponseTime)
 		}
+	}
+	if cerr != nil {
+		if errors.Is(cerr, context.Canceled) {
+			return fmt.Errorf("interrupted: %d of %d runs completed, %d scenario(s) summarised above, %d runs skipped",
+				stats.Completed, stats.Tasks, printed, stats.Skipped)
+		}
+		return cerr
 	}
 	return nil
 }

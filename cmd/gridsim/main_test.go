@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"io"
 	"os"
@@ -60,6 +61,29 @@ func TestRunMultiScenarioCampaign(t *testing.T) {
 	// Without -compare the campaign prints plain summaries.
 	if err := run([]string{"-scenario", "jan,feb", "-fraction", "0.003", "-algorithm", "none"}, io.Discard); err != nil {
 		t.Fatalf("gridsim campaign without compare failed: %v", err)
+	}
+}
+
+// TestRunCampaignInterrupted is the SIGINT contract in miniature: a
+// cancelled context must stop the campaign, report how many runs completed
+// and exit with an error instead of pretending the campaign ran.
+func TestRunCampaignInterrupted(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // the "SIGINT" lands before the campaign starts
+	var buf bytes.Buffer
+	err := runCtx(ctx, []string{
+		"-scenario", "jan,feb,mar", "-fraction", "0.003", "-algorithm", "none",
+	}, &buf)
+	if err == nil {
+		t.Fatal("cancelled campaign reported success")
+	}
+	if !strings.Contains(err.Error(), "interrupted") {
+		t.Fatalf("cancellation error does not say interrupted: %v", err)
+	}
+	// The single-scenario path ignores cancellation only in so far as one
+	// simulation is the unit of work; the campaign path must skip instead.
+	if strings.Contains(buf.String(), "summary:") {
+		t.Fatalf("cancelled-before-start campaign still printed summaries:\n%s", buf.String())
 	}
 }
 

@@ -112,6 +112,45 @@
 // query's lower bound. All three are behaviour-neutral by construction and
 // covered by the digest grids and the fuzz oracle.
 //
+// # Fault model
+//
+// Campaigns are not all-or-nothing. The context-aware entry points
+// (RunScenariosCtx, RunScenariosStreamCtx, experiment.RunCtx, and
+// runner.RunCtx/StreamCtx underneath) degrade gracefully along four paths:
+//
+//   - Cancellation: when the context is cancelled (the CLIs wire SIGINT
+//     through signal.NotifyContext), workers finish their in-flight
+//     scenario, stop claiming new ones and drain completely — no goroutine
+//     leaks, every completed result still emitted, and RunStats accounting
+//     for every task as completed, failed or skipped. cmd/experiments,
+//     cmd/gridsim -scenario and cmd/gridfuzz all print what they completed
+//     before exiting non-zero.
+//
+//   - Deadlines and retries: runner.Options.TaskTimeout bounds each task
+//     attempt, and errors marked runner.Transient are retried up to
+//     MaxRetries times with linear backoff. Timeouts and retries are
+//     counted in RunStats and surfaced through metrics.HealthOf, which
+//     grades a campaign clean, recovered or degraded.
+//
+//   - Panic quarantine: a panicking task is recovered into a structured
+//     *runner.TaskError (index, scenario seed, stack) and the campaign
+//     continues — but the worker's pooled simulator is discarded and
+//     replaced fresh. The quarantine rule is absolute: a panicked simulator
+//     never re-enters the pool, because the panic may have interrupted a
+//     mutation mid-flight, leaving state outside the Reset contract.
+//
+//   - Fault injection: internal/faultinject derives a seeded fault plan
+//     (panics, transient errors, slow tasks, poisoned-Reset simulators)
+//     and installs it into runner workers through a test hook;
+//     harness.CheckFaultTolerance asserts that under any plan, non-faulted
+//     scenarios stay bit-identical to a fault-free campaign, transient
+//     retries converge, RunStats match the plan counter for counter, and
+//     no goroutines leak (gridfuzz -faults 50 -seed 42 runs it from the
+//     CLI; the same seed replays the same faults). The quarantine digest
+//     proof (TestQuarantineDigest72Grid) injects poisoning panics into the
+//     72-configuration grid and requires the surviving 69 digests to match
+//     fresh runs bit-for-bit.
+//
 // # Randomized scenario harness
 //
 // Beyond the paper's fixed campaign, internal/harness draws arbitrary

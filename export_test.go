@@ -1,0 +1,10 @@
+package gridrealloc
+
+import "gridrealloc/internal/runner"
+
+// ScenarioTask exposes scenarioTask to the external digest tests, which
+// drive it through runner.StreamCtx directly to inject faults between
+// configurations (quarantine digest proof) without widening the public API.
+func ScenarioTask(cfgs []ScenarioConfig) runner.TaskFunc[*Result] {
+	return scenarioTask(cfgs)
+}

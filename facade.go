@@ -1,6 +1,7 @@
 package gridrealloc
 
 import (
+	"context"
 	"fmt"
 
 	"gridrealloc/internal/batch"
@@ -33,6 +34,11 @@ type (
 	Platform = platform.Platform
 	// ClusterSpec describes one cluster (name, cores, relative speed).
 	ClusterSpec = platform.ClusterSpec
+	// RunStats counts the fault-tolerance events of one campaign run
+	// through RunScenariosCtx or RunScenariosStreamCtx (completed, failed
+	// and skipped tasks, recovered panics, retries, timeouts, quarantined
+	// simulators).
+	RunStats = runner.RunStats
 )
 
 // ScenarioConfig describes one simulation run through the façade. All fields
@@ -158,7 +164,17 @@ func RunScenario(cfg ScenarioConfig) (*Result, error) {
 // error is the one with the lowest index, independent of worker count.
 // Results are bit-identical to running each configuration alone.
 func RunScenarios(cfgs []ScenarioConfig, workers int) ([]*Result, error) {
-	return runner.Run(len(cfgs), runner.Options{Workers: workers}, scenarioTask(cfgs))
+	res, _, err := RunScenariosCtx(context.Background(), cfgs, workers)
+	return res, err
+}
+
+// RunScenariosCtx is RunScenarios under a context: cancelling ctx stops new
+// scenarios from starting, lets in-flight ones finish, and returns the
+// partial results alongside RunStats saying how many completed, failed and
+// were skipped. The returned error is the lowest-index scenario error, or a
+// cancellation error when the campaign was cut short without one.
+func RunScenariosCtx(ctx context.Context, cfgs []ScenarioConfig, workers int) ([]*Result, RunStats, error) {
+	return runner.RunCtx(ctx, len(cfgs), runner.Options{Workers: workers}, scenarioTask(cfgs))
 }
 
 // RunScenariosStream is RunScenarios delivering each result to emit as it
@@ -166,14 +182,25 @@ func RunScenarios(cfgs []ScenarioConfig, workers int) ([]*Result, error) {
 // the form long campaigns use to report progress while later scenarios are
 // still running. Indexes refer to cfgs; err is per-scenario.
 func RunScenariosStream(cfgs []ScenarioConfig, workers int, emit func(i int, res *Result, err error)) {
-	runner.Stream(len(cfgs), runner.Options{Workers: workers}, scenarioTask(cfgs), emit)
+	RunScenariosStreamCtx(context.Background(), cfgs, workers, emit)
+}
+
+// RunScenariosStreamCtx is RunScenariosStream under a context: completed
+// scenarios are still emitted after cancellation (partial results, in
+// completion order), and the returned RunStats account for every scenario
+// as completed, failed or skipped. The error is ctx's error when the
+// campaign was cancelled, nil otherwise; per-scenario errors go to emit.
+func RunScenariosStreamCtx(ctx context.Context, cfgs []ScenarioConfig, workers int, emit func(i int, res *Result, err error)) (RunStats, error) {
+	return runner.StreamCtx(ctx, len(cfgs), runner.Options{Workers: workers}, scenarioTask(cfgs), emit)
 }
 
 // scenarioTask adapts a configuration batch to one runner task: resolve the
-// i-th façade config and run it on the worker's pooled simulator. Both batch
-// entry points share it so they can never drift apart.
-func scenarioTask(cfgs []ScenarioConfig) func(i int, sim *core.Simulator) (*Result, error) {
-	return func(i int, sim *core.Simulator) (*Result, error) {
+// i-th façade config and run it on the worker's pooled simulator. All batch
+// entry points share it so they can never drift apart. The context is
+// accepted for the runner's task signature; a single simulation run is the
+// unit of cancellation, so it runs to completion once started.
+func scenarioTask(cfgs []ScenarioConfig) runner.TaskFunc[*Result] {
+	return func(_ context.Context, i int, sim *core.Simulator) (*Result, error) {
 		runCfg, err := buildRunConfig(cfgs[i])
 		if err != nil {
 			return nil, err

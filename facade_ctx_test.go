@@ -1,0 +1,76 @@
+package gridrealloc_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	gridrealloc "gridrealloc"
+)
+
+// TestRunScenariosCtx checks the context-aware batch entry point: a live
+// context reproduces RunScenarios exactly, and a cancelled one returns the
+// cancellation with every scenario accounted for in the RunStats.
+func TestRunScenariosCtx(t *testing.T) {
+	cfgs := make([]gridrealloc.ScenarioConfig, 4)
+	for i := range cfgs {
+		cfgs[i] = gridrealloc.ScenarioConfig{
+			Scenario: "jan", TraceFraction: 0.003, Seed: uint64(5 + i), Algorithm: "none",
+		}
+	}
+	plain, err := gridrealloc.RunScenarios(cfgs, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, stats, err := gridrealloc.RunScenariosCtx(context.Background(), cfgs, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := gridrealloc.RunStats{Tasks: 4, Completed: 4}
+	if stats != want {
+		t.Fatalf("stats = %+v, want %+v", stats, want)
+	}
+	for i := range cfgs {
+		if results[i].Makespan != plain[i].Makespan || len(results[i].Jobs) != len(plain[i].Jobs) {
+			t.Fatalf("scenario %d diverged between RunScenarios and RunScenariosCtx", i)
+		}
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, stats, err = gridrealloc.RunScenariosCtx(ctx, cfgs, 2)
+	if err == nil || !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled batch: err = %v", err)
+	}
+	if got := stats.Completed + stats.Failed + stats.Skipped; got != 4 {
+		t.Fatalf("cancelled batch loses scenarios: %+v", stats)
+	}
+}
+
+// TestRunScenariosStreamCtxCancelled checks the streaming variant's
+// cancellation contract: emitted results stop, the stats account for every
+// scenario, and the context error is returned.
+func TestRunScenariosStreamCtxCancelled(t *testing.T) {
+	cfgs := make([]gridrealloc.ScenarioConfig, 6)
+	for i := range cfgs {
+		cfgs[i] = gridrealloc.ScenarioConfig{
+			Scenario: "jan", TraceFraction: 0.003, Seed: uint64(9 + i), Algorithm: "none",
+		}
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	emitted := 0
+	stats, err := gridrealloc.RunScenariosStreamCtx(ctx, cfgs, 1, func(i int, res *gridrealloc.Result, err error) {
+		emitted++
+		cancel() // first completion interrupts the campaign
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if int64(emitted) != stats.Completed+stats.Failed {
+		t.Fatalf("emitted %d, stats account %d", emitted, stats.Completed+stats.Failed)
+	}
+	if stats.Skipped == 0 {
+		t.Fatalf("nothing skipped after first-emit cancellation: %+v", stats)
+	}
+}

@@ -202,11 +202,27 @@ type Simulator struct {
 	servers []*server.Server // every server ever built; runs use a prefix
 	agent   *Agent
 	d       driver
+
+	// poisoned simulates a pooled context whose Reset contract is broken:
+	// once set it is deliberately never cleared — not by Reset, not by a
+	// new Run — and every later result is perturbed. Fault-injection
+	// support only (see Poison); always false in production.
+	poisoned bool
 }
 
 // NewSimulator returns an empty simulation context; pooled state accumulates
 // across Run calls.
 func NewSimulator() *Simulator { return &Simulator{} }
+
+// Poison marks the pooled context as contaminated: every later Run on it
+// completes but returns a deterministically perturbed result (its makespan
+// is off by one), and nothing — including the per-run Reset of every
+// component — clears the mark. It exists for the fault-injection harness,
+// which uses it to prove the campaign runner's quarantine rule: a simulator
+// suspected of corruption (a task panicked on it) must be discarded, never
+// returned to a pool, because a broken Reset is exactly the fault no later
+// run can detect from the inside. Production code never calls this.
+func (sm *Simulator) Poison() { sm.poisoned = true }
 
 // Run executes one simulation and returns its result, reusing the
 // simulator's pooled state.
@@ -383,6 +399,12 @@ func (sm *Simulator) Run(cfg Config) (*Result, error) {
 	result.TotalReallocations = agent.TotalReallocations()
 	result.ReallocationEvents = agent.ReallocationEvents()
 	result.EventsExecuted = d.engine.Steps()
+	if sm.poisoned {
+		// The simulated contamination: a digest-visible perturbation that
+		// only the runner's quarantine (discard the simulator, never reuse
+		// it) can keep out of later tasks' results.
+		result.Makespan++
+	}
 	return result, nil
 }
 

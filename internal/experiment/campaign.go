@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"runtime"
@@ -115,6 +116,21 @@ type Campaign struct {
 // per (scenario, heterogeneity, policy) triple and shared by the twelve
 // reallocation runs compared against them.
 func Run(cfg CampaignConfig) (*Campaign, error) {
+	camp, _, err := RunCtx(context.Background(), cfg)
+	if err != nil {
+		return nil, err
+	}
+	return camp, nil
+}
+
+// RunCtx is Run under a context. Cancelling ctx stops new cells from
+// starting; cells already running finish and their results are merged, so
+// the returned Campaign holds every completed cell even on cancellation
+// (RunStats say how many cells completed, failed or were skipped). The
+// error is the lowest-index cell failure, or the cancellation when the
+// campaign was cut short without one — in both cases alongside the partial
+// Campaign, which a CLI can still summarise before exiting non-zero.
+func RunCtx(ctx context.Context, cfg CampaignConfig) (*Campaign, runner.RunStats, error) {
 	cfg = cfg.withDefaults()
 	camp := &Campaign{
 		Config:      cfg,
@@ -127,7 +143,7 @@ func Run(cfg CampaignConfig) (*Campaign, error) {
 	for _, sc := range cfg.Scenarios {
 		t, err := workload.Scenario(sc, cfg.Fraction, cfg.Seed)
 		if err != nil {
-			return nil, fmt.Errorf("experiment: generating scenario %s: %w", sc, err)
+			return nil, runner.RunStats{}, fmt.Errorf("experiment: generating scenario %s: %w", sc, err)
 		}
 		traces[sc] = t
 	}
@@ -155,8 +171,8 @@ func Run(cfg CampaignConfig) (*Campaign, error) {
 		experiments int
 	}
 	var firstErr runner.FirstError
-	runner.Stream(len(cells), runner.Options{Workers: cfg.Parallelism},
-		func(i int, sim *core.Simulator) (cellOutcome, error) {
+	stats, cerr := runner.StreamCtx(ctx, len(cells), runner.Options{Workers: cfg.Parallelism},
+		func(_ context.Context, i int, sim *core.Simulator) (cellOutcome, error) {
 			cl := cells[i]
 			comparisons, baseline, n, err := runCell(sim, cfg, traces[cl.scenario], cl.scenario, cl.het, cl.policy)
 			return cellOutcome{comparisons, baseline, n}, err
@@ -178,10 +194,15 @@ func Run(cfg CampaignConfig) (*Campaign, error) {
 				fmt.Fprintf(cfg.Progress, "done %s/%s/%s (%d experiments)\n", cl.scenario, cl.het, cl.policy, out.experiments)
 			}
 		})
+	// runCell errors are already "experiment:"-prefixed and self-locating.
 	if err := firstErr.Err(); err != nil {
-		return nil, err
+		return camp, stats, err
 	}
-	return camp, nil
+	if cerr != nil {
+		return camp, stats, fmt.Errorf("experiment: campaign cancelled after %d of %d cells: %w",
+			stats.Completed, stats.Tasks, cerr)
+	}
+	return camp, stats, nil
 }
 
 // runCell runs the baseline plus every (algorithm, heuristic) variant for

@@ -2,6 +2,8 @@ package experiment
 
 import (
 	"bytes"
+	"context"
+	"errors"
 	"strings"
 	"testing"
 
@@ -298,5 +300,31 @@ func TestCampaignConfigDefaults(t *testing.T) {
 	if len(cfg.Scenarios) != 7 || len(cfg.Heterogeneities) != 2 || len(cfg.Policies) != 2 ||
 		len(cfg.Algorithms) != 2 || len(cfg.Heuristics) != 6 {
 		t.Fatalf("default dimensions wrong: %+v", cfg)
+	}
+}
+
+// TestCampaignRunCtxCancelled checks the campaign's cancellation contract:
+// a cancelled context aborts the fan-out but the partial Campaign (with
+// every completed cell merged) still comes back alongside the stats.
+func TestCampaignRunCtxCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // before the first cell starts: everything must be skipped
+	camp, stats, err := RunCtx(ctx, CampaignConfig{
+		Fraction:  0.003,
+		Scenarios: []workload.ScenarioName{"jan", "feb"},
+		Policies:  []batch.Policy{batch.FCFS},
+	})
+	if err == nil || !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if camp == nil {
+		t.Fatal("cancelled campaign returned no partial Campaign")
+	}
+	if stats.Skipped != stats.Tasks || stats.Completed != 0 {
+		t.Fatalf("pre-cancelled campaign ran cells: %+v", stats)
+	}
+	if len(camp.Comparisons) != 0 || camp.Experiments != 0 {
+		t.Fatalf("skipped cells still produced results: %d comparisons, %d experiments",
+			len(camp.Comparisons), camp.Experiments)
 	}
 }

@@ -1,0 +1,78 @@
+package harness
+
+import (
+	"testing"
+	"time"
+)
+
+// TestCheckFaultTolerance runs the full fault oracle on a small campaign and
+// checks the report accounts for every injected fault.
+func TestCheckFaultTolerance(t *testing.T) {
+	cfg := FaultCampaignConfig{
+		Seed:        42,
+		Scenarios:   16,
+		Faulted:     6,
+		Workers:     4,
+		TaskTimeout: 2 * time.Second,
+		MaxRetries:  3,
+	}
+	report, err := CheckFaultTolerance(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Scenarios != 16 || report.Faulted != 6 {
+		t.Fatalf("report shape: %+v", report)
+	}
+	if got := report.Panics + report.Transients + report.Slows + report.Poisons; got != 6 {
+		t.Fatalf("fault kinds sum to %d, want 6: %+v", got, report)
+	}
+	// Six faults cycle through the four kinds, so every recovery path ran.
+	if report.Panics == 0 || report.Transients == 0 || report.Slows == 0 || report.Poisons == 0 {
+		t.Fatalf("a fault kind was never injected: %+v", report)
+	}
+	if report.Stats.Tasks != 16 {
+		t.Fatalf("stats tasks = %d", report.Stats.Tasks)
+	}
+	if !report.Stats.Degraded() {
+		t.Fatalf("faulted campaign reported no degradation: %+v", report.Stats)
+	}
+	if report.CancelStats.Skipped == 0 && report.CancelStats.Completed == 16 {
+		t.Logf("cancellation leg completed all tasks before the cancel landed (legal, just fast)")
+	}
+}
+
+// TestCheckFaultToleranceDeterministic checks the oracle is replayable: the
+// same seed produces the same injected-fault breakdown and the same stats.
+func TestCheckFaultToleranceDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two full oracle campaigns")
+	}
+	cfg := FaultCampaignConfig{Seed: 7, Scenarios: 12, Faulted: 4, Workers: 3}
+	a, err := CheckFaultTolerance(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := CheckFaultTolerance(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Panics != b.Panics || a.Transients != b.Transients || a.Slows != b.Slows || a.Poisons != b.Poisons {
+		t.Fatalf("fault breakdown not reproducible: %+v vs %+v", a, b)
+	}
+	if a.Stats != b.Stats {
+		t.Fatalf("stats not reproducible:\n  %+v\n  %+v", a.Stats, b.Stats)
+	}
+}
+
+// TestFaultCampaignDefaults pins the zero-value configuration the CI smoke
+// step relies on.
+func TestFaultCampaignDefaults(t *testing.T) {
+	c := FaultCampaignConfig{}.withDefaults()
+	if c.Scenarios != 72 || c.Faulted != 9 || c.MaxRetries != 3 || c.TaskTimeout != 2*time.Second {
+		t.Fatalf("defaults: %+v", c)
+	}
+	tiny := FaultCampaignConfig{Scenarios: 2}.withDefaults()
+	if tiny.Faulted != 2 {
+		t.Fatalf("Faulted not clamped to Scenarios: %+v", tiny)
+	}
+}

@@ -1,0 +1,54 @@
+// Package leakcheck asserts that an operation left no goroutines behind.
+// The campaign runner's cancellation contract promises that StreamCtx and
+// RunCtx return only after every worker goroutine has exited; the runner's
+// cancellation tests and the harness fault oracle hold it to that promise
+// by snapshotting the goroutine count before a campaign and checking it
+// settled back afterwards.
+//
+// The check is count-based and tolerant of unrelated background goroutines
+// only in one direction: anything running at snapshot time is allowed to
+// keep running, but the count may not grow. Because exiting goroutines are
+// observed asynchronously (a worker that returned may not have been reaped
+// yet), Check polls with a short backoff before declaring a leak, and the
+// failure message carries the full stack dump so the leaked goroutine is
+// identifiable without re-running.
+package leakcheck
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+)
+
+// Snapshot records the goroutine population at one instant.
+type Snapshot struct {
+	goroutines int
+}
+
+// Take snapshots the current goroutine count. Call it before starting the
+// operation under test.
+func Take() Snapshot {
+	return Snapshot{goroutines: runtime.NumGoroutine()}
+}
+
+// Check verifies the goroutine count settled back to at most the snapshot
+// level, polling for up to roughly two seconds to absorb reaping lag. On
+// failure it returns an error carrying every goroutine's stack.
+func (s Snapshot) Check() error {
+	const (
+		attempts = 100
+		pause    = 20 * time.Millisecond
+	)
+	var n int
+	for i := 0; i < attempts; i++ {
+		n = runtime.NumGoroutine()
+		if n <= s.goroutines {
+			return nil
+		}
+		time.Sleep(pause)
+	}
+	buf := make([]byte, 1<<20)
+	buf = buf[:runtime.Stack(buf, true)]
+	return fmt.Errorf("leakcheck: %d goroutines still running, %d at snapshot; stacks:\n%s",
+		n, s.goroutines, buf)
+}

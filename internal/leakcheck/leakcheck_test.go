@@ -1,0 +1,30 @@
+package leakcheck
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCheckPassesWhenNothingLeaks(t *testing.T) {
+	snap := Take()
+	done := make(chan struct{})
+	go func() { close(done) }()
+	<-done
+	if err := snap.Check(); err != nil {
+		t.Fatalf("exited goroutine reported as leak: %v", err)
+	}
+}
+
+func TestCheckReportsLeak(t *testing.T) {
+	snap := Take()
+	block := make(chan struct{})
+	defer close(block)
+	go func() { <-block }() // survives past every Check poll
+	err := snap.Check()
+	if err == nil {
+		t.Fatal("leaked goroutine not detected")
+	}
+	if !strings.Contains(err.Error(), "leakcheck_test.go") {
+		t.Fatalf("leak report does not carry the leaked goroutine's stack:\n%v", err)
+	}
+}

@@ -13,25 +13,104 @@
 // fully determine task content for every caller, so a campaign's outcome is
 // bit-identical no matter how many workers execute it — only wall-clock time
 // changes.
+//
+// # Fault model
+//
+// A campaign is not all-or-nothing. The context-aware entry points
+// (RunCtx, StreamCtx) degrade gracefully under four classes of fault:
+//
+//   - Cancellation: when the context is cancelled, workers finish their
+//     in-flight task, stop claiming new indexes and drain; StreamCtx/RunCtx
+//     return only after every worker goroutine has exited (no leaks), every
+//     completed task has been emitted (partial results, still serialised),
+//     and the lowest-index error convention still holds over the tasks that
+//     ran. Unclaimed tasks are counted in RunStats.Skipped.
+//
+//   - Deadlines: Options.TaskTimeout derives a per-task context; a task
+//     that fails once its deadline has expired is recorded as a timeout
+//     (RunStats.Timeouts) and reported as a *TaskError wrapping
+//     context.DeadlineExceeded. The campaign continues with the next task.
+//
+//   - Transient errors: an error marked with Transient is retried up to
+//     Options.MaxRetries times with linear backoff (Options.RetryBackoff)
+//     before it counts as the task's outcome; each retry is counted in
+//     RunStats.Retries.
+//
+//   - Panics: a panicking task is recovered into a *TaskError carrying the
+//     task index, its scenario seed (Options.SeedOf) and the stack. The
+//     worker's pooled simulator is quarantined — a panic may have been
+//     thrown mid-mutation, leaving state no Reset contract covers, so the
+//     poisoned simulator is discarded and NEVER reused; the worker
+//     continues on a fresh one (RunStats.RecoveredPanics,
+//     RunStats.DiscardedSims). All other tasks still run.
+//
+// The recovery paths are provably exercised: internal/faultinject installs
+// seeded fault plans through Options.Hook and the harness fault oracle
+// asserts that non-faulted tasks produce digests bit-identical to a
+// fault-free campaign while the RunStats counters match the plan exactly.
 package runner
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"gridrealloc/internal/core"
 )
 
-// Options configures a campaign execution.
-type Options struct {
-	// Workers bounds the worker pool; 0 or negative means one worker per
-	// CPU (GOMAXPROCS). The pool never exceeds the task count.
-	Workers int
+// TaskFunc is the unit of campaign work: run task i on the worker's pooled
+// simulator. ctx carries campaign cancellation and, when Options.TaskTimeout
+// is set, the per-task deadline; long tasks should observe it where they
+// can. The simulator must not escape the call.
+type TaskFunc[T any] func(ctx context.Context, i int, sim *core.Simulator) (T, error)
+
+// Hook intercepts task attempts inside runner workers. It exists for the
+// seeded fault-injection harness (internal/faultinject): a hook may return
+// an error (the attempt fails without running the task), panic (exercising
+// the recover-and-quarantine path), block on ctx (exercising the deadline
+// path) or mutate the simulator (exercising the poisoned-simulator
+// quarantine). Production campaigns leave Options.Hook nil.
+type Hook interface {
+	// BeforeAttempt runs before attempt (0-based) of task on the given
+	// worker's pooled simulator. A non-nil error becomes the attempt's
+	// outcome and the task function is not called.
+	BeforeAttempt(ctx context.Context, worker, task, attempt int, sim *core.Simulator) error
 }
 
-// workers resolves the effective pool size for n tasks.
+// Options configures a campaign execution.
+type Options struct {
+	// Workers bounds the worker pool; zero and negative values both mean
+	// one worker per CPU (GOMAXPROCS). The pool never exceeds the task
+	// count.
+	Workers int
+	// TaskTimeout, when positive, bounds each task attempt: the task runs
+	// under a context with this deadline and a failure past the deadline is
+	// recorded as a timeout. Zero means no per-task deadline.
+	TaskTimeout time.Duration
+	// MaxRetries is how many times a task attempt that failed with an error
+	// marked Transient is retried before the error becomes the task's
+	// outcome. Zero disables retries.
+	MaxRetries int
+	// RetryBackoff is the base delay between retries; attempt k waits
+	// k*RetryBackoff (linear backoff), interruptible by cancellation. Zero
+	// retries immediately.
+	RetryBackoff time.Duration
+	// SeedOf, when non-nil, maps a task index to the scenario seed recorded
+	// in TaskError for panics and timeouts, so a faulted task is replayable
+	// (gridfuzz -replay <seed>) straight from the error.
+	SeedOf func(i int) uint64
+	// Hook is the fault-injection test hook; nil in production.
+	Hook Hook
+}
+
+// workers resolves the effective pool size for n tasks. Both zero and
+// negative Workers values clamp to one worker per CPU — a negative value
+// must never reach the pool sizing below, where it would be taken literally.
 func (o Options) workers(n int) int {
 	w := o.Workers
 	if w <= 0 {
@@ -40,66 +119,306 @@ func (o Options) workers(n int) int {
 	if w > n {
 		w = n
 	}
+	if w < 1 {
+		w = 1
+	}
 	return w
 }
 
-// Stream runs fn(i, sim) for every task index i in [0, n) over the worker
-// pool and delivers every outcome to emit as it completes. Each worker owns
-// one pooled *core.Simulator, reused across all tasks it executes; fn must
-// route its simulation runs through that simulator to benefit (and must not
-// let it escape the call). emit is serialised — at most one invocation runs
-// at a time — but arrives in completion order, not index order; callers that
-// need index order collect into a slice by i (or use Run). A nil emit
-// discards outcomes.
+// RunStats counts the fault-tolerance events of one campaign execution.
+// Tasks == Completed + Failed + Skipped always holds; a fault-free,
+// uncancelled campaign has Completed == Tasks and zeros elsewhere.
+type RunStats struct {
+	// Tasks is the campaign size n.
+	Tasks int64
+	// Completed counts tasks whose final outcome was success.
+	Completed int64
+	// Failed counts tasks whose final outcome was an error (including
+	// recovered panics and timeouts, after retries were exhausted).
+	Failed int64
+	// Skipped counts tasks never started because the campaign was
+	// cancelled first.
+	Skipped int64
+	// RecoveredPanics counts task attempts that panicked and were
+	// recovered into a *TaskError.
+	RecoveredPanics int64
+	// Retries counts re-attempts of transiently failed tasks.
+	Retries int64
+	// Timeouts counts task failures attributed to the per-task deadline.
+	Timeouts int64
+	// DiscardedSims counts pooled simulators quarantined after a panic and
+	// replaced with fresh ones (never returned to any pool).
+	DiscardedSims int64
+}
+
+// Degraded reports whether the campaign hit any fault-handling path.
+func (s RunStats) Degraded() bool {
+	return s.Failed != 0 || s.Skipped != 0 || s.RecoveredPanics != 0 ||
+		s.Retries != 0 || s.Timeouts != 0 || s.DiscardedSims != 0
+}
+
+// liveStats is the workers' shared, atomically updated view of RunStats.
+type liveStats struct {
+	completed, failed, recoveredPanics, retries, timeouts, discardedSims atomic.Int64
+}
+
+func (ls *liveStats) snapshot(n, executed int64) RunStats {
+	return RunStats{
+		Tasks:           n,
+		Completed:       ls.completed.Load(),
+		Failed:          ls.failed.Load(),
+		Skipped:         n - executed,
+		RecoveredPanics: ls.recoveredPanics.Load(),
+		Retries:         ls.retries.Load(),
+		Timeouts:        ls.timeouts.Load(),
+		DiscardedSims:   ls.discardedSims.Load(),
+	}
+}
+
+// ErrTaskPanic marks task errors that were recovered from a panic; test for
+// it with errors.Is.
+var ErrTaskPanic = errors.New("task panicked")
+
+// TaskError is the structured per-task failure the fault paths produce: a
+// recovered panic or a deadline timeout. Index is the task's campaign
+// index, Seed its scenario seed when Options.SeedOf was provided (0
+// otherwise), Stack the recovered goroutine stack (panics only), and Cause
+// the underlying error — ErrTaskPanic-wrapped for panics,
+// context.DeadlineExceeded-wrapped for timeouts.
+type TaskError struct {
+	Index int
+	Seed  uint64
+	Stack string
+	Cause error
+}
+
+func (e *TaskError) Error() string {
+	if e.Seed != 0 {
+		return fmt.Sprintf("task %d (seed %d): %v", e.Index, e.Seed, e.Cause)
+	}
+	return fmt.Sprintf("task %d: %v", e.Index, e.Cause)
+}
+
+func (e *TaskError) Unwrap() error { return e.Cause }
+
+// transientError marks an error as retryable; see Transient.
+type transientError struct{ err error }
+
+func (t *transientError) Error() string { return t.err.Error() }
+func (t *transientError) Unwrap() error { return t.err }
+
+// Transient marks err as retryable: a task attempt failing with a
+// Transient-marked error is re-attempted up to Options.MaxRetries times.
+// Use it for faults that a retry can plausibly clear (a contended external
+// resource, an injected transient fault); deterministic failures should
+// stay permanent. Transient(nil) is nil.
+func Transient(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &transientError{err: err}
+}
+
+// IsTransient reports whether err is marked retryable anywhere along its
+// Unwrap chain.
+func IsTransient(err error) bool {
+	var t *transientError
+	return errors.As(err, &t)
+}
+
+// taskRunner is one worker's execution state: its pooled simulator and the
+// shared campaign configuration. It is not shared between goroutines.
+type taskRunner[T any] struct {
+	id    int
+	sim   *core.Simulator
+	opts  *Options
+	fn    TaskFunc[T]
+	stats *liveStats
+}
+
+func (w *taskRunner[T]) seedOf(i int) uint64 {
+	if w.opts.SeedOf != nil {
+		return w.opts.SeedOf(i)
+	}
+	return 0
+}
+
+// runTask executes task i to its final outcome: the first successful
+// attempt, or the first non-retryable (or retry-exhausted) error.
+func (w *taskRunner[T]) runTask(ctx context.Context, i int) (T, error) {
+	for attempt := 0; ; attempt++ {
+		v, err := w.attempt(ctx, i, attempt)
+		if err == nil {
+			w.stats.completed.Add(1)
+			return v, nil
+		}
+		if !IsTransient(err) || attempt >= w.opts.MaxRetries || ctx.Err() != nil || !w.backoff(ctx, attempt) {
+			w.stats.failed.Add(1)
+			return v, err
+		}
+		w.stats.retries.Add(1)
+	}
+}
+
+// backoff sleeps the linear retry delay for the given attempt, returning
+// false if the campaign was cancelled while waiting.
+func (w *taskRunner[T]) backoff(ctx context.Context, attempt int) bool {
+	d := w.opts.RetryBackoff
+	if d <= 0 {
+		return true
+	}
+	t := time.NewTimer(time.Duration(attempt+1) * d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return false
+	case <-t.C:
+		return true
+	}
+}
+
+// attempt runs one attempt of task i under the per-task deadline, recovering
+// panics into *TaskError and quarantining the worker's simulator when one
+// fires: a panic may have interrupted a mutation halfway, leaving state the
+// Reset contract cannot see, so the poisoned simulator never executes
+// another task — it is dropped for the garbage collector and replaced fresh.
+func (w *taskRunner[T]) attempt(ctx context.Context, i, attempt int) (v T, err error) {
+	tctx, cancel := ctx, func() {}
+	if w.opts.TaskTimeout > 0 {
+		tctx, cancel = context.WithTimeout(ctx, w.opts.TaskTimeout)
+	}
+	defer cancel()
+	defer func() {
+		if r := recover(); r != nil {
+			w.stats.recoveredPanics.Add(1)
+			w.stats.discardedSims.Add(1)
+			w.sim = core.NewSimulator()
+			var zero T
+			v = zero
+			err = &TaskError{
+				Index: i,
+				Seed:  w.seedOf(i),
+				Stack: string(debug.Stack()),
+				Cause: fmt.Errorf("%w: %v", ErrTaskPanic, r),
+			}
+		}
+	}()
+	if h := w.opts.Hook; h != nil {
+		err = h.BeforeAttempt(tctx, w.id, i, attempt, w.sim)
+	}
+	if err == nil {
+		v, err = w.fn(tctx, i, w.sim)
+	}
+	// A failure with the task deadline expired (and the campaign context
+	// still live) is the deadline's fault, whatever error the task chose to
+	// surface it as.
+	if err != nil && tctx.Err() == context.DeadlineExceeded && ctx.Err() == nil {
+		w.stats.timeouts.Add(1)
+		var zero T
+		v = zero
+		err = &TaskError{
+			Index: i,
+			Seed:  w.seedOf(i),
+			Cause: fmt.Errorf("%w (task timeout %v)", context.DeadlineExceeded, w.opts.TaskTimeout),
+		}
+	}
+	return v, err
+}
+
+// StreamCtx runs fn(ctx, i, sim) for every task index i in [0, n) over the
+// worker pool and delivers every outcome to emit as it completes. Each
+// worker owns one pooled *core.Simulator, reused across all tasks it
+// executes; fn must route its simulation runs through that simulator to
+// benefit (and must not let it escape the call). emit is serialised — at
+// most one invocation runs at a time — but arrives in completion order, not
+// index order; callers that need index order collect into a slice by i (or
+// use RunCtx). A nil emit discards outcomes.
+//
+// Cancellation stops workers from claiming new tasks; in-flight tasks
+// finish (observing ctx where they can) and their outcomes are still
+// emitted. StreamCtx returns only once every worker has exited, with the
+// campaign's RunStats and ctx.Err() (nil when the campaign ran to
+// completion).
 //
 //gridlint:worker
-func Stream[T any](n int, opts Options, fn func(i int, sim *core.Simulator) (T, error), emit func(i int, v T, err error)) {
+func StreamCtx[T any](ctx context.Context, n int, opts Options, fn TaskFunc[T], emit func(i int, v T, err error)) (RunStats, error) {
 	if n <= 0 {
-		return
+		return RunStats{}, ctx.Err()
 	}
+	stats := &liveStats{}
+	var executed atomic.Int64
 	workers := opts.workers(n)
 	if workers == 1 {
 		// In-line fast path: no goroutine, no lock, same observable order.
-		sim := core.NewSimulator()
+		w := &taskRunner[T]{id: 0, sim: core.NewSimulator(), opts: &opts, fn: fn, stats: stats}
 		for i := 0; i < n; i++ {
-			v, err := fn(i, sim)
+			if ctx.Err() != nil {
+				break
+			}
+			executed.Add(1)
+			v, err := w.runTask(ctx, i)
 			if emit != nil {
 				emit(i, v, err)
 			}
 		}
-		return
+		return stats.snapshot(int64(n), executed.Load()), ctx.Err()
 	}
 	var next atomic.Int64
 	var mu sync.Mutex
 	var wg sync.WaitGroup
 	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func() {
+	for wi := 0; wi < workers; wi++ {
+		go func(id int) {
 			defer wg.Done()
-			sim := core.NewSimulator()
+			w := &taskRunner[T]{id: id, sim: core.NewSimulator(), opts: &opts, fn: fn, stats: stats}
 			for {
+				if ctx.Err() != nil {
+					return
+				}
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return
 				}
-				v, err := fn(i, sim)
+				executed.Add(1)
+				v, err := w.runTask(ctx, i)
 				if emit != nil {
 					mu.Lock()
 					emit(i, v, err)
 					mu.Unlock()
 				}
 			}
-		}()
+		}(wi)
 	}
 	wg.Wait()
+	return stats.snapshot(int64(n), executed.Load()), ctx.Err()
+}
+
+// Stream is StreamCtx without cancellation: a background context and a task
+// function that does not observe one. It preserves the pre-context
+// signature; campaigns that want deadlines, retries or cancellation use
+// StreamCtx.
+//
+//gridlint:worker
+func Stream[T any](n int, opts Options, fn func(i int, sim *core.Simulator) (T, error), emit func(i int, v T, err error)) {
+	StreamCtx(context.Background(), n, opts, dropCtx(fn), emit)
+}
+
+// dropCtx adapts a context-free task function to TaskFunc.
+func dropCtx[T any](fn func(i int, sim *core.Simulator) (T, error)) TaskFunc[T] {
+	return func(_ context.Context, i int, sim *core.Simulator) (T, error) {
+		return fn(i, sim)
+	}
 }
 
 // FirstError folds streamed task outcomes into the runner's deterministic
 // error convention: the lowest-index failure wins, independent of worker
 // count and completion order. Stream callers that aggregate results
 // themselves feed every outcome through Observe and read Err at the end,
-// so the convention lives in one place.
+// so the convention lives in one place. FirstError is safe for concurrent
+// use: Observe may be called from multiple goroutines (signal handlers,
+// unserialised collectors), not only from a serialised emit.
 type FirstError struct {
+	mu    sync.Mutex
 	index int
 	err   error
 	set   bool
@@ -110,13 +429,17 @@ func (f *FirstError) Observe(i int, err error) {
 	if err == nil {
 		return
 	}
+	f.mu.Lock()
 	if !f.set || i < f.index {
 		f.index, f.err, f.set = i, err, true
 	}
+	f.mu.Unlock()
 }
 
 // Index returns the index of the winning error, or -1 if none occurred.
 func (f *FirstError) Index() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
 	if !f.set {
 		return -1
 	}
@@ -124,21 +447,39 @@ func (f *FirstError) Index() int {
 }
 
 // Err returns the lowest-index error observed, or nil.
-func (f *FirstError) Err() error { return f.err }
+func (f *FirstError) Err() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.err
+}
 
-// Run is Stream collecting the outcomes into an index-ordered slice. Every
-// task executes even after a failure (a campaign reports all results); the
-// returned error is the lowest-index task error, which makes the reported
-// failure deterministic regardless of worker count and interleaving.
-func Run[T any](n int, opts Options, fn func(i int, sim *core.Simulator) (T, error)) ([]T, error) {
+// RunCtx is StreamCtx collecting the outcomes into an index-ordered slice.
+// Every task executes even after a failure (a campaign reports all
+// results); the returned error is the lowest-index task error, which makes
+// the reported failure deterministic regardless of worker count and
+// interleaving. When the campaign is cancelled before a task error occurs,
+// the error wraps ctx's error instead; either way the slice holds every
+// completed task's result (zero values at failed or skipped indexes) and
+// the RunStats say which counts apply.
+func RunCtx[T any](ctx context.Context, n int, opts Options, fn TaskFunc[T]) ([]T, RunStats, error) {
 	out := make([]T, n)
 	var first FirstError
-	Stream(n, opts, fn, func(i int, v T, err error) {
+	stats, cerr := StreamCtx(ctx, n, opts, fn, func(i int, v T, err error) {
 		out[i] = v
 		first.Observe(i, err)
 	})
 	if err := first.Err(); err != nil {
-		return out, fmt.Errorf("runner: task %d: %w", first.Index(), err)
+		return out, stats, fmt.Errorf("runner: task %d: %w", first.Index(), err)
 	}
-	return out, nil
+	if cerr != nil {
+		return out, stats, fmt.Errorf("runner: campaign cancelled after %d of %d tasks: %w",
+			stats.Completed+stats.Failed, n, cerr)
+	}
+	return out, stats, nil
+}
+
+// Run is RunCtx without cancellation, preserving the pre-context signature.
+func Run[T any](n int, opts Options, fn func(i int, sim *core.Simulator) (T, error)) ([]T, error) {
+	out, _, err := RunCtx(context.Background(), n, opts, dropCtx(fn))
+	return out, err
 }

@@ -1,4 +1,4 @@
-package runner
+package runner_test
 
 import (
 	"errors"
@@ -9,6 +9,7 @@ import (
 
 	"gridrealloc/internal/core"
 	"gridrealloc/internal/harness"
+	"gridrealloc/internal/runner"
 )
 
 // TestRunCollectsInIndexOrder checks that Run returns results indexed like
@@ -18,7 +19,7 @@ func TestRunCollectsInIndexOrder(t *testing.T) {
 	for _, workers := range []int{1, 4} {
 		var mu sync.Mutex
 		sims := make(map[*core.Simulator]int)
-		out, err := Run(16, Options{Workers: workers}, func(i int, sim *core.Simulator) (int, error) {
+		out, err := runner.Run(16, runner.Options{Workers: workers}, func(i int, sim *core.Simulator) (int, error) {
 			mu.Lock()
 			sims[sim]++
 			mu.Unlock()
@@ -52,7 +53,7 @@ func TestRunReportsLowestIndexError(t *testing.T) {
 	sentinel := errors.New("boom")
 	ran := make([]bool, 32)
 	var mu sync.Mutex
-	out, err := Run(32, Options{Workers: 8}, func(i int, _ *core.Simulator) (int, error) {
+	out, err := runner.Run(32, runner.Options{Workers: 8}, func(i int, _ *core.Simulator) (int, error) {
 		mu.Lock()
 		ran[i] = true
 		mu.Unlock()
@@ -81,7 +82,7 @@ func TestRunReportsLowestIndexError(t *testing.T) {
 // emit per task.
 func TestStreamEmitsEveryTaskOnce(t *testing.T) {
 	seen := make(map[int]int)
-	Stream(20, Options{Workers: 5}, func(i int, _ *core.Simulator) (int, error) {
+	runner.Stream(20, runner.Options{Workers: 5}, func(i int, _ *core.Simulator) (int, error) {
 		return i, nil
 	}, func(i int, v int, err error) {
 		if err != nil || v != i {
@@ -127,7 +128,7 @@ func TestParallelPooledDigestsMatchSequentialFresh(t *testing.T) {
 		fresh[i] = d
 	}
 	for _, workers := range []int{2, runtime.GOMAXPROCS(0) + 2} {
-		pooled, err := Run(n, Options{Workers: workers}, run)
+		pooled, err := runner.Run(n, runner.Options{Workers: workers}, run)
 		if err != nil {
 			t.Fatalf("workers=%d: %v", workers, err)
 		}
