@@ -751,6 +751,40 @@ func measureBatchBaseline(t *testing.T) map[string]hotPath {
 			}
 		}
 	})
+	// The deep-queue re-plan: the 10000-job regime where per-job slot-search
+	// cost dominates, which the profile's bucket summaries make sublinear.
+	deepReplan := measure(func(b *testing.B) {
+		s := loadedScheduler(b, batch.CBF, 10000)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			s.InvalidatePlan()
+			if _, err := s.EstimateCompletion(probe, 0); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	// The saturated-cluster slot search: every queued job pins 63 of 64
+	// cores, so the probe's 8-core window opens only past the entire plan.
+	// The zero-prefix firstFree hint cannot help here (every segment keeps
+	// one core free); only the bucketed free-core summaries can skip.
+	saturated := measure(func(b *testing.B) {
+		s, err := batch.NewScheduler(platform.ClusterSpec{Name: "bench", Cores: 64, Speed: 1}, batch.CBF)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for i := 0; i < 1000; i++ {
+			j := workload.Job{ID: i + 1, Submit: 0, Runtime: 600, Walltime: 1800, Procs: 63}
+			if err := s.Submit(j, 0, 0); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := s.EstimateCompletion(probe, 0); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 	trace, err := gridrealloc.GenerateScenario("apr", 0.05, benchSeed)
 	if err != nil {
 		t.Fatal(err)
@@ -822,6 +856,8 @@ func measureBatchBaseline(t *testing.T) map[string]hotPath {
 		"estimate_completion_cbf_depth_1000":              cached,
 		"estimate_completion_from_scratch_cbf_depth_1000": scratch,
 		"replan_cbf_depth_1000":                           replan,
+		"replan_deep_queue_cbf_depth_10000":               deepReplan,
+		"estimate_completion_saturated_cbf_depth_1000":    saturated,
 		"submit_cancel_cbf_depth_1000":                    submitCancel,
 		"mass_cancel_cbf_depth_1000":                      massCancel,
 		"realloc_cancel_month_sweep_apr_5pct":             monthSweep,
@@ -946,12 +982,20 @@ func TestBenchSmokeAgainstBaseline(t *testing.T) {
 		t.Fatalf("reading committed baseline: %v", err)
 	}
 	var baseline struct {
+		Gomaxprocs  int                `json:"gomaxprocs"`
 		NsPerOp     map[string]float64 `json:"ns_per_op"`
 		AllocsPerOp map[string]float64 `json:"allocs_per_op"`
 	}
 	if err := json.Unmarshal(data, &baseline); err != nil {
 		t.Fatalf("parsing BENCH_batch.json: %v", err)
 	}
+	// Parallel wall-clock baselines only transfer between machines with the
+	// same parallel capacity: a pooled-parallel ns/op written on a 1-core
+	// machine reads as a huge regression on the same code on 8 cores, and
+	// vice versa. When the core counts disagree, the smoke must say it is
+	// skipping those comparisons, not silently pass them.
+	cpus := effectiveCPUs()
+	coresMatch := baseline.Gomaxprocs == 0 || baseline.Gomaxprocs == cpus
 	measured := measureBatchBaseline(t)
 	for name, want := range baseline.NsPerOp {
 		got, ok := measured[name]
@@ -961,9 +1005,14 @@ func TestBenchSmokeAgainstBaseline(t *testing.T) {
 		}
 		t.Logf("%-48s %12.0f ns/op (baseline %12.0f, %.2fx)  %8.0f allocs/op (baseline %8.0f)",
 			name, got.NsPerOp, want, got.NsPerOp/want, got.AllocsPerOp, baseline.AllocsPerOp[name])
-		if got.NsPerOp > want*benchSmokeTolerance {
+		if name == "campaign_grid72_pooled_parallel" && !coresMatch {
+			t.Logf("NOTICE: skipping %s ns/op comparison: baseline was recorded at gomaxprocs=%d but this runner has %d effective CPUs; parallel wall-clock does not transfer",
+				name, baseline.Gomaxprocs, cpus)
+		} else if got.NsPerOp > want*benchSmokeTolerance {
 			t.Errorf("%s regressed: %.0f ns/op vs baseline %.0f (tolerance %.0fx)", name, got.NsPerOp, want, benchSmokeTolerance)
 		}
+		// Allocation counts are machine-independent; compare them even when
+		// the ns comparison was skipped.
 		if wantAllocs, ok := baseline.AllocsPerOp[name]; ok {
 			if got.AllocsPerOp > wantAllocs*benchSmokeAllocTolerance+benchSmokeAllocSlack {
 				t.Errorf("%s allocation regression: %.0f allocs/op vs baseline %.0f (tolerance %.0fx + %.0f)",
@@ -986,7 +1035,6 @@ func TestBenchSmokeAgainstBaseline(t *testing.T) {
 		t.Fatalf("campaign throughput unmeasured: fresh=%.0f pooled=%.0f", fresh, pooled)
 	}
 	speedup := fresh / pooled
-	cpus := effectiveCPUs()
 	floor := 0.55 * float64(cpus)
 	if floor > 4 {
 		floor = 4
@@ -1001,8 +1049,8 @@ func TestBenchSmokeAgainstBaseline(t *testing.T) {
 			floor = v
 		}
 	}
-	t.Logf("campaign 72-grid: fresh sequential %.1fms, pooled parallel %.1fms (speedup %.2fx, floor %.2fx at %d effective CPUs)",
-		fresh/1e6, pooled/1e6, speedup, floor, cpus)
+	t.Logf("campaign 72-grid: fresh sequential %.1fms, pooled parallel %.1fms (speedup %.2fx, floor %.2fx at %d effective CPUs; baseline writer ran at gomaxprocs=%d)",
+		fresh/1e6, pooled/1e6, speedup, floor, cpus, baseline.Gomaxprocs)
 	if speedup < floor {
 		t.Errorf("campaign runner speedup %.2fx fell below the %.2fx floor for %d effective CPUs", speedup, floor, cpus)
 	}

@@ -46,7 +46,17 @@
 // availability profile is maintained as jobs start/finish instead of being
 // rebuilt per query, and queue re-planning is deferred until the next
 // observation so bursts of mutations (Algorithm 2 cancels every waiting job
-// back-to-back) pay for one re-plan. The meta-scheduler takes one
+// back-to-back) pay for one re-plan. Profiles deep enough to matter carry
+// bucketed free-core summaries (per-bucket max/min over fixed segment
+// buckets, maintained exactly by every mutation): slot searches hop whole
+// buckets that cannot fit a request and swallow whole buckets that satisfy
+// it everywhere, which generalizes the zero-prefix firstFree hint and makes
+// deep-queue and saturated-cluster searches effectively sublinear; shallow
+// profiles stay below the activation threshold and pay nothing. Per-run
+// queue and allocation records come from block arenas (sim.Arena), and each
+// run's result digest is folded into an order-independent accumulator
+// (sim.DigestAcc) at the instant each record finalizes, so campaign digests
+// need no post-pass over the records. The meta-scheduler takes one
 // availability snapshot per cluster per reallocation sweep and reuses it
 // across all candidate jobs and heuristics. A from-scratch reference
 // implementation remains available behind the explicit invalidation hooks;

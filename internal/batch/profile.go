@@ -15,11 +15,52 @@ package batch
 
 import (
 	"fmt"
+	"os"
 	"sort"
 )
 
 // noSlot is returned by findSlot when the request can never be satisfied.
 const noSlot int64 = -1
+
+// Bucket summaries (profile engine v2). The breakpoint array is covered by
+// fixed-width buckets of bucketLen consecutive segments; each bucket stores
+// the maximum and minimum free-core count over its segments. findSlotFrom
+// uses the maxima to skip whole buckets that cannot host a start (the
+// generalization of the single firstFree hint to arbitrary widths) and the
+// minima to validate whole buckets of a candidate window at once, so slot
+// searches on deep queues and saturated clusters touch O(n/bucketLen)
+// summaries plus O(bucketLen) segments instead of scanning every segment.
+//
+// The summaries are maintained eagerly and exactly: a uniform
+// reserve/release over a segment range adjusts fully covered buckets by
+// the delta and recomputes the (at most two) partial ones, while
+// breakpoint insertion and removal — which shift every later segment index
+// and already pay a memmove over the tail — resummarize the suffix at the
+// same asymptotic cost. Exactness is what keeps the skips firing on the
+// profiles that need them most: a deep plan rebuilt by hundreds of
+// interleaved insertions retains tight bounds for every slot search in
+// between (a conservative-bounds variant was measured to decay into plain
+// scans exactly there). Profiles shorter than bucketActivate segments
+// carry no summaries at all (the arrays are empty and every search falls
+// back to the plain scan), so the common shallow-queue profile — including
+// every profile of the paper-scale campaign scenarios — pays nothing for
+// the machinery.
+const (
+	bucketShift = 5
+	bucketLen   = 1 << bucketShift
+	// bucketActivate is the segment count at which the summaries switch
+	// on. Below it a plain scan touches so few segments that maintaining
+	// summaries costs more than it saves.
+	bucketActivate = 2 * bucketLen
+)
+
+// numBuckets returns the number of summary buckets covering n segments.
+func numBuckets(n int) int { return (n + bucketLen - 1) >> bucketShift }
+
+// debugProfile enables the profile's internal structural checks on every
+// mutating operation (the same switch that enables the scheduler's
+// incremental-vs-from-scratch cross-check).
+var debugProfile = os.Getenv(debugProfileEnv) != ""
 
 // profile is a step function of free cores over time: free[i] cores are
 // available in [times[i], times[i+1]), and the last segment extends to
@@ -28,6 +69,13 @@ const noSlot int64 = -1
 type profile struct {
 	times []int64
 	free  []int
+	// bmax and bmin are the per-bucket free-core summaries described at
+	// bucketShift: bmax[b]/bmin[b] are the maximum/minimum of
+	// free[b*bucketLen : (b+1)*bucketLen] (the last bucket may be
+	// partial). Both are empty while the profile has fewer than
+	// bucketActivate segments.
+	bmax  []int
+	bmin  []int
 	cores int
 	// firstFree is a conservative skip hint: every segment before index
 	// firstFree has zero free cores, so no slot search can start there. A
@@ -52,12 +100,16 @@ func newProfile(start int64, cores int) *profile {
 
 // copyFrom makes p an independent copy of src, reusing p's backing arrays
 // when they are large enough. This is the single place profile storage is
-// allocated for copies: growth allocates both slices with exact capacity, so
-// clone and every scratch-buffer reuse path share the same allocation
-// discipline.
+// allocated for copies: growth allocates the segment slices together with
+// exact capacity, so clone and every scratch-buffer reuse path share the
+// same allocation discipline. Each pairwise capacity check names both
+// slices — the arrays usually grow in lockstep, but nothing guarantees it
+// (a hand-built or partially grown buffer can diverge), and reusing one
+// array while reallocating logically from the other's capacity would slice
+// beyond cap or alias stale data.
 func (p *profile) copyFrom(src *profile) {
 	n := len(src.times)
-	if cap(p.times) < n {
+	if cap(p.times) < n || cap(p.free) < n {
 		p.times = make([]int64, n)
 		p.free = make([]int, n)
 	}
@@ -65,8 +117,18 @@ func (p *profile) copyFrom(src *profile) {
 	p.free = p.free[:n]
 	copy(p.times, src.times)
 	copy(p.free, src.free)
+	nb := len(src.bmax)
+	if cap(p.bmax) < nb || cap(p.bmin) < nb {
+		p.bmax = make([]int, nb)
+		p.bmin = make([]int, nb)
+	}
+	p.bmax = p.bmax[:nb]
+	p.bmin = p.bmin[:nb]
+	copy(p.bmax, src.bmax)
+	copy(p.bmin, src.bmin)
 	p.cores = src.cores
 	p.firstFree = src.firstFree
+	p.debugCheck()
 }
 
 // reset makes p the all-free profile newProfile would return, reusing its
@@ -74,6 +136,8 @@ func (p *profile) copyFrom(src *profile) {
 func (p *profile) reset(start int64, cores int) {
 	p.times = append(p.times[:0], start)
 	p.free = append(p.free[:0], cores)
+	p.bmax = p.bmax[:0]
+	p.bmin = p.bmin[:0]
 	p.cores = cores
 	p.firstFree = 0
 }
@@ -87,18 +151,127 @@ func (p *profile) clone() *profile {
 
 // grow reserves capacity for at least extra additional breakpoints, so a
 // planning loop that is about to insert a known number of them pays one
-// allocation instead of successive append doublings.
+// allocation instead of successive append doublings. The bucket summaries
+// are pre-sized for the same segment count, keeping insertions within the
+// grown capacity allocation-free end to end.
 func (p *profile) grow(extra int) {
 	need := len(p.times) + extra
-	if cap(p.times) >= need {
+	if cap(p.times) < need || cap(p.free) < need {
+		nt := make([]int64, len(p.times), need)
+		nf := make([]int, len(p.free), need)
+		copy(nt, p.times)
+		copy(nf, p.free)
+		p.times = nt
+		p.free = nf
+	}
+	nb := numBuckets(need)
+	if cap(p.bmax) < nb || cap(p.bmin) < nb {
+		bx := make([]int, len(p.bmax), nb)
+		bn := make([]int, len(p.bmin), nb)
+		copy(bx, p.bmax)
+		copy(bn, p.bmin)
+		p.bmax = bx
+		p.bmin = bn
+	}
+}
+
+// resummarizeFrom rebuilds every bucket summary covering a segment index
+// >= from, switching the summaries on or off at the bucketActivate
+// threshold. It is the hook for every reshaping mutation: breakpoint
+// insertion and removal shift the segment indexes after the edit point, so
+// the suffix of buckets — and only the suffix — goes stale. The callers
+// already pay a memmove over the same suffix, so the rebuild does not
+// change their complexity.
+func (p *profile) resummarizeFrom(from int) {
+	n := len(p.times)
+	if n < bucketActivate {
+		p.bmax = p.bmax[:0]
+		p.bmin = p.bmin[:0]
 		return
 	}
-	nt := make([]int64, len(p.times), need)
-	nf := make([]int, len(p.free), need)
-	copy(nt, p.times)
-	copy(nf, p.free)
-	p.times = nt
-	p.free = nf
+	nb := numBuckets(n)
+	if len(p.bmax) == 0 {
+		from = 0 // first activation: every bucket needs a summary
+	}
+	if cap(p.bmax) < nb || cap(p.bmin) < nb {
+		// Headroom for a further bucketLen buckets so steady growth does
+		// not reallocate the summaries on every crossing of a bucket
+		// boundary.
+		bx := make([]int, len(p.bmax), nb+bucketLen)
+		bn := make([]int, len(p.bmin), nb+bucketLen)
+		copy(bx, p.bmax)
+		copy(bn, p.bmin)
+		p.bmax = bx
+		p.bmin = bn
+	}
+	p.bmax = p.bmax[:nb]
+	p.bmin = p.bmin[:nb]
+	for b := from >> bucketShift; b < nb; b++ {
+		lo := b << bucketShift
+		hi := lo + bucketLen
+		if hi > n {
+			hi = n
+		}
+		p.recomputeBucket(b, lo, hi)
+	}
+}
+
+// recomputeBucket refreshes bucket b's summary from free[lo:hi].
+func (p *profile) recomputeBucket(b, lo, hi int) {
+	mx, mn := p.free[lo], p.free[lo]
+	for _, f := range p.free[lo+1 : hi] {
+		if f > mx {
+			mx = f
+		}
+		if f < mn {
+			mn = f
+		}
+	}
+	p.bmax[b] = mx
+	p.bmin[b] = mn
+}
+
+// resummarizeIfActive forwards to resummarizeFrom unless the profile is
+// both below the activation threshold and already summary-free, in which
+// case there is nothing to rebuild. The guard lives in this inlinable
+// wrapper so the hot mutation paths of shallow profiles — where the
+// summaries never switch on — do not even pay the call.
+func (p *profile) resummarizeIfActive(from int) {
+	if len(p.bmax) != 0 || len(p.times) >= bucketActivate {
+		p.resummarizeFrom(from)
+	}
+}
+
+// bucketsAdjustIfActive forwards to bucketsAdjust when summaries exist;
+// like resummarizeIfActive it keeps inactive profiles call-free.
+func (p *profile) bucketsAdjustIfActive(si, ei, delta int) {
+	if len(p.bmax) != 0 {
+		p.bucketsAdjust(si, ei, delta)
+	}
+}
+
+// bucketsAdjust applies a uniform free-count delta over segments [si, ei)
+// to the summaries: a bucket fully inside the range shifts its max and min
+// by the delta, and the at most two partial boundary buckets are
+// recomputed. Callers apply the delta to the segments first.
+func (p *profile) bucketsAdjust(si, ei, delta int) {
+	if len(p.bmax) == 0 {
+		return
+	}
+	n := len(p.times)
+	for b := si >> bucketShift; b <= (ei-1)>>bucketShift; b++ {
+		lo := b << bucketShift
+		hi := lo + bucketLen
+		if hi > n {
+			hi = n
+		}
+		if si <= lo && ei >= hi {
+			p.bmax[b] += delta
+			p.bmin[b] += delta
+			continue
+		}
+		p.recomputeBucket(b, lo, hi)
+	}
 }
 
 // segmentIndex returns the index of the segment containing time t, assuming
@@ -119,8 +292,11 @@ func (p *profile) ensureBreak(t int64) int {
 // segmentIndexFrom is segmentIndex resuming its binary search at hint, for
 // callers that already located an earlier segment. A hint that is exactly
 // the containing segment — the usual case when a reservation follows a slot
-// search — costs one comparison; an out-of-range or too-late hint falls
-// back to a full search.
+// search, including a hint whose breakpoint equals t exactly — costs one
+// comparison; an out-of-range or too-late hint falls back to a full search.
+// The hint is positional, not temporal: any in-range hint with
+// times[hint] <= t resumes correctly even if it was taken before a reshaping
+// mutation, because the binary search over times[hint:] still brackets t.
 func (p *profile) segmentIndexFrom(hint int, t int64) int {
 	if hint < 0 || hint >= len(p.times) || p.times[hint] > t {
 		hint = 0
@@ -133,7 +309,10 @@ func (p *profile) segmentIndexFrom(hint int, t int64) int {
 // ensureBreakFrom is ensureBreak resuming its segment search at hint, for
 // callers that already located an earlier segment (a reservation inserts its
 // end breakpoint at or after its start's segment, and a planning loop knows
-// the segment the slot search returned).
+// the segment the slot search returned). A t that is already a breakpoint —
+// including the profile origin, which trimTo may have moved onto a time that
+// never was an explicit breakpoint — returns the existing index without
+// inserting.
 func (p *profile) ensureBreakFrom(hint int, t int64) int {
 	idx := p.segmentIndexFrom(hint, t)
 	if p.times[idx] == t {
@@ -146,6 +325,7 @@ func (p *profile) ensureBreakFrom(hint int, t int64) int {
 	copy(p.free[idx+2:], p.free[idx+1:])
 	p.times[idx+1] = t
 	p.free[idx+1] = p.free[idx]
+	p.resummarizeIfActive(idx + 1)
 	return idx + 1
 }
 
@@ -193,12 +373,14 @@ func (p *profile) reserveAtHint(start, end int64, procs, hint int) (int, error) 
 	for i := si; i < ei; i++ {
 		p.free[i] -= procs
 	}
+	p.bucketsAdjustIfActive(si, ei, -procs)
 	// Advance the skip hint over any prefix this reservation zeroed out.
 	// (Breakpoint insertion cannot invalidate the hint: splitting a zero
 	// segment only produces zero segments.)
 	for p.firstFree < len(p.free)-1 && p.free[p.firstFree] == 0 {
 		p.firstFree++
 	}
+	p.debugCheck()
 	return si, nil
 }
 
@@ -226,6 +408,7 @@ func (p *profile) ensureBreakPair(hint int, start, end int64) (int, int) {
 		p.times = append(p.times, 0)
 		p.free = append(p.free, 0)
 	}
+	var ri, re int
 	switch {
 	case sNew && eNew:
 		endFree := p.free[ie]
@@ -237,20 +420,28 @@ func (p *profile) ensureBreakPair(hint int, start, end int64) (int, int) {
 		p.free[is+1] = p.free[is]
 		p.times[ie+2] = end
 		p.free[ie+2] = endFree
-		return is + 1, ie + 2
+		ri, re = is+1, ie+2
 	case sNew:
 		copy(p.times[is+2:n+1], p.times[is+1:n])
 		copy(p.free[is+2:n+1], p.free[is+1:n])
 		p.times[is+1] = start
 		p.free[is+1] = p.free[is]
-		return is + 1, ie + 1
+		ri, re = is+1, ie+1
 	default: // eNew only
 		copy(p.times[ie+2:n+1], p.times[ie+1:n])
 		copy(p.free[ie+2:n+1], p.free[ie+1:n])
 		p.times[ie+1] = end
 		p.free[ie+1] = p.free[ie]
-		return is, ie + 1
+		ri, re = is, ie+1
 	}
+	// Indexes from the first inserted slot onward shifted; the summaries of
+	// the buckets covering them went stale with them.
+	from := ie + 1
+	if sNew {
+		from = is + 1
+	}
+	p.resummarizeIfActive(from)
+	return ri, re
 }
 
 // span is one [start, end) x procs reservation of a batched reserveAll.
@@ -317,6 +508,8 @@ func (p *profile) reserveAll(spans []span) error {
 	p.times = outT
 	p.free = outF
 	p.firstFree = 0
+	p.resummarizeFrom(0)
+	p.debugCheck()
 	return nil
 }
 
@@ -345,14 +538,18 @@ func (p *profile) release(start, end int64, procs int) error {
 	// Reserves and releases on a canonical profile can only create
 	// equal-adjacent segments at the released window's two boundaries, so a
 	// local merge there keeps the profile canonical without normalize's
-	// full scan per early finish.
+	// full scan per early finish. The merges remove at most two breakpoints
+	// at or after si, so one suffix resummarize covers both them and the
+	// incremented range.
 	p.mergeAt(ei)
 	p.mergeAt(si)
+	p.resummarizeIfActive(si)
+	p.debugCheck()
 	return nil
 }
 
 // mergeAt removes breakpoint i when its segment continues the previous one
-// with the same free count.
+// with the same free count. The caller resummarizes the suffix.
 func (p *profile) mergeAt(i int) {
 	if i <= 0 || i >= len(p.times) || p.free[i] != p.free[i-1] {
 		return
@@ -394,6 +591,8 @@ func (p *profile) normalize() {
 	}
 	p.times = p.times[:out+1]
 	p.free = p.free[:out+1]
+	p.resummarizeFrom(0)
+	p.debugCheck()
 }
 
 // equal reports whether two profiles describe the same step function. Both
@@ -428,6 +627,13 @@ func (p *profile) findSlot(earliest, duration int64, procs int) int64 {
 // next search there. A hint that is out of range or past earliest falls back
 // to 0, so a stale cursor degrades to the plain search rather than
 // misbehaving.
+//
+// Both scan loops consult the bucket summaries: the start-candidate scan
+// jumps over buckets whose maximum free count cannot host procs cores at
+// all, and the window-validation scan swallows whole buckets whose minimum
+// already satisfies procs. Each skip is taken only when provably equivalent
+// to the plain scan, so the result is bit-identical with and without
+// summaries.
 func (p *profile) findSlotFrom(hint int, earliest, duration int64, procs int) (int64, int) {
 	if procs > p.cores || procs <= 0 || duration <= 0 {
 		return noSlot, 0
@@ -452,13 +658,25 @@ func (p *profile) findSlotFrom(hint int, earliest, duration int64, procs int) (i
 	// caller has already established times[hint] <= start. Local slice
 	// headers let the compiler drop bounds checks in the scan loops.
 	times, free := p.times, p.free
+	bmax, bmin := p.bmax, p.bmin
 	n := len(times)
 	idx := hint + sort.Search(n-hint, func(i int) bool { return times[hint+i] > start }) - 1
 	for {
 		// Advance start until the current segment has enough cores.
 		for idx < n && free[idx] < procs {
 			idx++
-			if idx == n {
+			if idx&(bucketLen-1) == 0 {
+				// idx reached a bucket head: whole buckets that top out
+				// below procs cannot host a start — hop over them. The
+				// summaries are consulted only at bucket boundaries so the
+				// common per-segment step stays one AND and a rarely-taken
+				// branch; hopping past n is caught right below, exactly as
+				// the plain scan's exit would.
+				for b := idx >> bucketShift; b < len(bmax) && bmax[b] < procs; b++ {
+					idx += bucketLen
+				}
+			}
+			if idx >= n {
 				// The final segment always has the idle cluster... not
 				// necessarily: running jobs bounded by walltime eventually
 				// end, so the last segment has at least procs free unless a
@@ -473,7 +691,7 @@ func (p *profile) findSlotFrom(hint int, earliest, duration int64, procs int) (i
 		// Check that availability holds until start+duration.
 		end := start + duration
 		ok := true
-		for j := idx; j < n; j++ {
+		for j := idx; j < n; {
 			segStart := times[j]
 			if segStart >= end {
 				break
@@ -484,6 +702,17 @@ func (p *profile) findSlotFrom(hint int, earliest, duration int64, procs int) (i
 				idx = j
 				ok = false
 				break
+			}
+			j++
+			if j&(bucketLen-1) == 0 {
+				// j reached a bucket head: buckets whose minimum already
+				// satisfies procs cannot fail the window, wherever it ends —
+				// swallow them whole. Overshooting past the window's end or
+				// the last (partial) bucket is harmless: the loop conditions
+				// re-establish the plain scan's exit.
+				for b := j >> bucketShift; b < len(bmin) && bmin[b] >= procs; b++ {
+					j += bucketLen
+				}
 			}
 		}
 		if ok {
@@ -513,4 +742,82 @@ func (p *profile) maxFree() int {
 		}
 	}
 	return m
+}
+
+// debugCheck runs the structural validator when GRIDREALLOC_DEBUG_PROFILE
+// is set; a violation panics, because a malformed profile means a bug in
+// this file, not a recoverable input condition.
+func (p *profile) debugCheck() {
+	if !debugProfile {
+		return
+	}
+	if err := p.check(); err != nil {
+		panic(err)
+	}
+}
+
+// check validates every structural invariant the profile relies on: length
+// coupling of the segment arrays, strictly increasing breakpoints, free
+// counts within [0, cores], a sound firstFree hint (only zero segments
+// before it) and bucket summaries that match a recomputation. The property
+// tests call it after every operation; the GRIDREALLOC_DEBUG_PROFILE paths
+// call it after every mutation.
+func (p *profile) check() error {
+	if len(p.times) != len(p.free) {
+		return fmt.Errorf("batch: profile arrays diverged: %d times, %d free", len(p.times), len(p.free))
+	}
+	if len(p.times) == 0 {
+		return fmt.Errorf("batch: profile has no segments")
+	}
+	for i := 1; i < len(p.times); i++ {
+		if p.times[i] <= p.times[i-1] {
+			return fmt.Errorf("batch: breakpoints not strictly increasing at %d: %d then %d", i, p.times[i-1], p.times[i])
+		}
+	}
+	for i, f := range p.free {
+		if f < 0 || f > p.cores {
+			return fmt.Errorf("batch: free count %d out of [0,%d] at segment %d", f, p.cores, i)
+		}
+	}
+	if p.firstFree < 0 || p.firstFree >= len(p.free) {
+		return fmt.Errorf("batch: firstFree %d out of range [0,%d)", p.firstFree, len(p.free))
+	}
+	for i := 0; i < p.firstFree; i++ {
+		if p.free[i] != 0 {
+			return fmt.Errorf("batch: firstFree %d skips non-zero segment %d (%d free)", p.firstFree, i, p.free[i])
+		}
+	}
+	if len(p.bmax) != len(p.bmin) {
+		return fmt.Errorf("batch: bucket arrays diverged: %d bmax, %d bmin", len(p.bmax), len(p.bmin))
+	}
+	if len(p.times) < bucketActivate {
+		if len(p.bmax) != 0 {
+			return fmt.Errorf("batch: %d segments carry %d bucket summaries below the activation threshold", len(p.times), len(p.bmax))
+		}
+		return nil
+	}
+	if nb := numBuckets(len(p.times)); len(p.bmax) != nb {
+		return fmt.Errorf("batch: %d bucket summaries for %d segments, want %d", len(p.bmax), len(p.times), nb)
+	}
+	for b := range p.bmax {
+		lo := b << bucketShift
+		hi := lo + bucketLen
+		if hi > len(p.free) {
+			hi = len(p.free)
+		}
+		mx, mn := p.free[lo], p.free[lo]
+		for _, f := range p.free[lo+1 : hi] {
+			if f > mx {
+				mx = f
+			}
+			if f < mn {
+				mn = f
+			}
+		}
+		if p.bmax[b] != mx || p.bmin[b] != mn {
+			return fmt.Errorf("batch: bucket %d summary (max %d, min %d) disagrees with segments (max %d, min %d)",
+				b, p.bmax[b], p.bmin[b], mx, mn)
+		}
+	}
+	return nil
 }

@@ -9,6 +9,7 @@ import (
 	"sort"
 
 	"gridrealloc/internal/platform"
+	"gridrealloc/internal/sim"
 	"gridrealloc/internal/workload"
 )
 
@@ -285,15 +286,17 @@ type Scheduler struct {
 	// from-scratch build on every plan rebuild.
 	debugCheck bool //gridlint:keep-across-reset caller configuration, like SetDebugCrossCheck
 
-	// notesBuf is the notification buffer reused by Advance; entryFree and
-	// allocFree pool dead queueEntry and allocation structs. Together they
-	// make the steady-state event loop allocation-free: a pooled struct is
-	// only handed out again once no index, heap or plan can still reach the
-	// old occupant (entries die under planDirty and every heap read re-plans
+	// notesBuf is the notification buffer reused by Advance; entryPool and
+	// allocPool recycle dead queueEntry and allocation structs, carving
+	// fresh ones out of block allocations (sim.Arena) so even a fresh run's
+	// ramp-up allocates per block, not per job record. Together they make
+	// the steady-state event loop allocation-free: a pooled struct is only
+	// handed out again once no index, heap or plan can still reach the old
+	// occupant (entries die under planDirty and every heap read re-plans
 	// first; allocations die when popped from the finish heap).
 	notesBuf  []Notification //gridlint:keep-across-reset truncated by Advance before every use
-	entryFree []*queueEntry
-	allocFree []*allocation
+	entryPool sim.Arena[queueEntry]
+	allocPool sim.Arena[allocation]
 	// spanScratch is reused by the capacity-baseline builds.
 	spanScratch []span //gridlint:keep-across-reset scratch, overwritten before every use
 
@@ -390,12 +393,12 @@ func (s *Scheduler) Reset(spec platform.ClusterSpec, policy Policy) error {
 	s.policy = policy
 	s.now = 0
 	for _, a := range s.running {
-		s.allocFree = append(s.allocFree, a)
+		s.allocPool.Put(a)
 	}
 	s.running = s.running[:0]
 	clear(s.runningByID)
 	for _, e := range s.waiting {
-		s.entryFree = append(s.entryFree, e)
+		s.entryPool.Put(e)
 	}
 	s.waiting = s.waiting[:0]
 	clear(s.waitingByID)
@@ -802,7 +805,7 @@ func (s *Scheduler) Cancel(jobID int, now int64) (workload.Job, int, error) {
 	// The entry is fully unlinked from the waiting slice and index, and the
 	// dirty plan forces a re-plan before any planned-start state is read
 	// again, so the entry is safe to pool.
-	s.entryFree = append(s.entryFree, e)
+	s.entryPool.Put(e)
 	return job, migrated, nil
 }
 
@@ -1130,26 +1133,15 @@ func (s *Scheduler) Advance(now int64) ([]Notification, error) {
 	return notes, nil
 }
 
-// newEntry returns a queueEntry from the pool, or a fresh one.
+// newEntry returns a queueEntry from the pool, or a fresh arena-backed one.
 func (s *Scheduler) newEntry() *queueEntry {
-	if n := len(s.entryFree); n > 0 {
-		e := s.entryFree[n-1]
-		s.entryFree[n-1] = nil
-		s.entryFree = s.entryFree[:n-1]
-		return e
-	}
-	return &queueEntry{}
+	return s.entryPool.Get()
 }
 
-// newAllocation returns an allocation from the pool, or a fresh one.
+// newAllocation returns an allocation from the pool, or a fresh arena-backed
+// one.
 func (s *Scheduler) newAllocation() *allocation {
-	if n := len(s.allocFree); n > 0 {
-		a := s.allocFree[n-1]
-		s.allocFree[n-1] = nil
-		s.allocFree = s.allocFree[:n-1]
-		return a
-	}
-	return &allocation{}
+	return s.allocPool.Get()
 }
 
 // NextEventTime returns the earliest instant at which this cluster will
@@ -1277,7 +1269,7 @@ func (s *Scheduler) displaceRunning(w platform.CapacityEvent, notes []Notificati
 		if !displaced[a.job.ID] {
 			kept = append(kept, a)
 		} else {
-			s.allocFree = append(s.allocFree, a)
+			s.allocPool.Put(a)
 		}
 	}
 	s.running = kept
@@ -1307,7 +1299,7 @@ func (s *Scheduler) finishDueAt(t int64, notes []Notification) []Notification {
 			if s.releaseReservation(a, t) {
 				released = true
 			}
-			s.allocFree = append(s.allocFree, a)
+			s.allocPool.Put(a)
 			continue
 		}
 		kept = append(kept, a)
@@ -1382,7 +1374,7 @@ func (s *Scheduler) startDueAt(t int64, notes []Notification) []Notification {
 				}
 			}
 			notes = append(notes, Notification{Kind: Started, JobID: e.job.ID, Time: t})
-			s.entryFree = append(s.entryFree, e)
+			s.entryPool.Put(e)
 			continue
 		}
 		if e.plannedStart < next {

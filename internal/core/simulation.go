@@ -1,6 +1,9 @@
 package core
 
 import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
 	"errors"
 	"fmt"
 	"sort"
@@ -134,6 +137,87 @@ type Result struct {
 	ServerLoads []server.RequestLoad
 	// EventsExecuted is the number of discrete events the engine processed.
 	EventsExecuted uint64
+
+	// digestLanes and digestFinal carry the incremental run digest: the
+	// driver folds every job record into an order-independent accumulator
+	// the instant the record becomes final, and finalizeDigest seals the
+	// lanes together with the run-level totals when the run ends. Unexported
+	// so a hand-built Result simply has no incremental digest (Digest
+	// returns "").
+	digestLanes [3]uint64
+	digestFinal string
+}
+
+// Digest returns the run digest folded incrementally during the event loop:
+// a hex SHA-256 over the run-level totals and the order-independent fold of
+// every job record (see sim.DigestAcc). Two runs produce the same digest
+// exactly when every job record and every run-level total agree, which is
+// the identity the campaign oracles compare — without the sort-and-format
+// post-pass over the records that harness.Digest pays. A Result not
+// produced by Run returns "".
+func (r *Result) Digest() string { return r.digestFinal }
+
+// finalizeDigest seals the incremental record fold with the run-level
+// totals. Run calls it last, after any quarantine perturbation, so the
+// digest answers for exactly the Result handed back.
+func (r *Result) finalizeDigest(acc *sim.DigestAcc) {
+	l0, l1, n := acc.Lanes()
+	r.digestLanes = [3]uint64{l0, l1, n}
+	h := sha256.New()
+	fmt.Fprintf(h, "run makespan=%d moves=%d events=%d kills=%d requeues=%d\n",
+		r.Makespan, r.TotalReallocations, r.ReallocationEvents, r.OutageKills, r.OutageRequeues)
+	var buf [24]byte
+	binary.LittleEndian.PutUint64(buf[0:8], l0)
+	binary.LittleEndian.PutUint64(buf[8:16], l1)
+	binary.LittleEndian.PutUint64(buf[16:24], n)
+	h.Write(buf[:])
+	r.digestFinal = hex.EncodeToString(h.Sum(nil))
+}
+
+// VerifyDigest recomputes the incremental fold from the final records — the
+// post-pass the event-loop fold exists to avoid — and reports whether both
+// agree. It is the trust check for the incremental digest: a record folded
+// before its final mutation, folded twice, or skipped shows up as a lane or
+// count mismatch. The harness runs it once per campaign reference run.
+func (r *Result) VerifyDigest() error {
+	if r.digestFinal == "" {
+		return errors.New("core: result carries no incremental digest")
+	}
+	var acc sim.DigestAcc
+	// The fold commutes, so any iteration order would do; sorted records
+	// keep the determinism analyzer's map-order rule satisfied without a
+	// suppression — this is the cold trust path, run once per campaign
+	// scenario, so the sort is free in practice.
+	for _, rec := range r.SortedRecords() {
+		acc.Add(recordFold(rec, sim.MixString(0, rec.Cluster)))
+	}
+	l0, l1, n := acc.Lanes()
+	if want := [3]uint64{l0, l1, n}; want != r.digestLanes {
+		return fmt.Errorf("core: incremental digest diverged from records: folded %d records to %x/%x, recomputed %d to %x/%x",
+			r.digestLanes[2], r.digestLanes[0], r.digestLanes[1], n, l0, l1)
+	}
+	return nil
+}
+
+// recordFold hashes one finalized job record for the incremental digest.
+// clusterHash must be sim.MixString(0, rec.Cluster); the driver passes the
+// per-cluster hash it precomputed at reset so the hot fold never rescans
+// the name.
+func recordFold(rec *JobRecord, clusterHash uint64) uint64 {
+	h := sim.Mix64(uint64(rec.JobID))
+	h = sim.Mix64(h ^ uint64(rec.Submit))
+	h = sim.Mix64(h ^ uint64(rec.Start))
+	h = sim.Mix64(h ^ uint64(rec.Completion))
+	h = sim.Mix64(h ^ clusterHash)
+	h = sim.Mix64(h ^ uint64(rec.Procs))
+	h = sim.Mix64(h ^ uint64(rec.Reallocations))
+	h = sim.Mix64(h ^ uint64(rec.Requeues))
+	if rec.Killed {
+		h = sim.Mix64(h ^ 1)
+	} else {
+		h = sim.Mix64(h ^ 2)
+	}
+	return h
 }
 
 // SortedRecords returns the job records ordered by job ID.
@@ -405,6 +489,9 @@ func (sm *Simulator) Run(cfg Config) (*Result, error) {
 		// it) can keep out of later tasks' results.
 		result.Makespan++
 	}
+	// Seal the incremental digest last, after the quarantine perturbation,
+	// so it answers for exactly the Result handed back.
+	result.finalizeDigest(&d.digest)
 	return result, nil
 }
 
@@ -428,6 +515,12 @@ type driver struct {
 	// reallocEv is the single periodic reallocation event, rescheduled from
 	// pass to pass.
 	reallocEv *sim.Event
+	// digest accumulates the incremental run digest; record folds each job
+	// record in at the instant it becomes final. clusterHash carries the
+	// per-cluster name hashes (index-aligned with servers), precomputed at
+	// reset so the hot fold never rescans a name.
+	digest      sim.DigestAcc
+	clusterHash []uint64
 	// waitingScratch is reused by updateReallocationCounts after every
 	// reallocation pass.
 	waitingScratch []batch.WaitingJob //gridlint:keep-across-reset capacity only, truncated before use
@@ -450,18 +543,22 @@ func (d *driver) reset(engine *sim.Engine, agent *Agent, servers []*server.Serve
 		d.wakes = make([]*sim.Event, n)
 		d.wakePending = make([]bool, n)
 		d.wakeNames = make([]string, n)
+		d.clusterHash = make([]uint64, n)
 	}
 	d.wakes = d.wakes[:n]
 	d.wakePending = d.wakePending[:n]
 	d.wakeNames = d.wakeNames[:n]
+	d.clusterHash = d.clusterHash[:n]
 	for i, srv := range servers {
 		// The wake events of the previous run died with the engine reset;
 		// fresh closures are built lazily by refreshWakes.
 		d.wakes[i] = nil
 		d.wakePending[i] = false
 		d.wakeNames[i] = "wake-" + srv.Name()
+		d.clusterHash[i] = sim.MixString(0, srv.Name())
 	}
 	d.reallocEv = nil
+	d.digest.Reset()
 	d.total = total
 	d.completed = 0
 	d.verify = verify
@@ -491,13 +588,14 @@ func (d *driver) advanceAll(now int64) {
 			d.errs = append(d.errs, err)
 			continue
 		}
-		d.record(srv.Name(), notes)
-		_ = i
+		d.record(srv.Name(), d.clusterHash[i], notes)
 	}
 }
 
-// record applies cluster notifications to the per-job records.
-func (d *driver) record(cluster string, notes []batch.Notification) {
+// record applies cluster notifications to the per-job records. clusterHash
+// must be sim.MixString(0, cluster); a Finished notification makes the
+// record final, so that is where it is folded into the incremental digest.
+func (d *driver) record(cluster string, clusterHash uint64, notes []batch.Notification) {
 	for _, n := range notes {
 		rec, ok := d.result.Jobs[n.JobID]
 		if !ok {
@@ -520,6 +618,10 @@ func (d *driver) record(cluster string, notes []batch.Notification) {
 			if n.Displaced {
 				d.result.OutageKills++
 			}
+			// Finished is terminal: nothing mutates the record afterwards
+			// (reallocation counting only touches waiting jobs), so fold it
+			// into the digest now.
+			d.digest.Add(recordFold(rec, clusterHash))
 		case batch.Requeued:
 			// The job lost its execution to an outage and is waiting again;
 			// its eventual restart will overwrite Start.
@@ -581,8 +683,10 @@ func (d *driver) handleSubmission(job workload.Job, now int64) {
 	cluster, err := d.agent.SubmitJob(job, now)
 	if err != nil {
 		d.errs = append(d.errs, fmt.Errorf("core: job %d could not be mapped: %w", job.ID, err))
-		// The job is dropped; its record keeps Start/Completion at -1.
+		// The job is dropped; its record keeps Start/Completion at -1 and
+		// Cluster empty — final from this moment, so fold it.
 		d.completed++
+		d.digest.Add(recordFold(rec, sim.MixString(0, "")))
 		d.refreshWakes(now)
 		return
 	}

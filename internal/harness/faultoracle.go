@@ -122,7 +122,10 @@ func CheckFaultTolerance(cfg FaultCampaignConfig) (FaultReport, error) {
 		if err != nil {
 			return "", err
 		}
-		return Digest(res), nil
+		// The incremental digest was folded during the run; no record
+		// post-pass. Poisoned-reset perturbations stay visible because the
+		// fold is sealed after the quarantine bump.
+		return res.Digest(), nil
 	}
 
 	// Fault-free reference campaign on the same pooled runner: the digests

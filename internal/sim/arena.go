@@ -1,0 +1,47 @@
+package sim
+
+// arenaBlockLen is the number of objects carved from one block allocation.
+// Large enough to amortize the allocator to ~1/64th of the per-object cost
+// on a fresh run's ramp-up, small enough that an idle pool wastes at most a
+// few kilobytes.
+const arenaBlockLen = 64
+
+// Arena is a free-list-fronted block allocator for the per-run bookkeeping
+// records the simulation churns through (queue entries, allocations). Get
+// returns a recycled object when one is available and otherwise carves the
+// next object out of a block allocation, so a fresh run's ramp-up — which
+// used to pay one heap allocation per record — pays one per arenaBlockLen
+// records instead. Put recycles an object the caller no longer reaches.
+//
+// The arena never frees: recycled objects wait on the free list and block
+// remainders wait in the current block, both plain capacity retained across
+// runs, exactly like the slice pools they replace. Objects are NOT zeroed
+// on Get — recycled records keep their previous values until the caller
+// overwrites them (block-fresh ones start zeroed), which is the contract
+// the scheduler's pools always had. The zero Arena is ready to use.
+type Arena[T any] struct {
+	free  []*T
+	block []T
+}
+
+// Get returns an object from the free list, or a fresh one from the arena.
+func (a *Arena[T]) Get() *T {
+	if n := len(a.free); n > 0 {
+		v := a.free[n-1]
+		a.free[n-1] = nil
+		a.free = a.free[:n-1]
+		return v
+	}
+	if len(a.block) == 0 {
+		a.block = make([]T, arenaBlockLen)
+	}
+	v := &a.block[0]
+	a.block = a.block[1:]
+	return v
+}
+
+// Put recycles v for a later Get. The caller must hold the only live
+// reference; the arena does not check.
+func (a *Arena[T]) Put(v *T) {
+	a.free = append(a.free, v)
+}

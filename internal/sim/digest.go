@@ -1,0 +1,63 @@
+package sim
+
+// Order-independent run digesting. The driver folds each job record into a
+// DigestAcc at the instant the record becomes final (its completion, or the
+// drop of an unmappable job), so a campaign's digest needs no post-pass
+// over the records once the run ends. The fold must commute: observation
+// granularity — e.g. the extra capacity-end wakes of a verified run — can
+// interleave the *processing* of per-cluster completions differently
+// between two semantically identical runs without changing any final
+// record, so digests of identical outcomes must not depend on the order
+// records were finalized.
+
+// Lane seeds decorrelate the two accumulator lanes, so a collision must
+// defeat two independently mixed 64-bit sums at once.
+const (
+	digestSeed0 = 0x9e3779b97f4a7c15
+	digestSeed1 = 0xc2b2ae3d27d4eb4f
+)
+
+// Mix64 is the splitmix64 finalizer: a fast 64-bit permutation with full
+// avalanche, used to hash record fields without the formatting and
+// allocation cost of a cryptographic hash in the event loop.
+func Mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// MixString folds s into h byte by byte, finishing with the length so
+// prefixes cannot alias.
+func MixString(h uint64, s string) uint64 {
+	for i := 0; i < len(s); i++ {
+		h = Mix64(h ^ uint64(s[i]))
+	}
+	return Mix64(h ^ uint64(len(s)))
+}
+
+// DigestAcc accumulates per-item hashes order-independently: each item is
+// re-mixed into two decorrelated lanes and summed, and addition commutes,
+// so the final lanes depend only on the multiset of items. Two lanes plus
+// the item count make an accidental collision a ~2^-128 event — ample for
+// a regression digest (the inputs are not adversarial). The zero value is
+// an empty accumulator.
+type DigestAcc struct {
+	lane0, lane1 uint64
+	n            uint64
+}
+
+// Reset empties the accumulator.
+func (a *DigestAcc) Reset() { *a = DigestAcc{} }
+
+// Add folds one item hash into both lanes.
+func (a *DigestAcc) Add(h uint64) {
+	a.lane0 += Mix64(h ^ digestSeed0)
+	a.lane1 += Mix64(h ^ digestSeed1)
+	a.n++
+}
+
+// Lanes returns the two lane sums and the item count.
+func (a *DigestAcc) Lanes() (uint64, uint64, uint64) { return a.lane0, a.lane1, a.n }
