@@ -21,6 +21,7 @@ import (
 	"os"
 	"os/signal"
 	"strings"
+	"syscall"
 
 	"gridrealloc/internal/cli"
 	"gridrealloc/internal/core"
@@ -29,11 +30,11 @@ import (
 )
 
 func main() {
-	// SIGINT cancels the campaign context: cells already simulating finish,
-	// the partial progress is reported to stderr, and the process exits
+	// SIGINT or SIGTERM cancels the campaign context: cells already simulating
+	// finish, the partial progress is reported to stderr, and the process exits
 	// non-zero instead of discarding an hour of completed simulations
 	// silently.
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	if err := runCtx(ctx, os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)

@@ -1,0 +1,151 @@
+// Command gridd is the grid-reallocation daemon: an HTTP/JSON front over
+// the restricted cluster-frontal API of the paper (submit, cancel, estimate,
+// list — the middleware may only observe and re-submit, never command the
+// local batch schedulers) plus a campaign endpoint that streams simulation
+// results as NDJSON. Concurrent campaigns share one bounded pool of pooled
+// simulators through the service lease manager; admission control sheds
+// excess load with 429 instead of queueing without bound.
+//
+// The daemon is built to survive hostile traffic: request bodies are
+// size-capped and strictly decoded, every request runs under a deadline,
+// a panicking handler answers 500 and quarantines its simulator without
+// taking the process down, and slow readers are cut by per-write deadlines.
+//
+// SIGTERM or SIGINT starts a graceful drain: the daemon stops accepting
+// work, gives in-flight campaigns half the drain budget to finish, then
+// cancels them and flushes partial results. Exit status 0 means a clean
+// drain, 3 means the drain was degraded (campaigns cancelled or budget
+// exceeded), 1 means a startup or serve failure.
+//
+// Example:
+//
+//	gridd -addr 127.0.0.1:8080 -scenario jan -platform homogeneous \
+//	      -policy FCFS -sims 4 -campaigns 2
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"gridrealloc/internal/cli"
+	"gridrealloc/internal/platform"
+	"gridrealloc/internal/service"
+)
+
+func main() {
+	// Both SIGTERM (the supervisor's stop) and SIGINT (a human's ^C) start
+	// the graceful drain; a second signal kills immediately because
+	// NotifyContext unregisters on the first.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	err := runCtx(ctx, os.Args[1:], os.Stdout)
+	switch {
+	case err == nil:
+	case errors.Is(err, errDegraded):
+		fmt.Fprintln(os.Stderr, "gridd:", err)
+		os.Exit(3)
+	default:
+		fmt.Fprintln(os.Stderr, "gridd:", err)
+		os.Exit(1)
+	}
+}
+
+// errDegraded marks a drain that had to cancel in-flight campaigns or blew
+// its budget; main maps it to exit status 3 so supervisors can tell a
+// degraded stop from a clean one.
+var errDegraded = errors.New("degraded drain")
+
+// runCtx boots the daemon, serves until ctx is cancelled (a signal in
+// production), then drains. It prints the bound address to stdout as
+// "gridd: listening on <addr>" so callers binding port 0 can find it.
+func runCtx(ctx context.Context, args []string, stdout io.Writer) error {
+	out := cli.NewErrWriter(stdout)
+	fs := flag.NewFlagSet("gridd", flag.ContinueOnError)
+	var (
+		addr     = fs.String("addr", "127.0.0.1:8080", "listen address (host:port; port 0 picks a free port)")
+		scen     = fs.String("scenario", "jan", "workload scenario whose platform the frontal clusters serve")
+		variant  = fs.String("platform", "homogeneous", "platform variant: homogeneous or heterogeneous")
+		policy   = fs.String("policy", "FCFS", "local batch policy of every frontal cluster: FCFS or CBF")
+		sims     = fs.Int("sims", 4, "bound on pooled simulators shared by all campaigns")
+		camps    = fs.Int("campaigns", 2, "bound on concurrently running campaigns")
+		pend     = fs.Int("pending", 4, "bound on campaigns queued for admission before 429 load-shedding")
+		reqTO    = fs.Duration("request-timeout", 5*time.Second, "per-request deadline for the frontal endpoints and campaign admission")
+		campTO   = fs.Duration("campaign-timeout", 5*time.Minute, "deadline for one whole campaign including streaming")
+		writeTO  = fs.Duration("write-timeout", 10*time.Second, "per-write deadline cutting slow readers off a campaign stream")
+		drain    = fs.Duration("drain", 10*time.Second, "graceful-drain budget after SIGTERM/SIGINT")
+		maxBody  = fs.Int64("max-body", 8<<20, "request body size cap in bytes")
+		maxScen  = fs.Int("max-scenarios", 4096, "bound on scenarios in one campaign request")
+		allowInj = fs.Bool("allow-fault-injection", false, "accept campaign requests carrying a fault-injection plan (test harnesses only)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	variantV, err := platform.ParseHeterogeneity(*variant)
+	if err != nil {
+		return err
+	}
+	svc, err := service.New(service.Config{
+		Platform:             platform.ForScenario(*scen, variantV),
+		Policy:               *policy,
+		Sims:                 *sims,
+		MaxCampaigns:         *camps,
+		MaxPending:           *pend,
+		RequestTimeout:       *reqTO,
+		CampaignTimeout:      *campTO,
+		WriteTimeout:         *writeTO,
+		DrainBudget:          *drain,
+		MaxBodyBytes:         *maxBody,
+		MaxCampaignScenarios: *maxScen,
+		AllowFaultInjection:  *allowInj,
+		Now:                  time.Now,
+	})
+	if err != nil {
+		return err
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	hs := &http.Server{
+		Handler: svc.Handler(),
+		// Slowloris guard: a client must finish its request header quickly;
+		// bodies are bounded separately by MaxBytesReader + the per-request
+		// deadline inside the service.
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	fmt.Fprintf(out, "gridd: listening on %s\n", ln.Addr())
+	if err := out.Err(); err != nil {
+		_ = ln.Close()
+		return err
+	}
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+	select {
+	case err := <-serveErr:
+		return fmt.Errorf("serve: %w", err)
+	case <-ctx.Done():
+	}
+
+	// Graceful drain: stop admission, let campaigns finish or cancel them
+	// within the budget, then close the listener and in-flight connections.
+	drainErr := svc.Drain(context.Background())
+	sctx, cancel := context.WithTimeout(context.Background(), *drain)
+	_ = hs.Shutdown(sctx)
+	cancel()
+	<-serveErr
+	if drainErr != nil {
+		return fmt.Errorf("%w: %v", errDegraded, drainErr)
+	}
+	return out.Err()
+}

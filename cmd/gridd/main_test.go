@@ -1,0 +1,411 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"gridrealloc/internal/core"
+	"gridrealloc/internal/faultinject"
+	"gridrealloc/internal/leakcheck"
+	"gridrealloc/internal/runner"
+	"gridrealloc/internal/scenario"
+	"gridrealloc/internal/service"
+)
+
+// syncBuf is a concurrency-safe writer the daemon goroutine logs into while
+// the test polls for the listen address.
+type syncBuf struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (s *syncBuf) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuf) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+var listenLine = regexp.MustCompile(`listening on (\S+)`)
+
+// waitForAddr polls the daemon's output for the bound address.
+func waitForAddr(t *testing.T, buf *syncBuf) string {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if m := listenLine.FindStringSubmatch(buf.String()); m != nil {
+			return m[1]
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("daemon never printed its listen address; output: %q", buf.String())
+	return ""
+}
+
+// testCampaign returns a small deterministic scenario batch.
+func testCampaign(n int) []scenario.Config {
+	algorithms := []string{"none", "realloc", "realloc-cancel"}
+	cfgs := make([]scenario.Config, n)
+	for i := range cfgs {
+		cfgs[i] = scenario.Config{
+			Scenario:      "jan",
+			TraceFraction: 0.01,
+			Algorithm:     algorithms[i%len(algorithms)],
+			Seed:          uint64(i + 1),
+		}
+	}
+	return cfgs
+}
+
+// referenceDigests runs the batch in-process: the digests a campaign served
+// over HTTP must reproduce bit for bit.
+func referenceDigests(t *testing.T, cfgs []scenario.Config) []string {
+	t.Helper()
+	want, _, err := runner.RunCtx(context.Background(), len(cfgs), runner.Options{Workers: 2},
+		func(_ context.Context, i int, sim *core.Simulator) (string, error) {
+			runCfg, err := scenario.BuildRunConfig(cfgs[i])
+			if err != nil {
+				return "", err
+			}
+			res, err := sim.Run(runCfg)
+			if err != nil {
+				return "", err
+			}
+			return res.Digest(), nil
+		})
+	if err != nil {
+		t.Fatalf("in-process reference campaign: %v", err)
+	}
+	return want
+}
+
+func TestRunCtxRejectsBadInput(t *testing.T) {
+	cases := [][]string{
+		{"-no-such-flag"},
+		{"-platform", "banana"},
+		{"-policy", "banana"},
+		{"-addr", "256.256.256.256:http"},
+	}
+	for _, args := range cases {
+		if err := runCtx(context.Background(), args, io.Discard); err == nil {
+			t.Errorf("runCtx(%v) accepted bad input", args)
+		}
+	}
+}
+
+func TestRunCtxServesAndDrainsCleanly(t *testing.T) {
+	snap := leakcheck.Take()
+	var buf syncBuf
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- runCtx(ctx, []string{"-addr", "127.0.0.1:0"}, &buf) }()
+	addr := waitForAddr(t, &buf)
+	client := &service.Client{Base: "http://" + addr}
+
+	status, err := client.Healthz(context.Background())
+	if err != nil || status != "ok" {
+		t.Fatalf("healthz = %q, %v", status, err)
+	}
+	if _, err := client.Submit(context.Background(), service.SubmitRequest{
+		Cluster: "bordeaux",
+		Job:     service.JobPayload{ID: 1, Runtime: 60, Walltime: 120, Procs: 8},
+	}); err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+
+	cfgs := testCampaign(4)
+	want := referenceDigests(t, cfgs)
+	digests := make([]string, len(cfgs))
+	trailer, err := client.Campaign(context.Background(), service.CampaignRequest{Scenarios: cfgs},
+		func(line service.CampaignLine) {
+			if line.Index >= 0 && line.Index < len(digests) {
+				digests[line.Index] = line.Digest
+			}
+		})
+	if err != nil {
+		t.Fatalf("campaign: %v", err)
+	}
+	if trailer.Health != "clean" {
+		t.Fatalf("trailer = %+v", trailer)
+	}
+	for i := range want {
+		if digests[i] != want[i] {
+			t.Fatalf("task %d digest over HTTP %q != in-process %q", i, digests[i], want[i])
+		}
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("clean shutdown returned %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon did not exit after cancellation")
+	}
+	client.CloseIdle()
+	if err := snap.Check(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunCtxDegradedDrainWhenCampaignsCancelled(t *testing.T) {
+	var buf syncBuf
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan error, 1)
+	go func() {
+		done <- runCtx(ctx, []string{
+			"-addr", "127.0.0.1:0",
+			"-allow-fault-injection",
+			"-drain", "400ms",
+		}, &buf)
+	}()
+	addr := waitForAddr(t, &buf)
+	client := &service.Client{Base: "http://" + addr}
+	defer client.CloseIdle()
+
+	// A campaign whose plan contains a Slow fault with no task timeout: the
+	// faulted task blocks until the campaign is cancelled, so the daemon
+	// cannot drain cleanly and must take the degraded exit path.
+	firstLine := make(chan struct{})
+	var once sync.Once
+	campaignDone := make(chan struct{})
+	go func() {
+		defer close(campaignDone)
+		_, _ = client.Campaign(context.Background(), service.CampaignRequest{
+			Scenarios: testCampaign(6),
+			FaultSeed: 11,
+			Faulted:   3, // fault kinds cycle Panic, Transient, Slow — one blocking task guaranteed
+		}, func(service.CampaignLine) { once.Do(func() { close(firstLine) }) })
+	}()
+	select {
+	case <-firstLine:
+	case <-time.After(15 * time.Second):
+		t.Fatal("campaign never streamed a line")
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, errDegraded) {
+			t.Fatalf("drain with a wedged campaign returned %v, want errDegraded", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("daemon did not exit after cancellation")
+	}
+	<-campaignDone
+}
+
+// TestGriddEndToEnd is the CI smoke: build the real binary, boot it, replay
+// a concurrent campaign mix against the live socket — one tenant with an
+// injected panic plan, one healthy tenant checked for digest parity, one
+// slow reader that abandons its stream — then SIGTERM and require a clean
+// drain (exit status 0).
+func TestGriddEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and boots the daemon binary")
+	}
+	bin := filepath.Join(t.TempDir(), "gridd")
+	if out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+
+	cmd := exec.Command(bin,
+		"-addr", "127.0.0.1:0",
+		"-allow-fault-injection",
+		"-write-timeout", "1s",
+		"-campaigns", "3",
+		"-drain", "8s",
+	)
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if cmd.Process != nil {
+			_ = cmd.Process.Kill()
+			_ = cmd.Wait()
+		}
+	}()
+
+	sc := bufio.NewScanner(stdout)
+	if !sc.Scan() {
+		t.Fatalf("no stdout from daemon; stderr: %s", stderr.String())
+	}
+	m := listenLine.FindStringSubmatch(sc.Text())
+	if m == nil {
+		t.Fatalf("unexpected first line %q", sc.Text())
+	}
+	go func() { // keep draining stdout so the child never blocks on a full pipe
+		for sc.Scan() {
+		}
+	}()
+	addr := m[1]
+	client := &service.Client{Base: "http://" + addr}
+	defer client.CloseIdle()
+
+	cfgs := testCampaign(8)
+	want := referenceDigests(t, cfgs)
+	plan := faultinject.NewPlan(21, len(cfgs), 4) // one fault of each kind, incl. a panic
+	const maxRetries = 2
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 3)
+
+	// Tenant 1: the faulted campaign.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		lines := make([]*service.CampaignLine, len(cfgs))
+		trailer, err := client.Campaign(context.Background(), service.CampaignRequest{
+			Scenarios:     cfgs,
+			TaskTimeoutMs: 300,
+			MaxRetries:    maxRetries,
+			FaultSeed:     plan.Seed(),
+			Faulted:       4,
+		}, func(line service.CampaignLine) {
+			l := line
+			if l.Index >= 0 && l.Index < len(lines) {
+				lines[l.Index] = &l
+			}
+		})
+		if err != nil {
+			errs <- fmt.Errorf("faulted campaign: %w", err)
+			return
+		}
+		if expect := plan.Expected(maxRetries); trailer.Stats != expect {
+			errs <- fmt.Errorf("faulted campaign stats %+v, plan expected %+v", trailer.Stats, expect)
+			return
+		}
+		for i, line := range lines {
+			if line == nil {
+				errs <- fmt.Errorf("faulted campaign: no line for task %d", i)
+				return
+			}
+			switch plan.Fault(i).Kind {
+			case faultinject.None, faultinject.Transient:
+				if line.Digest != want[i] {
+					errs <- fmt.Errorf("faulted campaign: task %d digest %q != %q", i, line.Digest, want[i])
+					return
+				}
+			case faultinject.Panic, faultinject.PoisonReset:
+				if !line.Panic {
+					errs <- fmt.Errorf("faulted campaign: task %d not marked as panic: %+v", i, line)
+					return
+				}
+			case faultinject.Slow:
+				if !line.Timeout {
+					errs <- fmt.Errorf("faulted campaign: task %d not marked as timeout: %+v", i, line)
+					return
+				}
+			}
+		}
+	}()
+
+	// Tenant 2: a healthy campaign that must stay bit-identical.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		digests := make([]string, len(cfgs))
+		trailer, err := client.Campaign(context.Background(), service.CampaignRequest{Scenarios: cfgs},
+			func(line service.CampaignLine) {
+				if line.Index >= 0 && line.Index < len(digests) {
+					digests[line.Index] = line.Digest
+				}
+			})
+		if err != nil {
+			errs <- fmt.Errorf("healthy campaign: %w", err)
+			return
+		}
+		if trailer.Health != "clean" {
+			errs <- fmt.Errorf("healthy campaign trailer: %+v", trailer)
+			return
+		}
+		for i := range want {
+			if digests[i] != want[i] {
+				errs <- fmt.Errorf("healthy campaign: task %d digest %q != %q", i, digests[i], want[i])
+				return
+			}
+		}
+	}()
+
+	// Tenant 3: the slow reader — opens a campaign whose Slow fault keeps
+	// the stream alive, never reads it, then walks away.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		body := `{"scenarios":[{"scenario":"jan","trace_fraction":0.01,"seed":1},` +
+			`{"scenario":"jan","trace_fraction":0.01,"seed":2},` +
+			`{"scenario":"jan","trace_fraction":0.01,"seed":3}],"fault_seed":9,"faulted":3}`
+		resp, err := http.Post("http://"+addr+"/v1/campaigns", "application/json", strings.NewReader(body))
+		if err != nil {
+			errs <- fmt.Errorf("slow reader: %w", err)
+			return
+		}
+		time.Sleep(500 * time.Millisecond) // stall without reading
+		resp.Body.Close()
+		http.DefaultClient.CloseIdleConnections()
+	}()
+
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if t.Failed() {
+		t.FailNow()
+	}
+
+	// Wait for the daemon to fully quiesce (the abandoned stream's handler
+	// must finish and return its lease) so SIGTERM finds nothing in flight.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		stats, err := client.Stats(context.Background())
+		if err == nil && stats.CampaignsRunning == 0 && stats.Leases.Leased == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("daemon never quiesced: %+v, err=%v", stats, err)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	waitErr := make(chan error, 1)
+	go func() { waitErr <- cmd.Wait() }()
+	select {
+	case err := <-waitErr:
+		if err != nil {
+			t.Fatalf("SIGTERM drain exited non-zero: %v\nstderr: %s", err, stderr.String())
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatalf("daemon did not exit after SIGTERM; stderr: %s", stderr.String())
+	}
+	cmd.Process = nil
+}

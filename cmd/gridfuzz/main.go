@@ -38,6 +38,7 @@ import (
 	"runtime"
 	"sort"
 	"strconv"
+	"syscall"
 
 	"gridrealloc/internal/cli"
 	"gridrealloc/internal/core"
@@ -46,10 +47,10 @@ import (
 )
 
 func main() {
-	// SIGINT cancels the campaign context: in-flight scenarios finish, the
-	// summary (and the lowest failing seed, if any scenario failed) still
-	// prints, and the process exits non-zero.
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	// SIGINT or SIGTERM cancels the campaign context: in-flight scenarios
+	// finish, the summary (and the lowest failing seed, if any scenario failed)
+	// still prints, and the process exits non-zero.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	if err := runCtx(ctx, os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "gridfuzz:", err)

@@ -31,6 +31,7 @@ import (
 	"os"
 	"os/signal"
 	"strings"
+	"syscall"
 
 	gridrealloc "gridrealloc"
 	"gridrealloc/internal/cli"
@@ -40,11 +41,11 @@ import (
 )
 
 func main() {
-	// SIGINT cancels the context instead of killing the process: an
+	// SIGINT or SIGTERM cancels the context instead of killing the process: an
 	// interrupted multi-scenario campaign still prints the summaries of the
-	// scenarios it completed before exiting non-zero. A second SIGINT kills
+	// scenarios it completed before exiting non-zero. A second signal kills
 	// immediately (signal.NotifyContext unregisters on the first).
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	if err := runCtx(ctx, os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "gridsim:", err)

@@ -161,6 +161,49 @@
 //     72-configuration grid and requires the surviving 69 digests to match
 //     fresh runs bit-for-bit.
 //
+// # Service
+//
+// cmd/gridd makes the paper's deployed architecture real instead of
+// in-process only: a long-running HTTP/JSON daemon (internal/service)
+// exposing the restricted cluster-frontal API — POST /v1/submit, /v1/cancel,
+// /v1/estimate and GET /v1/list, the observe-and-resubmit surface the
+// paper's middleware is limited to — plus POST /v1/campaigns, which runs a
+// scenario batch through the campaign engine and streams one NDJSON result
+// line per scenario as it completes, ending with a stats trailer. Virtual
+// time is per cluster and only moves forward: requests carry their own
+// "now" and are clamped to the cluster's current time.
+//
+// Concurrent campaigns share one bounded pool of pooled simulators through
+// the service lease manager (service.LeaseManager, a runner.SimSource):
+// Acquire blocks until a slot frees, Release returns the instance for
+// reuse, and Discard — taken after any recovered panic — retires the
+// instance forever while returning its capacity slot, so the PR 8
+// quarantine rule holds across tenants: a poisoned simulator is never
+// re-leased, no matter which campaign leases next. The lease table,
+// per-instance health state and quarantine counters are visible on /stats.
+//
+// The daemon is hardened for hostile traffic: admission control bounds
+// running and pending campaigns and sheds the excess with 429 +
+// Retry-After instead of queueing without bound; every request runs under
+// a deadline propagated as a context into runner.RunCtx; bodies are capped
+// by http.MaxBytesReader and decoded strictly (unknown fields and trailing
+// garbage rejected); a panicking handler answers 500 without taking the
+// process down; and every campaign stream write carries its own deadline,
+// so a slow reader is cut off rather than pinning a worker. /healthz and
+// /stats expose lease state, admission counters, per-cluster
+// server.RequestLoad and p50/p99 latency histograms (metrics.Histogram)
+// for submit, estimate and campaign serving.
+//
+// SIGTERM or SIGINT starts a graceful drain: admission stops (503), queued
+// waiters are released, in-flight campaigns get half the drain budget to
+// finish before being cancelled — partial results and a trailer marked
+// draining still flush — and gridd exits 0 on a clean drain, 3 when the
+// drain was degraded. harness.CheckServiceFaultTolerance is the service
+// leg of the fault oracle: under injected panics, slow tasks and
+// mid-stream disconnects, non-faulted campaign digests served over HTTP
+// are bit-identical to in-process runs, trailer stats match the fault
+// plan exactly, and leakcheck finds zero goroutines after drain.
+//
 // # Randomized scenario harness
 //
 // Beyond the paper's fixed campaign, internal/harness draws arbitrary

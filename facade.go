@@ -2,13 +2,12 @@ package gridrealloc
 
 import (
 	"context"
-	"fmt"
 
-	"gridrealloc/internal/batch"
 	"gridrealloc/internal/core"
 	"gridrealloc/internal/metrics"
 	"gridrealloc/internal/platform"
 	"gridrealloc/internal/runner"
+	"gridrealloc/internal/scenario"
 	"gridrealloc/internal/workload"
 )
 
@@ -43,69 +42,10 @@ type (
 
 // ScenarioConfig describes one simulation run through the façade. All fields
 // are strings or plain values so the façade can be driven directly from
-// flags or configuration files; the underlying typed API lives in
-// internal/core for use by the experiment harness.
-type ScenarioConfig struct {
-	// Scenario names the workload ("jan".."jun", "pwa-g5k"); it selects the
-	// platform the paper pairs with it. Ignored when Platform is non-nil.
-	Scenario string
-	// Heterogeneity is "homogeneous" (default) or "heterogeneous"; any
-	// other string is rejected by RunScenario. Ignored when Platform is
-	// non-nil.
-	Heterogeneity string
-	// Policy is the local batch policy, "FCFS" (default) or "CBF".
-	Policy string
-	// Trace is the workload to replay. When nil, a synthetic trace for
-	// Scenario is generated with TraceFraction and Seed.
-	Trace *Trace
-	// TraceFraction scales the generated trace when Trace is nil (default
-	// 0.02, which keeps the quickstart fast).
-	TraceFraction float64
-	// Seed drives the synthetic generators (default 42).
-	Seed uint64
-	// Platform overrides the paper's platform when non-nil.
-	Platform *Platform
-	// Algorithm is "none" (default), "realloc" (Algorithm 1, without
-	// cancellation) or "realloc-cancel" (Algorithm 2, with cancellation).
-	Algorithm string
-	// Heuristic is one of "Mct", "MinMin", "MaxMin", "MaxGain",
-	// "MaxRelGain", "Sufferage" (default "Mct"). Ignored when Algorithm is
-	// "none".
-	Heuristic string
-	// Mapping is the online mapping policy: "MCT" (default), "Random" or
-	// "RoundRobin".
-	Mapping string
-	// ReallocPeriodSeconds overrides the hourly reallocation period.
-	ReallocPeriodSeconds int64
-	// MinGainSeconds overrides the one-minute improvement threshold of
-	// Algorithm 1.
-	MinGainSeconds int64
-
-	// Capacity dynamics. A scenario name with a "-maint" or "-outage"
-	// suffix ("jan-maint", "jan-outage") attaches a default capacity window
-	// to the platform's first cluster; the fields below override or replace
-	// that default. All fields are inert at their zero values, keeping runs
-	// without capacity events bit-identical to the static simulator.
-
-	// OutageCluster names the cluster whose capacity changes (default: the
-	// platform's first cluster).
-	OutageCluster string
-	// OutageStartSeconds is the instant the capacity window opens.
-	OutageStartSeconds int64
-	// OutageDurationSeconds is the window length; a positive value enables
-	// the explicit window.
-	OutageDurationSeconds int64
-	// OutageSeverity is the fraction of the cluster's cores lost during the
-	// window, in (0, 1]; non-positive values default to 1 (full outage).
-	OutageSeverity float64
-	// OutageAnnounced marks the window as a maintenance window the batch
-	// scheduler knows in advance and plans around, instead of a surprise
-	// outage that displaces running jobs.
-	OutageAnnounced bool
-	// OutagePolicy is what happens to running jobs displaced by an
-	// unannounced outage: "kill" (default) or "requeue".
-	OutagePolicy string
-}
+// flags, configuration files or JSON (the gridd campaign endpoint decodes
+// the same type); the resolution into the typed core configuration lives in
+// internal/scenario, shared with the service layer.
+type ScenarioConfig = scenario.Config
 
 // GenerateScenario produces the synthetic trace of one of the paper's seven
 // scenarios. Fraction scales the job counts of Table 1 (1.0 reproduces them
@@ -143,7 +83,7 @@ func NewSimulator() *Simulator { return &Simulator{inner: core.NewSimulator()} }
 // RunScenario runs one simulation according to cfg on the pooled context and
 // returns its result.
 func (s *Simulator) RunScenario(cfg ScenarioConfig) (*Result, error) {
-	runCfg, err := buildRunConfig(cfg)
+	runCfg, err := scenario.BuildRunConfig(cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -201,135 +141,12 @@ func RunScenariosStreamCtx(ctx context.Context, cfgs []ScenarioConfig, workers i
 // unit of cancellation, so it runs to completion once started.
 func scenarioTask(cfgs []ScenarioConfig) runner.TaskFunc[*Result] {
 	return func(_ context.Context, i int, sim *core.Simulator) (*Result, error) {
-		runCfg, err := buildRunConfig(cfgs[i])
+		runCfg, err := scenario.BuildRunConfig(cfgs[i])
 		if err != nil {
 			return nil, err
 		}
 		return sim.Run(runCfg)
 	}
-}
-
-// buildRunConfig resolves a façade ScenarioConfig (plain strings and values)
-// into the typed core configuration one run needs. Each call builds a fresh
-// mapping-policy instance, so configurations can be resolved repeatedly
-// without leaking mapping state between runs.
-func buildRunConfig(cfg ScenarioConfig) (core.Config, error) {
-	if cfg.Scenario == "" && cfg.Trace == nil && cfg.Platform == nil {
-		return core.Config{}, fmt.Errorf("gridrealloc: ScenarioConfig needs at least a Scenario, a Trace or a Platform")
-	}
-	seed := cfg.Seed
-	if seed == 0 {
-		seed = 42
-	}
-	trace := cfg.Trace
-	if trace == nil {
-		fraction := cfg.TraceFraction
-		if fraction <= 0 {
-			fraction = 0.02
-		}
-		scenario := cfg.Scenario
-		if scenario == "" {
-			scenario = "jan"
-		}
-		var err error
-		trace, err = GenerateScenario(scenario, fraction, seed)
-		if err != nil {
-			return core.Config{}, err
-		}
-	}
-
-	var plat Platform
-	switch {
-	case cfg.Platform != nil:
-		plat = *cfg.Platform
-	case cfg.Scenario == "":
-		// A custom trace alone does not determine the platform; silently
-		// defaulting to Grid'5000 would simulate hardware the caller never
-		// chose.
-		return core.Config{}, fmt.Errorf("gridrealloc: ScenarioConfig with a custom Trace needs a Scenario or a Platform to pick the clusters")
-	default:
-		// With a custom Trace the scenario name is only consulted for the
-		// platform pairing, which would otherwise accept any typo and hand
-		// back Grid'5000; validate it on every path.
-		if !workload.KnownScenario(workload.ScenarioName(cfg.Scenario)) {
-			return core.Config{}, fmt.Errorf("gridrealloc: unknown scenario %q", cfg.Scenario)
-		}
-		het, err := platform.ParseHeterogeneity(cfg.Heterogeneity)
-		if err != nil {
-			return core.Config{}, fmt.Errorf("gridrealloc: %w", err)
-		}
-		plat = platform.ForScenario(cfg.Scenario, het)
-	}
-	plat, err := applyCapacityConfig(plat, cfg, trace)
-	if err != nil {
-		return core.Config{}, err
-	}
-	outagePolicy, err := batch.ParseOutagePolicy(cfg.OutagePolicy)
-	if err != nil {
-		return core.Config{}, err
-	}
-
-	policy := batch.FCFS
-	if cfg.Policy != "" {
-		var err error
-		policy, err = batch.ParsePolicy(cfg.Policy)
-		if err != nil {
-			return core.Config{}, err
-		}
-	}
-
-	algorithm, err := core.ParseAlgorithm(cfg.Algorithm)
-	if err != nil {
-		return core.Config{}, err
-	}
-	var heuristic core.Heuristic
-	if algorithm != core.NoReallocation {
-		name := cfg.Heuristic
-		if name == "" {
-			name = "Mct"
-		}
-		heuristic, err = core.HeuristicByName(name)
-		if err != nil {
-			return core.Config{}, err
-		}
-	}
-	mapping, err := core.MappingByName(cfg.Mapping, seed)
-	if err != nil {
-		return core.Config{}, err
-	}
-
-	return core.Config{
-		Platform: plat,
-		Policy:   policy,
-		Trace:    trace,
-		Mapping:  mapping,
-		Realloc: core.ReallocConfig{
-			Algorithm: algorithm,
-			Heuristic: heuristic,
-			Period:    cfg.ReallocPeriodSeconds,
-			MinGain:   cfg.MinGainSeconds,
-		},
-		OutagePolicy:   outagePolicy,
-		ClampOversized: true,
-	}, nil
-}
-
-// applyCapacityConfig resolves the façade's capacity knobs through the
-// shared platform.ApplyCapacityRequest: an explicit window when
-// OutageDurationSeconds is set, otherwise the default schedule implied by a
-// "-maint"/"-outage" scenario variant (sized relative to the trace's
-// submission span, with the other Outage* fields overriding the default).
-// Without either, the platform is returned untouched, so static runs stay
-// bit-identical.
-func applyCapacityConfig(plat Platform, cfg ScenarioConfig, trace *Trace) (Platform, error) {
-	req := platform.CapacityRequest{
-		Cluster:   cfg.OutageCluster,
-		Start:     cfg.OutageStartSeconds,
-		Duration:  cfg.OutageDurationSeconds,
-		Severity:  cfg.OutageSeverity,
-		Announced: cfg.OutageAnnounced,
-	}
-	return platform.ApplyCapacityRequest(plat, cfg.Scenario, trace.LastSubmit(), req)
 }
 
 // Compare computes the paper's four evaluation metrics of a reallocation run

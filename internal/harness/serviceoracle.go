@@ -1,0 +1,352 @@
+package harness
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+
+	"gridrealloc/internal/core"
+	"gridrealloc/internal/faultinject"
+	"gridrealloc/internal/leakcheck"
+	"gridrealloc/internal/runner"
+	"gridrealloc/internal/scenario"
+	"gridrealloc/internal/service"
+)
+
+// ServiceFaultConfig parameterises the service-leg fault oracle: the same
+// graceful-degradation properties as CheckFaultTolerance, but asserted
+// through a live gridd service over HTTP, with concurrent tenants sharing
+// the simulator lease pool.
+type ServiceFaultConfig struct {
+	// Seed derives the scenario grid and the fault plan.
+	Seed uint64
+	// Scenarios is the campaign size (default 24).
+	Scenarios int
+	// Faulted is how many task indexes of the faulted tenant's campaign
+	// carry an injected fault (default max(4, Scenarios/8)).
+	Faulted int
+	// Workers is each campaign's requested worker count (default 2).
+	Workers int
+	// Sims bounds the service's shared lease pool (default 4).
+	Sims int
+	// Tenants is how many healthy campaigns run concurrently with the
+	// faulted one (default 2). One extra tenant always connects and
+	// disconnects mid-stream to exercise the abandoned-stream path.
+	Tenants int
+	// TaskTimeout is the per-task deadline slow faults run into (default
+	// 2s).
+	TaskTimeout time.Duration
+	// MaxRetries bounds transient-fault retries (default 3).
+	MaxRetries int
+	// DrainBudget bounds the final graceful drain (default 10s).
+	DrainBudget time.Duration
+}
+
+func (c ServiceFaultConfig) withDefaults() ServiceFaultConfig {
+	if c.Scenarios <= 0 {
+		c.Scenarios = 24
+	}
+	if c.Faulted <= 0 {
+		c.Faulted = c.Scenarios / 8
+		if c.Faulted < 4 {
+			c.Faulted = 4
+		}
+	}
+	if c.Faulted > c.Scenarios {
+		c.Faulted = c.Scenarios
+	}
+	if c.Workers <= 0 {
+		c.Workers = 2
+	}
+	if c.Sims <= 0 {
+		c.Sims = 4
+	}
+	if c.Tenants <= 0 {
+		c.Tenants = 2
+	}
+	if c.TaskTimeout <= 0 {
+		c.TaskTimeout = 2 * time.Second
+	}
+	if c.MaxRetries <= 0 {
+		c.MaxRetries = 3
+	}
+	if c.DrainBudget <= 0 {
+		c.DrainBudget = 10 * time.Second
+	}
+	return c
+}
+
+// ServiceFaultReport summarises a passed service fault-tolerance run.
+type ServiceFaultReport struct {
+	// Scenarios, Faulted and Tenants echo the effective shape.
+	Scenarios, Faulted, Tenants int
+	// Panics, Transients, Slows, Poisons break the injected faults down.
+	Panics, Transients, Slows, Poisons int
+	// Stats is the faulted campaign's trailer stats (they matched the
+	// plan's expectation exactly, or the check failed).
+	Stats runner.RunStats
+	// Quarantined is how many simulators the lease pool retired.
+	Quarantined int64
+	// Addr is the loopback address the service ran on.
+	Addr string
+}
+
+// serviceScenarios derives the deterministic scenario grid of a service
+// oracle run: small fast traces cycling through the paper's algorithms and
+// heuristics, seeded per index so every task's digest is independent.
+func serviceScenarios(seed uint64, n int) []scenario.Config {
+	algorithms := []string{"none", "realloc", "realloc-cancel"}
+	heuristics := []string{"Mct", "MinMin", "MaxMin", "MaxGain", "MaxRelGain", "Sufferage"}
+	cfgs := make([]scenario.Config, n)
+	for i := range cfgs {
+		cfgs[i] = scenario.Config{
+			Scenario:      "jan",
+			TraceFraction: 0.01,
+			Algorithm:     algorithms[i%len(algorithms)],
+			Heuristic:     heuristics[i%len(heuristics)],
+			Seed:          faultSeed(seed, i),
+		}
+	}
+	return cfgs
+}
+
+// CheckServiceFaultTolerance boots a gridd service on a loopback socket and
+// asserts the daemon's graceful-degradation contract end to end:
+//
+//   - a faulted tenant's campaign (seeded panics, transients, slow tasks
+//     and poison-resets) degrades exactly as planned: non-faulted and
+//     transient tasks stream digests bit-identical to an in-process
+//     runner campaign on the same configurations, panicking tasks are
+//     flagged and their leases quarantined, slow tasks hit the per-task
+//     deadline, and the trailer stats equal the plan's expectation counter
+//     for counter;
+//   - healthy tenants running concurrently over the same lease pool are
+//     untouched: every one of their digests is bit-identical to the
+//     in-process reference (a poisoned simulator crossing tenants would
+//     diverge here);
+//   - a tenant that disconnects mid-stream neither wedges the daemon nor
+//     strands a lease;
+//   - the final drain is clean (all leases home, campaigns finished) and
+//     leakcheck finds zero leaked goroutines once the listener closes.
+func CheckServiceFaultTolerance(cfg ServiceFaultConfig) (ServiceFaultReport, error) {
+	cfg = cfg.withDefaults()
+	n := cfg.Scenarios
+	cfgs := serviceScenarios(cfg.Seed, n)
+
+	// In-process reference digests: what every healthy tenant (and the
+	// faulted tenant's unfaulted tasks) must reproduce over HTTP.
+	want, _, err := runner.RunCtx(context.Background(), n, runner.Options{Workers: cfg.Workers},
+		func(_ context.Context, i int, sim *core.Simulator) (string, error) {
+			runCfg, err := scenario.BuildRunConfig(cfgs[i])
+			if err != nil {
+				return "", err
+			}
+			res, err := sim.Run(runCfg)
+			if err != nil {
+				return "", err
+			}
+			return res.Digest(), nil
+		})
+	if err != nil {
+		return ServiceFaultReport{}, fmt.Errorf("in-process reference campaign: %w", err)
+	}
+
+	plan := faultinject.NewPlan(cfg.Seed, n, cfg.Faulted)
+	report := ServiceFaultReport{
+		Scenarios:  n,
+		Faulted:    len(plan.FaultedIndexes()),
+		Tenants:    cfg.Tenants,
+		Panics:     plan.CountByKind(faultinject.Panic),
+		Transients: plan.CountByKind(faultinject.Transient),
+		Slows:      plan.CountByKind(faultinject.Slow),
+		Poisons:    plan.CountByKind(faultinject.PoisonReset),
+	}
+
+	snap := leakcheck.Take()
+	svc, err := service.New(service.Config{
+		Sims:                cfg.Sims,
+		MaxCampaigns:        cfg.Tenants + 2, // faulted + healthy + disconnector all run concurrently
+		MaxPending:          2,
+		CampaignTimeout:     5 * time.Minute,
+		DrainBudget:         cfg.DrainBudget,
+		AllowFaultInjection: true,
+		Now:                 time.Now,
+	})
+	if err != nil {
+		return report, fmt.Errorf("service boot: %w", err)
+	}
+	// Plain net.Listen + http.Server rather than httptest: the harness is a
+	// non-test package (cmd/gridfuzz links it) and must not register
+	// httptest's flags or depend on testing helpers.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return report, fmt.Errorf("listen: %w", err)
+	}
+	hs := &http.Server{Handler: svc.Handler()}
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- hs.Serve(ln) }()
+	report.Addr = ln.Addr().String()
+	client := &service.Client{Base: "http://" + report.Addr}
+
+	failure := runServiceTenants(client, cfgs, want, plan, cfg, &report)
+
+	// Graceful drain: every lease must come home and the drain must be
+	// clean — the campaigns above all completed before it began.
+	drainErr := svc.Drain(context.Background())
+	_ = hs.Shutdown(context.Background())
+	<-serveDone
+	client.CloseIdle()
+	report.Quarantined = svc.Leases().Stats().Quarantined
+	if failure != nil {
+		return report, failure
+	}
+	if drainErr != nil {
+		return report, fmt.Errorf("drain after idle campaigns must be clean: %w", drainErr)
+	}
+	if out := svc.Leases().Outstanding(); out != 0 {
+		return report, fmt.Errorf("%d leases still outstanding after drain", out)
+	}
+	if want, got := int64(report.Panics+report.Poisons), report.Quarantined; got != want {
+		return report, fmt.Errorf("quarantined %d simulators, plan injected %d panics", got, want)
+	}
+	if err := snap.Check(); err != nil {
+		return report, fmt.Errorf("after drain: %w", err)
+	}
+	return report, nil
+}
+
+// runServiceTenants drives the concurrent tenants against the live socket
+// and verifies every stream; it returns the first failure.
+func runServiceTenants(client *service.Client, cfgs []scenario.Config, want []string,
+	plan *faultinject.Plan, cfg ServiceFaultConfig, report *ServiceFaultReport) error {
+	n := len(cfgs)
+	ctx := context.Background()
+
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var firstErr error
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+	}
+
+	// The faulted tenant.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		lines := make([]*service.CampaignLine, n)
+		trailer, err := client.Campaign(ctx, service.CampaignRequest{
+			Scenarios:     cfgs,
+			Workers:       cfg.Workers,
+			TaskTimeoutMs: cfg.TaskTimeout.Milliseconds(),
+			MaxRetries:    cfg.MaxRetries,
+			FaultSeed:     plan.Seed(),
+			Faulted:       cfg.Faulted,
+		}, func(line service.CampaignLine) {
+			l := line
+			if l.Index >= 0 && l.Index < n {
+				lines[l.Index] = &l
+			}
+		})
+		if err != nil {
+			fail(fmt.Errorf("faulted tenant: %w", err))
+			return
+		}
+		mu.Lock()
+		report.Stats = trailer.Stats
+		mu.Unlock()
+		if expect := plan.Expected(cfg.MaxRetries); trailer.Stats != expect {
+			fail(fmt.Errorf("faulted tenant stats do not match the plan:\n  expected %+v\n  observed %+v",
+				expect, trailer.Stats))
+			return
+		}
+		for i := 0; i < n; i++ {
+			line := lines[i]
+			if line == nil {
+				fail(fmt.Errorf("faulted tenant: no stream line for task %d", i))
+				return
+			}
+			switch f := plan.Fault(i); f.Kind {
+			case faultinject.None, faultinject.Transient:
+				if line.Error != "" {
+					fail(fmt.Errorf("faulted tenant: task %d (%s) failed over HTTP: %s", i, f.Kind, line.Error))
+					return
+				}
+				if line.Digest != want[i] {
+					fail(fmt.Errorf("faulted tenant: task %d (%s) digest diverged from in-process run:\n  in-process %s\n  over HTTP  %s",
+						i, f.Kind, want[i], line.Digest))
+					return
+				}
+			case faultinject.Panic, faultinject.PoisonReset:
+				if !line.Panic || line.Error == "" {
+					fail(fmt.Errorf("faulted tenant: task %d (%s) not flagged as a recovered panic: %+v", i, f.Kind, line))
+					return
+				}
+			case faultinject.Slow:
+				if !line.Timeout || line.Error == "" {
+					fail(fmt.Errorf("faulted tenant: task %d (slow) not flagged as a timeout: %+v", i, line))
+					return
+				}
+			}
+		}
+	}()
+
+	// Healthy tenants share the same lease pool concurrently.
+	for tnt := 0; tnt < cfg.Tenants; tnt++ {
+		wg.Add(1)
+		go func(tnt int) {
+			defer wg.Done()
+			digests := make([]string, n)
+			trailer, err := client.Campaign(ctx, service.CampaignRequest{
+				Scenarios: cfgs,
+				Workers:   cfg.Workers,
+			}, func(line service.CampaignLine) {
+				if line.Index >= 0 && line.Index < n {
+					digests[line.Index] = line.Digest
+				}
+			})
+			if err != nil {
+				fail(fmt.Errorf("healthy tenant %d: %w", tnt, err))
+				return
+			}
+			if trailer.Health != "clean" || trailer.Stats.Completed != int64(n) {
+				fail(fmt.Errorf("healthy tenant %d degraded: %+v", tnt, trailer.Stats))
+				return
+			}
+			for i := range digests {
+				if digests[i] != want[i] {
+					fail(fmt.Errorf("healthy tenant %d: task %d digest diverged (quarantine leak across tenants?):\n  in-process %s\n  over HTTP  %s",
+						tnt, i, want[i], digests[i]))
+					return
+				}
+			}
+		}(tnt)
+	}
+
+	// The disconnecting tenant: walks away after the first streamed line.
+	// Either outcome of the race is legitimate — a short stream may be fully
+	// delivered before the cancellation bites — so no error is asserted
+	// here; the robustness contract is checked downstream (clean drain, no
+	// stranded lease, zero leaked goroutines, healthy tenants unaffected).
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		dctx, cancel := context.WithCancel(ctx)
+		defer cancel()
+		_, _ = client.Campaign(dctx, service.CampaignRequest{
+			Scenarios: cfgs,
+			Workers:   cfg.Workers,
+		}, func(service.CampaignLine) { cancel() })
+	}()
+
+	wg.Wait()
+	mu.Lock()
+	defer mu.Unlock()
+	return firstErr
+}

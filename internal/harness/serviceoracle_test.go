@@ -1,0 +1,47 @@
+package harness
+
+import (
+	"testing"
+	"time"
+)
+
+func TestCheckServiceFaultTolerance(t *testing.T) {
+	rep, err := CheckServiceFaultTolerance(ServiceFaultConfig{
+		Seed:        0xD1E7,
+		Scenarios:   12,
+		Faulted:     4, // one fault of each kind
+		Tenants:     2,
+		TaskTimeout: 300 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatalf("service fault oracle failed: %v\nreport: %+v", err, rep)
+	}
+	if rep.Panics < 1 || rep.Transients < 1 || rep.Slows < 1 || rep.Poisons < 1 {
+		t.Fatalf("plan did not cover every fault kind: %+v", rep)
+	}
+	if rep.Stats.RecoveredPanics != int64(rep.Panics+rep.Poisons) {
+		t.Fatalf("trailer stats disagree with the plan breakdown: %+v", rep)
+	}
+	if rep.Quarantined != int64(rep.Panics+rep.Poisons) {
+		t.Fatalf("lease pool quarantined %d simulators, want %d", rep.Quarantined, rep.Panics+rep.Poisons)
+	}
+}
+
+// TestServiceFaultConfigDefaults pins the oracle's effective shape.
+func TestServiceFaultConfigDefaults(t *testing.T) {
+	c := ServiceFaultConfig{}.withDefaults()
+	if c.Scenarios != 24 || c.Faulted != 4 || c.Workers != 2 || c.Sims != 4 || c.Tenants != 2 {
+		t.Fatalf("defaults = %+v", c)
+	}
+	if c.TaskTimeout <= 0 || c.MaxRetries != 3 || c.DrainBudget <= 0 {
+		t.Fatalf("defaults = %+v", c)
+	}
+	// Faulted can never exceed the campaign size.
+	if got := (ServiceFaultConfig{Scenarios: 3, Faulted: 99}).withDefaults().Faulted; got != 3 {
+		t.Fatalf("faulted clamp = %d", got)
+	}
+	// Large campaigns scale the faulted share to n/8.
+	if got := (ServiceFaultConfig{Scenarios: 80}).withDefaults().Faulted; got != 10 {
+		t.Fatalf("faulted share = %d", got)
+	}
+}

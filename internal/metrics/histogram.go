@@ -1,0 +1,128 @@
+package metrics
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// histBuckets is the number of logarithmic latency buckets: bucket i holds
+// observations whose nanosecond value has bit length i, so bucket 0 is
+// [0, 0], bucket 1 is [1ns, 1ns], bucket 11 is [1.024µs, 2.047µs], and the
+// last bucket absorbs everything from ~146h up. Power-of-two bucketing keeps
+// Observe allocation-free and lock-free while bounding quantile error to the
+// bucket width (a factor of two), which is plenty for serving-latency p50/p99
+// on a health endpoint.
+const histBuckets = 50
+
+// Histogram is a concurrency-safe latency histogram with logarithmic
+// buckets. The zero value is ready to use; Observe may be called from any
+// number of goroutines (it is a handful of atomic adds), and Snapshot reads
+// a consistent-enough view for monitoring without stopping writers.
+type Histogram struct {
+	count   atomic.Int64
+	sum     atomic.Int64 // nanoseconds
+	max     atomic.Int64 // nanoseconds
+	buckets [histBuckets]atomic.Int64
+}
+
+// Observe records one latency sample. Negative durations are clamped to
+// zero (a clock anomaly must not corrupt the distribution).
+func (h *Histogram) Observe(d time.Duration) {
+	ns := d.Nanoseconds()
+	if ns < 0 {
+		ns = 0
+	}
+	i := bits.Len64(uint64(ns))
+	if i >= histBuckets {
+		i = histBuckets - 1
+	}
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	h.sum.Add(ns)
+	for {
+		cur := h.max.Load()
+		if ns <= cur || h.max.CompareAndSwap(cur, ns) {
+			return
+		}
+	}
+}
+
+// HistogramSnapshot is a point-in-time summary of a Histogram, shaped for
+// the gridd /stats endpoint (all durations in nanoseconds so the JSON is
+// unit-unambiguous).
+type HistogramSnapshot struct {
+	Count  int64 `json:"count"`
+	MeanNs int64 `json:"mean_ns"`
+	P50Ns  int64 `json:"p50_ns"`
+	P99Ns  int64 `json:"p99_ns"`
+	MaxNs  int64 `json:"max_ns"`
+}
+
+// Snapshot summarises the histogram: sample count, mean, estimated p50 and
+// p99 (bucket-interpolated, so accurate to the bucket's factor-of-two
+// width and never above the observed maximum), and the exact maximum.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{Count: h.count.Load(), MaxNs: h.max.Load()}
+	if s.Count == 0 {
+		return s
+	}
+	s.MeanNs = h.sum.Load() / s.Count
+	var counts [histBuckets]int64
+	for i := range h.buckets {
+		counts[i] = h.buckets[i].Load()
+	}
+	s.P50Ns = quantile(counts[:], s.Count, 0.50, s.MaxNs)
+	s.P99Ns = quantile(counts[:], s.Count, 0.99, s.MaxNs)
+	return s
+}
+
+// quantile estimates the q-quantile from bucket counts by walking the
+// cumulative distribution and interpolating linearly inside the bucket the
+// rank lands in. The estimate is clamped to the observed maximum so a
+// sparse top bucket cannot report a latency no request ever had.
+func quantile(counts []int64, total int64, q float64, maxNs int64) int64 {
+	// Nearest-rank: the q-quantile of n samples is the ceil(q*n)-th smallest
+	// (1-indexed), so 99 fast samples and one outlier give a p99 that is
+	// still a fast sample.
+	rank := int64(q * float64(total))
+	if float64(rank) < q*float64(total) {
+		rank++
+	}
+	rank--
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= total {
+		rank = total - 1
+	}
+	var seen int64
+	for i, c := range counts {
+		if c == 0 {
+			continue
+		}
+		if rank < seen+c {
+			lo, hi := bucketBounds(i)
+			// Position of the rank inside this bucket, in [0, 1).
+			frac := float64(rank-seen) / float64(c)
+			v := lo + int64(frac*float64(hi-lo))
+			if v > maxNs {
+				v = maxNs
+			}
+			return v
+		}
+		seen += c
+	}
+	return maxNs
+}
+
+// bucketBounds returns the nanosecond range [lo, hi] covered by bucket i
+// (values whose bit length is i).
+func bucketBounds(i int) (lo, hi int64) {
+	if i == 0 {
+		return 0, 0
+	}
+	lo = int64(1) << (i - 1)
+	hi = lo<<1 - 1
+	return lo, hi
+}

@@ -1,0 +1,87 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestHistogramEmpty(t *testing.T) {
+	var h Histogram
+	s := h.Snapshot()
+	if s.Count != 0 || s.MeanNs != 0 || s.P50Ns != 0 || s.P99Ns != 0 || s.MaxNs != 0 {
+		t.Fatalf("empty snapshot = %+v", s)
+	}
+}
+
+func TestHistogramSingleSample(t *testing.T) {
+	var h Histogram
+	h.Observe(3 * time.Millisecond)
+	s := h.Snapshot()
+	if s.Count != 1 || s.MeanNs != 3_000_000 || s.MaxNs != 3_000_000 {
+		t.Fatalf("snapshot = %+v", s)
+	}
+	// With one sample every quantile is that sample's bucket, clamped to max.
+	if s.P50Ns <= 0 || s.P50Ns > s.MaxNs || s.P99Ns <= 0 || s.P99Ns > s.MaxNs {
+		t.Fatalf("quantiles out of range: %+v", s)
+	}
+}
+
+func TestHistogramQuantileAccuracy(t *testing.T) {
+	var h Histogram
+	// 99 fast samples and one slow outlier: p50 must stay near 1ms (within
+	// its factor-of-two bucket), p99 must not be dragged to the outlier's
+	// 10s, and max must be exact.
+	for i := 0; i < 99; i++ {
+		h.Observe(time.Millisecond)
+	}
+	h.Observe(10 * time.Second)
+	s := h.Snapshot()
+	if s.Count != 100 {
+		t.Fatalf("count = %d", s.Count)
+	}
+	if s.MaxNs != int64(10*time.Second) {
+		t.Fatalf("max = %d", s.MaxNs)
+	}
+	if s.P50Ns < int64(time.Millisecond)/2 || s.P50Ns > 2*int64(time.Millisecond) {
+		t.Fatalf("p50 = %v, want within a bucket of 1ms", time.Duration(s.P50Ns))
+	}
+	if s.P99Ns > 2*int64(time.Millisecond) {
+		t.Fatalf("p99 = %v, want the 99th of 100 samples (the last fast one)", time.Duration(s.P99Ns))
+	}
+}
+
+func TestHistogramNegativeClamped(t *testing.T) {
+	var h Histogram
+	h.Observe(-time.Second)
+	s := h.Snapshot()
+	if s.Count != 1 || s.MeanNs != 0 || s.MaxNs != 0 {
+		t.Fatalf("snapshot = %+v", s)
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	var h Histogram
+	var wg sync.WaitGroup
+	const goroutines, per = 8, 1000
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(time.Duration(g+1) * time.Microsecond)
+			}
+		}(g)
+	}
+	wg.Wait()
+	s := h.Snapshot()
+	if s.Count != goroutines*per {
+		t.Fatalf("count = %d, want %d", s.Count, goroutines*per)
+	}
+	if s.MaxNs != int64(goroutines)*int64(time.Microsecond) {
+		t.Fatalf("max = %d", s.MaxNs)
+	}
+	if s.P99Ns > s.MaxNs {
+		t.Fatalf("p99 %d above max %d", s.P99Ns, s.MaxNs)
+	}
+}

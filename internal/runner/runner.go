@@ -69,6 +69,36 @@ import (
 // can. The simulator must not escape the call.
 type TaskFunc[T any] func(ctx context.Context, i int, sim *core.Simulator) (T, error)
 
+// SimSource supplies pooled simulators to campaign workers. Acquire hands
+// out a simulator for the exclusive use of one worker, blocking until one is
+// available or ctx is done; Release returns a healthy simulator for reuse by
+// later acquirers; Discard quarantines a simulator after a recovered panic —
+// the source must never hand that simulator out again (it may replace the
+// lost capacity however it likes). A source shared by concurrent campaigns
+// must be safe for concurrent use. The zero source (Options.Sims nil) gives
+// every worker a private fresh simulator, the standalone-campaign behaviour.
+type SimSource interface {
+	Acquire(ctx context.Context) (*core.Simulator, error)
+	Release(sim *core.Simulator)
+	Discard(sim *core.Simulator)
+}
+
+// freshSims is the default SimSource: a new private simulator per Acquire,
+// dropped to the garbage collector on Release or Discard. It reproduces the
+// runner's historical behaviour — one simulator per worker, replaced fresh
+// after a panic quarantine.
+type freshSims struct{}
+
+func (freshSims) Acquire(ctx context.Context) (*core.Simulator, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return core.NewSimulator(), nil
+}
+
+func (freshSims) Release(*core.Simulator) {}
+func (freshSims) Discard(*core.Simulator) {}
+
 // Hook intercepts task attempts inside runner workers. It exists for the
 // seeded fault-injection harness (internal/faultinject): a hook may return
 // an error (the attempt fails without running the task), panic (exercising
@@ -106,6 +136,22 @@ type Options struct {
 	SeedOf func(i int) uint64
 	// Hook is the fault-injection test hook; nil in production.
 	Hook Hook
+	// Sims supplies the workers' pooled simulators. Nil means every worker
+	// creates a private simulator (and a fresh replacement after a panic
+	// quarantine) — the standalone-campaign behaviour. A shared SimSource
+	// (the gridd lease manager) bounds and reuses simulators across
+	// concurrent campaigns; when Acquire fails while the campaign context is
+	// still live, the worker stops claiming tasks (the rest are Skipped) and
+	// the acquire error is returned as the campaign error.
+	Sims SimSource
+}
+
+// sims resolves the effective simulator source.
+func (o Options) sims() SimSource {
+	if o.Sims != nil {
+		return o.Sims
+	}
+	return freshSims{}
 }
 
 // workers resolves the effective pool size for n tasks. Both zero and
@@ -136,8 +182,9 @@ type RunStats struct {
 	// Failed counts tasks whose final outcome was an error (including
 	// recovered panics and timeouts, after retries were exhausted).
 	Failed int64
-	// Skipped counts tasks never started because the campaign was
-	// cancelled first.
+	// Skipped counts tasks never started, because the campaign was
+	// cancelled first or because the simulator source refused to supply a
+	// worker (a draining lease manager).
 	Skipped int64
 	// RecoveredPanics counts task attempts that panicked and were
 	// recovered into a *TaskError.
@@ -226,14 +273,41 @@ func IsTransient(err error) bool {
 	return errors.As(err, &t)
 }
 
-// taskRunner is one worker's execution state: its pooled simulator and the
+// taskRunner is one worker's execution state: its leased simulator (nil
+// until the first acquire, and again after a panic quarantine) and the
 // shared campaign configuration. It is not shared between goroutines.
 type taskRunner[T any] struct {
 	id    int
 	sim   *core.Simulator
+	src   SimSource
 	opts  *Options
 	fn    TaskFunc[T]
 	stats *liveStats
+}
+
+// release hands the worker's simulator (if it still holds one) back to the
+// source at worker exit.
+func (w *taskRunner[T]) release() {
+	if w.sim != nil {
+		w.src.Release(w.sim)
+		w.sim = nil
+	}
+}
+
+// acquire lazily leases the worker's simulator before a task is claimed. A
+// worker entering a task always holds a simulator: the only path that drops
+// it mid-task is the panic quarantine, and a recovered panic is never
+// retried, so the re-acquire always happens here, between tasks.
+func (w *taskRunner[T]) acquire(ctx context.Context) error {
+	if w.sim != nil {
+		return nil
+	}
+	sim, err := w.src.Acquire(ctx)
+	if err != nil {
+		return err
+	}
+	w.sim = sim
+	return nil
 }
 
 func (w *taskRunner[T]) seedOf(i int) uint64 {
@@ -281,7 +355,8 @@ func (w *taskRunner[T]) backoff(ctx context.Context, attempt int) bool {
 // panics into *TaskError and quarantining the worker's simulator when one
 // fires: a panic may have interrupted a mutation halfway, leaving state the
 // Reset contract cannot see, so the poisoned simulator never executes
-// another task — it is dropped for the garbage collector and replaced fresh.
+// another task — it is discarded to the source (which must never re-lease
+// it) and the worker re-acquires before its next task.
 func (w *taskRunner[T]) attempt(ctx context.Context, i, attempt int) (v T, err error) {
 	tctx, cancel := ctx, func() {}
 	if w.opts.TaskTimeout > 0 {
@@ -292,7 +367,10 @@ func (w *taskRunner[T]) attempt(ctx context.Context, i, attempt int) (v T, err e
 		if r := recover(); r != nil {
 			w.stats.recoveredPanics.Add(1)
 			w.stats.discardedSims.Add(1)
-			w.sim = core.NewSimulator()
+			if w.sim != nil {
+				w.src.Discard(w.sim)
+				w.sim = nil
+			}
 			var zero T
 			v = zero
 			err = &TaskError{
@@ -346,13 +424,40 @@ func StreamCtx[T any](ctx context.Context, n int, opts Options, fn TaskFunc[T], 
 		return RunStats{}, ctx.Err()
 	}
 	stats := &liveStats{}
+	src := opts.sims()
 	var executed atomic.Int64
+	// The first simulator-acquire failure observed while the campaign
+	// context was still live; it becomes the campaign error so a draining
+	// lease manager is reported instead of silently skipping the tail.
+	var srcMu sync.Mutex
+	var srcErr error
+	recordSrcErr := func(err error) {
+		srcMu.Lock()
+		if srcErr == nil {
+			srcErr = err
+		}
+		srcMu.Unlock()
+	}
+	finish := func() (RunStats, error) {
+		err := ctx.Err()
+		if err == nil {
+			srcMu.Lock()
+			err = srcErr
+			srcMu.Unlock()
+		}
+		return stats.snapshot(int64(n), executed.Load()), err
+	}
 	workers := opts.workers(n)
 	if workers == 1 {
 		// In-line fast path: no goroutine, no lock, same observable order.
-		w := &taskRunner[T]{id: 0, sim: core.NewSimulator(), opts: &opts, fn: fn, stats: stats}
+		w := &taskRunner[T]{id: 0, src: src, opts: &opts, fn: fn, stats: stats}
+		defer w.release()
 		for i := 0; i < n; i++ {
 			if ctx.Err() != nil {
+				break
+			}
+			if err := w.acquire(ctx); err != nil {
+				recordSrcErr(err)
 				break
 			}
 			executed.Add(1)
@@ -361,7 +466,7 @@ func StreamCtx[T any](ctx context.Context, n int, opts Options, fn TaskFunc[T], 
 				emit(i, v, err)
 			}
 		}
-		return stats.snapshot(int64(n), executed.Load()), ctx.Err()
+		return finish()
 	}
 	var next atomic.Int64
 	var mu sync.Mutex
@@ -370,9 +475,14 @@ func StreamCtx[T any](ctx context.Context, n int, opts Options, fn TaskFunc[T], 
 	for wi := 0; wi < workers; wi++ {
 		go func(id int) {
 			defer wg.Done()
-			w := &taskRunner[T]{id: id, sim: core.NewSimulator(), opts: &opts, fn: fn, stats: stats}
+			w := &taskRunner[T]{id: id, src: src, opts: &opts, fn: fn, stats: stats}
+			defer w.release()
 			for {
 				if ctx.Err() != nil {
+					return
+				}
+				if err := w.acquire(ctx); err != nil {
+					recordSrcErr(err)
 					return
 				}
 				i := int(next.Add(1)) - 1
@@ -390,7 +500,7 @@ func StreamCtx[T any](ctx context.Context, n int, opts Options, fn TaskFunc[T], 
 		}(wi)
 	}
 	wg.Wait()
-	return stats.snapshot(int64(n), executed.Load()), ctx.Err()
+	return finish()
 }
 
 // Stream is StreamCtx without cancellation: a background context and a task

@@ -1,0 +1,217 @@
+// Package scenario resolves façade-level scenario descriptions — plain
+// strings and values that can come from flags, configuration files or JSON
+// request bodies — into the typed core configuration one simulation run
+// needs. It is the single place where scenario names, policy spellings,
+// heuristic names and capacity knobs are validated, shared by the root
+// gridrealloc façade (whose ScenarioConfig is an alias of Config) and by the
+// gridd service, whose campaign endpoint decodes Config values straight from
+// JSON. Keeping the resolution below the façade lets internal packages
+// (service, harness) build runnable configurations without importing the
+// public API surface.
+package scenario
+
+import (
+	"fmt"
+
+	"gridrealloc/internal/batch"
+	"gridrealloc/internal/core"
+	"gridrealloc/internal/platform"
+	"gridrealloc/internal/workload"
+)
+
+// Config describes one simulation run. All fields are strings or plain
+// values so it can be driven directly from flags, configuration files or
+// JSON (the field tags name the wire form the gridd campaign endpoint
+// accepts); the underlying typed API lives in internal/core for use by the
+// experiment harness.
+type Config struct {
+	// Scenario names the workload ("jan".."jun", "pwa-g5k"); it selects the
+	// platform the paper pairs with it. Ignored when Platform is non-nil.
+	Scenario string `json:"scenario,omitempty"`
+	// Heterogeneity is "homogeneous" (default) or "heterogeneous"; any
+	// other string is rejected by BuildRunConfig. Ignored when Platform is
+	// non-nil.
+	Heterogeneity string `json:"heterogeneity,omitempty"`
+	// Policy is the local batch policy, "FCFS" (default) or "CBF".
+	Policy string `json:"policy,omitempty"`
+	// Trace is the workload to replay. When nil, a synthetic trace for
+	// Scenario is generated with TraceFraction and Seed.
+	Trace *workload.Trace `json:"trace,omitempty"`
+	// TraceFraction scales the generated trace when Trace is nil (default
+	// 0.02, which keeps the quickstart fast).
+	TraceFraction float64 `json:"trace_fraction,omitempty"`
+	// Seed drives the synthetic generators (default 42).
+	Seed uint64 `json:"seed,omitempty"`
+	// Platform overrides the paper's platform when non-nil.
+	Platform *platform.Platform `json:"platform,omitempty"`
+	// Algorithm is "none" (default), "realloc" (Algorithm 1, without
+	// cancellation) or "realloc-cancel" (Algorithm 2, with cancellation).
+	Algorithm string `json:"algorithm,omitempty"`
+	// Heuristic is one of "Mct", "MinMin", "MaxMin", "MaxGain",
+	// "MaxRelGain", "Sufferage" (default "Mct"). Ignored when Algorithm is
+	// "none".
+	Heuristic string `json:"heuristic,omitempty"`
+	// Mapping is the online mapping policy: "MCT" (default), "Random" or
+	// "RoundRobin".
+	Mapping string `json:"mapping,omitempty"`
+	// ReallocPeriodSeconds overrides the hourly reallocation period.
+	ReallocPeriodSeconds int64 `json:"realloc_period_seconds,omitempty"`
+	// MinGainSeconds overrides the one-minute improvement threshold of
+	// Algorithm 1.
+	MinGainSeconds int64 `json:"min_gain_seconds,omitempty"`
+
+	// Capacity dynamics. A scenario name with a "-maint" or "-outage"
+	// suffix ("jan-maint", "jan-outage") attaches a default capacity window
+	// to the platform's first cluster; the fields below override or replace
+	// that default. All fields are inert at their zero values, keeping runs
+	// without capacity events bit-identical to the static simulator.
+
+	// OutageCluster names the cluster whose capacity changes (default: the
+	// platform's first cluster).
+	OutageCluster string `json:"outage_cluster,omitempty"`
+	// OutageStartSeconds is the instant the capacity window opens.
+	OutageStartSeconds int64 `json:"outage_start_seconds,omitempty"`
+	// OutageDurationSeconds is the window length; a positive value enables
+	// the explicit window.
+	OutageDurationSeconds int64 `json:"outage_duration_seconds,omitempty"`
+	// OutageSeverity is the fraction of the cluster's cores lost during the
+	// window, in (0, 1]; non-positive values default to 1 (full outage).
+	OutageSeverity float64 `json:"outage_severity,omitempty"`
+	// OutageAnnounced marks the window as a maintenance window the batch
+	// scheduler knows in advance and plans around, instead of a surprise
+	// outage that displaces running jobs.
+	OutageAnnounced bool `json:"outage_announced,omitempty"`
+	// OutagePolicy is what happens to running jobs displaced by an
+	// unannounced outage: "kill" (default) or "requeue".
+	OutagePolicy string `json:"outage_policy,omitempty"`
+}
+
+// EffectiveSeed returns the seed the run will actually use (the documented
+// default 42 when the field is zero); TaskError reports and replay hints
+// must name this value, not the raw field.
+func (c Config) EffectiveSeed() uint64 {
+	if c.Seed == 0 {
+		return 42
+	}
+	return c.Seed
+}
+
+// BuildRunConfig resolves a façade Config (plain strings and values) into
+// the typed core configuration one run needs. Each call builds a fresh
+// mapping-policy instance, so configurations can be resolved repeatedly
+// without leaking mapping state between runs.
+func BuildRunConfig(cfg Config) (core.Config, error) {
+	if cfg.Scenario == "" && cfg.Trace == nil && cfg.Platform == nil {
+		return core.Config{}, fmt.Errorf("gridrealloc: ScenarioConfig needs at least a Scenario, a Trace or a Platform")
+	}
+	seed := cfg.EffectiveSeed()
+	trace := cfg.Trace
+	if trace == nil {
+		fraction := cfg.TraceFraction
+		if fraction <= 0 {
+			fraction = 0.02
+		}
+		scenario := cfg.Scenario
+		if scenario == "" {
+			scenario = "jan"
+		}
+		var err error
+		trace, err = workload.Scenario(workload.ScenarioName(scenario), fraction, seed)
+		if err != nil {
+			return core.Config{}, err
+		}
+	}
+
+	var plat platform.Platform
+	switch {
+	case cfg.Platform != nil:
+		plat = *cfg.Platform
+	case cfg.Scenario == "":
+		// A custom trace alone does not determine the platform; silently
+		// defaulting to Grid'5000 would simulate hardware the caller never
+		// chose.
+		return core.Config{}, fmt.Errorf("gridrealloc: ScenarioConfig with a custom Trace needs a Scenario or a Platform to pick the clusters")
+	default:
+		// With a custom Trace the scenario name is only consulted for the
+		// platform pairing, which would otherwise accept any typo and hand
+		// back Grid'5000; validate it on every path.
+		if !workload.KnownScenario(workload.ScenarioName(cfg.Scenario)) {
+			return core.Config{}, fmt.Errorf("gridrealloc: unknown scenario %q", cfg.Scenario)
+		}
+		het, err := platform.ParseHeterogeneity(cfg.Heterogeneity)
+		if err != nil {
+			return core.Config{}, fmt.Errorf("gridrealloc: %w", err)
+		}
+		plat = platform.ForScenario(cfg.Scenario, het)
+	}
+	plat, err := applyCapacityConfig(plat, cfg, trace)
+	if err != nil {
+		return core.Config{}, err
+	}
+	outagePolicy, err := batch.ParseOutagePolicy(cfg.OutagePolicy)
+	if err != nil {
+		return core.Config{}, err
+	}
+
+	policy := batch.FCFS
+	if cfg.Policy != "" {
+		var err error
+		policy, err = batch.ParsePolicy(cfg.Policy)
+		if err != nil {
+			return core.Config{}, err
+		}
+	}
+
+	algorithm, err := core.ParseAlgorithm(cfg.Algorithm)
+	if err != nil {
+		return core.Config{}, err
+	}
+	var heuristic core.Heuristic
+	if algorithm != core.NoReallocation {
+		name := cfg.Heuristic
+		if name == "" {
+			name = "Mct"
+		}
+		heuristic, err = core.HeuristicByName(name)
+		if err != nil {
+			return core.Config{}, err
+		}
+	}
+	mapping, err := core.MappingByName(cfg.Mapping, seed)
+	if err != nil {
+		return core.Config{}, err
+	}
+
+	return core.Config{
+		Platform: plat,
+		Policy:   policy,
+		Trace:    trace,
+		Mapping:  mapping,
+		Realloc: core.ReallocConfig{
+			Algorithm: algorithm,
+			Heuristic: heuristic,
+			Period:    cfg.ReallocPeriodSeconds,
+			MinGain:   cfg.MinGainSeconds,
+		},
+		OutagePolicy:   outagePolicy,
+		ClampOversized: true,
+	}, nil
+}
+
+// applyCapacityConfig resolves the capacity knobs through the shared
+// platform.ApplyCapacityRequest: an explicit window when
+// OutageDurationSeconds is set, otherwise the default schedule implied by a
+// "-maint"/"-outage" scenario variant (sized relative to the trace's
+// submission span, with the other Outage* fields overriding the default).
+// Without either, the platform is returned untouched, so static runs stay
+// bit-identical.
+func applyCapacityConfig(plat platform.Platform, cfg Config, trace *workload.Trace) (platform.Platform, error) {
+	req := platform.CapacityRequest{
+		Cluster:   cfg.OutageCluster,
+		Start:     cfg.OutageStartSeconds,
+		Duration:  cfg.OutageDurationSeconds,
+		Severity:  cfg.OutageSeverity,
+		Announced: cfg.OutageAnnounced,
+	}
+	return platform.ApplyCapacityRequest(plat, cfg.Scenario, trace.LastSubmit(), req)
+}

@@ -1,0 +1,207 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"encoding/json"
+
+	"gridrealloc/internal/core"
+	"gridrealloc/internal/faultinject"
+	"gridrealloc/internal/metrics"
+	"gridrealloc/internal/runner"
+	"gridrealloc/internal/scenario"
+)
+
+// CampaignRequest is the body of POST /v1/campaigns: a scenario batch plus
+// the runner's fault-tolerance knobs. The fault_seed/faulted pair installs
+// a seeded fault-injection plan and is rejected unless the daemon was
+// started with fault injection allowed (test harnesses only).
+type CampaignRequest struct {
+	Scenarios      []scenario.Config `json:"scenarios"`
+	Workers        int               `json:"workers,omitempty"`
+	TaskTimeoutMs  int64             `json:"task_timeout_ms,omitempty"`
+	MaxRetries     int               `json:"max_retries,omitempty"`
+	RetryBackoffMs int64             `json:"retry_backoff_ms,omitempty"`
+	FaultSeed      uint64            `json:"fault_seed,omitempty"`
+	Faulted        int               `json:"faulted,omitempty"`
+}
+
+// CampaignLine is one NDJSON result line: the outcome of one scenario, in
+// completion order.
+type CampaignLine struct {
+	Index    int    `json:"index"`
+	Scenario string `json:"scenario,omitempty"`
+	Seed     uint64 `json:"seed"`
+	Digest   string `json:"digest,omitempty"`
+	Makespan int64  `json:"makespan,omitempty"`
+	Jobs     int    `json:"jobs,omitempty"`
+	Error    string `json:"error,omitempty"`
+	Panic    bool   `json:"panic,omitempty"`
+	Timeout  bool   `json:"timeout,omitempty"`
+}
+
+// CampaignTrailer is the final NDJSON line of a campaign stream: Done is
+// its discriminator (result lines never set it). A trailer with Cancelled
+// or Draining set accompanies partial results flushed during shutdown.
+type CampaignTrailer struct {
+	Done      bool            `json:"done"`
+	Stats     runner.RunStats `json:"stats"`
+	Health    string          `json:"health"`
+	Cancelled bool            `json:"cancelled,omitempty"`
+	Draining  bool            `json:"draining,omitempty"`
+	Error     string          `json:"error,omitempty"`
+}
+
+func (s *Service) handleCampaign(w http.ResponseWriter, r *http.Request) {
+	start := s.cfg.Now()
+	defer func() { s.campaignHist.Observe(s.cfg.Now().Sub(start)) }()
+	if s.rejectIfDraining(w) {
+		return
+	}
+	var req CampaignRequest
+	if err := s.decodeStrict(w, r, &req); err != nil {
+		rejectBody(w, err)
+		return
+	}
+	n := len(req.Scenarios)
+	if n == 0 {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "campaign needs at least one scenario"})
+		return
+	}
+	if n > s.cfg.MaxCampaignScenarios {
+		writeJSON(w, http.StatusBadRequest, errorResponse{
+			Error: fmt.Sprintf("campaign of %d scenarios exceeds the %d bound", n, s.cfg.MaxCampaignScenarios)})
+		return
+	}
+	if (req.FaultSeed != 0 || req.Faulted != 0) && !s.cfg.AllowFaultInjection {
+		writeJSON(w, http.StatusForbidden,
+			errorResponse{Error: "fault injection is not enabled on this daemon"})
+		return
+	}
+
+	// Admission: wait at most the request timeout for a campaign slot, shed
+	// with 429 when the pending queue is full too.
+	actx, acancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+	release, err := s.admit(actx)
+	acancel()
+	if err != nil {
+		switch {
+		case errors.Is(err, errShed), errors.Is(err, context.DeadlineExceeded):
+			shedResponse(w)
+		case errors.Is(err, ErrDraining):
+			writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: err.Error()})
+		default: // client went away while queued
+			writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: err.Error()})
+		}
+		return
+	}
+	defer release()
+
+	// The campaign context: the client's connection, bounded by the
+	// campaign budget, and cancelled when drain gives up waiting — the
+	// runner then drains its workers and the partial results are flushed
+	// below.
+	cctx, cancel := context.WithTimeout(r.Context(), s.cfg.CampaignTimeout)
+	defer cancel()
+	stopLink := context.AfterFunc(s.campaignCtx, cancel)
+	defer stopLink()
+
+	cfgs := req.Scenarios
+	opts := runner.Options{
+		Workers:      clampWorkers(req.Workers, s.cfg.Sims),
+		Sims:         s.leases,
+		TaskTimeout:  time.Duration(req.TaskTimeoutMs) * time.Millisecond,
+		MaxRetries:   req.MaxRetries,
+		RetryBackoff: time.Duration(req.RetryBackoffMs) * time.Millisecond,
+		SeedOf:       func(i int) uint64 { return cfgs[i].EffectiveSeed() },
+	}
+	if req.Faulted > 0 {
+		opts.Hook = faultinject.NewPlan(req.FaultSeed, n, req.Faulted)
+	}
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	rc := http.NewResponseController(w)
+	enc := json.NewEncoder(w)
+	var sendErr error
+	send := func(v any) {
+		if sendErr != nil {
+			return
+		}
+		// A stalled reader must not pin a worker: every write (and flush)
+		// runs under its own deadline, and a blown deadline cancels the
+		// campaign so the remaining tasks are skipped, not streamed into
+		// a dead socket. SetWriteDeadline errors (a recorder without
+		// deadline support) are ignored — then the connection's lifetime
+		// is the only bound, which is the pre-controller behaviour.
+		_ = rc.SetWriteDeadline(s.cfg.Now().Add(s.cfg.WriteTimeout))
+		if err := enc.Encode(v); err == nil {
+			err = rc.Flush()
+			if err == nil {
+				return
+			}
+			sendErr = err
+		} else {
+			sendErr = err
+		}
+		cancel()
+	}
+
+	stats, cerr := runner.StreamCtx(cctx, n, opts,
+		func(ctx context.Context, i int, sim *core.Simulator) (*core.Result, error) {
+			runCfg, err := scenario.BuildRunConfig(cfgs[i])
+			if err != nil {
+				return nil, err
+			}
+			return sim.Run(runCfg)
+		},
+		func(i int, res *core.Result, err error) {
+			send(campaignLine(i, cfgs[i], res, err))
+		})
+
+	trailer := CampaignTrailer{
+		Done:      true,
+		Stats:     stats,
+		Health:    metrics.HealthOf(stats).Grade,
+		Cancelled: cerr != nil,
+		Draining:  s.draining.Load(),
+	}
+	if cerr != nil {
+		trailer.Error = cerr.Error()
+	}
+	send(trailer)
+}
+
+// clampWorkers bounds a campaign's requested worker count by the simulator
+// pool size: more workers than leases would only park goroutines in
+// Acquire. Zero and negative ask for the pool size.
+func clampWorkers(requested, sims int) int {
+	if requested <= 0 || requested > sims {
+		return sims
+	}
+	return requested
+}
+
+// campaignLine renders one task outcome, classifying structured failures so
+// clients need no string matching: Panic marks recovered panics (the lease
+// was quarantined), Timeout marks per-task deadline expiries.
+func campaignLine(i int, cfg scenario.Config, res *core.Result, err error) CampaignLine {
+	line := CampaignLine{Index: i, Scenario: cfg.Scenario, Seed: cfg.EffectiveSeed()}
+	if err != nil {
+		line.Error = err.Error()
+		line.Panic = errors.Is(err, runner.ErrTaskPanic)
+		line.Timeout = errors.Is(err, context.DeadlineExceeded)
+		return line
+	}
+	if res != nil {
+		line.Scenario = res.Scenario
+		line.Digest = res.Digest()
+		line.Makespan = res.Makespan
+		line.Jobs = len(res.Jobs)
+	}
+	return line
+}

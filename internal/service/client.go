@@ -1,0 +1,215 @@
+package service
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+)
+
+// Client is a minimal typed client for the gridd HTTP API, used by the
+// harness service oracle, the gridd end-to-end tests and the CI smoke
+// replay. It adds nothing beyond encoding: retries and backoff are the
+// caller's business (the oracle wants to see raw 429s, not have them
+// hidden).
+type Client struct {
+	// Base is the daemon root, e.g. "http://127.0.0.1:8080".
+	Base string
+	// HTTP is the underlying client; nil means http.DefaultClient.
+	HTTP *http.Client
+}
+
+func (c *Client) httpc() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return http.DefaultClient
+}
+
+// CloseIdle closes the underlying transport's idle keep-alive connections;
+// callers that leak-check after a drain call it so pooled connection
+// goroutines do not read as leaks.
+func (c *Client) CloseIdle() {
+	c.httpc().CloseIdleConnections()
+}
+
+// APIError is a non-2xx daemon response.
+type APIError struct {
+	Status     int
+	RetryAfter string
+	Message    string
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("gridd: %d: %s", e.Status, e.Message)
+}
+
+// postJSON sends one JSON request and decodes one JSON response into out.
+func (c *Client) postJSON(ctx context.Context, path string, in, out any) error {
+	body, err := json.Marshal(in)
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.Base+path, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.httpc().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return apiError(resp)
+	}
+	if out == nil {
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+func (c *Client) getJSON(ctx context.Context, path string, out any) (int, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.Base+path, nil)
+	if err != nil {
+		return 0, err
+	}
+	resp, err := c.httpc().Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			return resp.StatusCode, err
+		}
+	}
+	return resp.StatusCode, nil
+}
+
+func apiError(resp *http.Response) error {
+	var e errorResponse
+	msg := resp.Status
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 4096)).Decode(&e); err == nil && e.Error != "" {
+		msg = e.Error
+	}
+	return &APIError{
+		Status:     resp.StatusCode,
+		RetryAfter: resp.Header.Get("Retry-After"),
+		Message:    msg,
+	}
+}
+
+// Submit enqueues a job on a cluster.
+func (c *Client) Submit(ctx context.Context, req SubmitRequest) (SubmitResponse, error) {
+	var out SubmitResponse
+	err := c.postJSON(ctx, "/v1/submit", req, &out)
+	return out, err
+}
+
+// Cancel removes a waiting job.
+func (c *Client) Cancel(ctx context.Context, req CancelRequest) (CancelResponse, error) {
+	var out CancelResponse
+	err := c.postJSON(ctx, "/v1/cancel", req, &out)
+	return out, err
+}
+
+// Estimate asks for a hypothetical completion time.
+func (c *Client) Estimate(ctx context.Context, req EstimateRequest) (EstimateResponse, error) {
+	var out EstimateResponse
+	err := c.postJSON(ctx, "/v1/estimate", req, &out)
+	return out, err
+}
+
+// List returns one cluster's waiting queue.
+func (c *Client) List(ctx context.Context, clusterName string) (ListResponse, error) {
+	var out ListResponse
+	code, err := c.getJSON(ctx, "/v1/list?cluster="+clusterName, &out)
+	if err == nil && code != http.StatusOK {
+		return out, &APIError{Status: code, Message: "list failed"}
+	}
+	return out, err
+}
+
+// Healthz returns the daemon health status string ("ok" or "draining").
+func (c *Client) Healthz(ctx context.Context) (string, error) {
+	var out HealthResponse
+	if _, err := c.getJSON(ctx, "/healthz", &out); err != nil {
+		return "", err
+	}
+	return out.Status, nil
+}
+
+// Stats fetches the daemon counters.
+func (c *Client) Stats(ctx context.Context) (StatsResponse, error) {
+	var out StatsResponse
+	_, err := c.getJSON(ctx, "/stats", &out)
+	return out, err
+}
+
+// Campaign streams one campaign: each result line is handed to emit as it
+// arrives (nil emit discards), and the trailer is returned. A stream that
+// ends without a trailer (the daemon died or cut the connection) returns
+// an error alongside the lines seen so far.
+func (c *Client) Campaign(ctx context.Context, req CampaignRequest, emit func(CampaignLine)) (CampaignTrailer, error) {
+	var trailer CampaignTrailer
+	body, err := json.Marshal(req)
+	if err != nil {
+		return trailer, err
+	}
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.Base+"/v1/campaigns", bytes.NewReader(body))
+	if err != nil {
+		return trailer, err
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	resp, err := c.httpc().Do(hreq)
+	if err != nil {
+		return trailer, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return trailer, apiError(resp)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	sawTrailer := false
+	for sc.Scan() {
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		// The trailer is discriminated by its "done" field; result lines
+		// never carry it.
+		var probe struct {
+			Done bool `json:"done"`
+		}
+		if err := json.Unmarshal([]byte(text), &probe); err != nil {
+			return trailer, fmt.Errorf("gridd: bad stream line: %w", err)
+		}
+		if probe.Done {
+			if err := json.Unmarshal([]byte(text), &trailer); err != nil {
+				return trailer, fmt.Errorf("gridd: bad trailer: %w", err)
+			}
+			sawTrailer = true
+			continue
+		}
+		var line CampaignLine
+		if err := json.Unmarshal([]byte(text), &line); err != nil {
+			return trailer, fmt.Errorf("gridd: bad result line: %w", err)
+		}
+		if emit != nil {
+			emit(line)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return trailer, err
+	}
+	if !sawTrailer {
+		return trailer, fmt.Errorf("gridd: campaign stream ended without a trailer")
+	}
+	return trailer, nil
+}

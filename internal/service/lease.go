@@ -1,0 +1,266 @@
+// Package service is the gridd daemon's core: an HTTP/JSON front over the
+// restricted cluster-frontal API (submit, cancel, estimate, list) and the
+// campaign runner, hardened for hostile traffic. Many concurrent campaigns
+// share one bounded pool of pooled simulators through the LeaseManager; the
+// robustness layer — admission control with 429 load-shedding, per-request
+// deadlines, strict body decoding, per-connection panic isolation,
+// slow-reader write deadlines and graceful drain — lives here so cmd/gridd
+// stays a thin flag-parsing shell.
+package service
+
+import (
+	"context"
+	"errors"
+	"sync"
+
+	"gridrealloc/internal/core"
+)
+
+// ErrDraining is returned by LeaseManager.Acquire (and surfaced by campaign
+// admission) once the manager is closed: the daemon is draining and no new
+// simulator work may start.
+var ErrDraining = errors.New("service: draining, no new work accepted")
+
+// LeaseState is the lifecycle state of one lease-table entry.
+type LeaseState string
+
+const (
+	// LeaseIdle means the simulator is in the pool, ready to be leased.
+	LeaseIdle LeaseState = "idle"
+	// LeaseHeld means the simulator is leased to a campaign worker.
+	LeaseHeld LeaseState = "leased"
+	// LeaseQuarantined means the simulator panicked mid-task and is
+	// permanently retired: the quarantine rule of the campaign runner,
+	// enforced across tenants — no later campaign can ever lease it.
+	LeaseQuarantined LeaseState = "quarantined"
+)
+
+// LeaseInfo is one row of the lease table exposed on /stats.
+type LeaseInfo struct {
+	// ID numbers simulators in creation order.
+	ID int `json:"id"`
+	// State is the entry's current lifecycle state.
+	State LeaseState `json:"state"`
+	// Leases counts how many times this simulator was handed out.
+	Leases int64 `json:"leases"`
+}
+
+// LeaseStats summarises the lease manager for /stats and /healthz.
+type LeaseStats struct {
+	// Capacity is the bound on concurrently leased simulators.
+	Capacity int `json:"capacity"`
+	// Created counts simulators constructed over the manager's lifetime
+	// (initial pool fills plus quarantine replacements).
+	Created int64 `json:"created"`
+	// Leased is the number of simulators currently held by workers.
+	Leased int `json:"leased"`
+	// Idle is the number of pooled simulators ready to lease (slots whose
+	// simulator would be created on demand count too).
+	Idle int `json:"idle"`
+	// Quarantined counts simulators retired by the quarantine rule over the
+	// manager's lifetime.
+	Quarantined int64 `json:"quarantined"`
+	// Acquires counts successful leases.
+	Acquires int64 `json:"acquires"`
+}
+
+// quarantineHistory bounds how many quarantined rows the lease table keeps;
+// older ones are pruned so a panic storm cannot grow the table without
+// bound (the counters still account for every quarantine).
+const quarantineHistory = 32
+
+// LeaseManager is a bounded, concurrency-safe pool of core.Simulator leases
+// implementing runner.SimSource, shared by every campaign the daemon runs.
+// Capacity bounds how many simulators exist at once (memory, and through the
+// runner's worker pool, CPU); Acquire blocks until a slot frees or the
+// context/manager dies. Simulators are created lazily — a fresh slot costs
+// nothing until first leased — and reused across campaigns and tenants,
+// which is safe because a simulator run resets all pooled state (the Reset
+// contract) and the only state no reset can vouch for, a panic interrupted
+// mid-mutation, is exactly what Discard quarantines: a discarded simulator
+// is retired forever and its slot reverts to create-on-demand, so the pool
+// never shrinks and the poisoned instance is never re-leased, no matter
+// which tenant leases next.
+type LeaseManager struct {
+	// tokens is the capacity semaphore: tokens available + leased count
+	// always equals capacity. Release and Discard both return the token,
+	// so a quarantine never shrinks the pool.
+	tokens   chan struct{}
+	closedCh chan struct{}
+
+	mu          sync.Mutex
+	closed      bool
+	idle        []*core.Simulator // LIFO, so the warmest simulator is reused first
+	nextID      int
+	created     int64
+	leased      int
+	quarantined int64
+	acquires    int64
+	records     []*leaseRecord
+	bySim       map[*core.Simulator]*leaseRecord
+}
+
+type leaseRecord struct {
+	id     int
+	state  LeaseState
+	leases int64
+}
+
+// NewLeaseManager creates a manager bounding the pool to capacity
+// simulators (clamped to at least 1).
+func NewLeaseManager(capacity int) *LeaseManager {
+	if capacity < 1 {
+		capacity = 1
+	}
+	m := &LeaseManager{
+		tokens:   make(chan struct{}, capacity),
+		closedCh: make(chan struct{}),
+		bySim:    make(map[*core.Simulator]*leaseRecord),
+	}
+	for i := 0; i < capacity; i++ {
+		m.tokens <- struct{}{}
+	}
+	return m
+}
+
+// Acquire leases a simulator for exclusive use, blocking until a slot is
+// free. It fails with ctx's error on cancellation and with ErrDraining once
+// the manager is closed (including for acquirers already blocked in line).
+func (m *LeaseManager) Acquire(ctx context.Context) (*core.Simulator, error) {
+	select {
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	case <-m.closedCh:
+		return nil, ErrDraining
+	case <-m.tokens:
+	}
+	m.mu.Lock()
+	if m.closed {
+		// Lost the race with Close: return the token untouched so the
+		// occupancy invariant holds for the final drain accounting.
+		m.mu.Unlock()
+		m.tokens <- struct{}{}
+		return nil, ErrDraining
+	}
+	var sim *core.Simulator
+	if n := len(m.idle); n > 0 {
+		sim = m.idle[n-1]
+		m.idle[n-1] = nil
+		m.idle = m.idle[:n-1]
+	} else {
+		sim = core.NewSimulator()
+		m.created++
+		rec := &leaseRecord{id: m.nextID}
+		m.nextID++
+		m.records = append(m.records, rec)
+		m.bySim[sim] = rec
+		m.pruneLocked()
+	}
+	rec := m.bySim[sim]
+	rec.state = LeaseHeld
+	rec.leases++
+	m.leased++
+	m.acquires++
+	m.mu.Unlock()
+	return sim, nil
+}
+
+// Release returns a healthy simulator to the pool for reuse.
+func (m *LeaseManager) Release(sim *core.Simulator) {
+	if sim == nil {
+		return
+	}
+	m.mu.Lock()
+	if rec, ok := m.bySim[sim]; ok {
+		rec.state = LeaseIdle
+		m.leased--
+	}
+	m.idle = append(m.idle, sim)
+	m.mu.Unlock()
+	m.tokens <- struct{}{}
+}
+
+// Discard quarantines a simulator after a recovered panic: the instance is
+// retired forever (its lease-table row stays visible as "quarantined") and
+// its slot reverts to create-on-demand, so pool capacity is preserved while
+// the quarantine rule holds across every tenant.
+func (m *LeaseManager) Discard(sim *core.Simulator) {
+	if sim == nil {
+		return
+	}
+	m.mu.Lock()
+	if rec, ok := m.bySim[sim]; ok {
+		rec.state = LeaseQuarantined
+		delete(m.bySim, sim)
+		m.leased--
+	}
+	m.quarantined++
+	m.pruneLocked()
+	m.mu.Unlock()
+	// The token comes back without the simulator: the slot reverts to
+	// create-on-demand, preserving capacity.
+	m.tokens <- struct{}{}
+}
+
+// Close drains the manager: every current and future Acquire fails with
+// ErrDraining. Leased simulators may still be Released or Discarded after
+// Close. Closing twice is a no-op.
+func (m *LeaseManager) Close() {
+	m.mu.Lock()
+	if !m.closed {
+		m.closed = true
+		close(m.closedCh)
+	}
+	m.mu.Unlock()
+}
+
+// Outstanding returns how many simulators are currently leased; zero after
+// a drain means every lease came home.
+func (m *LeaseManager) Outstanding() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.leased
+}
+
+// Stats returns the manager's counters.
+func (m *LeaseManager) Stats() LeaseStats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return LeaseStats{
+		Capacity:    cap(m.tokens),
+		Created:     m.created,
+		Leased:      m.leased,
+		Idle:        cap(m.tokens) - m.leased,
+		Quarantined: m.quarantined,
+		Acquires:    m.acquires,
+	}
+}
+
+// Snapshot returns the lease table in simulator-creation order.
+func (m *LeaseManager) Snapshot() []LeaseInfo {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]LeaseInfo, 0, len(m.records))
+	for _, rec := range m.records {
+		out = append(out, LeaseInfo{ID: rec.id, State: rec.state, Leases: rec.leases})
+	}
+	return out
+}
+
+// pruneLocked drops the oldest quarantined rows beyond the retained
+// history, keeping the lease table bounded by capacity + quarantineHistory.
+func (m *LeaseManager) pruneLocked() {
+	over := len(m.records) - cap(m.tokens) - quarantineHistory
+	if over <= 0 {
+		return
+	}
+	kept := m.records[:0]
+	for _, rec := range m.records {
+		if over > 0 && rec.state == LeaseQuarantined {
+			over--
+			continue
+		}
+		kept = append(kept, rec)
+	}
+	m.records = kept
+}

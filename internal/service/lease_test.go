@@ -1,0 +1,161 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"gridrealloc/internal/core"
+	"gridrealloc/internal/leakcheck"
+)
+
+func TestLeaseManagerReusesSimulators(t *testing.T) {
+	m := NewLeaseManager(2)
+	ctx := context.Background()
+	a, err := m.Acquire(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Release(a)
+	b, err := m.Acquire(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatal("released simulator was not reused")
+	}
+	m.Release(b)
+	st := m.Stats()
+	if st.Created != 1 || st.Acquires != 2 || st.Leased != 0 || st.Idle != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestLeaseManagerBoundsConcurrency(t *testing.T) {
+	snap := leakcheck.Take()
+	m := NewLeaseManager(1)
+	ctx := context.Background()
+	a, err := m.Acquire(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make(chan *core.Simulator, 1)
+	go func() {
+		sim, err := m.Acquire(ctx)
+		if err != nil {
+			t.Errorf("second acquire: %v", err)
+		}
+		got <- sim
+	}()
+	select {
+	case <-got:
+		t.Fatal("second acquire did not block on a full pool")
+	case <-time.After(50 * time.Millisecond):
+	}
+	m.Release(a)
+	select {
+	case sim := <-got:
+		m.Release(sim)
+	case <-time.After(2 * time.Second):
+		t.Fatal("second acquire never unblocked after release")
+	}
+	if err := snap.Check(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLeaseManagerQuarantineNeverReleases(t *testing.T) {
+	m := NewLeaseManager(1)
+	ctx := context.Background()
+	bad, err := m.Acquire(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Discard(bad)
+	// Capacity must be preserved: the next acquire succeeds with a FRESH
+	// simulator, never the quarantined one.
+	next, err := m.Acquire(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if next == bad {
+		t.Fatal("quarantined simulator was re-leased")
+	}
+	m.Release(next)
+	st := m.Stats()
+	if st.Quarantined != 1 || st.Created != 2 || st.Capacity != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	table := m.Snapshot()
+	if len(table) != 2 {
+		t.Fatalf("lease table = %+v", table)
+	}
+	if table[0].State != LeaseQuarantined || table[1].State != LeaseIdle {
+		t.Fatalf("lease table = %+v", table)
+	}
+}
+
+func TestLeaseManagerCloseFailsAcquire(t *testing.T) {
+	snap := leakcheck.Take()
+	m := NewLeaseManager(1)
+	ctx := context.Background()
+	a, err := m.Acquire(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A waiter blocked in line must be released with ErrDraining, not leak.
+	waiterErr := make(chan error, 1)
+	go func() {
+		_, err := m.Acquire(ctx)
+		waiterErr <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	m.Close()
+	if err := <-waiterErr; !errors.Is(err, ErrDraining) {
+		t.Fatalf("queued waiter err = %v, want ErrDraining", err)
+	}
+	if _, err := m.Acquire(ctx); !errors.Is(err, ErrDraining) {
+		t.Fatalf("post-close acquire err = %v, want ErrDraining", err)
+	}
+	// Releasing after close still works so the drain accounting closes.
+	m.Release(a)
+	if n := m.Outstanding(); n != 0 {
+		t.Fatalf("outstanding = %d after release", n)
+	}
+	if err := snap.Check(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLeaseManagerAcquireHonoursContext(t *testing.T) {
+	m := NewLeaseManager(1)
+	a, err := m.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	if _, err := m.Acquire(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want DeadlineExceeded", err)
+	}
+	m.Release(a)
+}
+
+func TestLeaseTablePrunesQuarantineHistory(t *testing.T) {
+	m := NewLeaseManager(1)
+	ctx := context.Background()
+	for i := 0; i < quarantineHistory+10; i++ {
+		sim, err := m.Acquire(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m.Discard(sim)
+	}
+	if n := len(m.Snapshot()); n > 1+quarantineHistory {
+		t.Fatalf("lease table grew to %d rows, want <= %d", n, 1+quarantineHistory)
+	}
+	if st := m.Stats(); st.Quarantined != int64(quarantineHistory+10) {
+		t.Fatalf("quarantined = %d, pruning must not lose the count", st.Quarantined)
+	}
+}

@@ -1,0 +1,297 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"gridrealloc/internal/batch"
+	"gridrealloc/internal/metrics"
+	"gridrealloc/internal/platform"
+	"gridrealloc/internal/server"
+)
+
+// Config configures a Service. The zero value of every knob has a safe
+// default; see withDefaults.
+type Config struct {
+	// Platform names the clusters the frontal endpoints serve. Empty means
+	// the paper's Grid'5000 platform for the "jan" scenario.
+	Platform platform.Platform
+	// Policy is the local batch policy of every frontal cluster: "FCFS"
+	// (default) or "CBF".
+	Policy string
+
+	// Sims bounds the shared simulator pool (default GOMAXPROCS via
+	// runtime at construction is avoided to stay deterministic: default 4).
+	Sims int
+	// MaxCampaigns bounds concurrently running campaigns (default 2).
+	MaxCampaigns int
+	// MaxPending bounds campaigns queued for admission beyond the running
+	// ones; an arrival past this bound is shed with 429 (default 4).
+	MaxPending int
+
+	// RequestTimeout bounds each frontal request (decode + serve); default
+	// 5s.
+	RequestTimeout time.Duration
+	// CampaignTimeout bounds one whole campaign including streaming;
+	// default 5m.
+	CampaignTimeout time.Duration
+	// WriteTimeout bounds every single NDJSON write so a stalled reader
+	// cannot pin a worker; default 10s.
+	WriteTimeout time.Duration
+	// DrainBudget bounds graceful drain: in-flight campaigns get half of it
+	// to finish on their own, then are cancelled and get the rest to flush
+	// partial results; default 10s.
+	DrainBudget time.Duration
+	// MaxBodyBytes bounds request bodies via http.MaxBytesReader; default
+	// 8 MiB (campaign bodies carry scenario lists).
+	MaxBodyBytes int64
+	// MaxCampaignScenarios bounds one campaign's scenario count; default
+	// 4096.
+	MaxCampaignScenarios int
+
+	// AllowFaultInjection gates the campaign request's fault_seed/faulted
+	// fields (the harness service oracle uses them); production daemons
+	// leave it false and reject fault-injected requests.
+	AllowFaultInjection bool
+
+	// Now is the wall clock, injected so tests control time; nil means the
+	// caller must supply one (cmd/gridd passes the real clock). It is used
+	// only for latency accounting and write deadlines, never for
+	// simulation time, which stays virtual and deterministic.
+	Now func() time.Time
+}
+
+// withDefaults fills the zero knobs.
+func (c Config) withDefaults() Config {
+	if len(c.Platform.Clusters) == 0 {
+		c.Platform = platform.ForScenario("jan", platform.Homogeneous)
+	}
+	if c.Policy == "" {
+		c.Policy = "FCFS"
+	}
+	if c.Sims <= 0 {
+		c.Sims = 4
+	}
+	if c.MaxCampaigns <= 0 {
+		c.MaxCampaigns = 2
+	}
+	if c.MaxPending < 0 {
+		c.MaxPending = 0
+	} else if c.MaxPending == 0 {
+		c.MaxPending = 4
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 5 * time.Second
+	}
+	if c.CampaignTimeout <= 0 {
+		c.CampaignTimeout = 5 * time.Minute
+	}
+	if c.WriteTimeout <= 0 {
+		c.WriteTimeout = 10 * time.Second
+	}
+	if c.DrainBudget <= 0 {
+		c.DrainBudget = 10 * time.Second
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 8 << 20
+	}
+	if c.MaxCampaignScenarios <= 0 {
+		c.MaxCampaignScenarios = 4096
+	}
+	return c
+}
+
+// cluster is one frontal cluster: a server.Server behind a mutex, since
+// concurrent tenants may address the same cluster and the scheduler is not
+// concurrency-safe. Virtual time only moves forward: requests carry their
+// own "now" and are clamped to the scheduler's current time.
+type cluster struct {
+	mu  sync.Mutex
+	srv *server.Server
+}
+
+// Service is the daemon core: frontal clusters, the shared lease pool,
+// campaign admission and drain state. Create with New, expose with
+// Handler, shut down with Drain.
+type Service struct {
+	cfg    Config
+	leases *LeaseManager
+
+	clusters []*cluster // platform order, for deterministic /stats
+	byName   map[string]*cluster
+
+	// running and pending are token semaphores: a campaign holds a running
+	// token while executing; an arrival that cannot get one immediately
+	// holds a pending token while waiting, and is shed when neither is
+	// available.
+	running chan struct{}
+	pending chan struct{}
+
+	// campaignCtx is cancelled when drain gives up on in-flight campaigns;
+	// every campaign context is linked to it.
+	campaignCtx    context.Context
+	cancelCampaign context.CancelFunc
+
+	drainOnce sync.Once
+	drainCh   chan struct{} // closed when drain begins (stops admission)
+	draining  atomic.Bool
+
+	wg sync.WaitGroup // in-flight campaign handlers
+
+	// Observability.
+	submitHist   metrics.Histogram
+	estimateHist metrics.Histogram
+	campaignHist metrics.Histogram
+	shed         atomic.Int64
+	handlerPanic atomic.Int64
+	campaigns    atomic.Int64 // total admitted
+}
+
+// New builds a Service from cfg. It fails only on an invalid platform or
+// policy.
+func New(cfg Config) (*Service, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Now == nil {
+		return nil, fmt.Errorf("service: Config.Now must be set (inject the wall clock)")
+	}
+	policy, err := batch.ParsePolicy(cfg.Policy)
+	if err != nil {
+		return nil, fmt.Errorf("service: %w", err)
+	}
+	s := &Service{
+		cfg:     cfg,
+		leases:  NewLeaseManager(cfg.Sims),
+		byName:  make(map[string]*cluster, len(cfg.Platform.Clusters)),
+		running: make(chan struct{}, cfg.MaxCampaigns),
+		pending: make(chan struct{}, cfg.MaxPending),
+		drainCh: make(chan struct{}),
+	}
+	s.campaignCtx, s.cancelCampaign = context.WithCancel(context.Background())
+	for _, spec := range cfg.Platform.Clusters {
+		srv, err := server.New(spec, policy)
+		if err != nil {
+			s.cancelCampaign()
+			return nil, fmt.Errorf("service: cluster %s: %w", spec.Name, err)
+		}
+		c := &cluster{srv: srv}
+		s.clusters = append(s.clusters, c)
+		s.byName[spec.Name] = c
+	}
+	return s, nil
+}
+
+// Draining reports whether drain has begun.
+func (s *Service) Draining() bool { return s.draining.Load() }
+
+// BeginDrain stops admission: new campaigns and frontal requests are
+// rejected with 503, queued admission waiters are released with ErrDraining
+// and new lease acquisition fails. In-flight campaigns keep running.
+func (s *Service) BeginDrain() {
+	s.drainOnce.Do(func() {
+		s.draining.Store(true)
+		close(s.drainCh)
+	})
+}
+
+// Drain gracefully shuts the service down within the configured budget:
+// stop admission, give in-flight campaigns half the budget to finish on
+// their own, then cancel them (the runner drains workers and the handlers
+// flush partial results) and wait out the rest. It returns nil when every
+// campaign finished and every lease came home, and an error describing the
+// degradation otherwise. ctx can abort the wait early.
+func (s *Service) Drain(ctx context.Context) error {
+	s.BeginDrain()
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	grace := s.cfg.DrainBudget / 2
+	if !waitOr(ctx, done, grace) {
+		// Campaigns did not finish on their own: cancel and let them flush.
+		s.cancelCampaign()
+		if !waitOr(ctx, done, s.cfg.DrainBudget-grace) {
+			s.leases.Close()
+			return fmt.Errorf("service: drain budget %v exceeded with campaigns still in flight", s.cfg.DrainBudget)
+		}
+		s.leases.Close()
+		if n := s.leases.Outstanding(); n != 0 {
+			return fmt.Errorf("service: drain finished with %d leases outstanding", n)
+		}
+		return fmt.Errorf("service: drain cancelled in-flight campaigns after %v grace", grace)
+	}
+	s.cancelCampaign()
+	s.leases.Close()
+	if n := s.leases.Outstanding(); n != 0 {
+		return fmt.Errorf("service: drain finished with %d leases outstanding", n)
+	}
+	return nil
+}
+
+// waitOr waits for done up to d (or ctx), reporting whether done fired.
+func waitOr(ctx context.Context, done <-chan struct{}, d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-done:
+		return true
+	case <-t.C:
+		return false
+	case <-ctx.Done():
+		return false
+	}
+}
+
+// Leases exposes the lease manager (the harness oracle inspects it).
+func (s *Service) Leases() *LeaseManager { return s.leases }
+
+// admit acquires a running-campaign token, queueing within the pending
+// bound. It returns errShed when both bounds are full (the caller answers
+// 429) and ErrDraining when drain begins or ctx dies while queued. On
+// success the campaign is registered with the drain WaitGroup; release
+// undoes both.
+func (s *Service) admit(ctx context.Context) (release func(), err error) {
+	if s.draining.Load() {
+		return nil, ErrDraining
+	}
+	admitted := func() (func(), error) {
+		s.wg.Add(1)
+		// Re-check after registering: if drain began between the token
+		// acquire and the Add, its WaitGroup wait may already have
+		// returned, so this campaign must not run.
+		if s.draining.Load() {
+			s.wg.Done()
+			<-s.running
+			return nil, ErrDraining
+		}
+		s.campaigns.Add(1)
+		return func() { s.wg.Done(); <-s.running }, nil
+	}
+	select {
+	case s.running <- struct{}{}:
+		return admitted()
+	default:
+	}
+	select {
+	case s.pending <- struct{}{}:
+	default:
+		s.shed.Add(1)
+		return nil, errShed
+	}
+	defer func() { <-s.pending }()
+	select {
+	case s.running <- struct{}{}:
+		return admitted()
+	case <-s.drainCh:
+		return nil, ErrDraining
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// errShed marks an arrival rejected by admission control; the HTTP layer
+// maps it to 429 + Retry-After.
+var errShed = fmt.Errorf("service: at capacity, retry later")
